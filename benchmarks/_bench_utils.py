@@ -1,0 +1,11 @@
+"""Shared helpers for the benchmark scripts."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def results_path(name: str) -> str:
+    """Absolute path under ``benchmarks/results/`` (created on demand)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)

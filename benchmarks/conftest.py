@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+The benchmarks regenerate every table and figure of the paper.  They are slow
+(minutes each) because they train real models end-to-end; the budget profile
+can be selected with the ``REPRO_BENCH_PROFILE`` environment variable
+(``smoke``, ``fast`` — the default — or ``standard``).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the regenerated
+tables; each benchmark also writes its table to ``benchmarks/results/``.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for path in (os.path.join(_ROOT, "src"), os.path.dirname(os.path.abspath(__file__))):
+    if path not in sys.path:
+        sys.path.insert(0, path)

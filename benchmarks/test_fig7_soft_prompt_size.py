@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 7: HR@1 as a function of the soft-prompt size k.
+
+Paper finding: performance first improves with k and then levels off (plateau
+after k = 80 at Flan-T5-XL scale).  The reproduction sweeps proportionally
+smaller k values and checks that the largest k is not the unique optimum by a
+large margin (i.e. the curve flattens rather than growing without bound).
+"""
+
+import numpy as np
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_fig7_soft_prompt_size, save_results
+
+
+def test_fig7_soft_prompt_size(benchmark):
+    profile = get_profile()
+    table = benchmark.pedantic(lambda: run_fig7_soft_prompt_size(profile), rounds=1, iterations=1)
+    print("\n" + str(table))
+    save_results([table], results_path("fig7_soft_prompt_size.json"))
+
+    values = sorted(set(table.column("soft_prompt_size")))
+    assert len(values) >= 2
+    for dataset in sorted(set(table.column("dataset"))):
+        series = [table.value("HR@1", dataset=dataset, soft_prompt_size=k) for k in values]
+        assert all(0.0 <= hr <= 1.0 for hr in series)
+        best, last = max(series), series[-1]
+        # the curve flattens: the largest k is within a tolerance of the best k
+        assert last >= best - 0.15
+        # the best k is not the smallest one by a dramatic margin (soft prompts help up to a point)
+        assert best >= series[0] - 0.05

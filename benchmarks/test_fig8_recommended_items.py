@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 8: HR@1 vs the top-h items shown during RPS.
+
+Paper finding: providing the conventional model's recommended items helps up to
+an interior optimum; very large h dilutes the prompt and stops helping.
+"""
+
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_fig8_recommended_items, save_results
+
+
+def test_fig8_recommended_items(benchmark):
+    profile = get_profile()
+    table = benchmark.pedantic(lambda: run_fig8_recommended_items(profile), rounds=1, iterations=1)
+    print("\n" + str(table))
+    save_results([table], results_path("fig8_recommended_items.json"))
+
+    values = sorted(set(table.column("top_h")))
+    assert len(values) >= 2
+    for dataset in sorted(set(table.column("dataset"))):
+        series = [table.value("HR@1", dataset=dataset, top_h=h) for h in values]
+        assert all(0.0 <= hr <= 1.0 for hr in series)
+        # the curve is not strictly increasing to the largest h: an interior or
+        # early value is at least competitive with the largest h (within noise)
+        assert max(series[:-1]) >= series[-1] - 0.1

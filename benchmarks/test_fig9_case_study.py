@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 9: the three-way case study (raw LLM / SASRec / DELRec)."""
+
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_fig9_case_study, save_results
+
+
+def test_fig9_case_study(benchmark):
+    profile = get_profile()
+    study = benchmark.pedantic(
+        lambda: run_fig9_case_study(profile, dataset_name="movielens-100k"),
+        rounds=1,
+        iterations=1,
+    )
+    table = study.as_table()
+    print("\n" + str(table))
+    save_results([table], results_path("fig9_case_study.json"))
+
+    assert len(study.history_titles) >= 3
+    assert set(study.recommendations) == {"Flan-T5-XL (zero-shot LLM)", "SASRec", "DELRec"}
+    for titles in study.recommendations.values():
+        assert titles and all(isinstance(title, str) and title for title in titles)
+    # the figure's story requires the ground truth to be a real catalog title
+    assert isinstance(study.ground_truth, str) and study.ground_truth

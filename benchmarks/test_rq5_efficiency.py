@@ -1,0 +1,34 @@
+"""Benchmark regenerating the RQ5 study: memory footprint, latency and cold start."""
+
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, save_results
+from repro.experiments.tables import run_rq5_efficiency
+
+
+def test_rq5_efficiency_and_cold_start(benchmark):
+    profile = get_profile()
+    tables = benchmark.pedantic(
+        lambda: run_rq5_efficiency(profile, dataset_name="home-kitchen", num_requests=25),
+        rounds=1,
+        iterations=1,
+    )
+    efficiency, cold = tables["efficiency"], tables["cold_start"]
+    print("\n" + str(efficiency))
+    print("\n" + str(cold))
+    save_results([efficiency, cold], results_path("rq5_efficiency.json"))
+
+    # soft prompts add a negligible fraction of the LLM's parameters (paper: 0.2M vs 3B)
+    llm_row = efficiency.row_for(model="SimLM backbone (stands in for Flan-T5-XL)")
+    delrec_row = efficiency.row_for(model="DELRec (backbone + soft prompts)")
+    assert delrec_row["parameters"] >= llm_row["parameters"]
+    assert delrec_row["parameters"] <= llm_row["parameters"] * 1.10
+
+    # DELRec latency is within a small factor of the raw LLM's (paper: 0.182s vs 0.161s)
+    assert delrec_row["latency_s"] <= llm_row["latency_s"] * 3 + 1e-3
+
+    # cold start: DELRec does not collapse for users with <3 interactions and
+    # remains competitive with SASRec (paper: DELRec beats SASRec, ties KDALRD)
+    sasrec_hr10 = cold.value("HR@10", method="SASRec")
+    delrec_hr10 = cold.value("HR@10", method="DELRec")
+    assert delrec_hr10 >= 0.8 * sasrec_hr10

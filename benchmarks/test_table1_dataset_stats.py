@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table I: dataset statistics."""
+
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_table1_dataset_stats, save_results
+
+
+def test_table1_dataset_stats(benchmark):
+    profile = get_profile()
+    table = benchmark.pedantic(lambda: run_table1_dataset_stats(profile), rounds=1, iterations=1)
+    print("\n" + str(table))
+    save_results([table], results_path("table1_dataset_stats.json"))
+
+    # the paper's sparsity ordering must be preserved by the synthetic datasets
+    sparsity = {row["dataset"]: row["sparsity"] for row in table.rows}
+    assert sparsity["kuairec"] < sparsity["movielens-100k"]
+    assert sparsity["movielens-100k"] < sparsity["steam"]
+    assert sparsity["steam"] < sparsity["home-kitchen"]
+    # Home & Kitchen is the largest dataset, as in the paper
+    interactions = {row["dataset"]: row["interactions"] for row in table.rows}
+    assert interactions["home-kitchen"] >= max(
+        interactions["movielens-100k"], interactions["steam"]
+    )

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table III: ablation on the learned soft prompts.
+
+Paper finding: the full DELRec (distilled soft prompts) beats hand-written
+descriptions (w MCP), no auxiliary information (w/o SP) and untrained random
+soft prompts (w USP); random soft prompts are the worst because they inject
+noise.
+"""
+
+import numpy as np
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_table3_soft_prompt_ablation, save_results
+
+
+def test_table3_soft_prompt_ablation(benchmark):
+    profile = get_profile()
+    table = benchmark.pedantic(lambda: run_table3_soft_prompt_ablation(profile), rounds=1, iterations=1)
+    print("\n" + str(table))
+    save_results([table], results_path("table3_soft_prompt_ablation.json"))
+
+    datasets = sorted(set(table.column("dataset")))
+
+    def avg(variant, metric="HR@5"):
+        return float(np.mean([table.value(metric, dataset=d, variant=variant) for d in datasets]))
+
+    default = avg("default")
+    without_sp = avg("w/o SP")
+    untrained = avg("w USP")
+    # the distilled soft prompts should not hurt relative to removing them,
+    # and untrained (random) soft prompts should not dominate the distilled
+    # ones (tolerances absorb the sampling noise of the small test sets).
+    assert default >= 0.9 * without_sp
+    assert default >= untrained - 0.06
+    # every variant still produces sane metrics
+    for row in table.rows:
+        assert 0.0 <= row["HR@1"] <= row["HR@5"] <= row["HR@10"] <= 1.0

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table IV: component ablations of DELRec.
+
+Paper findings: removing either stage (DPSM / LSR) or either Stage-1 objective
+(TA / RPS) hurts; updating extra parameter sets in either stage (UDPSM / ULSR)
+hurts slightly; a smaller LLM backbone (Flan-T5-Large) hurts.
+"""
+
+import numpy as np
+from _bench_utils import results_path
+
+from repro.experiments import get_profile, run_table4_component_ablation, save_results
+
+
+def test_table4_component_ablation(benchmark):
+    profile = get_profile()
+    table = benchmark.pedantic(lambda: run_table4_component_ablation(profile), rounds=1, iterations=1)
+    print("\n" + str(table))
+    save_results([table], results_path("table4_component_ablation.json"))
+
+    datasets = sorted(set(table.column("dataset")))
+
+    def avg(variant, metric="HR@10"):
+        return float(np.mean([table.value(metric, dataset=d, variant=variant) for d in datasets]))
+
+    default = avg("default")
+    # dropping Stage 2 (the fine-tuning on ground truth) is the most damaging
+    # ablation in the paper; it must not outperform the full model here either.
+    assert default >= avg("w/o LSR")
+    # the full model should not be dominated by removing the whole of Stage 1
+    assert default >= 0.9 * avg("w/o DPSM")
+    # all variants produce valid metric ranges
+    for row in table.rows:
+        assert 0.0 <= row["HR@1"] <= row["HR@10"] <= 1.0
+    # every paper variant is present
+    assert {"w/o DPSM", "w/o LSR", "w/o TA", "w/o RPS", "w UDPSM", "w ULSR",
+            "w Flan-T5-Large", "default"} <= set(table.column("variant"))

@@ -1,0 +1,14 @@
+"""Pytest path configuration.
+
+The environment used for the reproduction has no network access, so
+``pip install -e .`` cannot fetch the ``wheel`` build requirement.  Adding
+``src`` to ``sys.path`` here makes the package importable for tests and
+benchmarks regardless of whether the editable install succeeded.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,65 @@
+"""Cold-start analysis (the second half of RQ5).
+
+Evaluates SASRec, KDALRD and DELRec on users with fewer than three
+interactions on the synthetic Home & Kitchen dataset, mirroring section V-F of
+the paper, and prints the per-method metrics.
+
+Run with::
+
+    python examples/cold_start_analysis.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.baselines import KDALRD
+from repro.core import DELRec, DELRecConfig
+from repro.core.config import Stage1Config, Stage2Config
+from repro.data import chronological_split, load_dataset
+from repro.eval import cold_start_comparison
+from repro.eval.metrics import PAPER_METRICS
+from repro.experiments import ResultTable
+from repro.models import SASRec, TrainingConfig, train_recommender
+
+
+def main() -> None:
+    dataset = load_dataset("home-kitchen", scale=0.6)
+    split = chronological_split(dataset, max_history=9)
+
+    sasrec = SASRec(num_items=dataset.num_items, embedding_dim=32, dropout=0.3, seed=0)
+    train_recommender(sasrec, split.train, TrainingConfig.for_model("SASRec", epochs=6))
+
+    pipeline = DELRec(
+        config=DELRecConfig(soft_prompt_size=8, top_h=5, titles_in_history=False,
+                            max_stage1_examples=200, max_stage2_examples=300,
+                            stage1=Stage1Config(epochs=2), stage2=Stage2Config(epochs=4)),
+        conventional_model=sasrec,
+    )
+    pipeline.fit(dataset, split)
+
+    kdalrd = KDALRD()
+    kdalrd.fit(dataset, split, llm=pipeline.llm)
+
+    report = cold_start_comparison(
+        dataset,
+        {"SASRec": sasrec, "KDALRD": kdalrd, "DELRec": pipeline.recommender()},
+        max_interactions=3,
+        num_candidates=15,
+        max_examples=100,
+    )
+    table = ResultTable(
+        title=f"Cold-start users (<3 interactions) on {dataset.name} ({report.num_users} users)",
+        columns=["method"] + list(PAPER_METRICS),
+    )
+    for method in report.methods():
+        table.add_row(method=method,
+                      **{m: report.results[method].metric(m) for m in PAPER_METRICS})
+    print(table)
+    print("\npaper reference (real Home & Kitchen): DELRec HR@5 0.174 vs SASRec 0.142, "
+          "on par with KDALRD 0.176")
+
+
+if __name__ == "__main__":
+    main()

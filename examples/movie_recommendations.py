@@ -1,0 +1,61 @@
+"""Interactive-style example: generate movie recommendations for individual users.
+
+Mirrors the paper's case study (Figure 9): for a few users with the longest
+viewing histories, show what a raw LLM, SASRec and DELRec would each recommend
+next, using item titles throughout.
+
+Run with::
+
+    python examples/movie_recommendations.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.baselines import ZeroShotLLM
+from repro.core import DELRec, DELRecConfig
+from repro.core.config import Stage1Config, Stage2Config
+from repro.data import CandidateSampler, chronological_split, load_dataset
+from repro.models import SASRec, TrainingConfig, train_recommender
+
+
+def main() -> None:
+    dataset = load_dataset("movielens-100k", scale=0.6)
+    split = chronological_split(dataset, max_history=9)
+    catalog = dataset.catalog
+
+    sasrec = SASRec(num_items=dataset.num_items, embedding_dim=32, dropout=0.3, seed=0)
+    train_recommender(sasrec, split.train, TrainingConfig.for_model("SASRec", epochs=6))
+
+    config = DELRecConfig(
+        soft_prompt_size=8, top_h=5, titles_in_history=False,
+        max_stage1_examples=200, max_stage2_examples=300,
+        stage1=Stage1Config(epochs=2), stage2=Stage2Config(epochs=4),
+    )
+    pipeline = DELRec(config=config, conventional_model=sasrec)
+    pipeline.fit(dataset, split)
+    delrec = pipeline.recommender()
+
+    zero_shot = ZeroShotLLM.for_paper_llm("Flan-T5-XL")
+    zero_shot.fit(dataset, split, llm=pipeline.llm)
+
+    sampler = CandidateSampler(dataset, num_candidates=15, seed=3)
+    examples = sorted(split.test, key=lambda e: -len(e.history))[:3]
+    for example in examples:
+        candidates = sampler.candidates_for(example)
+        history_titles = [catalog.title_of(i) for i in example.history if i != 0]
+        print("\n" + "=" * 72)
+        print(f"user {example.user_id} watched:")
+        for title in history_titles:
+            print(f"  - {title}")
+        print(f"ground-truth next movie: {catalog.title_of(example.target)}")
+        for name, model in [("Raw LLM (zero-shot)", zero_shot), ("SASRec", sasrec), ("DELRec", delrec)]:
+            top = model.top_k(example.history, k=3, candidates=candidates)
+            titles = ", ".join(catalog.title_of(i) for i in top)
+            print(f"  {name:<22} -> {titles}")
+
+
+if __name__ == "__main__":
+    main()

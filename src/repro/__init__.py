@@ -1,0 +1,29 @@
+"""DELRec reproduction: Distilling Sequential Pattern to Enhance LLMs-based
+Sequential Recommendation (ICDE 2025).
+
+Public API highlights
+---------------------
+* :func:`repro.data.load_dataset` — synthetic stand-ins for the paper's datasets.
+* :mod:`repro.models` — conventional SR backbones (GRU4Rec, Caser, SASRec, ...).
+* :mod:`repro.llm` — the simulated LLM (SimLM), soft prompts and verbalizer.
+* :class:`repro.core.DELRec` — the two-stage DELRec pipeline.
+* :mod:`repro.baselines` — the LLM-based baselines of the paper's three paradigms.
+* :mod:`repro.eval` — HR/NDCG evaluation, significance tests, efficiency, cold start.
+* :mod:`repro.experiments` — runners that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import DELRec, DELRecConfig
+from repro.data import load_dataset, chronological_split, available_datasets
+from repro.eval import evaluate_recommender
+
+__all__ = [
+    "__version__",
+    "DELRec",
+    "DELRecConfig",
+    "load_dataset",
+    "chronological_split",
+    "available_datasets",
+    "evaluate_recommender",
+]

@@ -1,0 +1,69 @@
+"""Reverse-mode automatic differentiation and neural-network substrate.
+
+This package is the training engine used by every learned component in the
+DELRec reproduction: the conventional sequential recommenders (GRU4Rec,
+Caser, SASRec, BERT4Rec), the simulated language model (:class:`repro.llm.SimLM`),
+soft-prompt tuning in Stage 1 of DELRec and AdaLoRA fine-tuning in Stage 2.
+
+It deliberately mirrors a small subset of the PyTorch API (``Tensor``,
+``Module``, ``Linear``, ``Adam`` ...) so that the training loops in the rest
+of the repository read like the code the paper's authors would have written
+on top of HuggingFace/PyTorch, while running on plain numpy.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.module import Module, Parameter, Sequential, ModuleList
+from repro.autograd.layers import (
+    Linear,
+    Embedding,
+    LayerNorm,
+    Dropout,
+    ReLU,
+    GELU,
+    Tanh,
+    Sigmoid,
+    Identity,
+)
+from repro.autograd.attention import MultiHeadSelfAttention, TransformerEncoderLayer
+from repro.autograd.recurrent import GRUCell, GRU
+from repro.autograd.conv import HorizontalConv, VerticalConv
+from repro.autograd.optim import SGD, Adam, Adagrad, Lion, Optimizer
+from repro.autograd.lora import LoRALinear, AdaLoRALinear, AdaLoRAController
+from repro.autograd.serialization import save_state_dict, load_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "GRUCell",
+    "GRU",
+    "HorizontalConv",
+    "VerticalConv",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "Lion",
+    "LoRALinear",
+    "AdaLoRALinear",
+    "AdaLoRAController",
+    "save_state_dict",
+    "load_state_dict",
+]

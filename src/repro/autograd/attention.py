@@ -1,0 +1,114 @@
+"""Multi-head self-attention and transformer encoder layers.
+
+These blocks back both SASRec / BERT4Rec (conventional recommenders) and
+:class:`repro.llm.SimLM` (the simulated language model).  Attention masks are
+plain boolean numpy arrays: ``True`` marks positions that may be attended to.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.layers import Dropout, FeedForward, LayerNorm, Linear
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+
+_NEG_INF = -1e9
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Lower-triangular mask allowing each position to attend to itself and the past."""
+    return np.tril(np.ones((length, length), dtype=bool))
+
+
+def padding_mask(valid: np.ndarray) -> np.ndarray:
+    """Expand a per-token validity array ``(batch, length)`` to an attention mask.
+
+    The result has shape ``(batch, length, length)`` and allows attention only
+    to valid (non-padding) key positions.
+    """
+    valid = np.asarray(valid, dtype=bool)
+    return valid[:, None, :] & np.ones((valid.shape[1], 1), dtype=bool)
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product multi-head self-attention."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} must be divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+        self.output_proj = Linear(dim, dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend over ``x`` of shape ``(batch, length, dim)``.
+
+        ``attention_mask`` may have shape ``(length, length)`` or
+        ``(batch, length, length)``; ``True`` marks allowed positions.
+        """
+        batch, length, _ = x.shape
+        queries = self._split_heads(self.query_proj(x), batch, length)
+        keys = self._split_heads(self.key_proj(x), batch, length)
+        values = self._split_heads(self.value_proj(x), batch, length)
+
+        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            if mask.ndim == 2:
+                mask = np.broadcast_to(mask, (batch, length, length))
+            mask = mask[:, None, :, :]  # broadcast over heads
+            scores = F.masked_fill(scores, ~np.broadcast_to(mask, scores.shape), _NEG_INF)
+
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        context = weights.matmul(values)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+        return self.output_proj(context)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (attention + feed-forward)."""
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int,
+        hidden_dim: Optional[int] = None,
+        dropout: float = 0.1,
+        activation: str = "gelu",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        hidden_dim = hidden_dim or 4 * dim
+        self.attention = MultiHeadSelfAttention(dim, num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(dim, hidden_dim, dropout=dropout, activation=activation, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(self.norm1(x), attention_mask=attention_mask)
+        x = x + self.dropout(attended)
+        transformed = self.feed_forward(self.norm2(x))
+        return x + self.dropout(transformed)

@@ -1,0 +1,108 @@
+"""Convolutional layers specialised for Caser.
+
+Caser (Tang & Wang, WSDM 2018) treats the embedded interaction sequence as an
+``L x d`` image and applies two kinds of convolutions:
+
+* *horizontal* filters of shape ``(h, d)`` slide over the time axis and are
+  max-pooled over the remaining positions — they capture union-level patterns
+  of ``h`` consecutive items;
+* *vertical* filters of shape ``(L, 1)`` slide over the embedding dimensions —
+  they compute weighted sums over the time axis (point-level patterns).
+
+Both are expressed in terms of differentiable tensor primitives so that no
+bespoke backward pass is required.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+
+
+class HorizontalConv(Module):
+    """Horizontal convolution + max-over-time pooling for Caser.
+
+    For each filter height ``h`` in ``heights`` the layer owns ``num_filters``
+    filters of shape ``(h, embedding_dim)``.  The output concatenates the
+    max-pooled activation of every filter, giving a vector of size
+    ``num_filters * len(heights)`` per sequence.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        num_filters: int,
+        heights: Sequence[int],
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding_dim = embedding_dim
+        self.num_filters = num_filters
+        self.heights = list(heights)
+        for h in self.heights:
+            weight = Parameter(init.xavier_uniform((num_filters, h * embedding_dim), rng))
+            bias = Parameter(init.zeros((num_filters,)))
+            setattr(self, f"weight_h{h}", weight)
+            setattr(self, f"bias_h{h}", bias)
+
+    @property
+    def output_dim(self) -> int:
+        return self.num_filters * len(self.heights)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply horizontal filters to ``x`` of shape ``(batch, length, dim)``."""
+        batch, length, dim = x.shape
+        pooled: List[Tensor] = []
+        for h in self.heights:
+            weight: Parameter = getattr(self, f"weight_h{h}")
+            bias: Parameter = getattr(self, f"bias_h{h}")
+            if h > length:
+                pooled.append(Tensor(np.zeros((batch, self.num_filters))))
+                continue
+            window_outputs: List[Tensor] = []
+            for start in range(length - h + 1):
+                window = x[:, start:start + h, :].reshape(batch, h * dim)
+                activation = (window.matmul(weight.transpose()) + bias).relu()
+                window_outputs.append(activation)
+            stacked = Tensor.stack(window_outputs, axis=1)  # (batch, positions, filters)
+            pooled.append(stacked.max(axis=1))
+        return Tensor.concatenate(pooled, axis=1)
+
+
+class VerticalConv(Module):
+    """Vertical convolution for Caser: a weighted sum over the time axis."""
+
+    def __init__(
+        self,
+        sequence_length: int,
+        num_filters: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.sequence_length = sequence_length
+        self.num_filters = num_filters
+        self.weight = Parameter(init.xavier_uniform((num_filters, sequence_length), rng))
+
+    def output_dim(self, embedding_dim: int) -> int:
+        return self.num_filters * embedding_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply vertical filters to ``x`` of shape ``(batch, length, dim)``.
+
+        Returns a tensor of shape ``(batch, num_filters * dim)``.
+        """
+        batch, length, dim = x.shape
+        if length != self.sequence_length:
+            raise ValueError(
+                f"expected sequences of length {self.sequence_length}, got {length}"
+            )
+        # (filters, length) @ (batch, length, dim) -> (batch, filters, dim)
+        mixed = self.weight.matmul(x)
+        return mixed.reshape(batch, self.num_filters * dim)

@@ -1,0 +1,213 @@
+"""LoRA and AdaLoRA parameter-efficient fine-tuning adapters.
+
+Stage 2 of DELRec fine-tunes the (frozen) language model with **AdaLoRA**
+(Zhang et al., 2023): low-rank updates parameterised as ``P diag(lambda) Q``
+whose effective rank is adapted during training by pruning the least important
+singular values, re-allocating the parameter budget to the most important
+weight matrices.  Plain LoRA is provided as an ablation baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.layers import Linear
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+
+
+class LoRALinear(Module):
+    """A frozen :class:`Linear` layer with a trainable low-rank update.
+
+    ``y = x (W + scale * B A)^T + b`` where ``A`` is ``(rank, in)`` and ``B``
+    is ``(out, rank)``.  ``B`` starts at zero so the adapted layer initially
+    matches the base layer exactly.
+    """
+
+    def __init__(
+        self,
+        base: Linear,
+        rank: int = 4,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.base = base
+        self.rank = rank
+        self.alpha = alpha
+        self.scaling = alpha / rank
+        self.lora_a = Parameter(init.normal((rank, base.in_features), rng, std=0.02))
+        self.lora_b = Parameter(init.zeros((base.out_features, rank)))
+        self.base.freeze()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.base(x)
+        delta = x.matmul(self.lora_a.transpose()).matmul(self.lora_b.transpose())
+        return out + delta * self.scaling
+
+    def merge_into_base(self) -> np.ndarray:
+        """Return the merged weight ``W + scale * B A`` (does not mutate the base)."""
+        return self.base.weight.data + self.scaling * (self.lora_b.data @ self.lora_a.data)
+
+
+class AdaLoRALinear(Module):
+    """AdaLoRA adapter: SVD-style ``P diag(lambda) Q`` low-rank update.
+
+    The diagonal ``lambda`` carries per-triplet importance; an
+    :class:`AdaLoRAController` prunes the least important triplets during
+    training by zeroing entries of the rank mask.
+    """
+
+    def __init__(
+        self,
+        base: Linear,
+        rank: int = 8,
+        alpha: float = 8.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.base = base
+        self.rank = rank
+        self.alpha = alpha
+        self.scaling = alpha / rank
+        self.lora_p = Parameter(init.normal((base.out_features, rank), rng, std=0.02))
+        self.lora_q = Parameter(init.normal((rank, base.in_features), rng, std=0.02))
+        self.lora_lambda = Parameter(init.zeros((rank,)))
+        self.register_buffer("rank_mask", np.ones((rank,), dtype=np.float64))
+        self.base.freeze()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.base(x)
+        masked_lambda = self.lora_lambda * Tensor(self.rank_mask)
+        projected = x.matmul(self.lora_q.transpose())  # (..., rank)
+        scaled = projected * masked_lambda
+        delta = scaled.matmul(self.lora_p.transpose())
+        return out + delta * self.scaling
+
+    def active_rank(self) -> int:
+        """Number of rank-1 components that are still unpruned."""
+        return int(self.rank_mask.sum())
+
+    def importance_scores(self) -> np.ndarray:
+        """Sensitivity-based importance of each rank-1 triplet.
+
+        Follows AdaLoRA: importance of triplet ``i`` combines the magnitude of
+        ``lambda_i`` with the average gradient sensitivity of its vectors.
+        """
+        lam = np.abs(self.lora_lambda.data)
+        sensitivity = np.zeros_like(lam)
+        if self.lora_lambda.grad is not None:
+            sensitivity += np.abs(self.lora_lambda.data * self.lora_lambda.grad)
+        if self.lora_p.grad is not None:
+            sensitivity += np.abs(self.lora_p.data * self.lora_p.grad).mean(axis=0)
+        if self.lora_q.grad is not None:
+            sensitivity += np.abs(self.lora_q.data * self.lora_q.grad).mean(axis=1)
+        return lam + sensitivity
+
+    def orthogonality_penalty(self) -> Tensor:
+        """Regulariser pushing ``P`` and ``Q`` toward orthonormal columns/rows."""
+        eye_p = np.eye(self.rank)
+        ptp = self.lora_p.transpose().matmul(self.lora_p)
+        qqt = self.lora_q.matmul(self.lora_q.transpose())
+        diff_p = ptp - Tensor(eye_p)
+        diff_q = qqt - Tensor(eye_p)
+        return (diff_p * diff_p).mean() + (diff_q * diff_q).mean()
+
+
+class AdaLoRAController:
+    """Adaptive rank allocation across a set of :class:`AdaLoRALinear` adapters.
+
+    The controller starts with every adapter at full rank and, between
+    ``warmup_steps`` and ``total_steps``, linearly shrinks the *global* rank
+    budget to ``target_total_rank``, always pruning the globally least
+    important rank-1 triplets (importance smoothed with an EMA).
+    """
+
+    def __init__(
+        self,
+        adapters: List[AdaLoRALinear],
+        target_total_rank: Optional[int] = None,
+        warmup_steps: int = 10,
+        total_steps: int = 100,
+        ema_beta: float = 0.85,
+    ):
+        if not adapters:
+            raise ValueError("AdaLoRAController needs at least one adapter")
+        self.adapters = adapters
+        self.initial_total_rank = sum(a.rank for a in adapters)
+        self.target_total_rank = target_total_rank or max(len(adapters), self.initial_total_rank // 2)
+        self.warmup_steps = warmup_steps
+        self.total_steps = total_steps
+        self.ema_beta = ema_beta
+        self.step_count = 0
+        self._ema: Dict[int, np.ndarray] = {}
+
+    def budget_at(self, step: int) -> int:
+        """Global rank budget according to the cubic schedule of AdaLoRA."""
+        if step <= self.warmup_steps:
+            return self.initial_total_rank
+        if step >= self.total_steps:
+            return self.target_total_rank
+        progress = (step - self.warmup_steps) / max(self.total_steps - self.warmup_steps, 1)
+        remaining = (1.0 - progress) ** 3
+        budget = self.target_total_rank + remaining * (self.initial_total_rank - self.target_total_rank)
+        return int(round(budget))
+
+    def step(self) -> int:
+        """Update importance estimates, prune to the current budget, return budget."""
+        self.step_count += 1
+        scores: List[np.ndarray] = []
+        for adapter in self.adapters:
+            raw = adapter.importance_scores()
+            ema = self._ema.get(id(adapter))
+            ema = raw if ema is None else self.ema_beta * ema + (1 - self.ema_beta) * raw
+            self._ema[id(adapter)] = ema
+            scores.append(ema)
+
+        budget = self.budget_at(self.step_count)
+        flat = np.concatenate(scores)
+        if budget >= flat.size:
+            return budget
+        threshold = np.sort(flat)[::-1][budget - 1] if budget > 0 else np.inf
+        for adapter, score in zip(self.adapters, scores):
+            mask = (score >= threshold).astype(np.float64)
+            if mask.sum() == 0:  # always keep at least one component per adapter
+                mask[int(np.argmax(score))] = 1.0
+            adapter.rank_mask[:] = mask
+        return budget
+
+    def total_active_rank(self) -> int:
+        return int(sum(a.active_rank() for a in self.adapters))
+
+
+def wrap_linears_with_adalora(
+    module: Module,
+    rank: int = 8,
+    alpha: float = 8.0,
+    name_filter=None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[AdaLoRALinear]:
+    """Replace selected :class:`Linear` sub-modules of ``module`` with AdaLoRA adapters.
+
+    ``name_filter`` receives the dotted module name and returns whether that
+    linear layer should be adapted; by default every linear layer is adapted.
+    Returns the list of created adapters (the originals are frozen in place).
+    """
+    rng = rng or np.random.default_rng(0)
+    adapters: List[AdaLoRALinear] = []
+    for parent_name, parent in list(module.named_modules()):
+        for child_name, child in list(parent._modules.items()):
+            if not isinstance(child, Linear) or isinstance(parent, (LoRALinear, AdaLoRALinear)):
+                continue
+            full_name = f"{parent_name}.{child_name}".lstrip(".")
+            if name_filter is not None and not name_filter(full_name):
+                continue
+            adapter = AdaLoRALinear(child, rank=rank, alpha=alpha, rng=rng)
+            parent.add_module(child_name, adapter)
+            adapters.append(adapter)
+    return adapters

@@ -1,0 +1,201 @@
+"""Module/Parameter abstractions (a small ``torch.nn``-style API).
+
+Every trainable component in the reproduction — conventional recommenders,
+the simulated LLM, soft prompts and LoRA adapters — is a :class:`Module`.
+Modules discover their parameters and sub-modules automatically through
+attribute assignment, support train/eval mode, and serialise via
+``state_dict``/``load_state_dict``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable array that is saved with the state dict."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """Return all parameters of this module and its sub-modules."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for module_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{module_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def trainable_parameters(self) -> List[Parameter]:
+        """Parameters that currently require gradients."""
+        return [p for p in self.parameters() if p.requires_grad]
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        """Total number of scalar parameters."""
+        params = self.trainable_parameters() if trainable_only else self.parameters()
+        return int(sum(p.size for p in params))
+
+    # ------------------------------------------------------------------ #
+    # mode / gradient management
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    def freeze(self) -> "Module":
+        """Stop gradient accumulation for every parameter of this module."""
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def state_dict(self, prefix: str = "") -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[prefix + name] = param.data.copy()
+        for name, buffer in self._buffers.items():
+            state[prefix + name] = np.asarray(buffer).copy()
+        for module_name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{module_name}."))
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        for name, param in self._parameters.items():
+            key = prefix + name
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = np.asarray(state[key], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+        for name in self._buffers:
+            key = prefix + name
+            if key in state:
+                self._buffers[name] = np.asarray(state[key]).copy()
+                object.__setattr__(self, name, self._buffers[name])
+        for module_name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{module_name}.")
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: List[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._layers.append(module)
+
+    def forward(self, x):
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+
+class ModuleList(Module):
+    """Hold sub-modules in a list while registering them for traversal."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,156 @@
+"""Optimisers.
+
+The reproduction needs the optimisers named in the paper's implementation
+details: Adam (SASRec / Caser), Adagrad (GRU4Rec) and Lion (both DELRec
+stages), plus plain SGD for tests.  All optimisers support decoupled weight
+decay and skip parameters whose gradient is ``None`` or whose
+``requires_grad`` flag has been turned off (frozen modules).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.autograd.module import Parameter
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Base optimiser holding a list of parameters and per-parameter state."""
+
+    def __init__(self, parameters: Iterable[Tensor], lr: float, weight_decay: float = 0.0):
+        self.parameters: List[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def _active_parameters(self) -> Iterable[Tensor]:
+        for param in self.parameters:
+            if param.requires_grad and param.grad is not None:
+                yield param
+
+    def _get_state(self, param: Tensor) -> Dict[str, np.ndarray]:
+        return self.state.setdefault(id(param), {})
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr, weight_decay)
+        self.momentum = momentum
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param in self._active_parameters():
+            grad = param.grad + self.weight_decay * param.data
+            if self.momentum > 0:
+                state = self._get_state(param)
+                velocity = state.get("velocity")
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                state["velocity"] = velocity
+                grad = velocity
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with bias correction and decoupled weight decay (AdamW-style)."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+
+    def step(self) -> None:
+        self.step_count += 1
+        t = self.step_count
+        for param in self._active_parameters():
+            state = self._get_state(param)
+            m = state.get("m")
+            v = state.get("v")
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            grad = param.grad
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            state["m"], state["v"] = m, v
+            m_hat = m / (1 - self.beta1 ** t)
+            v_hat = v / (1 - self.beta2 ** t)
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data = param.data - self.lr * update
+
+
+class Adagrad(Optimizer):
+    """Adagrad, used by the paper for GRU4Rec training."""
+
+    def __init__(self, parameters, lr: float = 0.01, eps: float = 1e-10, weight_decay: float = 0.0):
+        super().__init__(parameters, lr, weight_decay)
+        self.eps = eps
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param in self._active_parameters():
+            state = self._get_state(param)
+            accumulator = state.get("sum")
+            if accumulator is None:
+                accumulator = np.zeros_like(param.data)
+            grad = param.grad + self.weight_decay * param.data
+            accumulator = accumulator + grad * grad
+            state["sum"] = accumulator
+            param.data = param.data - self.lr * grad / (np.sqrt(accumulator) + self.eps)
+
+
+class Lion(Optimizer):
+    """Lion optimiser (Chen et al., NeurIPS 2023): sign of an interpolated momentum.
+
+    The paper uses Lion for both DELRec stages (lr 5e-3 / 1e-4 with weight decay
+    1e-5 / 1e-6).
+    """
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-4,
+        betas: tuple = (0.9, 0.99),
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param in self._active_parameters():
+            state = self._get_state(param)
+            m = state.get("m")
+            if m is None:
+                m = np.zeros_like(param.data)
+            grad = param.grad
+            update = np.sign(self.beta1 * m + (1 - self.beta1) * grad)
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            param.data = param.data - self.lr * update
+            state["m"] = self.beta2 * m + (1 - self.beta2) * grad

@@ -1,0 +1,104 @@
+"""Recurrent layers (GRU) used by GRU4Rec."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import init
+from repro.autograd.layers import Linear
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit step.
+
+    Gates follow the standard formulation:
+
+    .. math::
+        z_t = \\sigma(W_z x_t + U_z h_{t-1} + b_z) \\\\
+        r_t = \\sigma(W_r x_t + U_r h_{t-1} + b_r) \\\\
+        n_t = \\tanh(W_n x_t + r_t \\odot (U_n h_{t-1}) + b_n) \\\\
+        h_t = (1 - z_t) \\odot n_t + z_t \\odot h_{t-1}
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight_input = Parameter(init.xavier_uniform((3 * hidden_dim, input_dim), rng))
+        self.weight_hidden = Parameter(init.xavier_uniform((3 * hidden_dim, hidden_dim), rng))
+        self.bias_input = Parameter(init.zeros((3 * hidden_dim,)))
+        self.bias_hidden = Parameter(init.zeros((3 * hidden_dim,)))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        gates_x = x.matmul(self.weight_input.transpose()) + self.bias_input
+        gates_h = hidden.matmul(self.weight_hidden.transpose()) + self.bias_hidden
+        h = self.hidden_dim
+        update = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
+        reset = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h:] + reset * gates_h[:, 2 * h:]).tanh()
+        one = Tensor(np.ones_like(update.data))
+        return (one - update) * candidate + update * hidden
+
+
+class GRU(Module):
+    """Multi-step (optionally multi-layer) GRU over a padded batch of sequences."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_layers: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        from repro.autograd.module import ModuleList
+
+        cells = []
+        for layer in range(num_layers):
+            cells.append(GRUCell(input_dim if layer == 0 else hidden_dim, hidden_dim, rng=rng))
+        self.cells = ModuleList(cells)
+
+    def forward(
+        self,
+        x: Tensor,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Run the GRU over ``x`` of shape ``(batch, length, input_dim)``.
+
+        ``valid_mask`` of shape ``(batch, length)`` marks real (non-padding)
+        steps; hidden state is carried through padding positions unchanged so
+        the final hidden state reflects the last real item of each sequence.
+
+        Returns ``(outputs, final_hidden)`` where ``outputs`` has shape
+        ``(batch, length, hidden_dim)`` and ``final_hidden`` ``(batch, hidden_dim)``.
+        """
+        batch, length, _ = x.shape
+        layer_input = x
+        final_hidden = None
+        outputs = None
+        for cell in self.cells:
+            hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+            step_outputs = []
+            for t in range(length):
+                step = layer_input[:, t, :]
+                new_hidden = cell(step, hidden)
+                if valid_mask is not None:
+                    keep = valid_mask[:, t].astype(np.float64)[:, None]
+                    keep_tensor = Tensor(keep)
+                    hidden = keep_tensor * new_hidden + Tensor(1.0 - keep) * hidden
+                else:
+                    hidden = new_hidden
+                step_outputs.append(hidden)
+            outputs = Tensor.stack(step_outputs, axis=1)
+            layer_input = outputs
+            final_hidden = hidden
+        return outputs, final_hidden

@@ -1,0 +1,35 @@
+"""Saving and loading module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.autograd.module import Module
+
+
+def save_state_dict(module: Module, path: str) -> str:
+    """Serialise ``module.state_dict()`` to ``path`` (a ``.npz`` archive).
+
+    Parent directories are created if needed; the resolved path is returned.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+    return path
+
+
+def load_state_dict(module: Module, path: str) -> Module:
+    """Load parameters stored by :func:`save_state_dict` into ``module``."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

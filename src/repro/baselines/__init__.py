@@ -1,0 +1,56 @@
+"""LLM-based sequential-recommendation baselines.
+
+The paper compares DELRec against three raw LLMs and eight LLM-based SR
+methods grouped into three paradigms (section I / section V-A2).  Each class
+here is a faithful, simplified re-implementation of its paradigm's information
+flow on top of the SimLM substrate and the conventional models:
+
+**Paradigm 1 — textual information from conventional SR models in the prompt**
+  * :class:`RecRanker`  — conventional model's top items placed in the prompt,
+    the LLM re-ranks them;
+  * :class:`LLMSeqPrompt` — prompt = session items, completion = next item,
+    LLM fine-tuned on that format;
+  * :class:`LLMTRSR` — user-preference summary (recurrent summarisation of the
+    history) prepended to the prompt before fine-tuning.
+
+**Paradigm 2 — embeddings from conventional SR models injected into the LLM**
+  * :class:`LLaRA` — item embeddings from the conventional model are projected
+    into the LLM embedding space and inserted next to each history item;
+  * :class:`LLM2BERT4Rec` — BERT4Rec initialised with PCA-projected LLM title
+    embeddings.
+
+**Paradigm 3 — combining embeddings from LLMs and conventional SR models**
+  * :class:`LlamaRec` — conventional model recalls candidates, the LLM scores
+    them with a verbalizer head;
+  * :class:`LLMSeqSim` — pure LLM embedding similarity between the session and
+    candidate items;
+  * :class:`KDALRD` — a temporal-relation model (KDA-style) enhanced with
+    latent item relations discovered from LLM embeddings.
+
+Raw LLM baselines (BERT-Large, Flan-T5-Large, Flan-T5-XL) are covered by
+:class:`ZeroShotLLM` over the corresponding SimLM sizes.
+"""
+
+from repro.baselines.base import LLMBaseline
+from repro.baselines.zero_shot import ZeroShotLLM
+from repro.baselines.recranker import RecRanker
+from repro.baselines.llmseqprompt import LLMSeqPrompt
+from repro.baselines.llm_trsr import LLMTRSR
+from repro.baselines.llara import LLaRA
+from repro.baselines.llm2bert4rec import LLM2BERT4Rec
+from repro.baselines.llamarec import LlamaRec
+from repro.baselines.llmseqsim import LLMSeqSim
+from repro.baselines.kdalrd import KDALRD
+
+__all__ = [
+    "LLMBaseline",
+    "ZeroShotLLM",
+    "RecRanker",
+    "LLMSeqPrompt",
+    "LLMTRSR",
+    "LLaRA",
+    "LLM2BERT4Rec",
+    "LlamaRec",
+    "LLMSeqSim",
+    "KDALRD",
+]

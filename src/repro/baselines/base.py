@@ -1,0 +1,122 @@
+"""Shared infrastructure for the LLM-based baselines.
+
+Every baseline owns a SimLM backbone plus the prompt builder / verbalizer pair
+and differs in (a) what extra information enters the prompt or the embeddings
+and (b) what gets fine-tuned.  The prompt-style baselines reuse the Stage-2
+fine-tuner (:class:`repro.core.recommend.LSRFineTuner`) with soft prompts
+disabled, so their training loop is identical to DELRec's apart from the
+auxiliary information — which is exactly the comparison the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.core.config import Stage2Config
+from repro.core.prompts import PromptBuilder, PromptExample
+from repro.core.recommend import LSRFineTuner
+from repro.data.candidates import CandidateSampler
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit, SequenceExample, limit_examples
+from repro.llm.registry import build_pretrained_simlm
+from repro.llm.simlm import SimLM
+from repro.llm.verbalizer import Verbalizer
+
+
+class LLMBaseline:
+    """Base class for LLM-based sequential recommenders."""
+
+    #: Paper paradigm: 1 (textual), 2 (embedding injection), 3 (embedding combination), 0 (raw LLM).
+    paradigm: int = 0
+    name: str = "LLMBaseline"
+
+    def __init__(
+        self,
+        llm_size: str = "simlm-xl",
+        max_history: int = 9,
+        num_candidates: int = 15,
+        max_train_examples: Optional[int] = 300,
+        stage2: Optional[Stage2Config] = None,
+        seed: int = 0,
+    ):
+        self.llm_size = llm_size
+        self.max_history = max_history
+        self.num_candidates = num_candidates
+        self.max_train_examples = max_train_examples
+        self.stage2 = stage2 or Stage2Config()
+        self.seed = seed
+        self.llm: Optional[SimLM] = None
+        self.prompt_builder: Optional[PromptBuilder] = None
+        self.verbalizer: Optional[Verbalizer] = None
+        self.dataset: Optional[SequenceDataset] = None
+        self.is_fitted = False
+
+    # ------------------------------------------------------------------ #
+    # shared plumbing
+    # ------------------------------------------------------------------ #
+    def _prepare_llm(self, dataset: SequenceDataset, split: ChronologicalSplit,
+                     llm: Optional[SimLM] = None) -> SimLM:
+        """Attach (or pre-train) the SimLM backbone and build prompt utilities."""
+        self.dataset = dataset
+        if llm is not None:
+            self.llm = llm
+        if self.llm is None:
+            self.llm = build_pretrained_simlm(
+                dataset, size=self.llm_size, train_examples=split.train, seed=self.seed
+            )
+        self.prompt_builder = PromptBuilder(self.llm.tokenizer, dataset.catalog, soft_prompt_size=1)
+        self.verbalizer = Verbalizer(self.llm.tokenizer, dataset.catalog)
+        return self.llm
+
+    def _training_examples(self, split: ChronologicalSplit) -> List[SequenceExample]:
+        return limit_examples(split.train, self.max_train_examples,
+                              rng=np.random.default_rng(self.seed))
+
+    def _fine_tune_on_prompts(self, prompts: Sequence[PromptExample]) -> None:
+        """Fine-tune the LLM backbone (AdaLoRA) on ground-truth prompts."""
+        finetuner = LSRFineTuner(
+            self.llm,
+            self.prompt_builder,
+            soft_prompt=None,
+            config=self.stage2,
+            auxiliary="none",
+        )
+        finetuner.fine_tune(prompts)
+
+    def _candidate_sampler(self, dataset: SequenceDataset) -> CandidateSampler:
+        return CandidateSampler(dataset, num_candidates=self.num_candidates, seed=self.seed)
+
+    def _score_prompt(self, prompt: PromptExample, candidates: Sequence[int]) -> np.ndarray:
+        """Run the LLM on one prompt and read candidate scores through the verbalizer."""
+        batch = self.prompt_builder.batch([prompt])
+        with no_grad():
+            was_training = self.llm.training
+            self.llm.eval()
+            logits = self.llm.mask_logits(batch.tokens, valid_mask=batch.valid_mask).data[0]
+            self.llm.train(was_training)
+        return self.verbalizer.score_candidates(logits, candidates)
+
+    def _clean_history(self, history: Sequence[int]) -> List[int]:
+        return [i for i in history if i != 0][-self.max_history:]
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{self.name} must be fitted before scoring")
+
+    # ------------------------------------------------------------------ #
+    # interface
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LLMBaseline":
+        raise NotImplementedError
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        raise NotImplementedError
+
+    def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
+        scores = self.score_candidates(history, candidates)
+        order = np.argsort(-scores, kind="stable")
+        return [int(candidates[i]) for i in order[:k]]

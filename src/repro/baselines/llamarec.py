@@ -1,0 +1,69 @@
+"""LlamaRec (Yue et al., 2023) — paradigm 3.
+
+A two-stage recommend-then-rank pipeline: a conventional model recalls
+candidate items with its embeddings, then the LLM scores the recalled items
+and a verbalizer converts the output logits into a probability over the
+candidates.  The reproduction keeps both stages: the conventional model's
+scores gate which candidates the (fine-tuned) LLM is allowed to rank highly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+from repro.models.base import SequentialRecommender
+
+
+class LlamaRec(LLMBaseline):
+    """Conventional-model recall followed by LLM verbalizer ranking."""
+
+    paradigm = 3
+    name = "LlamaRec"
+
+    def __init__(self, conventional_model: SequentialRecommender, recall_size: int = 30,
+                 recall_penalty: float = 4.0, **kwargs):
+        super().__init__(**kwargs)
+        self.conventional_model = conventional_model
+        self.recall_size = recall_size
+        self.recall_penalty = recall_penalty
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LlamaRec":
+        self._prepare_llm(dataset, split, llm=llm)
+        if not self.conventional_model.is_fitted:
+            raise RuntimeError("LlamaRec requires a fitted conventional model for recall")
+        sampler = self._candidate_sampler(dataset)
+        prompts = []
+        for example in self._training_examples(split):
+            history = self._clean_history(example.history)
+            if not history:
+                continue
+            prompts.append(
+                self.prompt_builder.recommendation_prompt(
+                    history=history,
+                    candidates=sampler.candidates_for(example),
+                    label_item=example.target,
+                    auxiliary="none",
+                )
+            )
+        self._fine_tune_on_prompts(prompts)
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        history = self._clean_history(history)
+        prompt = self.prompt_builder.recommendation_prompt(
+            history=history, candidates=candidates, label_item=candidates[0], auxiliary="none"
+        )
+        llm_scores = self._score_prompt(prompt, candidates)
+        # recall stage: candidates outside the conventional model's top-N are demoted
+        recalled = set(self.conventional_model.top_k(history, k=self.recall_size))
+        penalties = np.array([0.0 if c in recalled else -self.recall_penalty for c in candidates])
+        return llm_scores + penalties

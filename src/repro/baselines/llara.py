@@ -1,0 +1,134 @@
+"""LLaRA (Liao et al., 2023) — paradigm 2.
+
+LLaRA inserts item embeddings produced by a conventional SR model into the
+prompt alongside the textual item representation, mapping them into the LLM's
+embedding space with a learned projector, then fine-tunes the LLM on item
+interaction relationships.  The reproduction keeps exactly that flow: a linear
+projector maps the conventional model's item embeddings onto the SimLM
+embedding dimension and the projected vectors are *added* to the history
+item-token embeddings; the projector and the AdaLoRA adapters are trained
+jointly on the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, Linear, Lion, Tensor, no_grad
+from repro.autograd import functional as F
+from repro.autograd.lora import AdaLoRAController, wrap_linears_with_adalora
+from repro.baselines.base import LLMBaseline
+from repro.core.prompts import PromptBatch, PromptExample
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+from repro.llm.tokenizer import item_token
+from repro.models.base import SequentialRecommender
+
+
+class LLaRA(LLMBaseline):
+    """Conventional-model item embeddings injected through a projector."""
+
+    paradigm = 2
+    name = "LLaRA"
+
+    def __init__(self, conventional_model: SequentialRecommender, **kwargs):
+        super().__init__(**kwargs)
+        self.conventional_model = conventional_model
+        self.projector: Optional[Linear] = None
+        self._item_embeddings: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _inject(self, batch: PromptBatch) -> Tensor:
+        """Add projected conventional-model embeddings at history item-token positions."""
+        embeddings = self.llm.embed_tokens(batch.tokens)
+        tokenizer = self.llm.tokenizer
+        batch_size, length = batch.tokens.shape
+        injected = np.zeros((batch_size, length, self._item_embeddings.shape[1]))
+        for row in range(batch_size):
+            for column in range(length):
+                token = tokenizer.id_to_token(int(batch.tokens[row, column]))
+                if token.startswith("<item_"):
+                    item_id = int(token[6:-1])
+                    if item_id < self._item_embeddings.shape[0]:
+                        injected[row, column] = self._item_embeddings[item_id]
+        projected = self.projector(Tensor(injected))
+        return embeddings + projected
+
+    def _prompt_for(self, history: List[int], candidates: Sequence[int], label: int) -> PromptExample:
+        return self.prompt_builder.recommendation_prompt(
+            history=history, candidates=candidates, label_item=label, auxiliary="none"
+        )
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LLaRA":
+        self._prepare_llm(dataset, split, llm=llm)
+        if not self.conventional_model.is_fitted:
+            raise RuntimeError("LLaRA requires a fitted conventional model")
+        self._item_embeddings = self.conventional_model.item_embeddings()
+        rng = np.random.default_rng(self.seed)
+        self.projector = Linear(self._item_embeddings.shape[1], self.llm.dim, rng=rng)
+
+        sampler = self._candidate_sampler(dataset)
+        prompts = []
+        for example in self._training_examples(split):
+            history = self._clean_history(example.history)
+            if not history:
+                continue
+            prompts.append(self._prompt_for(history, sampler.candidates_for(example), example.target))
+
+        # joint fine-tuning of projector + AdaLoRA adapters
+        config = self.stage2
+        self.llm.freeze()
+        adapters = wrap_linears_with_adalora(
+            self.llm, rank=config.adalora_rank,
+            name_filter=self.llm.adaptable_linear_filter,
+            rng=np.random.default_rng(config.seed),
+        )
+        controller = AdaLoRAController(adapters, warmup_steps=config.adalora_warmup_steps,
+                                       total_steps=max(config.adalora_warmup_steps + 1, config.epochs * 10))
+        trainable = [p for a in adapters for p in a.trainable_parameters()]
+        trainable += list(self.projector.parameters())
+        if config.train_output_bias:
+            self.llm.output_bias.requires_grad = True
+            trainable.append(self.llm.output_bias)
+        optimizer_cls = Adam if config.optimizer == "adam" else Lion
+        optimizer = optimizer_cls(trainable, lr=config.lr, weight_decay=config.weight_decay)
+        rng = np.random.default_rng(config.seed)
+
+        self.llm.train()
+        for _epoch in range(config.epochs):
+            order = rng.permutation(len(prompts))
+            for start in range(0, len(order), config.batch_size):
+                batch = self.prompt_builder.batch([prompts[i] for i in order[start:start + config.batch_size]])
+                optimizer.zero_grad()
+                embeddings = self._inject(batch)
+                logits = self.llm.mask_logits(batch.tokens, input_embeddings=embeddings,
+                                              valid_mask=batch.valid_mask)
+                rows = np.arange(len(batch))[:, None]
+                loss = F.cross_entropy(logits[rows, batch.candidate_token_ids], batch.label_indices)
+                loss.backward()
+                if config.grad_clip is not None:
+                    F.clip_grad_norm(trainable, config.grad_clip)
+                optimizer.step()
+                controller.step()
+        self.llm.eval()
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        history = self._clean_history(history)
+        prompt = self._prompt_for(history, candidates, label=candidates[0])
+        batch = self.prompt_builder.batch([prompt])
+        with no_grad():
+            was_training = self.llm.training
+            self.llm.eval()
+            embeddings = self._inject(batch)
+            logits = self.llm.mask_logits(batch.tokens, input_embeddings=embeddings,
+                                          valid_mask=batch.valid_mask).data[0]
+            self.llm.train(was_training)
+        return self.verbalizer.score_candidates(logits, candidates)

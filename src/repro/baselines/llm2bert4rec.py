@@ -1,0 +1,66 @@
+"""LLM2BERT4Rec (Harte et al., RecSys 2023) — paradigm 2.
+
+Item embeddings produced by the LLM are reduced to the recommender's embedding
+dimension with PCA (the projector) and used to initialise BERT4Rec's item
+embedding table; BERT4Rec is then trained with its usual masked-item protocol.
+The paper's criticism of this paradigm — the projector / dimensionality
+reduction loses information — is inherited naturally by the PCA step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+from repro.models.bert4rec import BERT4Rec
+
+
+def pca_project(matrix: np.ndarray, target_dim: int) -> np.ndarray:
+    """Project rows of ``matrix`` onto the top ``target_dim`` principal components."""
+    if target_dim > matrix.shape[1]:
+        # pad with zeros when the LLM dimension is smaller than the recommender's
+        padded = np.zeros((matrix.shape[0], target_dim))
+        padded[:, : matrix.shape[1]] = matrix
+        return padded
+    centred = matrix - matrix.mean(axis=0, keepdims=True)
+    _, _, components = np.linalg.svd(centred, full_matrices=False)
+    return centred @ components[:target_dim].T
+
+
+class LLM2BERT4Rec(LLMBaseline):
+    """BERT4Rec whose item embeddings are initialised from PCA-projected LLM embeddings."""
+
+    paradigm = 2
+    name = "LLM2BERT4Rec"
+
+    def __init__(self, embedding_dim: int = 32, epochs: int = 8, lr: float = 1e-3, **kwargs):
+        super().__init__(**kwargs)
+        self.embedding_dim = embedding_dim
+        self.epochs = epochs
+        self.lr = lr
+        self.bert4rec: Optional[BERT4Rec] = None
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LLM2BERT4Rec":
+        self._prepare_llm(dataset, split, llm=llm)
+        title_embeddings = self.llm.item_title_embeddings(dataset.catalog)
+        projected = pca_project(title_embeddings, self.embedding_dim)
+        self.bert4rec = BERT4Rec(
+            num_items=dataset.num_items,
+            embedding_dim=self.embedding_dim,
+            max_history=self.max_history,
+            seed=self.seed,
+        )
+        self.bert4rec.initialize_item_embeddings(projected)
+        self.bert4rec.fit(split.train, epochs=self.epochs, lr=self.lr)
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        return self.bert4rec.score_candidates(self._clean_history(history), candidates)

@@ -1,0 +1,56 @@
+"""LLMSEQPROMPT (Harte et al., RecSys 2023) — paradigm 1.
+
+The session's item list is the prompt and the next item is the completion;
+the LLM is fine-tuned on that pairing.  No information from a conventional SR
+model is used at all, which is why the paper finds it the weakest fine-tuned
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+
+
+class LLMSeqPrompt(LLMBaseline):
+    """Fine-tuned LLM over plain session prompts (no conventional-model signal)."""
+
+    paradigm = 1
+    name = "LLMSEQPROMPT"
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LLMSeqPrompt":
+        self._prepare_llm(dataset, split, llm=llm)
+        sampler = self._candidate_sampler(dataset)
+        prompts = []
+        for example in self._training_examples(split):
+            history = self._clean_history(example.history)
+            if not history:
+                continue
+            prompts.append(
+                self.prompt_builder.recommendation_prompt(
+                    history=history,
+                    candidates=sampler.candidates_for(example),
+                    label_item=example.target,
+                    auxiliary="none",
+                )
+            )
+        self._fine_tune_on_prompts(prompts)
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        prompt = self.prompt_builder.recommendation_prompt(
+            history=self._clean_history(history),
+            candidates=candidates,
+            label_item=candidates[0],
+            auxiliary="none",
+        )
+        return self._score_prompt(prompt, candidates)

@@ -1,0 +1,67 @@
+"""LLMSEQSIM (Harte et al., RecSys 2023) — paradigm 3.
+
+Item embeddings are obtained from the LLM; a session embedding is the
+aggregation of the embeddings of the items in the session; the recommendation
+is the catalog item most similar to the session embedding.  No fine-tuning is
+involved — the method relies purely on the LLM's semantic space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+
+
+class LLMSeqSim(LLMBaseline):
+    """Session-to-item cosine similarity in the LLM embedding space."""
+
+    paradigm = 3
+    name = "LLMSEQSIM"
+
+    def __init__(self, recency_decay: float = 0.8, combine_item_tokens: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        if not 0.0 < recency_decay <= 1.0:
+            raise ValueError("recency_decay must be in (0, 1]")
+        self.recency_decay = recency_decay
+        self.combine_item_tokens = combine_item_tokens
+        self._item_vectors: Optional[np.ndarray] = None
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "LLMSeqSim":
+        self._prepare_llm(dataset, split, llm=llm)
+        title_vectors = self.llm.item_title_embeddings(dataset.catalog)
+        if self.combine_item_tokens:
+            token_table = self.llm.token_embedding_matrix()
+            token_vectors = np.zeros_like(title_vectors)
+            for item in dataset.catalog:
+                token_vectors[item.item_id] = token_table[self.llm.tokenizer.item_token_id(item.item_id)]
+            vectors = title_vectors + token_vectors
+        else:
+            vectors = title_vectors
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        norms[norms == 0] = 1.0
+        self._item_vectors = vectors / norms
+        self.is_fitted = True
+        return self
+
+    def session_embedding(self, history: Sequence[int]) -> np.ndarray:
+        """Recency-weighted average of the history item embeddings."""
+        history = self._clean_history(history)
+        if not history:
+            return np.zeros(self._item_vectors.shape[1])
+        weights = np.array([self.recency_decay ** (len(history) - 1 - i) for i in range(len(history))])
+        vectors = self._item_vectors[np.asarray(history)]
+        embedding = (weights[:, None] * vectors).sum(axis=0) / weights.sum()
+        return embedding
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        session = self.session_embedding(history)
+        candidate_vectors = self._item_vectors[np.asarray(candidates)]
+        return candidate_vectors @ session

@@ -1,0 +1,66 @@
+"""RecRanker (Luo et al., 2023) — paradigm 1.
+
+RecRanker samples users/items and places the *results* of a conventional
+recommendation model into the textual prompt; the LLM is instruction-tuned to
+rank with that hint.  The reproduction follows the same information flow: the
+conventional model's top-``h`` items are written into the prompt (as text, not
+embeddings or soft prompts) and the LLM is fine-tuned on the ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.core.prompts import PromptExample
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+from repro.models.base import SequentialRecommender
+
+
+class RecRanker(LLMBaseline):
+    """LLM re-ranker prompted with the conventional model's textual top-``h`` list."""
+
+    paradigm = 1
+    name = "RecRanker"
+
+    def __init__(self, conventional_model: SequentialRecommender, top_h: int = 5, **kwargs):
+        super().__init__(**kwargs)
+        self.conventional_model = conventional_model
+        self.top_h = top_h
+
+    def _prompt_for(self, history: List[int], candidates: Sequence[int], label: int) -> PromptExample:
+        sr_top = self.conventional_model.top_k(history, k=self.top_h)
+        return self.prompt_builder.recommendation_prompt(
+            history=history,
+            candidates=candidates,
+            label_item=label,
+            sr_model_name=self.conventional_model.name,
+            sr_top_items=sr_top,
+            auxiliary="none",
+        )
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "RecRanker":
+        self._prepare_llm(dataset, split, llm=llm)
+        if not self.conventional_model.is_fitted:
+            raise RuntimeError("RecRanker requires a fitted conventional model")
+        sampler = self._candidate_sampler(dataset)
+        prompts = []
+        for example in self._training_examples(split):
+            history = self._clean_history(example.history)
+            if not history:
+                continue
+            prompts.append(self._prompt_for(history, sampler.candidates_for(example), example.target))
+        self._fine_tune_on_prompts(prompts)
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        history = self._clean_history(history)
+        prompt = self._prompt_for(history, candidates, label=candidates[0])
+        return self._score_prompt(prompt, candidates)

@@ -1,0 +1,72 @@
+"""Raw (zero-shot) LLM baselines: BERT-Large, Flan-T5-Large, Flan-T5-XL.
+
+The paper's weakest baselines are open-source LLMs used directly as
+recommenders without any recommendation-specific adaptation; they lack
+domain-specific knowledge of recommendation patterns and perform far below
+conventional models (Table II).  The equivalent here is a pre-trained SimLM of
+the matching size that is *not* fine-tuned on the recommendation prompt —
+only its generic MLM pre-training is available at inference time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import LLMBaseline
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit
+from repro.llm.simlm import SimLM
+
+#: Paper LLM name -> SimLM size used to simulate it.
+RAW_LLM_SIZES = {
+    "Bert-Large": "simlm-bert",
+    "Flan-T5-Large": "simlm-large",
+    "Flan-T5-XL": "simlm-xl",
+}
+
+
+class ZeroShotLLM(LLMBaseline):
+    """A pre-trained SimLM applied to the recommendation prompt with no fine-tuning."""
+
+    paradigm = 0
+
+    def __init__(self, llm_size: str = "simlm-xl", display_name: Optional[str] = None, **kwargs):
+        super().__init__(llm_size=llm_size, **kwargs)
+        self.name = display_name or f"ZeroShot({llm_size})"
+
+    @classmethod
+    def for_paper_llm(cls, paper_name: str, **kwargs) -> "ZeroShotLLM":
+        """Build the stand-in for one of the paper's raw LLM rows."""
+        if paper_name not in RAW_LLM_SIZES:
+            raise KeyError(f"unknown raw LLM {paper_name!r}; available: {sorted(RAW_LLM_SIZES)}")
+        kwargs = {**kwargs, "llm_size": RAW_LLM_SIZES[paper_name]}
+        return cls(display_name=paper_name, **kwargs)
+
+    def fit(self, dataset: SequenceDataset, split: ChronologicalSplit,
+            llm: Optional[SimLM] = None) -> "ZeroShotLLM":
+        """No recommendation fine-tuning: only attach the pre-trained backbone.
+
+        When no model is supplied, the backbone is pre-trained on item
+        *metadata only* (no interaction-derived sentences), matching the
+        paper's raw LLMs, which bring world knowledge but no behavioural data.
+        """
+        if llm is None:
+            from repro.llm.registry import build_pretrained_simlm
+
+            llm = build_pretrained_simlm(dataset, size=self.llm_size, train_examples=None,
+                                         seed=self.seed)
+        self._prepare_llm(dataset, split, llm=llm)
+        self.is_fitted = True
+        return self
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        prompt = self.prompt_builder.recommendation_prompt(
+            history=self._clean_history(history),
+            candidates=candidates,
+            label_item=candidates[0],
+            auxiliary="none",
+        )
+        return self._score_prompt(prompt, candidates)

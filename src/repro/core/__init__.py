@@ -1,0 +1,44 @@
+"""DELRec core: prompt construction, the two-stage framework and its ablations.
+
+Stage 1 (*Distill Pattern from Conventional SR Models*, :mod:`repro.core.distill`)
+tunes soft prompts against two objectives built here — Temporal Analysis
+(:mod:`repro.core.temporal_analysis`) and Recommendation Pattern Simulating
+(:mod:`repro.core.pattern_simulating`) — while the LLM stays frozen.
+
+Stage 2 (*LLMs-based Sequential Recommendation*, :mod:`repro.core.recommend`)
+freezes the distilled soft prompts, inserts them into the recommendation
+prompt and fine-tunes the LLM with AdaLoRA to predict the ground-truth next
+item.
+
+:class:`repro.core.pipeline.DELRec` wires the two stages together behind a
+single ``fit`` / ``recommender`` API, and :mod:`repro.core.ablation` builds the
+paper's ablation variants (Tables III and IV).
+"""
+
+from repro.core.config import DELRecConfig, Stage1Config, Stage2Config
+from repro.core.prompts import PromptBuilder, PromptBatch, PromptExample
+from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
+from repro.core.distill import PatternDistiller, DistillationResult
+from repro.core.recommend import LSRFineTuner, DELRecRecommender, FineTuningResult
+from repro.core.pipeline import DELRec
+from repro.core.ablation import ABLATION_VARIANTS, build_ablation_variant
+
+__all__ = [
+    "DELRecConfig",
+    "Stage1Config",
+    "Stage2Config",
+    "PromptBuilder",
+    "PromptBatch",
+    "PromptExample",
+    "TemporalAnalysisTaskBuilder",
+    "PatternSimulatingTaskBuilder",
+    "PatternDistiller",
+    "DistillationResult",
+    "LSRFineTuner",
+    "DELRecRecommender",
+    "FineTuningResult",
+    "DELRec",
+    "ABLATION_VARIANTS",
+    "build_ablation_variant",
+]

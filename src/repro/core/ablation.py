@@ -1,0 +1,94 @@
+"""Ablation variants of DELRec (Tables III and IV).
+
+Each variant name used in the paper maps to a differently-configured
+:class:`repro.core.pipeline.DELRec` instance:
+
+=================  =============================================================
+Variant            Meaning (paper section V-C / V-D)
+=================  =============================================================
+``default``        full DELRec
+``w/o SP``         no soft prompts and no auxiliary-information instruction
+``w MCP``          soft prompts replaced by a hand-written (hard-prompt) description
+``w USP``          untrained (randomly initialised) soft prompts inserted directly
+``w/o DPSM``       Stage 1 removed entirely (same configuration as ``w/o SP``)
+``w/o LSR``        Stage 2 fine-tuning removed (distilled prompts, frozen LLM)
+``w/o TA``         Stage 1 without the Temporal Analysis objective
+``w/o RPS``        Stage 1 without the Recommendation Pattern Simulating objective
+``w UDPSM``        Stage 1 updates both the soft prompts and the LLM parameters
+``w ULSR``         Stage 2 updates both the LLM and the soft prompts
+``w Flan-T5-Large``  smaller LLM backbone (``simlm-large`` instead of ``simlm-xl``)
+=================  =============================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.config import DELRecConfig
+from repro.core.pipeline import DELRec
+from repro.llm.simlm import SimLM
+from repro.models.base import SequentialRecommender
+
+#: Variant names in the order the paper reports them.
+ABLATION_VARIANTS = (
+    "default",
+    "w/o SP",
+    "w MCP",
+    "w USP",
+    "w/o DPSM",
+    "w/o LSR",
+    "w/o TA",
+    "w/o RPS",
+    "w UDPSM",
+    "w ULSR",
+    "w Flan-T5-Large",
+)
+
+
+def build_ablation_variant(
+    variant: str,
+    config: Optional[DELRecConfig] = None,
+    conventional_model: Optional[SequentialRecommender] = None,
+    llm: Optional[SimLM] = None,
+) -> DELRec:
+    """Create a DELRec pipeline configured for one ablation variant.
+
+    ``llm`` may be shared across variants *except* for ``w Flan-T5-Large``
+    (which needs a smaller backbone) — the pipeline will pre-train its own
+    model when ``llm`` is ``None``.  Note that fine-tuning mutates the LLM, so
+    callers comparing variants should pass independently constructed models.
+    """
+    config = config or DELRecConfig()
+    kwargs: Dict[str, object] = dict(
+        config=config,
+        conventional_model=conventional_model,
+        llm=llm,
+        name=f"DELRec [{variant}]" if variant != "default" else None,
+    )
+    if variant == "default":
+        pass
+    elif variant in ("w/o SP", "w/o DPSM"):
+        kwargs.update(auxiliary="none", enable_stage1=False)
+    elif variant == "w MCP":
+        kwargs.update(auxiliary="manual", enable_stage1=False)
+    elif variant == "w USP":
+        kwargs.update(untrained_soft_prompt=True)
+    elif variant == "w/o LSR":
+        kwargs.update(enable_stage2=False)
+    elif variant == "w/o TA":
+        kwargs.update(enable_temporal_analysis=False)
+    elif variant == "w/o RPS":
+        kwargs.update(enable_pattern_simulating=False)
+    elif variant == "w UDPSM":
+        kwargs.update(update_llm_in_stage1=True)
+    elif variant == "w ULSR":
+        kwargs.update(update_soft_prompt_in_stage2=True)
+    elif variant == "w Flan-T5-Large":
+        kwargs.update(
+            config=dataclasses.replace(config, llm_size="simlm-large"),
+            llm=None,
+        )
+    else:
+        raise KeyError(f"unknown ablation variant {variant!r}; available: {ABLATION_VARIANTS}")
+    return DELRec(**kwargs)

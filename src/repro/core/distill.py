@@ -1,0 +1,176 @@
+"""Stage 1: Distill Pattern from Conventional SR Models (DPSM).
+
+The LLM is frozen; only the soft-prompt parameters are trained, against the
+multi-task objective ``λ·L_TA + (1 − λ)·L_RPS`` (Eq. 6).  λ is adjusted
+dynamically so that whichever task currently has the larger loss receives more
+weight (a simple loss-balancing scheme standing in for the paper's dynamic
+weighting), or kept fixed for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, Lion, SGD, Tensor
+from repro.autograd import functional as F
+from repro.core.config import Stage1Config
+from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample
+from repro.llm.simlm import SimLM
+from repro.llm.soft_prompt import SoftPrompt
+
+_OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
+
+
+@dataclass
+class DistillationResult:
+    """Outcome of Stage 1: the distilled soft prompt and its training trace."""
+
+    soft_prompt: SoftPrompt
+    ta_losses: List[float] = field(default_factory=list)
+    rps_losses: List[float] = field(default_factory=list)
+    combined_losses: List[float] = field(default_factory=list)
+    lambda_trace: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.combined_losses[-1] if self.combined_losses else float("nan")
+
+
+class PatternDistiller:
+    """Train soft prompts to imitate a conventional SR model through the frozen LLM."""
+
+    def __init__(
+        self,
+        model: SimLM,
+        prompt_builder: PromptBuilder,
+        soft_prompt: SoftPrompt,
+        config: Optional[Stage1Config] = None,
+        update_llm: bool = False,
+    ):
+        self.model = model
+        self.prompt_builder = prompt_builder
+        self.soft_prompt = soft_prompt
+        self.config = config or Stage1Config()
+        #: ``update_llm=True`` reproduces the "w UDPSM" ablation (Table IV),
+        #: where both the soft prompts and the LLM parameters are updated.
+        self.update_llm = update_llm
+        if self.config.optimizer not in _OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
+
+    # ------------------------------------------------------------------ #
+    def _vocab_logits(self, batch: PromptBatch) -> Tensor:
+        """Vocabulary logits at the [MASK] position, with soft prompts spliced in."""
+        embeddings = self.model.embed_tokens(batch.tokens)
+        embeddings = self.soft_prompt.splice_into(embeddings, batch.tokens, self.prompt_builder.tokenizer.soft_id)
+        return self.model.mask_logits(
+            batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
+        )
+
+    def _task_loss(self, batch: PromptBatch) -> Tensor:
+        """LM loss at the mask position (Eq. 4 / Eq. 5).
+
+        By default the loss is over the full vocabulary, as in the paper's
+        ``-log P(y | x)`` objective; the candidate-restricted variant is kept
+        as an option for ablation.
+        """
+        vocab_logits = self._vocab_logits(batch)
+        tokenizer = self.prompt_builder.tokenizer
+        if self.config.loss_over_full_vocab:
+            label_tokens = np.asarray(tokenizer.item_token_ids(batch.label_items.tolist()))
+            return F.cross_entropy(vocab_logits, label_tokens)
+        rows = np.arange(len(batch))[:, None]
+        candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
+        return F.cross_entropy(candidate_logits, batch.label_indices)
+
+    # ------------------------------------------------------------------ #
+    def distill(
+        self,
+        ta_prompts: Sequence[PromptExample],
+        rps_prompts: Sequence[PromptExample],
+    ) -> DistillationResult:
+        """Run the multi-task soft-prompt tuning (Eq. 6)."""
+        if not ta_prompts and not rps_prompts:
+            raise ValueError("distillation needs at least one TA or RPS prompt")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+
+        # Freeze the LLM: only soft prompts learn (unless the UDPSM ablation is on).
+        if not self.update_llm:
+            self.model.freeze()
+        trainable = list(self.soft_prompt.parameters())
+        if self.update_llm:
+            trainable += [p for p in self.model.parameters() if p.requires_grad]
+        optimizer = _OPTIMIZERS[config.optimizer](
+            trainable, lr=config.lr, weight_decay=config.weight_decay
+        )
+
+        result = DistillationResult(soft_prompt=self.soft_prompt)
+        lam = float(np.clip(config.initial_lambda, 0.0, 1.0))
+        self.model.train()
+        for _epoch in range(config.epochs):
+            ta_order = rng.permutation(len(ta_prompts)) if ta_prompts else np.array([], dtype=int)
+            rps_order = rng.permutation(len(rps_prompts)) if rps_prompts else np.array([], dtype=int)
+            steps = max(
+                int(np.ceil(len(ta_order) / config.batch_size)) if len(ta_order) else 0,
+                int(np.ceil(len(rps_order) / config.batch_size)) if len(rps_order) else 0,
+            )
+            epoch_ta, epoch_rps, epoch_combined, seen = 0.0, 0.0, 0.0, 0
+            for step in range(steps):
+                optimizer.zero_grad()
+                losses: Dict[str, Optional[Tensor]] = {"ta": None, "rps": None}
+                if len(ta_order):
+                    index = ta_order[(step * config.batch_size) % len(ta_order):][: config.batch_size]
+                    if len(index):
+                        losses["ta"] = self._task_loss(
+                            self.prompt_builder.batch([ta_prompts[i] for i in index])
+                        )
+                if len(rps_order):
+                    index = rps_order[(step * config.batch_size) % len(rps_order):][: config.batch_size]
+                    if len(index):
+                        losses["rps"] = self._task_loss(
+                            self.prompt_builder.batch([rps_prompts[i] for i in index])
+                        )
+                if losses["ta"] is not None and losses["rps"] is not None:
+                    combined = losses["ta"] * lam + losses["rps"] * (1.0 - lam)
+                elif losses["ta"] is not None:
+                    combined = losses["ta"]
+                elif losses["rps"] is not None:
+                    combined = losses["rps"]
+                else:
+                    continue
+                combined.backward()
+                if config.grad_clip is not None:
+                    F.clip_grad_norm(trainable, config.grad_clip)
+                optimizer.step()
+
+                ta_value = losses["ta"].item() if losses["ta"] is not None else 0.0
+                rps_value = losses["rps"].item() if losses["rps"] is not None else 0.0
+                epoch_ta += ta_value
+                epoch_rps += rps_value
+                epoch_combined += combined.item()
+                seen += 1
+
+            if seen:
+                mean_ta = epoch_ta / seen
+                mean_rps = epoch_rps / seen
+                result.ta_losses.append(mean_ta)
+                result.rps_losses.append(mean_rps)
+                result.combined_losses.append(epoch_combined / seen)
+                result.lambda_trace.append(lam)
+                if config.dynamic_lambda and (mean_ta + mean_rps) > 0:
+                    # the harder task (larger loss) gets more weight next epoch
+                    target = mean_ta / (mean_ta + mean_rps)
+                    lam = float(np.clip(0.5 * lam + 0.5 * target, 0.05, 0.95))
+                if config.verbose:
+                    print(
+                        f"[DPSM] epoch {_epoch + 1}/{config.epochs} "
+                        f"L_TA={mean_ta:.4f} L_RPS={mean_rps:.4f} lambda={lam:.3f}"
+                    )
+
+        self.model.eval()
+        if not self.update_llm:
+            self.model.unfreeze()
+        return result

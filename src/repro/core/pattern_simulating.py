@@ -1,0 +1,89 @@
+"""Recommendation Pattern Simulating (RPS) task construction — Stage 1, second component.
+
+RPS distils the conventional model's *result-level* behaviour: for each
+training history the conventional model's top-``h`` recommendations are placed
+in the prompt and the soft prompts are trained to make the LLM reproduce the
+model's **top-1** recommendation (not the ground truth) — Eq. 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.records import ItemCatalog
+from repro.data.splits import SequenceExample
+from repro.core.prompts import PromptBuilder, PromptExample
+from repro.models.base import SequentialRecommender
+
+
+class PatternSimulatingTaskBuilder:
+    """Build RPS prompt examples from training histories and a fitted conventional model."""
+
+    def __init__(
+        self,
+        prompt_builder: PromptBuilder,
+        catalog: ItemCatalog,
+        conventional_model: SequentialRecommender,
+        num_candidates: int = 15,
+        top_h: int = 5,
+        seed: int = 0,
+    ):
+        if top_h < 1:
+            raise ValueError("top_h must be positive")
+        if top_h > num_candidates:
+            raise ValueError("top_h cannot exceed the candidate-set size")
+        self.prompt_builder = prompt_builder
+        self.catalog = catalog
+        self.model = conventional_model
+        self.num_candidates = num_candidates
+        self.top_h = top_h
+        self.rng = np.random.default_rng(seed)
+        self._item_ids = np.array(catalog.ids(), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _candidates_for(self, sr_top_items: Sequence[int]) -> List[int]:
+        """Candidate set: the conventional model's top-h plus random fill, shuffled."""
+        chosen = list(dict.fromkeys(int(i) for i in sr_top_items))
+        pool = self._item_ids[~np.isin(self._item_ids, chosen)]
+        needed = self.num_candidates - len(chosen)
+        if needed > 0 and pool.size:
+            fill = self.rng.choice(pool, size=min(needed, pool.size), replace=False)
+            chosen.extend(int(i) for i in fill)
+        candidates = np.array(chosen[: self.num_candidates])
+        self.rng.shuffle(candidates)
+        return [int(c) for c in candidates]
+
+    def build_one(self, example: SequenceExample, auxiliary: str = "soft") -> Optional[PromptExample]:
+        """Build the RPS prompt for one training history."""
+        history = [i for i in example.history if i != 0]
+        if not history:
+            return None
+        sr_top_items = self.model.top_k(history, k=self.top_h)
+        if not sr_top_items:
+            return None
+        candidates = self._candidates_for(sr_top_items)
+        return self.prompt_builder.pattern_simulating_prompt(
+            history=history,
+            candidates=candidates,
+            sr_top_items=sr_top_items,
+            sr_model_name=self.model.name,
+            auxiliary=auxiliary,
+        )
+
+    def build(
+        self,
+        examples: Sequence[SequenceExample],
+        limit: Optional[int] = None,
+        auxiliary: str = "soft",
+    ) -> List[PromptExample]:
+        """Build RPS prompts for as many examples as possible (up to ``limit``)."""
+        prompts: List[PromptExample] = []
+        for example in examples:
+            prompt = self.build_one(example, auxiliary=auxiliary)
+            if prompt is not None:
+                prompts.append(prompt)
+            if limit is not None and len(prompts) >= limit:
+                break
+        return prompts

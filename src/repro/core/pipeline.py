@@ -1,0 +1,229 @@
+"""The end-to-end DELRec pipeline.
+
+``DELRec.fit`` runs the complete recipe of the paper:
+
+1. train (or accept) a conventional SR backbone (GRU4Rec / Caser / SASRec);
+2. obtain a pre-trained LLM (SimLM pre-trained on the item-metadata corpus);
+3. Stage 1 — distil the backbone's behaviour into soft prompts via the
+   Temporal Analysis and Recommendation Pattern Simulating tasks;
+4. Stage 2 — freeze the soft prompts and fine-tune the LLM with AdaLoRA on
+   ground-truth next-item prediction.
+
+Every ablation of Tables III and IV corresponds to a constructor flag, so the
+ablation benchmarks simply build differently-configured pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DELRecConfig
+from repro.core.distill import DistillationResult, PatternDistiller
+from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
+from repro.core.prompts import PromptBuilder
+from repro.core.recommend import DELRecRecommender, FineTuningResult, LSRFineTuner
+from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.data.candidates import CandidateSampler
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit, limit_examples
+from repro.llm.registry import build_pretrained_simlm
+from repro.llm.simlm import SimLM
+from repro.llm.soft_prompt import SoftPrompt
+from repro.llm.verbalizer import Verbalizer
+from repro.models.base import NeuralSequentialRecommender, SequentialRecommender
+from repro.models.sasrec import SASRec
+from repro.models.trainer import TrainingConfig, train_recommender
+
+
+class DELRec:
+    """Orchestrates the two DELRec stages and produces a :class:`DELRecRecommender`."""
+
+    def __init__(
+        self,
+        config: Optional[DELRecConfig] = None,
+        conventional_model: Optional[SequentialRecommender] = None,
+        llm: Optional[SimLM] = None,
+        enable_stage1: bool = True,
+        enable_stage2: bool = True,
+        enable_temporal_analysis: bool = True,
+        enable_pattern_simulating: bool = True,
+        auxiliary: str = "soft",
+        untrained_soft_prompt: bool = False,
+        update_llm_in_stage1: bool = False,
+        update_soft_prompt_in_stage2: bool = False,
+        name: Optional[str] = None,
+    ):
+        self.config = config or DELRecConfig()
+        self.conventional_model = conventional_model
+        self.llm = llm
+        self.enable_stage1 = enable_stage1
+        self.enable_stage2 = enable_stage2
+        self.enable_temporal_analysis = enable_temporal_analysis
+        self.enable_pattern_simulating = enable_pattern_simulating
+        if auxiliary not in ("soft", "manual", "none"):
+            raise ValueError("auxiliary must be one of 'soft', 'manual', 'none'")
+        self.auxiliary = auxiliary
+        self.untrained_soft_prompt = untrained_soft_prompt
+        self.update_llm_in_stage1 = update_llm_in_stage1
+        self.update_soft_prompt_in_stage2 = update_soft_prompt_in_stage2
+        self._name = name
+        # populated by fit()
+        self.soft_prompt: Optional[SoftPrompt] = None
+        self.prompt_builder: Optional[PromptBuilder] = None
+        self.verbalizer: Optional[Verbalizer] = None
+        self.distillation_result: Optional[DistillationResult] = None
+        self.finetuning_result: Optional[FineTuningResult] = None
+        self._recommender: Optional[DELRecRecommender] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        if self._name:
+            return self._name
+        backbone = self.conventional_model.name if self.conventional_model is not None else "SASRec"
+        return f"DELRec ({backbone})"
+
+    def recommender(self) -> DELRecRecommender:
+        if self._recommender is None:
+            raise RuntimeError("call fit() before requesting the recommender")
+        return self._recommender
+
+    # ------------------------------------------------------------------ #
+    def _ensure_conventional_model(self, dataset: SequenceDataset, split: ChronologicalSplit,
+                                   conventional_epochs: int) -> SequentialRecommender:
+        model = self.conventional_model
+        if model is None:
+            model = SASRec(num_items=dataset.num_items, embedding_dim=32,
+                           max_history=self.config.max_history, seed=self.config.seed)
+        if not model.is_fitted:
+            if isinstance(model, NeuralSequentialRecommender):
+                training_config = TrainingConfig.for_model(model.name, epochs=conventional_epochs,
+                                                           seed=self.config.seed)
+                train_recommender(model, split.train, training_config)
+            else:
+                model.fit(split.train)
+        self.conventional_model = model
+        return model
+
+    def _ensure_llm(self, dataset: SequenceDataset, split: ChronologicalSplit) -> SimLM:
+        if self.llm is None:
+            self.llm = build_pretrained_simlm(
+                dataset,
+                size=self.config.llm_size,
+                train_examples=split.train,
+                seed=self.config.seed,
+            )
+        return self.llm
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        dataset: SequenceDataset,
+        split: ChronologicalSplit,
+        conventional_epochs: int = 5,
+    ) -> "DELRec":
+        """Run both stages on the dataset's training split."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        model = self._ensure_conventional_model(dataset, split, conventional_epochs)
+        llm = self._ensure_llm(dataset, split)
+
+        self.prompt_builder = PromptBuilder(
+            llm.tokenizer,
+            dataset.catalog,
+            soft_prompt_size=config.soft_prompt_size,
+            include_titles_in_history=config.titles_in_history,
+        )
+        self.verbalizer = Verbalizer(
+            llm.tokenizer, dataset.catalog, aggregation=config.verbalizer_aggregation
+        )
+
+        # ----------------------------------------------------------------- #
+        # Stage 1: Distill Pattern from Conventional SR Models
+        # ----------------------------------------------------------------- #
+        if self.auxiliary == "soft":
+            self.soft_prompt = SoftPrompt(
+                num_tokens=config.soft_prompt_size,
+                dim=llm.dim,
+                init_style=config.soft_prompt_init,
+                model=llm,
+                rng=rng,
+            )
+        else:
+            self.soft_prompt = None
+
+        run_stage1 = (
+            self.enable_stage1
+            and self.auxiliary == "soft"
+            and not self.untrained_soft_prompt
+            and (self.enable_temporal_analysis or self.enable_pattern_simulating)
+        )
+        if run_stage1:
+            stage1_examples = limit_examples(
+                split.train, config.max_stage1_examples, rng=np.random.default_rng(config.seed)
+            )
+            ta_prompts = []
+            if self.enable_temporal_analysis:
+                ta_builder = TemporalAnalysisTaskBuilder(
+                    self.prompt_builder,
+                    dataset.catalog,
+                    num_candidates=config.num_candidates,
+                    icl_alpha=config.icl_alpha,
+                    seed=config.seed,
+                )
+                ta_prompts = ta_builder.build(stage1_examples)
+            rps_prompts = []
+            if self.enable_pattern_simulating:
+                rps_builder = PatternSimulatingTaskBuilder(
+                    self.prompt_builder,
+                    dataset.catalog,
+                    conventional_model=model,
+                    num_candidates=config.num_candidates,
+                    top_h=config.top_h,
+                    seed=config.seed,
+                )
+                rps_prompts = rps_builder.build(stage1_examples)
+            distiller = PatternDistiller(
+                llm,
+                self.prompt_builder,
+                self.soft_prompt,
+                config=config.stage1,
+                update_llm=self.update_llm_in_stage1,
+            )
+            self.distillation_result = distiller.distill(ta_prompts, rps_prompts)
+
+        # ----------------------------------------------------------------- #
+        # Stage 2: LLMs-based Sequential Recommendation
+        # ----------------------------------------------------------------- #
+        if self.enable_stage2:
+            finetuner = LSRFineTuner(
+                llm,
+                self.prompt_builder,
+                self.soft_prompt,
+                config=config.stage2,
+                update_soft_prompt=self.update_soft_prompt_in_stage2,
+                auxiliary=self.auxiliary,
+                sr_model_name=model.name,
+            )
+            sampler = CandidateSampler(
+                dataset, num_candidates=config.num_candidates, seed=config.seed
+            )
+            stage2_examples = limit_examples(
+                split.train, config.max_stage2_examples, rng=np.random.default_rng(config.seed + 1)
+            )
+            prompts = finetuner.build_training_prompts(stage2_examples, sampler)
+            self.finetuning_result = finetuner.fine_tune(prompts)
+
+        self._recommender = DELRecRecommender(
+            model=llm,
+            prompt_builder=self.prompt_builder,
+            verbalizer=self.verbalizer,
+            soft_prompt=self.soft_prompt,
+            auxiliary=self.auxiliary,
+            sr_model_name=model.name,
+            name=self.name,
+            max_history=config.max_history,
+        )
+        return self

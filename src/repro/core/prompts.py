@@ -1,0 +1,303 @@
+"""Prompt construction (section IV-A, Figures 4-6).
+
+Every prompt follows the paper's general template — *instruction*, *processed
+interaction sequence*, *candidate set*, *soft prompts*, *prediction* — and is
+rendered as a token-id sequence for SimLM.  Items are represented by their
+textual titles (followed by their dedicated item token, which is what the
+verbalizer reads back at the ``[MASK]`` position).  Soft-prompt slots are
+marked with the ``[SOFT]`` placeholder token; their embeddings are substituted
+by :meth:`repro.llm.soft_prompt.SoftPrompt.splice_into` at run time.
+
+Three prompt types are built here:
+
+* the Stage-2 recommendation prompt (Figure 6), also reused by the
+  prompt-based baselines;
+* the Temporal Analysis prompt (Figure 4) — an in-context example followed by
+  a sequence whose second-to-last item is masked (PMRI);
+* the Recommendation Pattern Simulating prompt (Figure 5) — the history plus
+  the conventional model's top-``h`` list, with the model's top-1 as label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.records import ItemCatalog
+from repro.llm.tokenizer import Tokenizer, item_token
+
+#: Natural-language description of each backbone used by the "w MCP" ablation,
+#: replacing the soft prompts with a hand-written account of the model's
+#: recommendation pattern (Table III).
+MANUAL_PATTERN_DESCRIPTIONS: Dict[str, str] = {
+    "SASRec": (
+        "sasrec is a transformer that attends over the recent items and scores items "
+        "by similarity to the latest interactions"
+    ),
+    "GRU4Rec": (
+        "gru4rec is an rnn that summarizes the sequence and recommends items similar "
+        "to the most recent item"
+    ),
+    "Caser": (
+        "caser is a convolutional network over recent items that aggregates features of "
+        "the latest interactions"
+    ),
+}
+_DEFAULT_MANUAL_DESCRIPTION = (
+    "a model that aggregates features of the latest interactions and scores items by "
+    "similarity to them"
+)
+
+
+@dataclass
+class PromptExample:
+    """A single rendered prompt plus its supervision target."""
+
+    token_ids: List[int]
+    candidate_items: Tuple[int, ...]
+    candidate_token_ids: Tuple[int, ...]
+    label_item: int
+    label_index: int
+    task: str = "recommendation"
+
+    def __post_init__(self) -> None:
+        if self.label_index < 0 or self.label_index >= len(self.candidate_items):
+            raise ValueError("label_index out of candidate range")
+
+    @property
+    def length(self) -> int:
+        return len(self.token_ids)
+
+
+@dataclass
+class PromptBatch:
+    """A padded batch of prompt examples."""
+
+    tokens: np.ndarray            # (batch, length) int64, right padded
+    valid_mask: np.ndarray        # (batch, length) bool
+    candidate_token_ids: np.ndarray  # (batch, num_candidates) int64
+    label_indices: np.ndarray     # (batch,) int64 index into the candidate axis
+    label_items: np.ndarray       # (batch,) int64 item ids
+    examples: Tuple[PromptExample, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return self.tokens.shape[0]
+
+
+class PromptBuilder:
+    """Render DELRec prompts as SimLM token sequences."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        catalog: ItemCatalog,
+        soft_prompt_size: int = 8,
+        include_item_tokens_in_history: bool = True,
+        include_titles_in_history: bool = True,
+    ):
+        self.tokenizer = tokenizer
+        self.catalog = catalog
+        self.soft_prompt_size = soft_prompt_size
+        self.include_item_tokens_in_history = include_item_tokens_in_history
+        self.include_titles_in_history = include_titles_in_history
+
+    # ------------------------------------------------------------------ #
+    # segment helpers
+    # ------------------------------------------------------------------ #
+    def _item_tokens(self, item_id: int, with_title: bool = True) -> List[str]:
+        tokens: List[str] = []
+        if with_title and self.include_titles_in_history:
+            tokens.extend(Tokenizer.split_words(self.catalog.title_of(item_id)))
+        if self.include_item_tokens_in_history or not tokens:
+            tokens.append(item_token(item_id))
+        return tokens
+
+    def _history_segment(self, history: Sequence[int]) -> List[str]:
+        tokens = ["history"]
+        for item_id in history:
+            if item_id == 0:
+                continue
+            tokens.extend(self._item_tokens(item_id, with_title=True))
+        return tokens
+
+    def _candidate_segment(self, candidates: Sequence[int]) -> List[str]:
+        tokens = ["candidates"]
+        for item_id in candidates:
+            tokens.append(item_token(item_id))
+        return tokens
+
+    def _soft_segment(self, mode: str, sr_model_name: Optional[str]) -> List[str]:
+        """The auxiliary-information block: soft prompts, manual text, or nothing."""
+        if mode == "none":
+            return []
+        if mode == "manual":
+            description = MANUAL_PATTERN_DESCRIPTIONS.get(
+                sr_model_name or "", _DEFAULT_MANUAL_DESCRIPTION
+            )
+            return ["refer", "to", "this", "auxiliary", "information"] + Tokenizer.split_words(description)
+        if mode == "soft":
+            return (
+                ["refer", "to", "this", "auxiliary", "information"]
+                + [self.tokenizer.special.soft] * self.soft_prompt_size
+            )
+        raise ValueError(f"unknown auxiliary mode {mode!r}")
+
+    def _finalise(
+        self,
+        word_tokens: List[str],
+        candidates: Sequence[int],
+        label_item: int,
+        task: str,
+    ) -> PromptExample:
+        token_ids = [self.tokenizer.cls_id] + self.tokenizer.encode_tokens(word_tokens)
+        candidates = tuple(int(c) for c in candidates)
+        if label_item not in candidates:
+            raise ValueError("label item must be part of the candidate set")
+        return PromptExample(
+            token_ids=token_ids,
+            candidate_items=candidates,
+            candidate_token_ids=tuple(self.tokenizer.item_token_ids(candidates)),
+            label_item=int(label_item),
+            label_index=candidates.index(label_item),
+            task=task,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the three prompt types
+    # ------------------------------------------------------------------ #
+    def recommendation_prompt(
+        self,
+        history: Sequence[int],
+        candidates: Sequence[int],
+        label_item: int,
+        sr_model_name: Optional[str] = None,
+        sr_top_items: Optional[Sequence[int]] = None,
+        auxiliary: str = "soft",
+    ) -> PromptExample:
+        """Stage-2 prompt (Figure 6): history, candidates, optional SR hints, soft prompts, [MASK].
+
+        ``auxiliary`` selects how conventional-model knowledge enters the prompt:
+        ``"soft"`` (learned soft prompts), ``"manual"`` (natural-language
+        description, the w-MCP ablation) or ``"none"`` (w/o SP ablation).
+        """
+        words: List[str] = self._history_segment(history)
+        words.append(self.tokenizer.special.sep)
+        words.extend(self._candidate_segment(candidates))
+        if sr_top_items:
+            words.append(self.tokenizer.special.sep)
+            words.extend([(sr_model_name or "model").lower(), "also", "recommends"])
+            for item_id in sr_top_items:
+                words.append(item_token(item_id))
+        auxiliary_words = self._soft_segment(auxiliary, sr_model_name)
+        if auxiliary_words:
+            words.append(self.tokenizer.special.sep)
+            words.extend(auxiliary_words)
+        words.append(self.tokenizer.special.sep)
+        words.extend(["predict", "which", "candidate", "item", "the", "user", "will",
+                      "interact", "with", "next", self.tokenizer.special.mask])
+        return self._finalise(words, candidates, label_item, task="recommendation")
+
+    def temporal_analysis_prompt(
+        self,
+        sequence_items: Sequence[int],
+        candidates: Sequence[int],
+        icl_alpha: int,
+        auxiliary: str = "soft",
+    ) -> PromptExample:
+        """Temporal Analysis prompt (Figure 4): PMRI with an in-context example.
+
+        ``sequence_items`` is the user interaction sequence ``I_1 .. I_{n-1}``
+        (no padding).  The ``alpha``-th item is shown as the continuation of the
+        first ``alpha - 1`` items (in-context example); the second-to-last item
+        is masked and becomes the label, with the last item given as the known
+        next interaction.
+        """
+        items = [i for i in sequence_items if i != 0]
+        if len(items) < 4:
+            raise ValueError("temporal analysis needs a sequence of at least 4 items")
+        alpha = int(np.clip(icl_alpha, 2, len(items) - 2))
+        example_prefix = items[: alpha - 1]
+        example_next = items[alpha - 1]
+        body = items[alpha - 1: -2]           # I_alpha .. I_{n-3}
+        masked_item = items[-2]               # I_{n-2}, the PMRI target
+        final_item = items[-1]                # I_{n-1}, given as the next interaction
+
+        words: List[str] = ["example", "after"]
+        for item_id in example_prefix:
+            words.extend(self._item_tokens(item_id))
+        words.extend(["the", "next", "item", "is", item_token(example_next)])
+        words.append(self.tokenizer.special.sep)
+        words.extend(["now", "predict", "the", "most", "recent", "item", "after"])
+        for item_id in body:
+            words.extend(self._item_tokens(item_id))
+        words.append(self.tokenizer.special.mask)
+        words.extend(["the", "next", "item", "is", item_token(final_item)])
+        words.append(self.tokenizer.special.sep)
+        words.extend(self._candidate_segment(candidates))
+        auxiliary_words = self._soft_segment(auxiliary, None)
+        if auxiliary_words:
+            words.append(self.tokenizer.special.sep)
+            words.extend(auxiliary_words)
+        return self._finalise(words, candidates, masked_item, task="temporal_analysis")
+
+    def pattern_simulating_prompt(
+        self,
+        history: Sequence[int],
+        candidates: Sequence[int],
+        sr_top_items: Sequence[int],
+        sr_model_name: str,
+        auxiliary: str = "soft",
+    ) -> PromptExample:
+        """Recommendation Pattern Simulating prompt (Figure 5).
+
+        The label is the conventional model's *top-1* recommendation
+        ``sr_top_items[0]`` — not the ground truth — so the soft prompts learn
+        to reproduce the model's behaviour.
+        """
+        if not sr_top_items:
+            raise ValueError("pattern simulating needs the conventional model's top items")
+        label = int(sr_top_items[0])
+        words: List[str] = self._history_segment(history)
+        words.append(self.tokenizer.special.sep)
+        words.extend(self._candidate_segment(candidates))
+        words.append(self.tokenizer.special.sep)
+        words.extend(["simulate", "the", "recommendation", "made", "by", "the",
+                      sr_model_name.lower(), "model"])
+        auxiliary_words = self._soft_segment(auxiliary, sr_model_name)
+        if auxiliary_words:
+            words.append(self.tokenizer.special.sep)
+            words.extend(auxiliary_words)
+        words.append(self.tokenizer.special.sep)
+        words.extend(["the", "model", "would", "recommend", self.tokenizer.special.mask])
+        return self._finalise(words, candidates, label, task="pattern_simulating")
+
+    # ------------------------------------------------------------------ #
+    # batching
+    # ------------------------------------------------------------------ #
+    def batch(self, examples: Sequence[PromptExample]) -> PromptBatch:
+        """Right-pad a list of prompt examples into a :class:`PromptBatch`."""
+        if not examples:
+            raise ValueError("cannot batch zero prompt examples")
+        num_candidates = len(examples[0].candidate_items)
+        if any(len(e.candidate_items) != num_candidates for e in examples):
+            raise ValueError("all prompts in a batch must share the candidate-set size")
+        length = max(e.length for e in examples)
+        tokens = np.full((len(examples), length), self.tokenizer.pad_id, dtype=np.int64)
+        candidate_tokens = np.zeros((len(examples), num_candidates), dtype=np.int64)
+        label_indices = np.zeros(len(examples), dtype=np.int64)
+        label_items = np.zeros(len(examples), dtype=np.int64)
+        for row, example in enumerate(examples):
+            tokens[row, : example.length] = example.token_ids
+            candidate_tokens[row] = example.candidate_token_ids
+            label_indices[row] = example.label_index
+            label_items[row] = example.label_item
+        return PromptBatch(
+            tokens=tokens,
+            valid_mask=tokens != self.tokenizer.pad_id,
+            candidate_token_ids=candidate_tokens,
+            label_indices=label_indices,
+            label_items=label_items,
+            examples=tuple(examples),
+        )

@@ -1,0 +1,260 @@
+"""Stage 2: LLMs-based Sequential Recommendation (LSR).
+
+The distilled soft prompts are frozen and inserted into the recommendation
+prompt; the LLM is fine-tuned with AdaLoRA (Lion optimizer) to predict the
+ground-truth next item (Eq. 8).  The resulting :class:`DELRecRecommender`
+exposes the same ``score_candidates`` interface as every conventional model so
+it can be evaluated by the shared harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, Lion, SGD, no_grad
+from repro.autograd import functional as F
+from repro.autograd.lora import AdaLoRAController, wrap_linears_with_adalora
+from repro.core.config import Stage2Config
+from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample
+from repro.data.candidates import CandidateSampler
+from repro.data.splits import SequenceExample
+from repro.llm.simlm import SimLM
+from repro.llm.soft_prompt import SoftPrompt
+from repro.llm.verbalizer import Verbalizer
+
+_OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
+
+
+@dataclass
+class FineTuningResult:
+    """Training trace of Stage 2."""
+
+    losses: List[float] = field(default_factory=list)
+    active_ranks: List[int] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class DELRecRecommender:
+    """The deployable DELRec model: frozen soft prompts + fine-tuned LLM + verbalizer."""
+
+    def __init__(
+        self,
+        model: SimLM,
+        prompt_builder: PromptBuilder,
+        verbalizer: Verbalizer,
+        soft_prompt: Optional[SoftPrompt],
+        auxiliary: str = "soft",
+        sr_model_name: Optional[str] = None,
+        name: str = "DELRec",
+        max_history: int = 9,
+    ):
+        self.model = model
+        self.prompt_builder = prompt_builder
+        self.verbalizer = verbalizer
+        self.soft_prompt = soft_prompt
+        self.auxiliary = auxiliary if soft_prompt is not None or auxiliary != "soft" else "none"
+        self.sr_model_name = sr_model_name
+        self.name = name
+        self.max_history = max_history
+
+    # ------------------------------------------------------------------ #
+    def build_prompt(
+        self, history: Sequence[int], candidates: Sequence[int], label_item: Optional[int] = None
+    ) -> PromptExample:
+        """Render the Stage-2 prompt for a history/candidate pair.
+
+        At inference time no label is known; the first candidate is used as a
+        placeholder (the label field is ignored when scoring).
+        """
+        history = [i for i in history if i != 0][-self.max_history:]
+        label = label_item if label_item is not None else candidates[0]
+        return self.prompt_builder.recommendation_prompt(
+            history=history,
+            candidates=candidates,
+            label_item=label,
+            sr_model_name=self.sr_model_name,
+            auxiliary=self.auxiliary,
+        )
+
+    def _vocab_logits(self, batch: PromptBatch) -> np.ndarray:
+        embeddings = self.model.embed_tokens(batch.tokens)
+        if self.soft_prompt is not None and self.auxiliary == "soft":
+            embeddings = self.soft_prompt.splice_into(
+                embeddings, batch.tokens, self.prompt_builder.tokenizer.soft_id
+            )
+        logits = self.model.mask_logits(
+            batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
+        )
+        return logits.data
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        """Scores aligned with ``candidates`` (higher is better)."""
+        prompt = self.build_prompt(history, candidates)
+        batch = self.prompt_builder.batch([prompt])
+        with no_grad():
+            was_training = self.model.training
+            self.model.eval()
+            vocab_logits = self._vocab_logits(batch)[0]
+            self.model.train(was_training)
+        return self.verbalizer.score_candidates(vocab_logits, candidates)
+
+    def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
+        scores = self.score_candidates(history, candidates)
+        order = np.argsort(-scores, kind="stable")
+        return [int(candidates[i]) for i in order[:k]]
+
+
+class LSRFineTuner:
+    """Fine-tune the LLM (AdaLoRA + Lion) with frozen distilled soft prompts."""
+
+    def __init__(
+        self,
+        model: SimLM,
+        prompt_builder: PromptBuilder,
+        soft_prompt: Optional[SoftPrompt],
+        config: Optional[Stage2Config] = None,
+        update_soft_prompt: bool = False,
+        auxiliary: str = "soft",
+        sr_model_name: Optional[str] = None,
+    ):
+        self.model = model
+        self.prompt_builder = prompt_builder
+        self.soft_prompt = soft_prompt
+        self.config = config or Stage2Config()
+        #: ``update_soft_prompt=True`` reproduces the "w ULSR" ablation (Table IV).
+        self.update_soft_prompt = update_soft_prompt
+        self.auxiliary = auxiliary
+        self.sr_model_name = sr_model_name
+        if self.config.optimizer not in _OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
+        self.adapters = []
+        self.controller: Optional[AdaLoRAController] = None
+
+    # ------------------------------------------------------------------ #
+    def _prepare_parameters(self) -> list:
+        """Freeze everything, then enable the chosen trainable subset."""
+        config = self.config
+        if self.soft_prompt is not None:
+            if self.update_soft_prompt:
+                self.soft_prompt.unfreeze()
+            else:
+                self.soft_prompt.freeze()
+        if config.full_finetune:
+            self.model.unfreeze()
+            trainable = list(self.model.trainable_parameters())
+        else:
+            self.model.freeze()
+            if config.use_adalora:
+                rng = np.random.default_rng(config.seed)
+                self.adapters = wrap_linears_with_adalora(
+                    self.model,
+                    rank=config.adalora_rank,
+                    name_filter=self.model.adaptable_linear_filter,
+                    rng=rng,
+                )
+                if not self.adapters:
+                    raise RuntimeError("no linear layers matched the AdaLoRA filter")
+                self.controller = AdaLoRAController(
+                    self.adapters,
+                    target_total_rank=config.adalora_target_total_rank,
+                    warmup_steps=config.adalora_warmup_steps,
+                    total_steps=max(config.adalora_warmup_steps + 1, config.epochs * 10),
+                )
+                trainable = [p for adapter in self.adapters for p in adapter.trainable_parameters()]
+                if config.train_output_bias:
+                    self.model.output_bias.requires_grad = True
+                    trainable.append(self.model.output_bias)
+            else:
+                # plain prompt-free fine-tuning of the output bias only (ablation fallback)
+                self.model.output_bias.requires_grad = True
+                trainable = [self.model.output_bias]
+        if self.update_soft_prompt and self.soft_prompt is not None:
+            trainable = trainable + list(self.soft_prompt.parameters())
+        return trainable
+
+    def build_training_prompts(
+        self,
+        examples: Sequence[SequenceExample],
+        sampler: CandidateSampler,
+        limit: Optional[int] = None,
+    ) -> List[PromptExample]:
+        """Ground-truth recommendation prompts for Stage-2 training."""
+        prompts: List[PromptExample] = []
+        for example in examples:
+            history = [i for i in example.history if i != 0]
+            if not history:
+                continue
+            candidates = sampler.candidates_for(example)
+            prompts.append(
+                self.prompt_builder.recommendation_prompt(
+                    history=history,
+                    candidates=candidates,
+                    label_item=example.target,
+                    sr_model_name=self.sr_model_name,
+                    auxiliary=self.auxiliary,
+                )
+            )
+            if limit is not None and len(prompts) >= limit:
+                break
+        return prompts
+
+    # ------------------------------------------------------------------ #
+    def fine_tune(self, prompts: Sequence[PromptExample]) -> FineTuningResult:
+        """Run the LSR objective (Eq. 8) over the prepared prompts."""
+        if not prompts:
+            raise ValueError("fine-tuning needs at least one prompt")
+        config = self.config
+        trainable = self._prepare_parameters()
+        optimizer = _OPTIMIZERS[config.optimizer](
+            trainable, lr=config.lr, weight_decay=config.weight_decay
+        )
+        rng = np.random.default_rng(config.seed)
+        soft_id = self.prompt_builder.tokenizer.soft_id
+        result = FineTuningResult()
+
+        self.model.train()
+        for epoch in range(config.epochs):
+            order = rng.permutation(len(prompts))
+            epoch_loss, seen = 0.0, 0
+            for start in range(0, len(order), config.batch_size):
+                batch = self.prompt_builder.batch(
+                    [prompts[i] for i in order[start:start + config.batch_size]]
+                )
+                optimizer.zero_grad()
+                embeddings = self.model.embed_tokens(batch.tokens)
+                if self.soft_prompt is not None and self.auxiliary == "soft":
+                    embeddings = self.soft_prompt.splice_into(embeddings, batch.tokens, soft_id)
+                vocab_logits = self.model.mask_logits(
+                    batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
+                )
+                if config.loss_over_full_vocab:
+                    label_tokens = np.asarray(
+                        self.prompt_builder.tokenizer.item_token_ids(batch.label_items.tolist())
+                    )
+                    loss = F.cross_entropy(vocab_logits, label_tokens)
+                else:
+                    rows = np.arange(len(batch))[:, None]
+                    candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
+                    loss = F.cross_entropy(candidate_logits, batch.label_indices)
+                loss.backward()
+                if config.grad_clip is not None:
+                    F.clip_grad_norm(trainable, config.grad_clip)
+                optimizer.step()
+                if self.controller is not None:
+                    self.controller.step()
+                epoch_loss += loss.item() * len(batch)
+                seen += len(batch)
+            result.losses.append(epoch_loss / max(seen, 1))
+            if self.controller is not None:
+                result.active_ranks.append(self.controller.total_active_rank())
+            if config.verbose:
+                print(f"[LSR] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.4f}")
+
+        self.model.eval()
+        return result

@@ -1,0 +1,87 @@
+"""Temporal Analysis (TA) task construction — Stage 1, first component.
+
+TA teaches the soft prompts the *temporal* behaviour of conventional SR
+models: those models aggregate the sequence's features into the most recent
+item, so the LLM is trained to Predict the Most Recent Item (PMRI).  Given a
+user sequence, an in-context example (the ``alpha``-th item as continuation of
+the first ``alpha - 1`` items) is shown, the second-to-last item is masked and
+the last item is revealed as the known next interaction; the model must
+recover the masked item (Eq. 4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.records import ItemCatalog
+from repro.data.splits import SequenceExample
+from repro.core.prompts import PromptBuilder, PromptExample
+
+
+class TemporalAnalysisTaskBuilder:
+    """Build PMRI prompt examples from training sequence examples."""
+
+    def __init__(
+        self,
+        prompt_builder: PromptBuilder,
+        catalog: ItemCatalog,
+        num_candidates: int = 15,
+        icl_alpha: int = 4,
+        seed: int = 0,
+    ):
+        self.prompt_builder = prompt_builder
+        self.catalog = catalog
+        self.num_candidates = num_candidates
+        self.icl_alpha = icl_alpha
+        self.rng = np.random.default_rng(seed)
+        self._item_ids = np.array(catalog.ids(), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    def _candidates_for(self, label_item: int, exclude: Sequence[int]) -> List[int]:
+        """Candidate set: the PMRI label plus random negatives."""
+        excluded = set(exclude) | {label_item}
+        pool = self._item_ids[~np.isin(self._item_ids, list(excluded))]
+        needed = self.num_candidates - 1
+        if pool.size < needed:
+            pool = self._item_ids[self._item_ids != label_item]
+        negatives = self.rng.choice(pool, size=needed, replace=False)
+        candidates = np.concatenate([[label_item], negatives])
+        self.rng.shuffle(candidates)
+        return [int(c) for c in candidates]
+
+    def build_one(self, example: SequenceExample, auxiliary: str = "soft") -> Optional[PromptExample]:
+        """Build the TA prompt for one training example, or ``None`` if too short.
+
+        The full sequence passed to PMRI is the example's history followed by
+        its target, i.e. the user interaction sequence ``I_1 .. I_{n-1}`` of
+        the paper.
+        """
+        sequence = [i for i in example.history if i != 0] + [example.target]
+        if len(sequence) < 4:
+            return None
+        masked_item = sequence[-2]
+        candidates = self._candidates_for(masked_item, exclude=sequence)
+        return self.prompt_builder.temporal_analysis_prompt(
+            sequence_items=sequence,
+            candidates=candidates,
+            icl_alpha=self.icl_alpha,
+            auxiliary=auxiliary,
+        )
+
+    def build(
+        self,
+        examples: Sequence[SequenceExample],
+        limit: Optional[int] = None,
+        auxiliary: str = "soft",
+    ) -> List[PromptExample]:
+        """Build TA prompts for as many examples as possible (up to ``limit``)."""
+        prompts: List[PromptExample] = []
+        for example in examples:
+            prompt = self.build_one(example, auxiliary=auxiliary)
+            if prompt is not None:
+                prompts.append(prompt)
+            if limit is not None and len(prompts) >= limit:
+                break
+        return prompts

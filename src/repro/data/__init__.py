@@ -1,0 +1,44 @@
+"""Dataset substrate: records, synthetic generators, splits, candidates, batching.
+
+The paper evaluates on MovieLens-100K, Steam, Amazon Beauty, Amazon Home &
+Kitchen and (for the sparsity study) KuaiRec.  Those datasets are not
+available offline, so this package provides synthetic generators that
+reproduce the statistics and the *structure* the experiments rely on:
+chronological user sequences with genre-level sequential patterns, Zipfian
+item popularity, per-dataset sparsity, and item titles that carry the item
+semantics a language model can exploit.
+"""
+
+from repro.data.records import Interaction, Item, ItemCatalog, UserSequence, SequenceDataset
+from repro.data.titles import TitleGenerator
+from repro.data.synthetic import SyntheticDatasetConfig, SyntheticDatasetGenerator
+from repro.data.splits import ChronologicalSplit, SequenceExample, chronological_split, build_examples
+from repro.data.candidates import CandidateSampler
+from repro.data.batching import SequenceBatch, pad_sequence, batch_examples
+from repro.data.stats import DatasetStats, compute_stats, PAPER_DATASET_STATS
+from repro.data.registry import DATASET_CONFIGS, load_dataset, available_datasets
+
+__all__ = [
+    "Interaction",
+    "Item",
+    "ItemCatalog",
+    "UserSequence",
+    "SequenceDataset",
+    "TitleGenerator",
+    "SyntheticDatasetConfig",
+    "SyntheticDatasetGenerator",
+    "ChronologicalSplit",
+    "SequenceExample",
+    "chronological_split",
+    "build_examples",
+    "CandidateSampler",
+    "SequenceBatch",
+    "pad_sequence",
+    "batch_examples",
+    "DatasetStats",
+    "compute_stats",
+    "PAPER_DATASET_STATS",
+    "DATASET_CONFIGS",
+    "load_dataset",
+    "available_datasets",
+]

@@ -1,0 +1,84 @@
+"""Batching and padding helpers shared by all sequence models.
+
+Sequences are left-padded with item id 0 to a fixed length ``n - 1`` (the
+paper uses ``n = 10``: the 9 most recent interactions plus the target), so the
+most recent item always sits at the last position — the position conventional
+SR models aggregate features into, and the position the Temporal Analysis
+component of DELRec teaches the LLM to care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.splits import SequenceExample
+
+PADDING_ID = 0
+
+
+def pad_sequence(items: Sequence[int], length: int, padding_id: int = PADDING_ID) -> List[int]:
+    """Left-pad (or left-truncate) ``items`` to exactly ``length`` entries."""
+    items = list(items)[-length:]
+    return [padding_id] * (length - len(items)) + items
+
+
+@dataclass
+class SequenceBatch:
+    """A batch of padded next-item examples ready for model consumption."""
+
+    histories: np.ndarray        # (batch, max_history) int64, left padded with 0
+    targets: np.ndarray          # (batch,) int64
+    valid_mask: np.ndarray       # (batch, max_history) bool, True on real items
+    user_ids: np.ndarray         # (batch,) int64
+    examples: Tuple[SequenceExample, ...]
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.valid_mask.sum(axis=1)
+
+
+def make_batch(examples: Sequence[SequenceExample], max_history: int) -> SequenceBatch:
+    """Pad a list of examples into a single :class:`SequenceBatch`."""
+    histories = np.zeros((len(examples), max_history), dtype=np.int64)
+    targets = np.zeros(len(examples), dtype=np.int64)
+    user_ids = np.zeros(len(examples), dtype=np.int64)
+    for row, example in enumerate(examples):
+        histories[row] = pad_sequence(example.history, max_history)
+        targets[row] = example.target
+        user_ids[row] = example.user_id
+    valid_mask = histories != PADDING_ID
+    return SequenceBatch(
+        histories=histories,
+        targets=targets,
+        valid_mask=valid_mask,
+        user_ids=user_ids,
+        examples=tuple(examples),
+    )
+
+
+def batch_examples(
+    examples: Sequence[SequenceExample],
+    batch_size: int,
+    max_history: int,
+    shuffle: bool = False,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[SequenceBatch]:
+    """Yield :class:`SequenceBatch` objects of at most ``batch_size`` examples."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(examples))
+    if shuffle:
+        rng = rng or np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, len(order), batch_size):
+        index = order[start:start + batch_size]
+        if drop_last and len(index) < batch_size:
+            return
+        yield make_batch([examples[i] for i in index], max_history)

@@ -1,0 +1,70 @@
+"""Candidate-set sampling.
+
+The paper evaluates ranking over a candidate set of ``m = 15`` items: the
+ground-truth next item plus 14 items sampled uniformly from the rest of the
+catalog (section V-A3).  The same candidate sets are reused across methods in
+an experiment so that every model ranks exactly the same items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.records import SequenceDataset
+from repro.data.splits import SequenceExample
+
+
+class CandidateSampler:
+    """Sample fixed-size candidate sets containing the target item."""
+
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        num_candidates: int = 15,
+        seed: int = 0,
+        exclude_history: bool = True,
+    ):
+        if num_candidates < 2:
+            raise ValueError("candidate sets need at least the target and one negative")
+        if num_candidates > dataset.num_items:
+            raise ValueError(
+                f"cannot sample {num_candidates} candidates from {dataset.num_items} items"
+            )
+        self.dataset = dataset
+        self.num_candidates = num_candidates
+        self.seed = seed
+        self.exclude_history = exclude_history
+        self._all_items = np.array(dataset.catalog.ids(), dtype=np.int64)
+        self._cache: Dict[Tuple[int, Tuple[int, ...], int], List[int]] = {}
+
+    def candidates_for(self, example: SequenceExample) -> List[int]:
+        """Return the candidate item ids for ``example`` (target included, shuffled).
+
+        The result is cached per example so that repeated evaluations (for
+        different models in the same table) see identical candidate sets.
+        """
+        key = (example.user_id, example.history, example.target)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return list(cached)
+
+        rng = np.random.default_rng((self.seed, example.user_id, example.target, len(example.history)))
+        excluded = {example.target}
+        if self.exclude_history:
+            excluded.update(example.history)
+        pool = self._all_items[~np.isin(self._all_items, list(excluded))]
+        needed = self.num_candidates - 1
+        if pool.size < needed:
+            pool = self._all_items[self._all_items != example.target]
+        negatives = rng.choice(pool, size=needed, replace=False)
+        candidates = np.concatenate([[example.target], negatives])
+        rng.shuffle(candidates)
+        result = [int(item) for item in candidates]
+        self._cache[key] = result
+        return list(result)
+
+    def batch_candidates(self, examples: Sequence[SequenceExample]) -> List[List[int]]:
+        """Candidate sets for a batch of examples."""
+        return [self.candidates_for(example) for example in examples]

@@ -1,0 +1,210 @@
+"""Core data records: items, interactions, user sequences and datasets.
+
+Item ids are 1-based; id 0 is reserved everywhere as the padding id, matching
+the convention used by the sequence models and the batching helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Item:
+    """A recommendable item with the textual metadata used in prompts."""
+
+    item_id: int
+    title: str
+    category: str = ""
+    attributes: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in synthetic pre-training text."""
+        parts = [self.title]
+        if self.category:
+            parts.append(f"({self.category})")
+        if self.attributes:
+            parts.append("- " + ", ".join(self.attributes))
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """A single user-item interaction (implicit feedback, as in the paper)."""
+
+    user_id: int
+    item_id: int
+    timestamp: float
+    rating: float = 1.0
+
+
+class ItemCatalog:
+    """The set of items of a dataset, indexed by id and by title."""
+
+    PADDING_ID = 0
+
+    def __init__(self, items: Iterable[Item]):
+        self._items: Dict[int, Item] = {}
+        for item in items:
+            if item.item_id == self.PADDING_ID:
+                raise ValueError("item id 0 is reserved for padding")
+            if item.item_id in self._items:
+                raise ValueError(f"duplicate item id {item.item_id}")
+            self._items[item.item_id] = item
+        self._by_title: Dict[str, int] = {item.title: item.item_id for item in self._items.values()}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._items
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(sorted(self._items.values(), key=lambda item: item.item_id))
+
+    def get(self, item_id: int) -> Item:
+        return self._items[item_id]
+
+    def title_of(self, item_id: int) -> str:
+        return self._items[item_id].title
+
+    def id_of_title(self, title: str) -> Optional[int]:
+        return self._by_title.get(title)
+
+    def ids(self) -> List[int]:
+        return sorted(self._items)
+
+    def categories(self) -> List[str]:
+        return sorted({item.category for item in self._items.values() if item.category})
+
+    def items_in_category(self, category: str) -> List[Item]:
+        return [item for item in self if item.category == category]
+
+
+@dataclass
+class UserSequence:
+    """A user's chronologically ordered interaction history."""
+
+    user_id: int
+    interactions: List[Interaction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.interactions = sorted(self.interactions, key=lambda x: x.timestamp)
+
+    def __len__(self) -> int:
+        return len(self.interactions)
+
+    @property
+    def item_ids(self) -> List[int]:
+        return [interaction.item_id for interaction in self.interactions]
+
+    @property
+    def timestamps(self) -> List[float]:
+        return [interaction.timestamp for interaction in self.interactions]
+
+    def append(self, interaction: Interaction) -> None:
+        if interaction.user_id != self.user_id:
+            raise ValueError("interaction user does not match sequence user")
+        self.interactions.append(interaction)
+        self.interactions.sort(key=lambda x: x.timestamp)
+
+
+class SequenceDataset:
+    """A sequential-recommendation dataset: an item catalog plus user sequences.
+
+    The constructor applies the paper's 5-core filtering: users and items with
+    fewer than ``min_interactions`` interactions are removed iteratively until
+    the remaining data is consistent (section V-A1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        catalog: ItemCatalog,
+        interactions: Sequence[Interaction],
+        min_interactions: int = 5,
+        apply_core_filter: bool = True,
+    ):
+        self.name = name
+        self.catalog = catalog
+        self.min_interactions = min_interactions
+        records = [i for i in interactions if i.item_id in catalog]
+        if apply_core_filter:
+            records = _k_core_filter(records, min_interactions)
+        self._sequences: Dict[int, UserSequence] = {}
+        for interaction in sorted(records, key=lambda x: (x.user_id, x.timestamp)):
+            sequence = self._sequences.setdefault(interaction.user_id, UserSequence(interaction.user_id))
+            sequence.interactions.append(interaction)
+        for sequence in self._sequences.values():
+            sequence.interactions.sort(key=lambda x: x.timestamp)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def users(self) -> List[int]:
+        return sorted(self._sequences)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._sequences)
+
+    @property
+    def num_items(self) -> int:
+        return len(self.catalog)
+
+    @property
+    def num_interactions(self) -> int:
+        return sum(len(sequence) for sequence in self._sequences.values())
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of the user-item matrix that is empty (as reported in Table I)."""
+        cells = self.num_users * self.num_items
+        if cells == 0:
+            return 0.0
+        return 1.0 - self.num_interactions / cells
+
+    def sequence(self, user_id: int) -> UserSequence:
+        return self._sequences[user_id]
+
+    def sequences(self) -> List[UserSequence]:
+        return [self._sequences[user] for user in self.users]
+
+    def all_interactions(self) -> List[Interaction]:
+        out: List[Interaction] = []
+        for sequence in self.sequences():
+            out.extend(sequence.interactions)
+        return sorted(out, key=lambda x: x.timestamp)
+
+    def items_seen_by(self, user_id: int) -> set:
+        return set(self._sequences[user_id].item_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDataset(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, interactions={self.num_interactions}, "
+            f"sparsity={self.sparsity:.4f})"
+        )
+
+
+def _k_core_filter(interactions: List[Interaction], k: int) -> List[Interaction]:
+    """Iteratively drop users and items with fewer than ``k`` interactions."""
+    records = list(interactions)
+    while True:
+        user_counts: Dict[int, int] = {}
+        item_counts: Dict[int, int] = {}
+        for record in records:
+            user_counts[record.user_id] = user_counts.get(record.user_id, 0) + 1
+            item_counts[record.item_id] = item_counts.get(record.item_id, 0) + 1
+        keep = [
+            record
+            for record in records
+            if user_counts[record.user_id] >= k and item_counts[record.item_id] >= k
+        ]
+        if len(keep) == len(records):
+            return keep
+        records = keep
+        if not records:
+            return records

@@ -1,0 +1,123 @@
+"""Registry of the paper's datasets with laptop-scale synthetic configurations.
+
+Each entry mirrors one of the datasets in Table I (plus KuaiRec from the
+sparsity study in section V-E).  Sizes are scaled down by roughly three orders
+of magnitude, but the *ordering* of the statistics the experiments depend on
+is preserved: KuaiRec is the densest, MovieLens-100K is dense, Steam is
+sparser, and the two Amazon datasets (Beauty, Home & Kitchen) are the
+sparsest; Home & Kitchen is the largest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.data.records import SequenceDataset
+from repro.data.synthetic import SyntheticDatasetConfig, SyntheticDatasetGenerator
+
+#: Canonical synthetic configurations, keyed by the paper's dataset name.
+DATASET_CONFIGS: Dict[str, SyntheticDatasetConfig] = {
+    "movielens-100k": SyntheticDatasetConfig(
+        name="movielens-100k",
+        domain="movies",
+        num_users=120,
+        num_items=160,
+        interactions_per_user_mean=14.0,
+        interactions_per_user_min=6,
+        popularity_exponent=0.9,
+        genre_coherence=0.75,
+        seed=100,
+    ),
+    "steam": SyntheticDatasetConfig(
+        name="steam",
+        domain="games",
+        num_users=180,
+        num_items=240,
+        interactions_per_user_mean=11.0,
+        interactions_per_user_min=6,
+        popularity_exponent=1.0,
+        genre_coherence=0.72,
+        seed=200,
+    ),
+    "beauty": SyntheticDatasetConfig(
+        name="beauty",
+        domain="beauty",
+        num_users=260,
+        num_items=420,
+        interactions_per_user_mean=9.0,
+        interactions_per_user_min=6,
+        popularity_exponent=1.1,
+        genre_coherence=0.70,
+        min_interactions=3,
+        seed=300,
+    ),
+    "home-kitchen": SyntheticDatasetConfig(
+        name="home-kitchen",
+        domain="home_kitchen",
+        num_users=340,
+        num_items=640,
+        interactions_per_user_mean=8.0,
+        interactions_per_user_min=6,
+        popularity_exponent=1.1,
+        genre_coherence=0.70,
+        min_interactions=3,
+        seed=400,
+    ),
+    "kuairec": SyntheticDatasetConfig(
+        name="kuairec",
+        domain="videos",
+        num_users=90,
+        num_items=110,
+        interactions_per_user_mean=18.0,
+        interactions_per_user_min=8,
+        # KuaiRec is the densest and, in the paper's Table V, the easiest
+        # dataset (every method peaks there); a steeper popularity curve and
+        # stronger genre coherence reproduce that regime.
+        popularity_exponent=1.2,
+        genre_coherence=0.85,
+        seed=500,
+    ),
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of the datasets the registry can generate."""
+    return sorted(DATASET_CONFIGS)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = None) -> SequenceDataset:
+    """Generate (or regenerate) one of the paper's datasets at the given scale.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-insensitive).
+    scale:
+        Multiplier applied to the number of users and items.  Benchmarks use
+        ``scale < 1`` to keep end-to-end runs fast; examples use the default.
+    seed:
+        Optional override of the configuration's random seed.
+    """
+    key = name.lower()
+    if key not in DATASET_CONFIGS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    base = DATASET_CONFIGS[key]
+    config = SyntheticDatasetConfig(
+        name=base.name,
+        domain=base.domain,
+        num_users=max(20, int(round(base.num_users * scale))),
+        num_items=max(30, int(round(base.num_items * scale))),
+        interactions_per_user_mean=base.interactions_per_user_mean,
+        interactions_per_user_min=base.interactions_per_user_min,
+        popularity_exponent=base.popularity_exponent,
+        genre_coherence=base.genre_coherence,
+        transition_concentration=base.transition_concentration,
+        preference_drift=base.preference_drift,
+        repeat_probability=base.repeat_probability,
+        rating_noise=base.rating_noise,
+        seed=base.seed if seed is None else seed,
+        min_interactions=base.min_interactions,
+    )
+    return SyntheticDatasetGenerator(config).generate()

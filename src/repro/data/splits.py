@@ -1,0 +1,144 @@
+"""Chronological train/validation/test splitting and next-item example construction.
+
+Following the paper (section V-A1): interactions are ordered by timestamp and
+divided 8:1:1 so that interactions used for training never appear after
+validation/test interactions — avoiding information leakage.  A *sequence
+example* is the supervised unit used everywhere downstream: the user's recent
+history of at most ``n - 1`` items and the target next item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.records import Interaction, SequenceDataset
+
+
+@dataclass(frozen=True)
+class SequenceExample:
+    """A next-item prediction example.
+
+    ``history`` holds the most recent items before ``target`` in chronological
+    order (oldest first) and never includes the target itself.
+    """
+
+    user_id: int
+    history: Tuple[int, ...]
+    target: int
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.target in (None, 0):
+            raise ValueError("target item id must be a positive item id")
+
+
+@dataclass
+class ChronologicalSplit:
+    """Train/validation/test example sets produced by :func:`chronological_split`."""
+
+    dataset: SequenceDataset
+    train: List[SequenceExample] = field(default_factory=list)
+    validation: List[SequenceExample] = field(default_factory=list)
+    test: List[SequenceExample] = field(default_factory=list)
+    max_history: int = 9
+
+    def __repr__(self) -> str:
+        return (
+            f"ChronologicalSplit(train={len(self.train)}, "
+            f"validation={len(self.validation)}, test={len(self.test)})"
+        )
+
+
+def build_examples(
+    dataset: SequenceDataset,
+    max_history: int = 9,
+    min_history: int = 1,
+) -> List[SequenceExample]:
+    """Build every next-item example from every user sequence.
+
+    For a user sequence ``(I1 ... In)`` this yields an example for each target
+    position ``t >= min_history``: history ``(I_{t-max_history} ... I_{t-1})``
+    and target ``I_t``.
+    """
+    examples: List[SequenceExample] = []
+    for sequence in dataset.sequences():
+        item_ids = sequence.item_ids
+        timestamps = sequence.timestamps
+        for position in range(min_history, len(item_ids)):
+            start = max(0, position - max_history)
+            history = tuple(item_ids[start:position])
+            examples.append(
+                SequenceExample(
+                    user_id=sequence.user_id,
+                    history=history,
+                    target=item_ids[position],
+                    timestamp=timestamps[position],
+                )
+            )
+    return sorted(examples, key=lambda example: example.timestamp)
+
+
+def chronological_split(
+    dataset: SequenceDataset,
+    max_history: int = 9,
+    ratios: Sequence[float] = (0.8, 0.1, 0.1),
+    min_history: int = 1,
+) -> ChronologicalSplit:
+    """Split the dataset's next-item examples 8:1:1 by target timestamp."""
+    if len(ratios) != 3 or abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError("ratios must be three values summing to 1")
+    examples = build_examples(dataset, max_history=max_history, min_history=min_history)
+    total = len(examples)
+    train_end = int(round(total * ratios[0]))
+    validation_end = train_end + int(round(total * ratios[1]))
+    split = ChronologicalSplit(dataset=dataset, max_history=max_history)
+    split.train = examples[:train_end]
+    split.validation = examples[train_end:validation_end]
+    split.test = examples[validation_end:]
+    return split
+
+
+def cold_start_examples(
+    dataset: SequenceDataset,
+    max_interactions: int = 3,
+    max_history: int = 9,
+) -> List[SequenceExample]:
+    """Examples restricted to users with very few interactions (RQ5 cold-start study).
+
+    The last interaction of each qualifying user is the target and the
+    remaining (at most ``max_interactions - 1``) interactions form the history.
+    """
+    examples: List[SequenceExample] = []
+    for sequence in dataset.sequences():
+        if len(sequence) < 2:
+            continue
+        item_ids = sequence.item_ids[-max_interactions:]
+        timestamps = sequence.timestamps[-max_interactions:]
+        history = tuple(item_ids[:-1][-max_history:])
+        if not history:
+            continue
+        examples.append(
+            SequenceExample(
+                user_id=sequence.user_id,
+                history=history,
+                target=item_ids[-1],
+                timestamp=timestamps[-1],
+            )
+        )
+    return examples
+
+
+def limit_examples(
+    examples: List[SequenceExample],
+    limit: Optional[int],
+    rng: Optional[np.random.Generator] = None,
+) -> List[SequenceExample]:
+    """Optionally subsample ``examples`` to at most ``limit`` entries (deterministic)."""
+    if limit is None or len(examples) <= limit:
+        return list(examples)
+    rng = rng or np.random.default_rng(0)
+    indices = rng.choice(len(examples), size=limit, replace=False)
+    return [examples[i] for i in sorted(indices)]

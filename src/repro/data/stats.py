@@ -1,0 +1,91 @@
+"""Dataset statistics (Table I) and the paper's reference values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.data.records import SequenceDataset
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics reported in Table I of the paper."""
+
+    name: str
+    num_sequences: int
+    num_items: int
+    num_interactions: int
+    sparsity: float
+    avg_sequence_length: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "dataset": self.name,
+            "sequences": self.num_sequences,
+            "items": self.num_items,
+            "interactions": self.num_interactions,
+            "sparsity": round(self.sparsity, 4),
+            "avg_length": round(self.avg_sequence_length, 2),
+        }
+
+
+def compute_stats(dataset: SequenceDataset) -> DatasetStats:
+    """Compute Table-I style statistics for a dataset."""
+    num_users = dataset.num_users
+    avg_length = dataset.num_interactions / num_users if num_users else 0.0
+    return DatasetStats(
+        name=dataset.name,
+        num_sequences=num_users,
+        num_items=dataset.num_items,
+        num_interactions=dataset.num_interactions,
+        sparsity=dataset.sparsity,
+        avg_sequence_length=avg_length,
+    )
+
+
+#: Reference statistics from Table I (and the KuaiRec description in section V-E),
+#: used by the Table-I benchmark to check that the synthetic datasets preserve
+#: the paper's sparsity ordering.
+PAPER_DATASET_STATS: Dict[str, DatasetStats] = {
+    "movielens-100k": DatasetStats(
+        name="movielens-100k",
+        num_sequences=943,
+        num_items=1682,
+        num_interactions=100_000,
+        sparsity=0.9370,
+        avg_sequence_length=100_000 / 943,
+    ),
+    "steam": DatasetStats(
+        name="steam",
+        num_sequences=11_938,
+        num_items=3_581,
+        num_interactions=274_726,
+        sparsity=0.9936,
+        avg_sequence_length=274_726 / 11_938,
+    ),
+    "beauty": DatasetStats(
+        name="beauty",
+        num_sequences=324_038,
+        num_items=32_586,
+        num_interactions=371_345,
+        sparsity=0.9999,
+        avg_sequence_length=371_345 / 324_038,
+    ),
+    "home-kitchen": DatasetStats(
+        name="home-kitchen",
+        num_sequences=9_767_606,
+        num_items=1_286_050,
+        num_interactions=21_928_568,
+        sparsity=0.9999,
+        avg_sequence_length=21_928_568 / 9_767_606,
+    ),
+    "kuairec": DatasetStats(
+        name="kuairec",
+        num_sequences=7_176,
+        num_items=10_728,
+        num_interactions=12_530_806,
+        sparsity=0.8372,
+        avg_sequence_length=12_530_806 / 7_176,
+    ),
+}

@@ -1,0 +1,198 @@
+"""Synthetic item-title generation.
+
+The DELRec prompts represent items by their *titles* rather than ids so that
+the language model can exploit item semantics.  To preserve that property in
+the offline reproduction, titles are generated from genre-specific word pools:
+a "science fiction" movie gets a title built from sci-fi vocabulary, a beauty
+product from cosmetics vocabulary, and so on.  The same vocabularies are used
+to build the SimLM pre-training corpus, which is what gives the simulated LLM
+its "world knowledge" about items.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+# Word pools per domain and per genre.  Each genre maps to (adjectives, nouns).
+DOMAIN_GENRES: Dict[str, Dict[str, Dict[str, List[str]]]] = {
+    "movies": {
+        "action": {
+            "adjectives": ["Iron", "Rogue", "Crimson", "Final", "Burning", "Steel", "Savage"],
+            "nouns": ["Strike", "Vengeance", "Protocol", "Pursuit", "Showdown", "Fury", "Assault"],
+        },
+        "scifi": {
+            "adjectives": ["Stellar", "Quantum", "Android", "Galactic", "Neon", "Orbital", "Cyber"],
+            "nouns": ["Horizon", "Paradox", "Station", "Singularity", "Nebula", "Colony", "Signal"],
+        },
+        "drama": {
+            "adjectives": ["Quiet", "Broken", "Distant", "Golden", "Silent", "Tender", "Fading"],
+            "nouns": ["Rivers", "Letters", "Seasons", "Promises", "Harvest", "Memory", "Garden"],
+        },
+        "comedy": {
+            "adjectives": ["Crazy", "Accidental", "Royal", "Clumsy", "Lucky", "Awkward", "Grand"],
+            "nouns": ["Wedding", "Vacation", "Neighbors", "Heist", "Reunion", "Roommate", "Campaign"],
+        },
+        "romance": {
+            "adjectives": ["Midnight", "Parisian", "Summer", "Secret", "Endless", "Autumn", "First"],
+            "nouns": ["Waltz", "Letters", "Affair", "Serenade", "Promise", "Postcard", "Kiss"],
+        },
+        "horror": {
+            "adjectives": ["Haunted", "Whispering", "Hollow", "Buried", "Pale", "Withered", "Cursed"],
+            "nouns": ["Asylum", "Manor", "Ritual", "Lullaby", "Basement", "Harvesting", "Shadows"],
+        },
+        "thriller": {
+            "adjectives": ["Vanishing", "Double", "Cold", "Hidden", "Last", "Silent", "Perfect"],
+            "nouns": ["Witness", "Alibi", "Cipher", "Hostage", "Informant", "Conspiracy", "Motive"],
+        },
+        "documentary": {
+            "adjectives": ["Inside", "Beyond", "Living", "Forgotten", "Wild", "Rising", "Vanishing"],
+            "nouns": ["Oceans", "Empires", "Glaciers", "Cities", "Species", "Archives", "Frontiers"],
+        },
+    },
+    "games": {
+        "shooter": {
+            "adjectives": ["Tactical", "Infinite", "Brutal", "Covert", "Armored", "Rapid", "Hostile"],
+            "nouns": ["Warfare", "Battleground", "Strikeforce", "Siege", "Firefight", "Operations", "Recon"],
+        },
+        "rpg": {
+            "adjectives": ["Ancient", "Forsaken", "Mystic", "Eternal", "Shattered", "Arcane", "Fallen"],
+            "nouns": ["Realms", "Chronicles", "Legacy", "Covenant", "Dungeon", "Prophecy", "Kingdoms"],
+        },
+        "strategy": {
+            "adjectives": ["Imperial", "Total", "Rising", "Grand", "Iron", "Supreme", "Endless"],
+            "nouns": ["Dominion", "Conquest", "Dynasty", "Command", "Frontline", "Stratagem", "Empire"],
+        },
+        "indie": {
+            "adjectives": ["Paper", "Tiny", "Hollow", "Lonely", "Pixel", "Drifting", "Gentle"],
+            "nouns": ["Forest", "Voyage", "Garden", "Machine", "Lighthouse", "Orchard", "Descent"],
+        },
+        "sports": {
+            "adjectives": ["Pro", "Ultimate", "Champion", "Street", "World", "Turbo", "All-Star"],
+            "nouns": ["League", "Rally", "Tournament", "Skater", "Manager", "Derby", "Circuit"],
+        },
+        "simulation": {
+            "adjectives": ["City", "Farming", "Flight", "Deep", "Orbital", "Harbor", "Rail"],
+            "nouns": ["Tycoon", "Simulator", "Builder", "Expedition", "Workshop", "Logistics", "Outpost"],
+        },
+    },
+    "beauty": {
+        "skincare": {
+            "adjectives": ["Hydrating", "Radiant", "Gentle", "Revitalizing", "Botanical", "Overnight", "Balancing"],
+            "nouns": ["Serum", "Moisturizer", "Cleanser", "Toner", "Face Mask", "Eye Cream", "Essence"],
+        },
+        "makeup": {
+            "adjectives": ["Velvet", "Matte", "Luminous", "Longwear", "Sheer", "Bold", "Silky"],
+            "nouns": ["Lipstick", "Foundation", "Mascara", "Eyeshadow Palette", "Blush", "Concealer", "Highlighter"],
+        },
+        "haircare": {
+            "adjectives": ["Nourishing", "Smoothing", "Volumizing", "Repairing", "Argan", "Keratin", "Curl"],
+            "nouns": ["Shampoo", "Conditioner", "Hair Oil", "Hair Mask", "Leave-In Cream", "Scalp Scrub", "Styling Gel"],
+        },
+        "fragrance": {
+            "adjectives": ["Amber", "Citrus", "Midnight", "Velvet", "Oud", "Blooming", "Coastal"],
+            "nouns": ["Eau de Parfum", "Body Mist", "Cologne", "Perfume Oil", "Candle", "Rollerball", "Body Spray"],
+        },
+        "nails": {
+            "adjectives": ["Gel", "Chrome", "Pastel", "Glitter", "Quick-Dry", "Matte", "Crystal"],
+            "nouns": ["Nail Polish", "Top Coat", "Cuticle Oil", "Nail Kit", "Base Coat", "Nail Strips", "Nail Lamp"],
+        },
+    },
+    "home_kitchen": {
+        "cookware": {
+            "adjectives": ["Cast Iron", "Nonstick", "Stainless", "Copper", "Ceramic", "Pro", "Heavy-Duty"],
+            "nouns": ["Skillet", "Dutch Oven", "Saucepan", "Wok", "Griddle", "Stockpot", "Roasting Pan"],
+        },
+        "appliances": {
+            "adjectives": ["Smart", "Compact", "Turbo", "Digital", "Rapid", "Quiet", "Dual"],
+            "nouns": ["Air Fryer", "Blender", "Coffee Maker", "Toaster Oven", "Pressure Cooker", "Food Processor", "Kettle"],
+        },
+        "storage": {
+            "adjectives": ["Stackable", "Airtight", "Collapsible", "Clear", "Bamboo", "Modular", "Slim"],
+            "nouns": ["Container Set", "Spice Rack", "Pantry Bins", "Drawer Organizer", "Canister", "Shelf Riser", "Lazy Susan"],
+        },
+        "bedding": {
+            "adjectives": ["Plush", "Cooling", "Organic", "Weighted", "Breathable", "Luxury", "Hypoallergenic"],
+            "nouns": ["Comforter", "Sheet Set", "Pillow", "Duvet Cover", "Mattress Topper", "Blanket", "Quilt"],
+        },
+        "decor": {
+            "adjectives": ["Rustic", "Minimalist", "Vintage", "Geometric", "Woven", "Matte Black", "Scandinavian"],
+            "nouns": ["Wall Clock", "Table Lamp", "Throw Pillow", "Vase", "Picture Frame", "Area Rug", "Candle Holder"],
+        },
+        "cleaning": {
+            "adjectives": ["Microfiber", "Heavy-Duty", "Eco", "Cordless", "Antibacterial", "Multi-Surface", "Refillable"],
+            "nouns": ["Mop", "Vacuum", "Scrub Brush", "Spray Set", "Duster", "Sponge Pack", "Steam Cleaner"],
+        },
+    },
+    "videos": {
+        "lifestyle": {
+            "adjectives": ["Daily", "Cozy", "Minimal", "Morning", "Weekend", "Honest", "Slow"],
+            "nouns": ["Routine", "Vlog", "Haul", "Diary", "Makeover", "Reset", "Favorites"],
+        },
+        "food": {
+            "adjectives": ["Street", "Spicy", "Homemade", "Five-Minute", "Crispy", "Late-Night", "Regional"],
+            "nouns": ["Noodles", "Barbecue", "Hotpot", "Dessert", "Dumplings", "Challenge", "Tasting"],
+        },
+        "comedy_clips": {
+            "adjectives": ["Awkward", "Unexpected", "Office", "Campus", "Family", "Viral", "Deadpan"],
+            "nouns": ["Prank", "Sketch", "Bloopers", "Reaction", "Duet", "Parody", "Standup"],
+        },
+        "gaming_clips": {
+            "adjectives": ["Clutch", "Ranked", "Speedrun", "Casual", "Pro", "Lucky", "Impossible"],
+            "nouns": ["Highlights", "Montage", "Walkthrough", "Stream", "Challenge", "Tierlist", "Recap"],
+        },
+        "music": {
+            "adjectives": ["Acoustic", "Live", "Lo-Fi", "Original", "Cover", "Rooftop", "Late-Night"],
+            "nouns": ["Session", "Mashup", "Playlist", "Performance", "Remix", "Jam", "Set"],
+        },
+    },
+}
+
+
+class TitleGenerator:
+    """Deterministic generator of unique, genre-consistent item titles."""
+
+    def __init__(self, domain: str, rng: Optional[np.random.Generator] = None):
+        if domain not in DOMAIN_GENRES:
+            raise ValueError(f"unknown domain {domain!r}; choose from {sorted(DOMAIN_GENRES)}")
+        self.domain = domain
+        self.rng = rng or np.random.default_rng(0)
+        self._seen: set = set()
+
+    @property
+    def genres(self) -> List[str]:
+        return sorted(DOMAIN_GENRES[self.domain])
+
+    def vocabulary_for(self, genre: str) -> List[str]:
+        """All words associated with a genre (used to build the pre-training corpus)."""
+        pools = DOMAIN_GENRES[self.domain][genre]
+        words: List[str] = []
+        for pool in pools.values():
+            for phrase in pool:
+                words.extend(phrase.split())
+        return sorted(set(words))
+
+    def generate(self, genre: str, year_range: Sequence[int] = (1985, 2023)) -> str:
+        """Generate a unique title for an item of ``genre``.
+
+        Movie/game domains append a year in parentheses (as MovieLens titles do);
+        product domains append a size/count suffix occasionally.
+        """
+        pools = DOMAIN_GENRES[self.domain][genre]
+        for _ in range(1000):
+            adjective = str(self.rng.choice(pools["adjectives"]))
+            noun = str(self.rng.choice(pools["nouns"]))
+            if self.domain in ("movies", "games"):
+                year = int(self.rng.integers(year_range[0], year_range[1] + 1))
+                title = f"{adjective} {noun} ({year})"
+            elif self.domain == "videos":
+                episode = int(self.rng.integers(1, 200))
+                title = f"{adjective} {noun} Ep.{episode}"
+            else:
+                variant = int(self.rng.integers(1, 500))
+                title = f"{adjective} {noun} No.{variant}"
+            if title not in self._seen:
+                self._seen.add(title)
+                return title
+        raise RuntimeError(f"could not generate a unique title for genre {genre!r}")

@@ -1,0 +1,82 @@
+"""Computational-efficiency profiling (RQ5 of the paper).
+
+The paper reports the parameter count of the DELRec stack (≈3 B LLM
+parameters + 0.2 M soft-prompt parameters), the memory footprint and the
+per-request inference latency.  The equivalents here are computed from actual
+parameter counts of the numpy models and wall-clock timing of batched
+inference, so the *relative* comparison (DELRec adds only a small soft-prompt
+overhead on top of the base LLM) is reproduced even though absolute numbers
+are orders of magnitude smaller.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.module import Module
+
+BYTES_PER_PARAMETER = 8  # float64 numpy storage
+
+
+@dataclass
+class EfficiencyProfile:
+    """Memory and latency profile of a model."""
+
+    name: str
+    total_parameters: int
+    trainable_parameters: int
+    memory_megabytes: float
+    total_inference_seconds: float = 0.0
+    requests: int = 0
+
+    @property
+    def seconds_per_request(self) -> float:
+        return self.total_inference_seconds / self.requests if self.requests else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.name,
+            "parameters": self.total_parameters,
+            "trainable": self.trainable_parameters,
+            "memory_mb": round(self.memory_megabytes, 3),
+            "requests": self.requests,
+            "latency_s": round(self.seconds_per_request, 6),
+        }
+
+
+def profile_model(model: Module, name: Optional[str] = None) -> EfficiencyProfile:
+    """Parameter-count and memory profile of a module."""
+    total = model.num_parameters()
+    trainable = model.num_parameters(trainable_only=True)
+    return EfficiencyProfile(
+        name=name or getattr(model, "name", model.__class__.__name__),
+        total_parameters=total,
+        trainable_parameters=trainable,
+        memory_megabytes=total * BYTES_PER_PARAMETER / 1e6,
+    )
+
+
+def profile_inference(
+    profile: EfficiencyProfile,
+    request_fn: Callable[[], object],
+    num_requests: int = 100,
+) -> EfficiencyProfile:
+    """Time ``num_requests`` calls of ``request_fn`` and fold the result into ``profile``."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    start = time.perf_counter()
+    for _ in range(num_requests):
+        request_fn()
+    elapsed = time.perf_counter() - start
+    profile.total_inference_seconds += elapsed
+    profile.requests += num_requests
+    return profile
+
+
+def compare_profiles(profiles: Sequence[EfficiencyProfile]) -> Dict[str, Dict[str, object]]:
+    """Tabulate a set of profiles keyed by model name."""
+    return {profile.name: profile.as_row() for profile in profiles}

@@ -1,0 +1,120 @@
+"""Candidate-set ranking evaluation shared by every method in the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.candidates import CandidateSampler
+from repro.data.records import SequenceDataset
+from repro.data.splits import SequenceExample
+from repro.eval.metrics import MetricAccumulator, PAPER_METRICS
+
+
+#: A scorer maps (example, candidate item ids) to a score per candidate.
+ScorerFn = Callable[[SequenceExample, Sequence[int]], np.ndarray]
+
+
+@dataclass
+class EvaluationResult:
+    """Evaluation outcome for one method on one dataset."""
+
+    method: str
+    dataset: str
+    metrics: Dict[str, float]
+    num_examples: int
+    per_example: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        return self.metrics.get(name, float("nan"))
+
+    def paper_row(self) -> Dict[str, float]:
+        return {name: self.metrics.get(name, float("nan")) for name in PAPER_METRICS}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v:.4f}" for k, v in self.paper_row().items())
+        return f"EvaluationResult({self.method} on {self.dataset}: {parts})"
+
+
+class RankingEvaluator:
+    """Evaluate scoring functions over a fixed set of examples and candidate sets.
+
+    The evaluator owns the candidate sampler so that every method evaluated
+    through the same instance ranks identical candidate sets — the requirement
+    for the paired significance test.
+    """
+
+    def __init__(
+        self,
+        dataset: SequenceDataset,
+        examples: Sequence[SequenceExample],
+        num_candidates: int = 15,
+        seed: int = 0,
+        ks: Sequence[int] = (1, 5, 10),
+    ):
+        if not examples:
+            raise ValueError("evaluator needs at least one example")
+        self.dataset = dataset
+        self.examples = list(examples)
+        self.sampler = CandidateSampler(dataset, num_candidates=num_candidates, seed=seed)
+        self.ks = tuple(ks)
+
+    def evaluate_scorer(self, method_name: str, scorer: ScorerFn) -> EvaluationResult:
+        """Evaluate an arbitrary scoring function."""
+        accumulator = MetricAccumulator(ks=self.ks)
+        for example in self.examples:
+            candidates = self.sampler.candidates_for(example)
+            scores = np.asarray(scorer(example, candidates), dtype=np.float64)
+            if scores.shape != (len(candidates),):
+                raise ValueError(
+                    f"scorer for {method_name!r} returned shape {scores.shape}, "
+                    f"expected ({len(candidates)},)"
+                )
+            order = np.argsort(-scores, kind="stable")
+            ranked = [candidates[i] for i in order]
+            accumulator.update(ranked, example.target)
+        metrics = accumulator.summary()
+        per_example = {name: accumulator.samples(name) for name in metrics}
+        return EvaluationResult(
+            method=method_name,
+            dataset=self.dataset.name,
+            metrics=metrics,
+            num_examples=len(self.examples),
+            per_example=per_example,
+        )
+
+    def evaluate_recommender(self, recommender, method_name: Optional[str] = None) -> EvaluationResult:
+        """Evaluate anything exposing ``score_candidates(history, candidates)``."""
+
+        def scorer(example: SequenceExample, candidates: Sequence[int]) -> np.ndarray:
+            return np.asarray(recommender.score_candidates(example.history, candidates))
+
+        return self.evaluate_scorer(method_name or getattr(recommender, "name", "model"), scorer)
+
+
+def evaluate_recommender(
+    recommender,
+    dataset: SequenceDataset,
+    examples: Sequence[SequenceExample],
+    num_candidates: int = 15,
+    seed: int = 0,
+    method_name: Optional[str] = None,
+) -> EvaluationResult:
+    """One-shot convenience wrapper around :class:`RankingEvaluator`."""
+    evaluator = RankingEvaluator(dataset, examples, num_candidates=num_candidates, seed=seed)
+    return evaluator.evaluate_recommender(recommender, method_name=method_name)
+
+
+def evaluate_scorer(
+    scorer: ScorerFn,
+    method_name: str,
+    dataset: SequenceDataset,
+    examples: Sequence[SequenceExample],
+    num_candidates: int = 15,
+    seed: int = 0,
+) -> EvaluationResult:
+    """One-shot convenience wrapper for function-style scorers."""
+    evaluator = RankingEvaluator(dataset, examples, num_candidates=num_candidates, seed=seed)
+    return evaluator.evaluate_scorer(method_name, scorer)

@@ -1,0 +1,97 @@
+"""Ranking metrics: HR@k, NDCG@k and MRR.
+
+The paper reports HR@1, HR@5, HR@10, NDCG@5 and NDCG@10 over candidate sets of
+15 items (one positive, fourteen sampled negatives).  With a single relevant
+item per example, NDCG@k reduces to ``1 / log2(rank + 1)`` when the target is
+ranked within the top ``k`` and 0 otherwise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+#: Metric names in the order used by every table of the paper.
+PAPER_METRICS = ("HR@1", "HR@5", "NDCG@5", "HR@10", "NDCG@10")
+
+
+def _rank_of_target(ranked_items: Sequence[int], target: int) -> int:
+    """1-based rank of ``target`` in ``ranked_items`` or 0 if absent."""
+    for position, item in enumerate(ranked_items, start=1):
+        if item == target:
+            return position
+    return 0
+
+
+def hit_rate_at_k(ranked_items: Sequence[int], target: int, k: int) -> float:
+    """1.0 if the target appears within the first ``k`` ranked items."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rank = _rank_of_target(ranked_items[:k], target)
+    return 1.0 if rank else 0.0
+
+
+def ndcg_at_k(ranked_items: Sequence[int], target: int, k: int) -> float:
+    """Normalised discounted cumulative gain with one relevant item."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rank = _rank_of_target(ranked_items[:k], target)
+    if rank == 0:
+        return 0.0
+    return 1.0 / np.log2(rank + 1)
+
+
+def mrr(ranked_items: Sequence[int], target: int) -> float:
+    """Mean reciprocal rank contribution of a single example."""
+    rank = _rank_of_target(ranked_items, target)
+    return 1.0 / rank if rank else 0.0
+
+
+def ranking_metrics(ranked_items: Sequence[int], target: int, ks: Iterable[int] = (1, 5, 10)) -> Dict[str, float]:
+    """All paper metrics for one ranked list."""
+    result: Dict[str, float] = {}
+    for k in ks:
+        result[f"HR@{k}"] = hit_rate_at_k(ranked_items, target, k)
+        if k > 1:
+            result[f"NDCG@{k}"] = ndcg_at_k(ranked_items, target, k)
+    result["MRR"] = mrr(ranked_items, target)
+    return result
+
+
+class MetricAccumulator:
+    """Accumulate per-example metrics and report means plus per-example samples.
+
+    Per-example samples are retained so the paired t-test of section V-B can
+    compare two methods on exactly the same examples.
+    """
+
+    def __init__(self, ks: Iterable[int] = (1, 5, 10)):
+        self.ks = tuple(ks)
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+
+    def update(self, ranked_items: Sequence[int], target: int) -> Dict[str, float]:
+        metrics = ranking_metrics(ranked_items, target, ks=self.ks)
+        for name, value in metrics.items():
+            self._samples[name].append(value)
+        return metrics
+
+    def __len__(self) -> int:
+        if not self._samples:
+            return 0
+        return len(next(iter(self._samples.values())))
+
+    def mean(self, metric: str) -> float:
+        values = self._samples.get(metric, [])
+        return float(np.mean(values)) if values else 0.0
+
+    def samples(self, metric: str) -> np.ndarray:
+        return np.asarray(self._samples.get(metric, []), dtype=np.float64)
+
+    def summary(self) -> Dict[str, float]:
+        return {name: self.mean(name) for name in sorted(self._samples)}
+
+    def paper_summary(self) -> Dict[str, float]:
+        """The five metrics of the paper, in table order."""
+        return {name: self.mean(name) for name in PAPER_METRICS}

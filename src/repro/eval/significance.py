@@ -1,0 +1,93 @@
+"""Paired significance testing (section V-B of the paper).
+
+The paper marks DELRec results with ``*`` (p <= 0.01) and ``**`` (p <= 0.05)
+from a paired t-test against the conventional SR backbone.  The test here is
+paired over per-example metric samples produced on identical candidate sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.eval.evaluator import EvaluationResult
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a paired t-test between two methods on one metric."""
+
+    metric: str
+    method_a: str
+    method_b: str
+    mean_difference: float
+    t_statistic: float
+    p_value: float
+
+    @property
+    def marker(self) -> str:
+        """Paper-style marker: ``*`` for p<=0.01, ``**`` for p<=0.05, else empty."""
+        if np.isnan(self.p_value):
+            return ""
+        if self.p_value <= 0.01:
+            return "*"
+        if self.p_value <= 0.05:
+            return "**"
+        return ""
+
+    @property
+    def significant(self) -> bool:
+        return self.marker != ""
+
+
+def paired_t_test(
+    result_a: EvaluationResult,
+    result_b: EvaluationResult,
+    metric: str,
+) -> SignificanceResult:
+    """Paired t-test of ``result_a`` vs ``result_b`` on ``metric``.
+
+    Both results must come from the same evaluator (identical examples in the
+    same order); a length mismatch raises.
+    """
+    samples_a = result_a.per_example.get(metric)
+    samples_b = result_b.per_example.get(metric)
+    if samples_a is None or samples_b is None:
+        raise KeyError(f"metric {metric!r} missing from one of the results")
+    if len(samples_a) != len(samples_b):
+        raise ValueError("paired test requires results over the same examples")
+    differences = samples_a - samples_b
+    mean_difference = float(differences.mean())
+    if np.allclose(differences, differences[0]):
+        # identical differences everywhere: degenerate t-test
+        t_statistic, p_value = float("nan"), float("nan") if differences[0] == 0 else 0.0
+    else:
+        t_statistic, p_value = stats.ttest_rel(samples_a, samples_b)
+        t_statistic, p_value = float(t_statistic), float(p_value)
+    return SignificanceResult(
+        metric=metric,
+        method_a=result_a.method,
+        method_b=result_b.method,
+        mean_difference=mean_difference,
+        t_statistic=t_statistic,
+        p_value=p_value,
+    )
+
+
+def significance_markers(
+    candidate: EvaluationResult,
+    baseline: EvaluationResult,
+    metrics: Optional[list] = None,
+) -> Dict[str, str]:
+    """Paper-style significance markers for every shared metric."""
+    metrics = metrics or sorted(set(candidate.per_example) & set(baseline.per_example))
+    markers: Dict[str, str] = {}
+    for metric in metrics:
+        try:
+            markers[metric] = paired_t_test(candidate, baseline, metric).marker
+        except (KeyError, ValueError):
+            markers[metric] = ""
+    return markers

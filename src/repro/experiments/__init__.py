@@ -1,0 +1,52 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each runner returns a plain data structure (and can render it as text), so the
+benchmark scripts under ``benchmarks/`` simply call a runner and print/check
+the resulting table.  The mapping from paper artefact to runner is:
+
+==============  ==========================================================
+Paper artefact  Runner
+==============  ==========================================================
+Table I         :func:`repro.experiments.tables.run_table1_dataset_stats`
+Table II        :func:`repro.experiments.tables.run_table2_overall`
+Table III       :func:`repro.experiments.tables.run_table3_soft_prompt_ablation`
+Table IV        :func:`repro.experiments.tables.run_table4_component_ablation`
+Table V         :func:`repro.experiments.sparsity.run_table5_sparsity`
+Figure 7        :func:`repro.experiments.sweeps.run_fig7_soft_prompt_size`
+Figure 8        :func:`repro.experiments.sweeps.run_fig8_recommended_items`
+RQ5             :func:`repro.experiments.tables.run_rq5_efficiency`
+Figure 9        :func:`repro.experiments.case_study.run_fig9_case_study`
+==============  ==========================================================
+"""
+
+from repro.experiments.runner import ExperimentProfile, ExperimentContext, PROFILES, get_profile
+from repro.experiments.reporting import ResultTable, format_table, save_results
+from repro.experiments.tables import (
+    run_table1_dataset_stats,
+    run_table2_overall,
+    run_table3_soft_prompt_ablation,
+    run_table4_component_ablation,
+    run_rq5_efficiency,
+)
+from repro.experiments.sparsity import run_table5_sparsity
+from repro.experiments.sweeps import run_fig7_soft_prompt_size, run_fig8_recommended_items
+from repro.experiments.case_study import run_fig9_case_study
+
+__all__ = [
+    "ExperimentProfile",
+    "ExperimentContext",
+    "PROFILES",
+    "get_profile",
+    "ResultTable",
+    "format_table",
+    "save_results",
+    "run_table1_dataset_stats",
+    "run_table2_overall",
+    "run_table3_soft_prompt_ablation",
+    "run_table4_component_ablation",
+    "run_table5_sparsity",
+    "run_rq5_efficiency",
+    "run_fig7_soft_prompt_size",
+    "run_fig8_recommended_items",
+    "run_fig9_case_study",
+]

@@ -1,0 +1,81 @@
+"""Result tables and text rendering for the experiment runners."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ResultTable:
+    """A named table of rows (method/dataset -> metric values)."""
+
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, **match) -> Optional[Dict[str, object]]:
+        """First row whose fields match all of ``match``."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in match.items()):
+                return row
+        return None
+
+    def value(self, column: str, **match) -> float:
+        row = self.row_for(**match)
+        if row is None:
+            raise KeyError(f"no row matching {match}")
+        return row[column]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"title": self.title, "columns": self.columns, "rows": self.rows, "notes": self.notes}
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as aligned plain text."""
+    header = table.columns
+    body = [[_format_cell(row.get(column, "")) for column in header] for row in table.rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    lines.append(" | ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("-+-".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def save_results(tables: Sequence[ResultTable], path: str) -> str:
+    """Save tables as JSON (machine readable) next to a ``.txt`` rendering."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    payload = [table.to_dict() for table in tables]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    text_path = os.path.splitext(path)[0] + ".txt"
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write("\n\n".join(format_table(table) for table in tables))
+    return path

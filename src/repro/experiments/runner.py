@@ -1,0 +1,251 @@
+"""Experiment profiles and the per-dataset experiment context.
+
+A *profile* fixes the computational budget (dataset scale, numbers of training
+examples and epochs, how many test examples are scored).  ``smoke`` exists for
+unit tests, ``fast`` is the default used by the benchmark harness, and
+``standard`` is closer to the paper's full protocol (at synthetic scale) for
+users with more time.  The profile can be selected globally through the
+``REPRO_BENCH_PROFILE`` environment variable.
+
+An :class:`ExperimentContext` owns everything that can be shared across the
+methods evaluated on one dataset: the dataset and its chronological split, the
+fixed test examples and candidate sets, the trained conventional backbones and
+a cached pre-trained SimLM state per model size (so that the thirteen
+LLM-based rows of Table II do not each repeat MLM pre-training).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DELRecConfig, Stage1Config, Stage2Config
+from repro.data import chronological_split, load_dataset
+from repro.data.records import SequenceDataset
+from repro.data.splits import ChronologicalSplit, limit_examples
+from repro.eval import EvaluationResult, RankingEvaluator
+from repro.llm.pretrain import PretrainConfig
+from repro.llm.registry import build_pretrained_simlm, build_simlm
+from repro.llm.simlm import SimLM
+from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig, train_recommender
+from repro.models.base import NeuralSequentialRecommender
+
+
+@dataclass
+class ExperimentProfile:
+    """Computational budget for the experiment runners."""
+
+    name: str
+    dataset_scale: float = 1.0
+    max_test_examples: int = 100
+    num_candidates: int = 15
+    # conventional backbones
+    conventional_embedding_dim: int = 32
+    conventional_epochs: int = 8
+    # SimLM pre-training
+    pretrain_epochs: int = 4
+    # DELRec / LLM-baseline budgets
+    soft_prompt_size: int = 8
+    top_h: int = 5
+    stage1_epochs: int = 3
+    stage2_epochs: int = 6
+    max_stage1_examples: Optional[int] = 300
+    max_stage2_examples: Optional[int] = 500
+    titles_in_history: bool = False
+    # which datasets each experiment covers
+    table2_datasets: Sequence[str] = ("movielens-100k", "steam", "beauty", "home-kitchen")
+    ablation_datasets: Sequence[str] = ("movielens-100k", "steam")
+    sparsity_datasets: Sequence[str] = ("beauty", "movielens-100k", "kuairec")
+    sweep_datasets: Sequence[str] = ("movielens-100k",)
+    sweep_k_values: Sequence[int] = (2, 4, 8, 12)
+    sweep_h_values: Sequence[int] = (1, 3, 5, 8)
+    seed: int = 0
+
+    def delrec_config(self, dataset_name: str = "") -> DELRecConfig:
+        """The DELRec configuration used by this profile (per-dataset alpha applied)."""
+        config = DELRecConfig(
+            soft_prompt_size=self.soft_prompt_size,
+            top_h=self.top_h,
+            num_candidates=self.num_candidates,
+            titles_in_history=self.titles_in_history,
+            max_stage1_examples=self.max_stage1_examples,
+            max_stage2_examples=self.max_stage2_examples,
+            stage1=Stage1Config(epochs=self.stage1_epochs, seed=self.seed),
+            stage2=Stage2Config(epochs=self.stage2_epochs, seed=self.seed),
+            seed=self.seed,
+        )
+        return config.for_dataset(dataset_name) if dataset_name else config
+
+    def stage2_config(self) -> Stage2Config:
+        """Fine-tuning budget shared by the prompt-style LLM baselines."""
+        return Stage2Config(epochs=self.stage2_epochs, seed=self.seed)
+
+    def pretrain_config(self) -> PretrainConfig:
+        return PretrainConfig(epochs=self.pretrain_epochs, seed=self.seed)
+
+    def training_config(self, model_name: str) -> TrainingConfig:
+        return TrainingConfig.for_model(model_name, epochs=self.conventional_epochs, seed=self.seed)
+
+
+#: Built-in profiles, ordered by cost.
+PROFILES: Dict[str, ExperimentProfile] = {
+    "smoke": ExperimentProfile(
+        name="smoke",
+        dataset_scale=0.35,
+        max_test_examples=30,
+        conventional_epochs=2,
+        pretrain_epochs=1,
+        soft_prompt_size=4,
+        top_h=3,
+        stage1_epochs=1,
+        stage2_epochs=1,
+        max_stage1_examples=40,
+        max_stage2_examples=40,
+        table2_datasets=("movielens-100k",),
+        ablation_datasets=("movielens-100k",),
+        sparsity_datasets=("movielens-100k", "kuairec"),
+        sweep_k_values=(2, 4),
+        sweep_h_values=(1, 3),
+    ),
+    "fast": ExperimentProfile(
+        name="fast",
+        dataset_scale=0.5,
+        max_test_examples=50,
+        conventional_epochs=6,
+        pretrain_epochs=3,
+        stage1_epochs=2,
+        stage2_epochs=3,
+        max_stage1_examples=150,
+        max_stage2_examples=250,
+        ablation_datasets=("movielens-100k",),
+        sweep_k_values=(2, 4, 8),
+        sweep_h_values=(1, 3, 5),
+    ),
+    "standard": ExperimentProfile(
+        name="standard",
+        dataset_scale=1.0,
+        max_test_examples=150,
+        conventional_epochs=8,
+        pretrain_epochs=4,
+        stage1_epochs=3,
+        stage2_epochs=8,
+        max_stage1_examples=300,
+        max_stage2_examples=600,
+        ablation_datasets=("movielens-100k", "steam", "beauty", "home-kitchen"),
+        sweep_datasets=("movielens-100k", "steam"),
+        sweep_k_values=(2, 4, 8, 12, 16),
+        sweep_h_values=(1, 3, 5, 8, 12),
+    ),
+}
+
+
+def get_profile(name: Optional[str] = None) -> ExperimentProfile:
+    """Resolve a profile by name, the ``REPRO_BENCH_PROFILE`` env var, or the default."""
+    key = name or os.environ.get("REPRO_BENCH_PROFILE", "fast")
+    if key not in PROFILES:
+        raise KeyError(f"unknown profile {key!r}; available: {sorted(PROFILES)}")
+    return PROFILES[key]
+
+
+class ExperimentContext:
+    """Shared state for evaluating many methods on one dataset."""
+
+    #: conventional backbones used throughout the paper's tables.
+    BACKBONES = ("Caser", "GRU4Rec", "SASRec")
+
+    def __init__(self, dataset_name: str, profile: Optional[ExperimentProfile] = None):
+        self.profile = profile or get_profile()
+        self.dataset_name = dataset_name
+        self.dataset: SequenceDataset = load_dataset(dataset_name, scale=self.profile.dataset_scale)
+        self.split: ChronologicalSplit = chronological_split(self.dataset, max_history=9)
+        rng = np.random.default_rng(self.profile.seed)
+        self.test_examples = limit_examples(self.split.test, self.profile.max_test_examples, rng=rng)
+        self.evaluator = RankingEvaluator(
+            self.dataset,
+            self.test_examples,
+            num_candidates=self.profile.num_candidates,
+            seed=self.profile.seed,
+        )
+        self._conventional: Dict[str, NeuralSequentialRecommender] = {}
+        self._llm_states: Dict[str, Dict[str, np.ndarray]] = {}
+        self.results: Dict[str, EvaluationResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # shared components
+    # ------------------------------------------------------------------ #
+    def conventional_model(self, name: str) -> NeuralSequentialRecommender:
+        """Train (once) and return one of the conventional backbones."""
+        if name not in self._conventional:
+            factories = {
+                "SASRec": lambda: SASRec(
+                    num_items=self.dataset.num_items,
+                    embedding_dim=self.profile.conventional_embedding_dim,
+                    dropout=0.3,
+                    max_history=9,
+                    seed=self.profile.seed,
+                ),
+                "GRU4Rec": lambda: GRU4Rec(
+                    num_items=self.dataset.num_items,
+                    embedding_dim=self.profile.conventional_embedding_dim,
+                    max_history=9,
+                    seed=self.profile.seed,
+                ),
+                "Caser": lambda: Caser(
+                    num_items=self.dataset.num_items,
+                    embedding_dim=self.profile.conventional_embedding_dim,
+                    max_history=9,
+                    seed=self.profile.seed,
+                ),
+            }
+            if name not in factories:
+                raise KeyError(f"unknown conventional backbone {name!r}")
+            model = factories[name]()
+            train_recommender(model, self.split.train, self.profile.training_config(name))
+            self._conventional[name] = model
+        return self._conventional[name]
+
+    def fresh_llm(self, size: str = "simlm-xl", include_behavior: bool = True) -> SimLM:
+        """A pre-trained SimLM of the requested size (pre-training runs once per size).
+
+        ``include_behavior=False`` pre-trains on item metadata only (titles,
+        genres, attributes) without any interaction-derived sentences — the
+        configuration used for the paper's *raw* LLM rows, which have world
+        knowledge but no exposure to the behavioural data.
+        """
+        key = f"{size}:{'behaviour' if include_behavior else 'metadata-only'}"
+        if key not in self._llm_states:
+            model = build_pretrained_simlm(
+                self.dataset,
+                size=size,
+                train_examples=self.split.train if include_behavior else None,
+                pretrain_config=self.profile.pretrain_config(),
+                seed=self.profile.seed,
+            )
+            self._llm_states[key] = model.state_dict()
+            return model
+        model = build_simlm(self.dataset, size=size, seed=self.profile.seed)
+        model.load_state_dict(self._llm_states[key])
+        model.is_pretrained = True
+        return model
+
+    def delrec_config(self, **overrides) -> DELRecConfig:
+        config = self.profile.delrec_config(self.dataset_name)
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        return config
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, recommender, method_name: str) -> EvaluationResult:
+        """Evaluate a recommender on the shared test examples and cache the result."""
+        result = self.evaluator.evaluate_recommender(recommender, method_name=method_name)
+        self.results[method_name] = result
+        return result
+
+    def result(self, method_name: str) -> EvaluationResult:
+        return self.results[method_name]

@@ -1,0 +1,53 @@
+"""Table V: impact of dataset sparsity (SASRec vs KDALRD vs DELRec)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.baselines import KDALRD
+from repro.core.pipeline import DELRec
+from repro.eval.metrics import PAPER_METRICS
+from repro.experiments.reporting import ResultTable
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
+
+
+def run_table5_sparsity(
+    profile: Optional[ExperimentProfile] = None,
+    datasets: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> ResultTable:
+    """Compare SASRec, KDALRD and DELRec across datasets of decreasing sparsity.
+
+    The paper orders the columns Beauty (99.99%) -> MovieLens-100K (93.70%) ->
+    KuaiRec (83.72%) and finds that every method improves as the data gets
+    denser while DELRec stays on top throughout.
+    """
+    profile = profile or get_profile()
+    datasets = datasets or profile.sparsity_datasets
+    table = ResultTable(
+        title="Table V: dataset sparsity impact (SASRec vs KDALRD vs DELRec)",
+        columns=["dataset", "sparsity", "method"] + list(PAPER_METRICS),
+    )
+    for dataset_name in datasets:
+        context = ExperimentContext(dataset_name, profile)
+        sparsity = round(context.dataset.sparsity, 4)
+        sasrec = context.conventional_model("SASRec")
+        table.add_row(dataset=dataset_name, sparsity=sparsity, method="SASRec",
+                      **{m: context.evaluate(sasrec, f"SASRec@{dataset_name}").metric(m)
+                         for m in PAPER_METRICS})
+
+        kdalrd = KDALRD(num_candidates=profile.num_candidates, seed=profile.seed)
+        kdalrd.fit(context.dataset, context.split, llm=context.fresh_llm())
+        table.add_row(dataset=dataset_name, sparsity=sparsity, method="KDALRD",
+                      **{m: context.evaluate(kdalrd, f"KDALRD@{dataset_name}").metric(m)
+                         for m in PAPER_METRICS})
+
+        pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
+                          llm=context.fresh_llm())
+        pipeline.fit(context.dataset, context.split)
+        table.add_row(dataset=dataset_name, sparsity=sparsity, method="DELRec",
+                      **{m: context.evaluate(pipeline.recommender(), f"DELRec@{dataset_name}").metric(m)
+                         for m in PAPER_METRICS})
+        if verbose:
+            print(f"[table5] {dataset_name} (sparsity {sparsity}) done", flush=True)
+    return table

@@ -1,0 +1,302 @@
+"""Runners for Tables I-IV and the RQ5 efficiency study."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    KDALRD,
+    LLM2BERT4Rec,
+    LLMSeqPrompt,
+    LLMSeqSim,
+    LLMTRSR,
+    LLaRA,
+    LlamaRec,
+    RecRanker,
+    ZeroShotLLM,
+)
+from repro.core.ablation import build_ablation_variant
+from repro.core.pipeline import DELRec
+from repro.data import available_datasets, compute_stats, load_dataset
+from repro.data.stats import PAPER_DATASET_STATS
+from repro.eval import cold_start_comparison, profile_inference, profile_model
+from repro.eval.metrics import PAPER_METRICS
+from repro.eval.significance import significance_markers
+from repro.experiments.reporting import ResultTable
+from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
+
+#: Row order of Table II (raw LLM rows are created via ZeroShotLLM.for_paper_llm).
+RAW_LLM_ROWS = ("Bert-Large", "Flan-T5-Large", "Flan-T5-XL")
+LLM_BASELINE_ROWS = (
+    "LlamaRec",
+    "RecRanker",
+    "LLaRA",
+    "LLMSEQPROMPT",
+    "LLM2BERT4Rec",
+    "LLMSEQSIM",
+    "LLM-TRSR",
+    "KDALRD",
+)
+
+
+def _metric_columns(result, markers: Optional[Dict[str, str]] = None) -> Dict[str, object]:
+    row: Dict[str, object] = {}
+    for metric in PAPER_METRICS:
+        row[metric] = result.metric(metric)
+    if markers is not None:
+        row["significance"] = "".join(
+            sorted({markers.get(metric, "") for metric in PAPER_METRICS if markers.get(metric)})
+        ) or ""
+    return row
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+def run_table1_dataset_stats(profile: Optional[ExperimentProfile] = None) -> ResultTable:
+    """Table I: statistics of the (synthetic) datasets, with the paper's values alongside."""
+    profile = profile or get_profile()
+    table = ResultTable(
+        title="Table I: dataset statistics (synthetic reproduction vs paper)",
+        columns=["dataset", "sequences", "items", "interactions", "sparsity",
+                 "paper_sequences", "paper_items", "paper_interactions", "paper_sparsity"],
+    )
+    for name in available_datasets():
+        dataset = load_dataset(name, scale=profile.dataset_scale)
+        stats = compute_stats(dataset)
+        paper = PAPER_DATASET_STATS[name]
+        table.add_row(
+            dataset=name,
+            sequences=stats.num_sequences,
+            items=stats.num_items,
+            interactions=stats.num_interactions,
+            sparsity=round(stats.sparsity, 4),
+            paper_sequences=paper.num_sequences,
+            paper_items=paper.num_items,
+            paper_interactions=paper.num_interactions,
+            paper_sparsity=round(paper.sparsity, 4),
+        )
+    table.notes.append(
+        "synthetic datasets are scaled down ~1000x but preserve the sparsity ordering of Table I"
+    )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------------- #
+def _build_llm_baselines(context: ExperimentContext, sasrec) -> Dict[str, object]:
+    """Instantiate the eight LLM-based baselines (paradigms 1-3)."""
+    profile = context.profile
+    shared = dict(
+        max_train_examples=profile.max_stage2_examples,
+        stage2=profile.stage2_config(),
+        num_candidates=profile.num_candidates,
+        seed=profile.seed,
+    )
+    return {
+        "LlamaRec": LlamaRec(conventional_model=sasrec, **shared),
+        "RecRanker": RecRanker(conventional_model=sasrec, top_h=profile.top_h, **shared),
+        "LLaRA": LLaRA(conventional_model=sasrec, **shared),
+        "LLMSEQPROMPT": LLMSeqPrompt(**shared),
+        "LLM2BERT4Rec": LLM2BERT4Rec(embedding_dim=profile.conventional_embedding_dim, **shared),
+        "LLMSEQSIM": LLMSeqSim(**shared),
+        "LLM-TRSR": LLMTRSR(**shared),
+        "KDALRD": KDALRD(**shared),
+    }
+
+
+def run_table2_overall(
+    profile: Optional[ExperimentProfile] = None,
+    datasets: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> ResultTable:
+    """Table II: overall comparison of conventional models, raw LLMs, LLM-based baselines and DELRec."""
+    profile = profile or get_profile()
+    datasets = datasets or profile.table2_datasets
+    table = ResultTable(
+        title="Table II: overall performance",
+        columns=["dataset", "group", "method"] + list(PAPER_METRICS) + ["significance"],
+    )
+
+    for dataset_name in datasets:
+        start = time.time()
+        context = ExperimentContext(dataset_name, profile)
+
+        # conventional SR models
+        conventional_results = {}
+        for backbone in context.BACKBONES:
+            model = context.conventional_model(backbone)
+            conventional_results[backbone] = context.evaluate(model, backbone)
+            table.add_row(dataset=dataset_name, group="Conventional", method=backbone,
+                          **_metric_columns(conventional_results[backbone]))
+
+        # raw (zero-shot) LLMs: world knowledge only, no exposure to interactions
+        for paper_llm in RAW_LLM_ROWS:
+            baseline = ZeroShotLLM.for_paper_llm(
+                paper_llm, num_candidates=profile.num_candidates, seed=profile.seed
+            )
+            baseline.fit(context.dataset, context.split,
+                         llm=context.fresh_llm(baseline.llm_size, include_behavior=False))
+            result = context.evaluate(baseline, paper_llm)
+            table.add_row(dataset=dataset_name, group="Open-source LLM", method=paper_llm,
+                          **_metric_columns(result))
+
+        # LLM-based baselines (all share the SASRec backbone where one is needed)
+        sasrec = context.conventional_model("SASRec")
+        for method, baseline in _build_llm_baselines(context, sasrec).items():
+            baseline.fit(context.dataset, context.split, llm=context.fresh_llm())
+            result = context.evaluate(baseline, method)
+            table.add_row(dataset=dataset_name, group="LLMs-based", method=method,
+                          **_metric_columns(result))
+
+        # DELRec with each conventional backbone
+        for backbone in context.BACKBONES:
+            pipeline = DELRec(
+                config=context.delrec_config(),
+                conventional_model=context.conventional_model(backbone),
+                llm=context.fresh_llm(),
+            )
+            pipeline.fit(context.dataset, context.split)
+            method = f"DELRec ({backbone})"
+            result = context.evaluate(pipeline.recommender(), method)
+            markers = significance_markers(result, conventional_results[backbone],
+                                           metrics=list(PAPER_METRICS))
+            table.add_row(dataset=dataset_name, group="Ours", method=method,
+                          **_metric_columns(result, markers))
+        if verbose:
+            print(f"[table2] {dataset_name} done in {time.time() - start:.0f}s", flush=True)
+
+    table.notes.append("significance markers: '*' p<=0.01, '**' p<=0.05 vs the conventional backbone")
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Tables III and IV (ablations)
+# --------------------------------------------------------------------------- #
+def _run_ablation(
+    variants: Sequence[str],
+    title: str,
+    profile: Optional[ExperimentProfile],
+    datasets: Optional[Sequence[str]],
+    verbose: bool = True,
+) -> ResultTable:
+    profile = profile or get_profile()
+    datasets = datasets or profile.ablation_datasets
+    table = ResultTable(title=title, columns=["dataset", "variant"] + list(PAPER_METRICS))
+    for dataset_name in datasets:
+        start = time.time()
+        context = ExperimentContext(dataset_name, profile)
+        sasrec = context.conventional_model("SASRec")
+        for variant in variants:
+            llm = None if variant == "w Flan-T5-Large" else context.fresh_llm()
+            pipeline = build_ablation_variant(
+                variant, config=context.delrec_config(), conventional_model=sasrec, llm=llm
+            )
+            pipeline.fit(context.dataset, context.split)
+            result = context.evaluate(pipeline.recommender(), f"{variant}@{dataset_name}")
+            table.add_row(dataset=dataset_name, variant=variant, **_metric_columns(result))
+        if verbose:
+            print(f"[ablation] {dataset_name} done in {time.time() - start:.0f}s", flush=True)
+    return table
+
+
+def run_table3_soft_prompt_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    datasets: Optional[Sequence[str]] = None,
+) -> ResultTable:
+    """Table III: what the learned soft prompts contribute (w/o SP, w MCP, w USP, Default)."""
+    return _run_ablation(
+        variants=("w/o SP", "w MCP", "w USP", "default"),
+        title="Table III: ablation on learned soft prompts (SASRec backbone)",
+        profile=profile,
+        datasets=datasets,
+    )
+
+
+def run_table4_component_ablation(
+    profile: Optional[ExperimentProfile] = None,
+    datasets: Optional[Sequence[str]] = None,
+) -> ResultTable:
+    """Table IV: component ablations (DPSM, LSR, TA, RPS, UDPSM, ULSR, smaller LLM)."""
+    return _run_ablation(
+        variants=("w/o DPSM", "w/o LSR", "w/o TA", "w/o RPS", "w UDPSM", "w ULSR",
+                  "w Flan-T5-Large", "default"),
+        title="Table IV: component ablations (SASRec backbone)",
+        profile=profile,
+        datasets=datasets,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# RQ5: efficiency, latency, cold start
+# --------------------------------------------------------------------------- #
+def run_rq5_efficiency(
+    profile: Optional[ExperimentProfile] = None,
+    dataset_name: str = "home-kitchen",
+    num_requests: int = 50,
+) -> Dict[str, ResultTable]:
+    """RQ5: memory footprint, per-request latency, and the cold-start comparison."""
+    profile = profile or get_profile()
+    context = ExperimentContext(dataset_name, profile)
+    sasrec = context.conventional_model("SASRec")
+
+    pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
+                      llm=context.fresh_llm())
+    pipeline.fit(context.dataset, context.split)
+    delrec = pipeline.recommender()
+
+    zero_shot = ZeroShotLLM(num_candidates=profile.num_candidates, seed=profile.seed)
+    zero_shot.fit(context.dataset, context.split, llm=context.fresh_llm())
+
+    kdalrd = KDALRD(num_candidates=profile.num_candidates, seed=profile.seed)
+    kdalrd.fit(context.dataset, context.split, llm=context.fresh_llm())
+
+    # --- memory / parameters / latency -------------------------------------------------- #
+    efficiency = ResultTable(
+        title="RQ5: memory footprint and inference latency",
+        columns=["model", "parameters", "trainable", "memory_mb", "requests", "latency_s"],
+    )
+    example = context.test_examples[0]
+    candidates = context.evaluator.sampler.candidates_for(example)
+
+    llm_profile = profile_model(pipeline.llm, name="SimLM backbone (stands in for Flan-T5-XL)")
+    soft_params = pipeline.soft_prompt.num_parameters() if pipeline.soft_prompt else 0
+    delrec_profile = profile_model(pipeline.llm, name="DELRec (backbone + soft prompts)")
+    delrec_profile.total_parameters += soft_params
+    delrec_profile.memory_megabytes += soft_params * 8 / 1e6
+    sasrec_profile = profile_model(sasrec, name="SASRec")
+
+    profile_inference(llm_profile, lambda: zero_shot.score_candidates(example.history, candidates),
+                      num_requests=num_requests)
+    profile_inference(delrec_profile, lambda: delrec.score_candidates(example.history, candidates),
+                      num_requests=num_requests)
+    profile_inference(sasrec_profile, lambda: sasrec.score_candidates(example.history, candidates),
+                      num_requests=num_requests)
+    for entry in (llm_profile, delrec_profile, sasrec_profile):
+        efficiency.add_row(**entry.as_row())
+    efficiency.notes.append(
+        "the paper reports ~3B LLM parameters + 0.2M soft-prompt parameters and 0.182s vs 0.161s "
+        "per request; the reproduction checks the same relationships (soft prompts add <1% memory, "
+        "DELRec latency is close to the raw LLM's) at numpy scale"
+    )
+
+    # --- cold start ---------------------------------------------------------------------- #
+    cold = cold_start_comparison(
+        context.dataset,
+        {"SASRec": sasrec, "KDALRD": kdalrd, "DELRec": delrec},
+        max_interactions=3,
+        num_candidates=profile.num_candidates,
+        seed=profile.seed,
+        max_examples=profile.max_test_examples,
+    )
+    cold_table = ResultTable(
+        title=f"RQ5: cold-start users (<3 interactions) on {dataset_name}",
+        columns=["method"] + list(PAPER_METRICS),
+    )
+    for method in ("SASRec", "KDALRD", "DELRec"):
+        cold_table.add_row(method=method, **_metric_columns(cold.results[method]))
+    return {"efficiency": efficiency, "cold_start": cold_table}

@@ -1,0 +1,42 @@
+"""Simulated language-model substrate.
+
+The paper uses Flan-T5-XL / Flan-T5-Large / BERT-Large as the LLM backbones.
+Offline, this package provides ``SimLM`` — a from-scratch masked-language-model
+transformer over a word-level vocabulary that contains the item-title words
+plus one dedicated token per item.  It exposes exactly the interfaces DELRec
+needs from an LLM:
+
+* token embeddings that can be spliced with **soft prompts**;
+* a frozen backbone whose behaviour is steered by prompt tuning (Stage 1);
+* parameter-efficient fine-tuning via AdaLoRA adapters (Stage 2);
+* a **verbalizer** that turns LM-head logits at the ``[MASK]`` position into
+  ranking scores over candidate items.
+
+Its "world knowledge" comes from pre-training on a synthetic corpus derived
+from item metadata (titles, genres, attributes, co-watch statements), which is
+information the conventional SR models never see — reproducing the qualitative
+advantage the paper attributes to LLMs.
+"""
+
+from repro.llm.tokenizer import SpecialTokens, Tokenizer
+from repro.llm.corpus import CorpusBuilder
+from repro.llm.simlm import SimLM, SimLMConfig
+from repro.llm.soft_prompt import SoftPrompt
+from repro.llm.verbalizer import Verbalizer
+from repro.llm.pretrain import PretrainConfig, pretrain_simlm
+from repro.llm.registry import SIMLM_CONFIGS, build_simlm, build_pretrained_simlm
+
+__all__ = [
+    "SpecialTokens",
+    "Tokenizer",
+    "CorpusBuilder",
+    "SimLM",
+    "SimLMConfig",
+    "SoftPrompt",
+    "Verbalizer",
+    "PretrainConfig",
+    "pretrain_simlm",
+    "SIMLM_CONFIGS",
+    "build_simlm",
+    "build_pretrained_simlm",
+]

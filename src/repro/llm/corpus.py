@@ -1,0 +1,151 @@
+"""Synthetic pre-training corpus for SimLM.
+
+The corpus encodes the "world knowledge" a real LLM would bring to the
+recommendation task: what each item is (title, genre, attributes), which items
+are similar, and which items tend to be consumed together.  Crucially it also
+teaches the model the association between an item's *title* and its dedicated
+*item token*, which is what makes the verbalizer work.
+
+Only training-split interactions are used for the co-occurrence sentences so
+that pre-training cannot leak test-set transitions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.records import ItemCatalog, SequenceDataset
+from repro.data.splits import SequenceExample
+from repro.llm.tokenizer import item_token
+
+
+class CorpusBuilder:
+    """Build the list of pre-training sentences for a dataset."""
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        rng: Optional[np.random.Generator] = None,
+        domain_noun: str = "item",
+    ):
+        self.catalog = catalog
+        self.rng = rng or np.random.default_rng(0)
+        self.domain_noun = domain_noun
+
+    # ------------------------------------------------------------------ #
+    def item_description_sentences(self) -> List[str]:
+        """One or two sentences per item describing title, genre and attributes."""
+        sentences: List[str] = []
+        for item in self.catalog:
+            token = item_token(item.item_id)
+            sentences.append(
+                f"{item.title} is a {item.category} {self.domain_noun} known as {token} ."
+            )
+            if item.attributes:
+                attributes = " , ".join(item.attributes)
+                sentences.append(f"{token} {item.title} features {attributes} .")
+        return sentences
+
+    def genre_similarity_sentences(self, per_genre: int = 10) -> List[str]:
+        """Sentences linking items of the same genre ("X is similar to Y")."""
+        sentences: List[str] = []
+        for genre in self.catalog.categories():
+            items = self.catalog.items_in_category(genre)
+            if len(items) < 2:
+                continue
+            for _ in range(min(per_genre, len(items))):
+                first, second = self.rng.choice(items, size=2, replace=False)
+                sentences.append(
+                    f"{first.title} {item_token(first.item_id)} is similar to "
+                    f"{second.title} {item_token(second.item_id)} because both are {genre} ."
+                )
+        return sentences
+
+    def cooccurrence_sentences(
+        self,
+        examples: Sequence[SequenceExample],
+        max_sentences: int = 400,
+    ) -> List[str]:
+        """Sentences describing frequent consecutive pairs in the *training* data."""
+        pair_counts: Counter = Counter()
+        for example in examples:
+            sequence = list(example.history) + [example.target]
+            for first, second in zip(sequence, sequence[1:]):
+                pair_counts[(first, second)] += 1
+        sentences: List[str] = []
+        for (first, second), _count in pair_counts.most_common(max_sentences):
+            if first not in self.catalog or second not in self.catalog:
+                continue
+            sentences.append(
+                f"users who enjoyed {self.catalog.title_of(first)} {item_token(first)} "
+                f"often choose {self.catalog.title_of(second)} {item_token(second)} next ."
+            )
+        return sentences
+
+    def continuation_sentences(
+        self,
+        examples: Sequence[SequenceExample],
+        max_sentences: int = 400,
+        window: int = 4,
+    ) -> List[str]:
+        """Short next-item sentences built from *training* histories.
+
+        These teach SimLM the sequential transition structure in a compact
+        format ("after <a> <b> <c> comes <d>"), standing in for the
+        interaction-adjacent text a real LLM absorbs during web-scale
+        pre-training.  Only training-split data is used.
+        """
+        sentences: List[str] = []
+        for example in examples:
+            sequence = [i for i in example.history if i != 0] + [example.target]
+            if len(sequence) < 2:
+                continue
+            recent = sequence[-(window + 1):]
+            context = " ".join(item_token(item) for item in recent[:-1])
+            sentences.append(f"after {context} comes {item_token(recent[-1])} .")
+            if len(sentences) >= max_sentences:
+                break
+        return sentences
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        train_examples: Optional[Sequence[SequenceExample]] = None,
+        per_genre: int = 10,
+        max_cooccurrence: int = 400,
+        max_continuation: int = 400,
+        include_continuation: bool = True,
+    ) -> List[str]:
+        """The full pre-training corpus."""
+        sentences = self.item_description_sentences()
+        sentences.extend(self.genre_similarity_sentences(per_genre=per_genre))
+        if train_examples:
+            sentences.extend(self.cooccurrence_sentences(train_examples, max_sentences=max_cooccurrence))
+            if include_continuation:
+                sentences.extend(
+                    self.continuation_sentences(train_examples, max_sentences=max_continuation)
+                )
+        order = self.rng.permutation(len(sentences))
+        return [sentences[i] for i in order]
+
+
+def corpus_for_dataset(
+    dataset: SequenceDataset,
+    train_examples: Optional[Sequence[SequenceExample]] = None,
+    seed: int = 0,
+) -> List[str]:
+    """Convenience wrapper building the standard corpus for a dataset."""
+    domain_noun = {
+        "movielens-100k": "movie",
+        "steam": "game",
+        "beauty": "product",
+        "home-kitchen": "product",
+        "kuairec": "video",
+    }.get(dataset.name, "item")
+    builder = CorpusBuilder(dataset.catalog, rng=np.random.default_rng(seed), domain_noun=domain_noun)
+    return builder.build(
+        train_examples=train_examples, max_cooccurrence=600, max_continuation=900
+    )

@@ -1,0 +1,82 @@
+"""SimLM size registry mirroring the paper's LLM backbones.
+
+The paper compares Flan-T5-XL (3B) against Flan-T5-Large (700M) and BERT-Large.
+The reproduction keeps the same *relative* sizing: ``simlm-xl`` is the default
+backbone, ``simlm-large`` is a smaller model used by the "w Flan-T5-Large"
+ablation, and ``simlm-bert`` is an even smaller model standing in for
+BERT-Large's raw (non-instruction-tuned) behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.data.records import SequenceDataset
+from repro.llm.corpus import corpus_for_dataset
+from repro.llm.pretrain import PretrainConfig, pretrain_simlm
+from repro.llm.simlm import SimLM, SimLMConfig
+from repro.llm.tokenizer import Tokenizer
+
+#: Architecture configurations, smallest to largest.
+SIMLM_CONFIGS: Dict[str, SimLMConfig] = {
+    "simlm-bert": SimLMConfig(name="simlm-bert", dim=24, num_layers=1, num_heads=2, dropout=0.1),
+    "simlm-large": SimLMConfig(name="simlm-large", dim=32, num_layers=2, num_heads=2, dropout=0.1),
+    "simlm-xl": SimLMConfig(name="simlm-xl", dim=48, num_layers=2, num_heads=4, dropout=0.1),
+}
+
+#: Extra template text included in every tokenizer vocabulary so the prompt
+#: instructions never hit [UNK].
+PROMPT_TEMPLATE_TEXT = (
+    "here is the interaction history of a user in chronological order "
+    "the candidate items are predict which candidate item the user will interact with next "
+    "a conventional sequential recommendation model named also recommends "
+    "the following items refer to this auxiliary information "
+    "given that the next item after the first items is "
+    "predict the most recent item immediately before the target "
+    "simulate the recommendation made by the model answer most recent item next item "
+    "users who enjoyed often choose is similar to because both are features known as "
+    "item movie game product video top ranked example sequence "
+    "sasrec gru4rec caser fpmc bert4rec markov popularity history candidates answer comes "
+    "a transformer that attends over the recent items an rnn that summarizes the sequence "
+    "a convolutional network over recent items a model that aggregates features of the "
+    "latest interactions and scores items by similarity to them"
+)
+
+
+def build_tokenizer(dataset: SequenceDataset) -> Tokenizer:
+    """Tokenizer whose vocabulary covers the catalog and the prompt templates."""
+    return Tokenizer.from_catalog(dataset.catalog, extra_text=[PROMPT_TEMPLATE_TEXT])
+
+
+def build_simlm(dataset: SequenceDataset, size: str = "simlm-xl", seed: int = 0) -> SimLM:
+    """Instantiate an (un-pre-trained) SimLM for a dataset."""
+    if size not in SIMLM_CONFIGS:
+        raise KeyError(f"unknown SimLM size {size!r}; available: {sorted(SIMLM_CONFIGS)}")
+    base = SIMLM_CONFIGS[size]
+    config = SimLMConfig(
+        name=base.name,
+        dim=base.dim,
+        num_layers=base.num_layers,
+        num_heads=base.num_heads,
+        hidden_dim=base.hidden_dim,
+        dropout=base.dropout,
+        max_position=base.max_position,
+        seed=seed,
+    )
+    return SimLM(build_tokenizer(dataset), config)
+
+
+def build_pretrained_simlm(
+    dataset: SequenceDataset,
+    size: str = "simlm-xl",
+    train_examples: Optional[Sequence] = None,
+    pretrain_config: Optional[PretrainConfig] = None,
+    seed: int = 0,
+) -> SimLM:
+    """Build and MLM-pre-train a SimLM on the dataset's synthetic corpus."""
+    model = build_simlm(dataset, size=size, seed=seed)
+    corpus = corpus_for_dataset(dataset, train_examples=train_examples, seed=seed)
+    pretrain_simlm(model, corpus, pretrain_config or PretrainConfig(seed=seed))
+    return model

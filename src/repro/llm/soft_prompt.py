@@ -1,0 +1,97 @@
+"""Learnable soft prompts (Eq. 2 of the paper).
+
+A soft prompt is a sequence of ``k`` continuous vectors living in the LLM's
+embedding space.  In Stage 1 of DELRec they are the *only* trainable
+parameters (the LLM is frozen); in Stage 2 they are frozen and inserted into
+the prompt as distilled auxiliary knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Module, Parameter, Tensor
+from repro.autograd import init
+from repro.llm.simlm import SimLM
+
+
+class SoftPrompt(Module):
+    """A bank of ``k`` trainable prompt vectors of the LLM's embedding dimension."""
+
+    def __init__(
+        self,
+        num_tokens: int,
+        dim: int,
+        init_style: str = "random",
+        model: Optional[SimLM] = None,
+        rng: Optional[np.random.Generator] = None,
+        std: float = 0.5,
+    ):
+        super().__init__()
+        if num_tokens <= 0:
+            raise ValueError("soft prompt needs at least one token")
+        rng = rng or np.random.default_rng(0)
+        self.num_tokens = num_tokens
+        self.dim = dim
+        self.init_style = init_style
+        if init_style == "random":
+            weight = init.normal((num_tokens, dim), rng, std=std)
+        elif init_style == "vocab":
+            if model is None:
+                raise ValueError("vocab initialisation requires the SimLM model")
+            table = model.token_embedding.weight.data
+            indices = rng.integers(0, table.shape[0], size=num_tokens)
+            weight = table[indices].copy()
+        else:
+            raise ValueError(f"unknown init_style {init_style!r}")
+        self.weight = Parameter(weight)
+
+    def embeddings(self) -> Tensor:
+        """The prompt vectors as a ``(num_tokens, dim)`` tensor (differentiable)."""
+        return self.weight
+
+    def as_array(self) -> np.ndarray:
+        return self.weight.data.copy()
+
+    def randomise(self, rng: Optional[np.random.Generator] = None, std: float = 0.5) -> "SoftPrompt":
+        """Re-initialise in place (used by the 'untrained soft prompts' ablation)."""
+        rng = rng or np.random.default_rng(0)
+        self.weight.data = init.normal((self.num_tokens, self.dim), rng, std=std)
+        return self
+
+    def clone(self) -> "SoftPrompt":
+        """Deep copy (used when freezing distilled prompts for Stage 2)."""
+        copy = SoftPrompt(self.num_tokens, self.dim, init_style="random")
+        copy.weight.data = self.weight.data.copy()
+        copy.init_style = self.init_style
+        return copy
+
+    def splice_into(self, token_embeddings: Tensor, token_ids: np.ndarray, soft_id: int) -> Tensor:
+        """Replace the embeddings at ``[SOFT]`` positions with the prompt vectors.
+
+        Every row of ``token_ids`` must contain exactly ``num_tokens``
+        occurrences of ``soft_id`` (or zero occurrences, in which case the
+        embeddings are returned unchanged).
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        soft_mask = token_ids == soft_id
+        counts = soft_mask.sum(axis=1)
+        if not counts.any():
+            return token_embeddings
+        if not np.all((counts == 0) | (counts == self.num_tokens)):
+            raise ValueError(
+                f"each sequence must contain exactly {self.num_tokens} [SOFT] slots; got {counts}"
+            )
+        batch, length, dim = token_embeddings.shape
+        # Build a selection matrix that routes prompt vector j to its slot.
+        keep = Tensor((~soft_mask).astype(np.float64)[..., None])
+        base = token_embeddings * keep
+        placement = np.zeros((batch, length, self.num_tokens), dtype=np.float64)
+        for row in range(batch):
+            positions = np.where(soft_mask[row])[0]
+            for slot, position in enumerate(positions):
+                placement[row, position, slot] = 1.0
+        spliced = Tensor(placement).matmul(self.weight)
+        return base + spliced

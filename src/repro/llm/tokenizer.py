@@ -1,0 +1,158 @@
+"""Word-level tokenizer with reserved special tokens and per-item tokens.
+
+The vocabulary contains:
+
+* special tokens: ``[PAD]`` (id 0), ``[UNK]``, ``[CLS]``, ``[SEP]``, ``[MASK]``
+  and ``[SOFT]`` (the placeholder whose embedding is replaced by a learned
+  soft-prompt vector at run time);
+* one dedicated token per item (``<item_17>``) — these are the classes the
+  verbalizer reads at the ``[MASK]`` position;
+* every word appearing in item titles, genres, attributes and the prompt
+  templates.
+
+Tokenisation is lower-cased word splitting with punctuation separation, which
+is all the synthetic corpus needs while staying fully deterministic.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.data.records import ItemCatalog
+
+_WORD_PATTERN = re.compile(r"<item_\d+>|\[[A-Z]+\]|[a-z0-9]+(?:[.'-][a-z0-9]+)*|[&@#]")
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Names of the reserved tokens."""
+
+    pad: str = "[PAD]"
+    unk: str = "[UNK]"
+    cls: str = "[CLS]"
+    sep: str = "[SEP]"
+    mask: str = "[MASK]"
+    soft: str = "[SOFT]"
+
+    def all(self) -> List[str]:
+        return [self.pad, self.unk, self.cls, self.sep, self.mask, self.soft]
+
+
+def item_token(item_id: int) -> str:
+    """The dedicated vocabulary token of an item."""
+    return f"<item_{item_id}>"
+
+
+class Tokenizer:
+    """Deterministic word-level tokenizer over a fixed vocabulary."""
+
+    def __init__(self, vocabulary: Sequence[str], special_tokens: Optional[SpecialTokens] = None):
+        self.special = special_tokens or SpecialTokens()
+        ordered: List[str] = []
+        seen = set()
+        for token in list(self.special.all()) + list(vocabulary):
+            if token not in seen:
+                ordered.append(token)
+                seen.add(token)
+        self._token_to_id: Dict[str, int] = {token: idx for idx, token in enumerate(ordered)}
+        self._id_to_token: List[str] = ordered
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_catalog(
+        cls,
+        catalog: ItemCatalog,
+        extra_text: Iterable[str] = (),
+        special_tokens: Optional[SpecialTokens] = None,
+    ) -> "Tokenizer":
+        """Build the vocabulary from an item catalog plus any extra template text."""
+        vocabulary: List[str] = [item_token(item.item_id) for item in catalog]
+        words = set()
+        for item in catalog:
+            words.update(cls.split_words(item.title))
+            words.update(cls.split_words(item.category))
+            for attribute in item.attributes:
+                words.update(cls.split_words(attribute))
+        for text in extra_text:
+            words.update(cls.split_words(text))
+        vocabulary.extend(sorted(words))
+        return cls(vocabulary, special_tokens=special_tokens)
+
+    @staticmethod
+    def split_words(text: str) -> List[str]:
+        """Split raw text into word tokens (item tokens and specials preserved)."""
+        return _WORD_PATTERN.findall(text.lower().replace("[cls]", "[CLS]")
+                                     .replace("[sep]", "[SEP]").replace("[mask]", "[MASK]")
+                                     .replace("[pad]", "[PAD]").replace("[unk]", "[UNK]")
+                                     .replace("[soft]", "[SOFT]"))
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def vocab_size(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.special.pad]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.special.unk]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[self.special.cls]
+
+    @property
+    def sep_id(self) -> int:
+        return self._token_to_id[self.special.sep]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[self.special.mask]
+
+    @property
+    def soft_id(self) -> int:
+        return self._token_to_id[self.special.soft]
+
+    # ------------------------------------------------------------------ #
+    # conversion
+    # ------------------------------------------------------------------ #
+    def token_to_id(self, token: str) -> int:
+        return self._token_to_id.get(token, self.unk_id)
+
+    def id_to_token(self, token_id: int) -> str:
+        return self._id_to_token[token_id]
+
+    def item_token_id(self, item_id: int) -> int:
+        return self.token_to_id(item_token(item_id))
+
+    def item_token_ids(self, item_ids: Sequence[int]) -> List[int]:
+        return [self.item_token_id(item_id) for item_id in item_ids]
+
+    def encode(self, text: str) -> List[int]:
+        """Encode raw text (already containing special / item tokens if needed)."""
+        return [self.token_to_id(token) for token in self.split_words(text)]
+
+    def encode_tokens(self, tokens: Sequence[str]) -> List[int]:
+        """Encode an already-tokenised sequence."""
+        return [self.token_to_id(token) for token in tokens]
+
+    def decode(self, token_ids: Sequence[int], skip_special: bool = True) -> str:
+        tokens = [self.id_to_token(i) for i in token_ids]
+        if skip_special:
+            specials = set(self.special.all())
+            tokens = [t for t in tokens if t not in specials]
+        return " ".join(tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return self.vocab_size

@@ -1,0 +1,89 @@
+"""Verbalizer: convert LM-head logits at the ``[MASK]`` position into item scores.
+
+The paper uses "a simple verbalizer to effectively convert the output of the
+LLM head (the output scores of all tokens) into ranking scores for all items"
+(section IV-B).  Here each item owns a dedicated token, so the default
+verbalizer simply reads the logits of the candidate items' tokens.  Two
+alternative aggregations over the item's *title tokens* are provided for the
+ablation benchmark on verbalizer design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.data.records import ItemCatalog
+from repro.llm.tokenizer import Tokenizer
+
+AGGREGATIONS = ("item-token", "title-mean", "title-first")
+
+
+class Verbalizer:
+    """Map vocabulary logits to item scores for a candidate set."""
+
+    def __init__(
+        self,
+        tokenizer: Tokenizer,
+        catalog: ItemCatalog,
+        aggregation: str = "item-token",
+    ):
+        if aggregation not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {aggregation!r}; choose from {AGGREGATIONS}")
+        self.tokenizer = tokenizer
+        self.catalog = catalog
+        self.aggregation = aggregation
+        self._title_token_ids: Dict[int, List[int]] = {}
+        for item in catalog:
+            word_ids = [
+                token_id
+                for token_id in tokenizer.encode(item.title)
+                if token_id != tokenizer.unk_id
+            ]
+            self._title_token_ids[item.item_id] = word_ids or [tokenizer.unk_id]
+
+    # ------------------------------------------------------------------ #
+    def candidate_token_ids(self, candidates: Sequence[int]) -> np.ndarray:
+        """Item-token id for each candidate (used for training losses)."""
+        return np.asarray(self.tokenizer.item_token_ids(candidates), dtype=np.int64)
+
+    def candidate_logits(self, vocab_logits: Tensor, candidates: Sequence[int]) -> Tensor:
+        """Differentiable candidate scores ``(batch, num_candidates)`` from vocab logits."""
+        if self.aggregation != "item-token":
+            scores = self.score_candidates(vocab_logits.data, candidates)
+            return Tensor(scores)
+        token_ids = self.candidate_token_ids(candidates)
+        return vocab_logits[:, token_ids]
+
+    def score_candidates(self, vocab_logits: np.ndarray, candidates: Sequence[int]) -> np.ndarray:
+        """Non-differentiable candidate scores (evaluation path)."""
+        vocab_logits = np.asarray(vocab_logits)
+        squeeze = vocab_logits.ndim == 1
+        if squeeze:
+            vocab_logits = vocab_logits[None, :]
+        scores = np.zeros((vocab_logits.shape[0], len(candidates)))
+        for column, item_id in enumerate(candidates):
+            if self.aggregation == "item-token":
+                scores[:, column] = vocab_logits[:, self.tokenizer.item_token_id(item_id)]
+            else:
+                title_ids = self._title_token_ids[item_id]
+                title_scores = vocab_logits[:, title_ids]
+                if self.aggregation == "title-mean":
+                    scores[:, column] = title_scores.mean(axis=1)
+                else:  # title-first
+                    scores[:, column] = title_scores[:, 0]
+        return scores[0] if squeeze else scores
+
+    def score_all_items(self, vocab_logits: np.ndarray) -> np.ndarray:
+        """Scores over the full catalog (index = item id; index 0 = -inf)."""
+        item_ids = self.catalog.ids()
+        scores = self.score_candidates(vocab_logits, item_ids)
+        if scores.ndim == 1:
+            full = np.full(max(item_ids) + 1, -1e12)
+            full[item_ids] = scores
+            return full
+        full = np.full((scores.shape[0], max(item_ids) + 1), -1e12)
+        full[:, item_ids] = scores
+        return full

@@ -1,0 +1,37 @@
+"""Conventional sequential-recommendation models.
+
+These are the "conventional SR models" of the paper: the three backbones used
+by DELRec (GRU4Rec, Caser, SASRec) plus classical baselines (popularity,
+Markov chain, FPMC) and BERT4Rec (needed by the LLM2BERT4Rec baseline).  All
+models share the :class:`repro.models.base.SequentialRecommender` interface so
+that DELRec's distillation stage and the evaluation harness can treat them
+interchangeably.
+"""
+
+from repro.models.base import SequentialRecommender, NeuralSequentialRecommender
+from repro.models.popularity import PopularityRecommender
+from repro.models.markov import MarkovChainRecommender
+from repro.models.fpmc import FPMCRecommender
+from repro.models.gru4rec import GRU4Rec
+from repro.models.caser import Caser
+from repro.models.sasrec import SASRec
+from repro.models.bert4rec import BERT4Rec
+from repro.models.trainer import TrainingConfig, train_recommender
+from repro.models.registry import MODEL_REGISTRY, create_model, available_models
+
+__all__ = [
+    "SequentialRecommender",
+    "NeuralSequentialRecommender",
+    "PopularityRecommender",
+    "MarkovChainRecommender",
+    "FPMCRecommender",
+    "GRU4Rec",
+    "Caser",
+    "SASRec",
+    "BERT4Rec",
+    "TrainingConfig",
+    "train_recommender",
+    "MODEL_REGISTRY",
+    "create_model",
+    "available_models",
+]

@@ -1,0 +1,139 @@
+"""Common interface for sequential recommenders.
+
+Every model — classical or neural — exposes the same small API:
+
+* :meth:`SequentialRecommender.fit` — train on a list of
+  :class:`~repro.data.splits.SequenceExample`;
+* :meth:`SequentialRecommender.score_all` — scores over the full catalog for
+  one history;
+* :meth:`SequentialRecommender.score_candidates` — scores restricted to a
+  candidate set (the paper's evaluation protocol);
+* :meth:`SequentialRecommender.top_k` — ranked recommendation list, used by
+  the Recommendation Pattern Simulating component of DELRec to obtain the
+  conventional model's top-``h`` items;
+* :meth:`SequentialRecommender.item_embeddings` — item representation matrix,
+  used by the embedding-injection baselines (LLaRA, LLM2BERT4Rec).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Module, Tensor, no_grad
+from repro.data.records import SequenceDataset
+from repro.data.splits import SequenceExample
+
+NEG_INF = -1e12
+
+
+class SequentialRecommender:
+    """Abstract base class for all sequential recommenders."""
+
+    #: Human-readable model name used in result tables.
+    name: str = "base"
+
+    def __init__(self, num_items: int, max_history: int = 9):
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        self.num_items = num_items
+        self.max_history = max_history
+        self.is_fitted = False
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, examples: Sequence[SequenceExample], **kwargs) -> "SequentialRecommender":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        """Scores over all items; index ``i`` is the score of item id ``i``.
+
+        Index 0 (the padding id) is always ``-inf`` so it can never be ranked.
+        """
+        raise NotImplementedError
+
+    def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+        """Scores for the given candidate item ids (same order as ``candidates``)."""
+        scores = self.score_all(history)
+        return scores[np.asarray(candidates, dtype=np.int64)]
+
+    def top_k(
+        self,
+        history: Sequence[int],
+        k: int = 10,
+        candidates: Optional[Sequence[int]] = None,
+        exclude_history: bool = False,
+    ) -> List[int]:
+        """Return the ``k`` highest scoring item ids."""
+        if candidates is not None:
+            candidate_array = np.asarray(candidates, dtype=np.int64)
+            scores = self.score_candidates(history, candidate_array)
+            order = np.argsort(-scores, kind="stable")
+            return [int(candidate_array[i]) for i in order[:k]]
+        scores = self.score_all(history).copy()
+        scores[0] = NEG_INF
+        if exclude_history:
+            for item in history:
+                if 0 < item <= self.num_items:
+                    scores[item] = NEG_INF
+        order = np.argsort(-scores, kind="stable")
+        return [int(i) for i in order[:k]]
+
+    # ------------------------------------------------------------------ #
+    # representations
+    # ------------------------------------------------------------------ #
+    def item_embeddings(self) -> np.ndarray:
+        """Item representation matrix of shape ``(num_items + 1, dim)`` (row 0 = padding)."""
+        raise NotImplementedError(f"{self.name} does not expose item embeddings")
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError(f"{self.name} must be fitted before scoring")
+
+
+class NeuralSequentialRecommender(SequentialRecommender, Module):
+    """Base class for neural recommenders built on the autograd substrate.
+
+    Sub-classes implement :meth:`encode_histories` returning one vector per
+    sequence; scores are dot products with the (shared) item embedding table
+    plus a per-item bias, which is the convention of GRU4Rec/SASRec-style
+    models and keeps every backbone's output comparable.
+    """
+
+    def __init__(self, num_items: int, embedding_dim: int = 32, max_history: int = 9):
+        SequentialRecommender.__init__(self, num_items=num_items, max_history=max_history)
+        Module.__init__(self)
+        self.embedding_dim = embedding_dim
+
+    # sub-classes must provide: self.item_embedding (Embedding) and item_bias (Parameter)
+    def encode_histories(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        """Encode padded histories ``(batch, max_history)`` into ``(batch, dim)``."""
+        raise NotImplementedError
+
+    def forward(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        """Logits over the full catalog for each history: ``(batch, num_items + 1)``."""
+        encoded = self.encode_histories(histories, valid_mask)
+        logits = encoded.matmul(self.item_embedding.weight.transpose()) + self.item_bias
+        return logits
+
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        from repro.data.batching import pad_sequence
+
+        padded = np.asarray([pad_sequence(history, self.max_history)], dtype=np.int64)
+        valid = padded != 0
+        with no_grad():
+            was_training = self.training
+            self.eval()
+            logits = self.forward(padded, valid).data[0].copy()
+            self.train(was_training)
+        logits[0] = NEG_INF
+        return logits
+
+    def item_embeddings(self) -> np.ndarray:
+        return self.item_embedding.weight.data.copy()

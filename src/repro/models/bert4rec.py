@@ -1,0 +1,165 @@
+"""BERT4Rec (Sun et al., CIKM 2019): bidirectional transformer trained with masked item prediction.
+
+Needed both as a conventional baseline and as the backbone of the
+LLM2BERT4Rec baseline, which initialises the item-embedding table from
+language-model embeddings projected with PCA.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer, no_grad
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.module import ModuleList
+from repro.data.batching import pad_sequence
+from repro.data.splits import SequenceExample
+from repro.models.base import NEG_INF, NeuralSequentialRecommender
+
+
+class BERT4Rec(NeuralSequentialRecommender):
+    """Bidirectional transformer over item sequences with a [MASK] token.
+
+    For next-item prediction the mask token is appended after the history and
+    the model scores all items at that position.
+    """
+
+    name = "BERT4Rec"
+
+    def __init__(
+        self,
+        num_items: int,
+        embedding_dim: int = 32,
+        num_blocks: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.2,
+        max_history: int = 9,
+        mask_probability: float = 0.3,
+        seed: int = 0,
+    ):
+        super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        rng = np.random.default_rng(seed)
+        self.mask_probability = mask_probability
+        self.mask_token = num_items + 1  # ids: 0 padding, 1..num_items items, num_items+1 [MASK]
+        self.sequence_length = max_history + 1
+        self.item_embedding = Embedding(num_items + 2, embedding_dim, padding_idx=0, rng=rng)
+        self.position_embedding = Embedding(self.sequence_length, embedding_dim, rng=rng)
+        self.blocks = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    dim=embedding_dim,
+                    num_heads=num_heads,
+                    hidden_dim=embedding_dim * 4,
+                    dropout=dropout,
+                    rng=rng,
+                )
+                for _ in range(num_blocks)
+            ]
+        )
+        self.final_norm = LayerNorm(embedding_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.item_bias = Parameter(init.zeros((num_items + 2,)))
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    def initialize_item_embeddings(self, embeddings: np.ndarray) -> None:
+        """Overwrite the item-embedding table rows 1..num_items (LLM2BERT4Rec).
+
+        ``embeddings`` must have shape ``(num_items + 1, embedding_dim)`` with
+        row 0 ignored, or ``(num_items, embedding_dim)``.
+        """
+        table = self.item_embedding.weight.data
+        if embeddings.shape[-1] != self.embedding_dim:
+            raise ValueError(
+                f"embedding dim mismatch: expected {self.embedding_dim}, got {embeddings.shape[-1]}"
+            )
+        if embeddings.shape[0] == self.num_items + 1:
+            table[1:self.num_items + 1] = embeddings[1:]
+        elif embeddings.shape[0] == self.num_items:
+            table[1:self.num_items + 1] = embeddings
+        else:
+            raise ValueError("embeddings must cover every item")
+
+    # ------------------------------------------------------------------ #
+    def _encode_tokens(self, tokens: np.ndarray) -> Tensor:
+        batch, length = tokens.shape
+        positions = np.broadcast_to(np.arange(length), (batch, length))
+        hidden = self.item_embedding(tokens) + self.position_embedding(positions)
+        hidden = self.dropout(hidden)
+        valid = tokens != 0
+        attention_mask = valid[:, None, :] | np.eye(length, dtype=bool)[None, :, :]
+        for block in self.blocks:
+            hidden = block(hidden, attention_mask=attention_mask)
+        return self.final_norm(hidden)
+
+    def encode_histories(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        tokens = np.concatenate(
+            [histories, np.full((histories.shape[0], 1), self.mask_token, dtype=np.int64)], axis=1
+        )
+        hidden = self._encode_tokens(tokens)
+        return hidden[:, -1, :]
+
+    def forward(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        encoded = self.encode_histories(histories, valid_mask)
+        logits = encoded.matmul(self.item_embedding.weight.transpose()) + self.item_bias
+        return logits
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        examples: Sequence[SequenceExample],
+        epochs: int = 3,
+        lr: float = 1e-3,
+        batch_size: int = 64,
+        verbose: bool = False,
+        **kwargs,
+    ) -> "BERT4Rec":
+        """Masked-item training (cloze task) over full sequences, as in BERT4Rec."""
+        optimizer = Adam(self.parameters(), lr=lr)
+        sequences = [list(e.history) + [e.target] for e in examples if e.history]
+        if not sequences:
+            raise ValueError("BERT4Rec requires non-empty histories")
+        for epoch in range(epochs):
+            order = self._rng.permutation(len(sequences))
+            total_loss, count = 0.0, 0
+            for start in range(0, len(order), batch_size):
+                chosen = [sequences[i] for i in order[start:start + batch_size]]
+                tokens = np.array(
+                    [pad_sequence(seq, self.sequence_length) for seq in chosen], dtype=np.int64
+                )
+                masked_tokens = tokens.copy()
+                labels = np.zeros_like(tokens)
+                can_mask = tokens != 0
+                mask_positions = (self._rng.random(tokens.shape) < self.mask_probability) & can_mask
+                # always mask the last real position so the cloze task matches inference
+                mask_positions[:, -1] = can_mask[:, -1]
+                labels[mask_positions] = tokens[mask_positions]
+                masked_tokens[mask_positions] = self.mask_token
+                if not mask_positions.any():
+                    continue
+                optimizer.zero_grad()
+                hidden = self._encode_tokens(masked_tokens)
+                logits = hidden.matmul(self.item_embedding.weight.transpose()) + self.item_bias
+                weights = mask_positions.astype(np.float64)
+                loss = F.cross_entropy(logits, labels, weights=weights)
+                loss.backward()
+                optimizer.step()
+                total_loss += loss.item() * len(chosen)
+                count += len(chosen)
+            if verbose and count:
+                print(f"[BERT4Rec] epoch {epoch + 1}/{epochs} loss={total_loss / count:.4f}")
+        self.is_fitted = True
+        return self
+
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        scores = super().score_all(history)
+        # never recommend the auxiliary mask token
+        scores = scores[: self.num_items + 1].copy()
+        scores[0] = NEG_INF
+        return scores
+
+    def item_embeddings(self) -> np.ndarray:
+        return self.item_embedding.weight.data[: self.num_items + 1].copy()

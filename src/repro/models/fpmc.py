@@ -1,0 +1,106 @@
+"""FPMC: Factorised Personalised Markov Chains (Rendle et al., WWW 2010).
+
+Combines matrix factorisation (user-item affinity) with a factorised
+first-order Markov chain (last-item to next-item transition), trained with the
+BPR pairwise ranking loss.  Included as a classical baseline and as an extra
+possible backbone for DELRec's distillation stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import Adam, Embedding, Module, Parameter, Tensor, no_grad
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.data.splits import SequenceExample
+from repro.models.base import NEG_INF, SequentialRecommender
+
+
+class FPMCRecommender(SequentialRecommender, Module):
+    """Factorised personalised Markov chain with BPR training."""
+
+    name = "FPMC"
+
+    def __init__(
+        self,
+        num_items: int,
+        num_users: int = 0,
+        embedding_dim: int = 32,
+        max_history: int = 9,
+        seed: int = 0,
+    ):
+        SequentialRecommender.__init__(self, num_items=num_items, max_history=max_history)
+        Module.__init__(self)
+        rng = np.random.default_rng(seed)
+        self.embedding_dim = embedding_dim
+        self.num_users = num_users
+        # V^{IL}: next-item factors matched against last-item factors V^{LI}
+        self.item_next = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng, std=0.05)
+        self.item_last = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng, std=0.05)
+        # V^{UI} / V^{IU}: user-item factors (only used when user ids are known)
+        self.user_factors = Embedding(num_users + 1, embedding_dim, padding_idx=0, rng=rng, std=0.05)
+        self.item_user = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng, std=0.05)
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    def _scores_tensor(self, user_ids: np.ndarray, last_items: np.ndarray, item_ids: np.ndarray) -> Tensor:
+        """Score specific (user, last-item, candidate) triples."""
+        last_vectors = self.item_last(last_items)
+        next_vectors = self.item_next(item_ids)
+        scores = (last_vectors * next_vectors).sum(axis=-1)
+        if self.num_users > 0:
+            user_vectors = self.user_factors(np.clip(user_ids, 0, self.num_users))
+            user_item_vectors = self.item_user(item_ids)
+            scores = scores + (user_vectors * user_item_vectors).sum(axis=-1)
+        return scores
+
+    def fit(
+        self,
+        examples: Sequence[SequenceExample],
+        epochs: int = 5,
+        lr: float = 0.05,
+        batch_size: int = 128,
+        num_negatives: int = 1,
+        verbose: bool = False,
+        **kwargs,
+    ) -> "FPMCRecommender":
+        examples = [e for e in examples if e.history]
+        if not examples:
+            raise ValueError("FPMC requires examples with non-empty histories")
+        optimizer = Adam(self.parameters(), lr=lr)
+        users = np.array([e.user_id for e in examples], dtype=np.int64)
+        lasts = np.array([e.history[-1] for e in examples], dtype=np.int64)
+        targets = np.array([e.target for e in examples], dtype=np.int64)
+        for epoch in range(epochs):
+            order = self._rng.permutation(len(examples))
+            total_loss = 0.0
+            for start in range(0, len(order), batch_size):
+                index = order[start:start + batch_size]
+                negatives = self._rng.integers(1, self.num_items + 1, size=len(index))
+                optimizer.zero_grad()
+                positive = self._scores_tensor(users[index], lasts[index], targets[index])
+                negative = self._scores_tensor(users[index], lasts[index], negatives)
+                loss = F.bpr_loss(positive, negative)
+                loss.backward()
+                optimizer.step()
+                total_loss += loss.item() * len(index)
+            if verbose:
+                print(f"[FPMC] epoch {epoch + 1}/{epochs} loss={total_loss / len(examples):.4f}")
+        self.is_fitted = True
+        return self
+
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        scores = np.full(self.num_items + 1, NEG_INF)
+        last = history[-1] if history else 0
+        with no_grad():
+            last_vector = self.item_last.weight.data[last]
+            scores[1:] = self.item_next.weight.data[1:] @ last_vector
+        scores[0] = NEG_INF
+        return scores
+
+    def item_embeddings(self) -> np.ndarray:
+        return self.item_next.weight.data.copy()

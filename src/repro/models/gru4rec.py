@@ -1,0 +1,52 @@
+"""GRU4Rec (Hidasi et al., ICLR 2016): RNN-based sequential recommender."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Dropout, Embedding, GRU, Linear, Parameter, Tensor
+from repro.autograd import init
+from repro.models.base import NeuralSequentialRecommender
+
+
+class GRU4Rec(NeuralSequentialRecommender):
+    """GRU-based sequence encoder with a shared item-embedding output layer.
+
+    The paper trains GRU4Rec with an embedding size of 64, Adagrad, learning
+    rate 0.01 and dropout 0.3 (section V-A3); those are the defaults of
+    :class:`repro.models.trainer.TrainingConfig` for this model.
+    """
+
+    name = "GRU4Rec"
+
+    def __init__(
+        self,
+        num_items: int,
+        embedding_dim: int = 32,
+        hidden_dim: Optional[int] = None,
+        num_layers: int = 1,
+        dropout: float = 0.3,
+        max_history: int = 9,
+        seed: int = 0,
+    ):
+        super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        rng = np.random.default_rng(seed)
+        hidden_dim = hidden_dim or embedding_dim
+        self.hidden_dim = hidden_dim
+        self.item_embedding = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng)
+        self.gru = GRU(embedding_dim, hidden_dim, num_layers=num_layers, rng=rng)
+        self.projection = (
+            Linear(hidden_dim, embedding_dim, rng=rng) if hidden_dim != embedding_dim else None
+        )
+        self.dropout = Dropout(dropout, rng=rng)
+        self.item_bias = Parameter(init.zeros((num_items + 1,)))
+
+    def encode_histories(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        embedded = self.item_embedding(histories)
+        embedded = self.dropout(embedded)
+        _, final_hidden = self.gru(embedded, valid_mask=valid_mask)
+        if self.projection is not None:
+            final_hidden = self.projection(final_hidden)
+        return self.dropout(final_hidden)

@@ -1,0 +1,57 @@
+"""First-order Markov-chain recommender."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splits import SequenceExample
+from repro.models.base import NEG_INF, SequentialRecommender
+
+
+class MarkovChainRecommender(SequentialRecommender):
+    """Score the next item by the empirical transition probability from the last item.
+
+    Classic pre-deep-learning SR baseline (the family FPMC builds on).  Laplace
+    smoothing blends in a popularity prior so unseen transitions still get a
+    finite score.
+    """
+
+    name = "MarkovChain"
+
+    def __init__(self, num_items: int, max_history: int = 9, smoothing: float = 0.1):
+        super().__init__(num_items=num_items, max_history=max_history)
+        self.smoothing = smoothing
+        self._transitions = np.zeros((num_items + 1, num_items + 1), dtype=np.float64)
+        self._popularity = np.zeros(num_items + 1, dtype=np.float64)
+
+    def fit(self, examples: Sequence[SequenceExample], **kwargs) -> "MarkovChainRecommender":
+        transitions = np.zeros((self.num_items + 1, self.num_items + 1), dtype=np.float64)
+        popularity = np.zeros(self.num_items + 1, dtype=np.float64)
+        for example in examples:
+            popularity[example.target] += 1.0
+            if example.history:
+                last = example.history[-1]
+                transitions[last, example.target] += 1.0
+            for previous, current in zip(example.history, example.history[1:]):
+                transitions[previous, current] += 1.0
+                popularity[current] += 1.0
+        self._transitions = transitions
+        self._popularity = popularity
+        self.is_fitted = True
+        return self
+
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        popularity = self._popularity + self.smoothing
+        popularity_probs = popularity / popularity.sum()
+        if history:
+            last = history[-1]
+            row = self._transitions[last] + self.smoothing * popularity_probs
+            probs = row / row.sum()
+        else:
+            probs = popularity_probs
+        scores = np.log(probs + 1e-12)
+        scores[0] = NEG_INF
+        return scores

@@ -1,0 +1,43 @@
+"""Global popularity baseline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.splits import SequenceExample
+from repro.models.base import NEG_INF, SequentialRecommender
+
+
+class PopularityRecommender(SequentialRecommender):
+    """Recommend the globally most popular items, ignoring the history.
+
+    Not reported in the paper's tables but used as a sanity floor in tests and
+    as the fallback distribution of the Markov-chain model.
+    """
+
+    name = "Popularity"
+
+    def __init__(self, num_items: int, max_history: int = 9, smoothing: float = 1.0):
+        super().__init__(num_items=num_items, max_history=max_history)
+        self.smoothing = smoothing
+        self._scores = np.full(num_items + 1, NEG_INF)
+
+    def fit(self, examples: Sequence[SequenceExample], **kwargs) -> "PopularityRecommender":
+        counts = np.zeros(self.num_items + 1, dtype=np.float64)
+        for example in examples:
+            counts[example.target] += 1.0
+            for item in example.history:
+                if 0 < item <= self.num_items:
+                    counts[item] += 1.0
+        counts += self.smoothing
+        scores = np.log(counts)
+        scores[0] = NEG_INF
+        self._scores = scores
+        self.is_fitted = True
+        return self
+
+    def score_all(self, history: Sequence[int]) -> np.ndarray:
+        self._check_fitted()
+        return self._scores.copy()

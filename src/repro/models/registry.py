@@ -1,0 +1,38 @@
+"""Factory registry for conventional SR models."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import SequentialRecommender
+from repro.models.bert4rec import BERT4Rec
+from repro.models.caser import Caser
+from repro.models.fpmc import FPMCRecommender
+from repro.models.gru4rec import GRU4Rec
+from repro.models.markov import MarkovChainRecommender
+from repro.models.popularity import PopularityRecommender
+from repro.models.sasrec import SASRec
+
+#: Map of model name (lower case) to constructor ``(num_items, **kwargs) -> model``.
+MODEL_REGISTRY: Dict[str, Callable[..., SequentialRecommender]] = {
+    "popularity": PopularityRecommender,
+    "markov": MarkovChainRecommender,
+    "fpmc": FPMCRecommender,
+    "gru4rec": GRU4Rec,
+    "caser": Caser,
+    "sasrec": SASRec,
+    "bert4rec": BERT4Rec,
+}
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`create_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def create_model(name: str, num_items: int, **kwargs) -> SequentialRecommender:
+    """Instantiate a conventional SR model by name."""
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return MODEL_REGISTRY[key](num_items=num_items, **kwargs)

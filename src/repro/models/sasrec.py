@@ -1,0 +1,70 @@
+"""SASRec (Kang & McAuley, ICDM 2018): self-attentive sequential recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer
+from repro.autograd import init
+from repro.autograd.attention import causal_mask
+from repro.autograd.module import ModuleList
+from repro.models.base import NeuralSequentialRecommender
+
+
+class SASRec(NeuralSequentialRecommender):
+    """Transformer encoder with causal self-attention over the interaction history.
+
+    The paper uses two self-attention blocks, embedding size 100, Adam with
+    learning rate 1e-3 and dropout 0.5 (section V-A3).  The representation of
+    the *last position* is the sequence encoding — the feature-aggregation
+    behaviour that DELRec's Temporal Analysis component teaches the LLM to
+    imitate.
+    """
+
+    name = "SASRec"
+
+    def __init__(
+        self,
+        num_items: int,
+        embedding_dim: int = 32,
+        num_blocks: int = 2,
+        num_heads: int = 2,
+        dropout: float = 0.5,
+        max_history: int = 9,
+        seed: int = 0,
+    ):
+        super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        rng = np.random.default_rng(seed)
+        self.item_embedding = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng)
+        self.position_embedding = Embedding(max_history, embedding_dim, rng=rng)
+        self.blocks = ModuleList(
+            [
+                TransformerEncoderLayer(
+                    dim=embedding_dim,
+                    num_heads=num_heads,
+                    hidden_dim=embedding_dim * 4,
+                    dropout=dropout,
+                    rng=rng,
+                )
+                for _ in range(num_blocks)
+            ]
+        )
+        self.final_norm = LayerNorm(embedding_dim)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.item_bias = Parameter(init.zeros((num_items + 1,)))
+
+    def encode_histories(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
+        batch, length = histories.shape
+        positions = np.broadcast_to(np.arange(length), (batch, length))
+        hidden = self.item_embedding(histories) + self.position_embedding(positions)
+        hidden = self.dropout(hidden)
+        # causal mask combined with key-padding mask
+        causal = causal_mask(length)[None, :, :]
+        key_valid = valid_mask[:, None, :]
+        attention_mask = causal & key_valid
+        # every query must be able to attend somewhere; allow self-attention on padding
+        attention_mask = attention_mask | np.eye(length, dtype=bool)[None, :, :]
+        for block in self.blocks:
+            hidden = block(hidden, attention_mask=attention_mask)
+        hidden = self.final_norm(hidden)
+        return hidden[:, -1, :]

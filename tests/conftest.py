@@ -1,0 +1,40 @@
+"""Shared fixtures: a small synthetic dataset and its chronological split.
+
+Session-scoped so the expensive parts (dataset generation, model training in
+integration tests) are reused across test modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticDatasetConfig,
+    SyntheticDatasetGenerator,
+    chronological_split,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small but learnable dataset: strong genre transitions, few items."""
+    config = SyntheticDatasetConfig(
+        name="tiny-movies",
+        domain="movies",
+        num_users=60,
+        num_items=48,
+        interactions_per_user_mean=14.0,
+        interactions_per_user_min=8,
+        genre_coherence=0.85,
+        seed=42,
+    )
+    return SyntheticDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset):
+    return chronological_split(tiny_dataset, max_history=9)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,320 @@
+"""Tests for modules, layers, attention, recurrence, convolution, optimisers and LoRA."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Adagrad,
+    Adam,
+    AdaLoRAController,
+    AdaLoRALinear,
+    Dropout,
+    Embedding,
+    GRU,
+    GRUCell,
+    HorizontalConv,
+    LayerNorm,
+    Linear,
+    Lion,
+    LoRALinear,
+    Module,
+    MultiHeadSelfAttention,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    TransformerEncoderLayer,
+    VerticalConv,
+    load_state_dict,
+    save_state_dict,
+)
+from repro.autograd.attention import causal_mask, padding_mask
+from repro.autograd.lora import wrap_linears_with_adalora
+from repro.autograd import functional as F
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModuleSystem:
+    def test_parameter_registration_and_counts(self):
+        net = TinyNet()
+        names = dict(net.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_freeze_and_trainable_parameters(self):
+        net = TinyNet()
+        net.fc1.freeze()
+        trainable = {name for name, p in net.named_parameters() if p.requires_grad}
+        assert trainable == {"fc2.weight", "fc2.bias"}
+        assert net.num_parameters(trainable_only=True) == 8 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(2, 2), Dropout(0.5))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        net = TinyNet()
+        original = net.fc1.weight.data.copy()
+        path = save_state_dict(net, str(tmp_path / "net"))
+        net.fc1.weight.data[:] = 0.0
+        load_state_dict(net, path)
+        np.testing.assert_allclose(net.fc1.weight.data, original)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears_gradients(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((1, 4)))).sum()
+        out.backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_shapes(self):
+        layer = Linear(5, 3)
+        out = layer(Tensor(np.ones((2, 5))))
+        assert out.shape == (2, 3)
+
+    def test_embedding_lookup_and_padding(self):
+        emb = Embedding(10, 4, padding_idx=0)
+        out = emb(np.array([[0, 3], [5, 0]]))
+        assert out.shape == (2, 2, 4)
+        np.testing.assert_allclose(out.data[0, 0], np.zeros(4))
+        np.testing.assert_allclose(out.data[1, 1], np.zeros(4))
+
+    def test_embedding_gradient_flows_to_used_rows_only(self):
+        emb = Embedding(6, 3)
+        out = emb(np.array([1, 1, 4]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        np.testing.assert_allclose(grad[1], np.full(3, 2.0))
+        np.testing.assert_allclose(grad[4], np.full(3, 1.0))
+        np.testing.assert_allclose(grad[0], np.zeros(3))
+
+    def test_layernorm_normalises(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(4, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_dropout_identity_in_eval(self):
+        layer = Dropout(0.9)
+        layer.eval()
+        x = Tensor(np.ones((3, 3)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_scales_in_train(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((1000,)))
+        out = layer(x).data
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        assert out.mean() == pytest.approx(1.0, abs=0.15)
+
+
+class TestAttention:
+    def test_attention_output_shape(self):
+        attn = MultiHeadSelfAttention(dim=16, num_heads=4, dropout=0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)))
+        assert attn(x).shape == (2, 5, 16)
+
+    def test_causal_mask_blocks_future(self):
+        attn = MultiHeadSelfAttention(dim=8, num_heads=2, dropout=0.0)
+        attn.eval()
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 4, 8))
+        mask = causal_mask(4)
+        out_full = attn(Tensor(x), attention_mask=mask).data
+        # changing the future (position 3) must not affect position 0 outputs
+        x_perturbed = x.copy()
+        x_perturbed[0, 3] += 10.0
+        out_perturbed = attn(Tensor(x_perturbed), attention_mask=mask).data
+        np.testing.assert_allclose(out_full[0, 0], out_perturbed[0, 0], atol=1e-10)
+        assert not np.allclose(out_full[0, 3], out_perturbed[0, 3])
+
+    def test_padding_mask_shape(self):
+        valid = np.array([[True, True, False]])
+        mask = padding_mask(valid)
+        assert mask.shape == (1, 3, 3)
+        assert not mask[0, 0, 2]
+
+    def test_invalid_head_count_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(dim=10, num_heads=3)
+
+    def test_encoder_layer_gradient_flow(self):
+        layer = TransformerEncoderLayer(dim=8, num_heads=2, dropout=0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8)), requires_grad=True)
+        layer(x).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+
+class TestRecurrentAndConv:
+    def test_gru_cell_shape(self):
+        cell = GRUCell(4, 6)
+        h = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_gru_respects_padding_mask(self):
+        gru = GRU(4, 6)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 5, 4))
+        valid = np.array([[True, True, True, False, False]])
+        _, h_masked = gru(Tensor(x), valid_mask=valid)
+        _, h_short = gru(Tensor(x[:, :3, :]))
+        np.testing.assert_allclose(h_masked.data, h_short.data, atol=1e-10)
+
+    def test_gru_multilayer_output_shape(self):
+        gru = GRU(4, 6, num_layers=2)
+        outputs, final = gru(Tensor(np.random.default_rng(0).normal(size=(2, 3, 4))))
+        assert outputs.shape == (2, 3, 6)
+        assert final.shape == (2, 6)
+
+    def test_horizontal_conv_output_dim(self):
+        conv = HorizontalConv(embedding_dim=8, num_filters=4, heights=[2, 3])
+        out = conv(Tensor(np.random.default_rng(0).normal(size=(5, 6, 8))))
+        assert out.shape == (5, conv.output_dim)
+        assert conv.output_dim == 8
+
+    def test_vertical_conv_output_dim(self):
+        conv = VerticalConv(sequence_length=6, num_filters=3)
+        out = conv(Tensor(np.random.default_rng(0).normal(size=(5, 6, 8))))
+        assert out.shape == (5, 24)
+
+    def test_vertical_conv_wrong_length_raises(self):
+        conv = VerticalConv(sequence_length=6, num_filters=3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 4, 8))))
+
+
+def _quadratic_problem():
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD([p], lr=0.1),
+            lambda p: SGD([p], lr=0.05, momentum=0.9),
+            lambda p: Adam([p], lr=0.2),
+            lambda p: Adagrad([p], lr=0.8),
+            lambda p: Lion([p], lr=0.05),
+        ],
+    )
+    def test_optimizers_reduce_quadratic_loss(self, factory):
+        param, target, loss_fn = _quadratic_problem()
+        optimizer = factory(param)
+        first = loss_fn().item()
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = loss_fn()
+            loss.backward()
+            optimizer.step()
+        assert loss_fn().item() < first * 0.05
+
+    def test_optimizer_skips_frozen_parameters(self):
+        param, _, loss_fn = _quadratic_problem()
+        optimizer = Adam([param], lr=0.5)
+        param.requires_grad = False
+        before = param.data.copy()
+        loss = loss_fn()
+        # no gradient is recorded because requires_grad is False
+        optimizer.step()
+        np.testing.assert_allclose(param.data, before)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_lion_update_magnitude_is_lr_bounded(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Lion([param], lr=0.01)
+        param.grad = np.array([5.0, -3.0, 0.5, -0.1])
+        optimizer.step()
+        np.testing.assert_allclose(np.abs(param.data), np.full(4, 0.01))
+
+
+class TestLoRA:
+    def test_lora_initially_matches_base(self):
+        base = Linear(6, 4, rng=np.random.default_rng(0))
+        adapted = LoRALinear(base, rank=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 6)))
+        np.testing.assert_allclose(adapted(x).data, base(x).data)
+
+    def test_lora_base_is_frozen(self):
+        base = Linear(6, 4)
+        adapted = LoRALinear(base, rank=2)
+        trainable = {name for name, p in adapted.named_parameters() if p.requires_grad}
+        assert trainable == {"lora_a", "lora_b"}
+
+    def test_adalora_initially_matches_base(self):
+        base = Linear(6, 4, rng=np.random.default_rng(0))
+        adapted = AdaLoRALinear(base, rank=3)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 6)))
+        np.testing.assert_allclose(adapted(x).data, base(x).data)
+
+    def test_adalora_training_changes_output(self):
+        base = Linear(4, 2, rng=np.random.default_rng(0))
+        adapted = AdaLoRALinear(base, rank=2)
+        x = Tensor(np.random.default_rng(1).normal(size=(8, 4)))
+        target = np.random.default_rng(2).normal(size=(8, 2))
+        optimizer = Adam(adapted.trainable_parameters(), lr=0.05)
+        initial = F.mse_loss(adapted(x), target).item()
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = F.mse_loss(adapted(x), target)
+            loss.backward()
+            optimizer.step()
+        assert F.mse_loss(adapted(x), target).item() < initial
+
+    def test_adalora_controller_prunes_to_budget(self):
+        rng = np.random.default_rng(0)
+        adapters = [AdaLoRALinear(Linear(4, 4, rng=rng), rank=4) for _ in range(3)]
+        for adapter in adapters:
+            adapter.lora_lambda.data = rng.normal(size=4)
+        controller = AdaLoRAController(adapters, target_total_rank=6, warmup_steps=0, total_steps=5)
+        for _ in range(10):
+            controller.step()
+        assert controller.total_active_rank() <= 7  # budget 6 plus per-adapter floor
+        assert all(adapter.active_rank() >= 1 for adapter in adapters)
+
+    def test_wrap_linears_with_adalora_replaces_layers(self):
+        net = TinyNet()
+        adapters = wrap_linears_with_adalora(net, rank=2)
+        assert len(adapters) == 2
+        assert isinstance(net.fc1, AdaLoRALinear)
+        trainable_names = {name for name, p in net.named_parameters() if p.requires_grad}
+        assert all("lora" in name for name in trainable_names)
+
+    def test_wrap_with_name_filter(self):
+        net = TinyNet()
+        adapters = wrap_linears_with_adalora(net, rank=2, name_filter=lambda n: n.endswith("fc2"))
+        assert len(adapters) == 1
+        assert isinstance(net.fc2, AdaLoRALinear)
+        assert isinstance(net.fc1, Linear)

@@ -1,0 +1,227 @@
+"""Integration tests for Stage 1, Stage 2, the DELRec pipeline and its ablations.
+
+These use deliberately tiny budgets (few epochs, few examples, small SimLM) —
+they verify mechanics and interfaces, not recommendation quality (quality is
+covered by the benchmark harness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DELRec,
+    DELRecConfig,
+    DELRecRecommender,
+    LSRFineTuner,
+    PatternDistiller,
+    PromptBuilder,
+    build_ablation_variant,
+)
+from repro.core.ablation import ABLATION_VARIANTS
+from repro.core.config import Stage1Config, Stage2Config
+from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
+from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.data.candidates import CandidateSampler
+from repro.eval import evaluate_recommender
+from repro.llm import SoftPrompt, Verbalizer
+from repro.llm.registry import build_simlm
+from repro.models import MarkovChainRecommender
+
+
+TINY_STAGE1 = Stage1Config(epochs=1, batch_size=8)
+TINY_STAGE2 = Stage2Config(epochs=1, batch_size=8, adalora_rank=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_llm(tiny_dataset):
+    """An un-pre-trained small SimLM (pre-training quality is irrelevant here)."""
+    return build_simlm(tiny_dataset, size="simlm-large", seed=0)
+
+
+@pytest.fixture(scope="module")
+def markov_model(tiny_dataset, tiny_split):
+    return MarkovChainRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+
+
+@pytest.fixture()
+def fresh_llm(tiny_dataset, tiny_llm):
+    model = build_simlm(tiny_dataset, size="simlm-large", seed=0)
+    model.load_state_dict(tiny_llm.state_dict())
+    return model
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        soft_prompt_size=3,
+        top_h=3,
+        max_stage1_examples=40,
+        max_stage2_examples=40,
+        stage1=TINY_STAGE1,
+        stage2=TINY_STAGE2,
+    )
+    defaults.update(overrides)
+    return DELRecConfig(**defaults)
+
+
+class TestPatternDistiller:
+    def test_distillation_updates_only_soft_prompts(self, tiny_dataset, tiny_split, fresh_llm, markov_model):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        soft_prompt = SoftPrompt(3, fresh_llm.dim, rng=np.random.default_rng(0))
+        initial_prompt = soft_prompt.as_array().copy()
+        initial_llm_state = {k: v.copy() for k, v in fresh_llm.state_dict().items()}
+
+        ta = TemporalAnalysisTaskBuilder(builder, tiny_dataset.catalog, num_candidates=8, icl_alpha=4)
+        rps = PatternSimulatingTaskBuilder(builder, tiny_dataset.catalog, markov_model,
+                                           num_candidates=8, top_h=3)
+        ta_prompts = ta.build(tiny_split.train, limit=16)
+        rps_prompts = rps.build(tiny_split.train, limit=16)
+        distiller = PatternDistiller(fresh_llm, builder, soft_prompt, config=TINY_STAGE1)
+        result = distiller.distill(ta_prompts, rps_prompts)
+
+        assert not np.allclose(soft_prompt.as_array(), initial_prompt)
+        for key, value in fresh_llm.state_dict().items():
+            np.testing.assert_allclose(value, initial_llm_state[key])
+        assert len(result.ta_losses) == 1
+        assert len(result.lambda_trace) == 1
+        # the LLM is un-frozen again after distillation
+        assert all(p.requires_grad for p in fresh_llm.parameters())
+
+    def test_udpsm_variant_updates_llm(self, tiny_dataset, tiny_split, fresh_llm, markov_model):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        soft_prompt = SoftPrompt(3, fresh_llm.dim)
+        before = fresh_llm.token_embedding.weight.data.copy()
+        rps = PatternSimulatingTaskBuilder(builder, tiny_dataset.catalog, markov_model,
+                                           num_candidates=8, top_h=3)
+        distiller = PatternDistiller(fresh_llm, builder, soft_prompt, config=TINY_STAGE1,
+                                     update_llm=True)
+        distiller.distill([], rps.build(tiny_split.train, limit=16))
+        assert not np.allclose(fresh_llm.token_embedding.weight.data, before)
+
+    def test_distill_requires_prompts(self, tiny_dataset, fresh_llm):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        distiller = PatternDistiller(fresh_llm, builder, SoftPrompt(3, fresh_llm.dim), config=TINY_STAGE1)
+        with pytest.raises(ValueError):
+            distiller.distill([], [])
+
+    def test_single_task_distillation_runs(self, tiny_dataset, tiny_split, fresh_llm):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        ta = TemporalAnalysisTaskBuilder(builder, tiny_dataset.catalog, num_candidates=8)
+        distiller = PatternDistiller(fresh_llm, builder, SoftPrompt(3, fresh_llm.dim), config=TINY_STAGE1)
+        result = distiller.distill(ta.build(tiny_split.train, limit=8), [])
+        assert result.combined_losses
+
+
+class TestLSRFineTuner:
+    def test_adalora_finetuning_trains_only_adapters(self, tiny_dataset, tiny_split, fresh_llm):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        soft_prompt = SoftPrompt(3, fresh_llm.dim)
+        prompt_before = soft_prompt.as_array().copy()
+        tuner = LSRFineTuner(fresh_llm, builder, soft_prompt, config=TINY_STAGE2)
+        sampler = CandidateSampler(tiny_dataset, num_candidates=8, seed=0)
+        prompts = tuner.build_training_prompts(tiny_split.train[:24], sampler)
+        result = tuner.fine_tune(prompts)
+        assert result.losses
+        assert tuner.adapters
+        np.testing.assert_allclose(soft_prompt.as_array(), prompt_before)
+        assert result.active_ranks
+
+    def test_ulsr_variant_updates_soft_prompt(self, tiny_dataset, tiny_split, fresh_llm):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        soft_prompt = SoftPrompt(3, fresh_llm.dim)
+        prompt_before = soft_prompt.as_array().copy()
+        tuner = LSRFineTuner(fresh_llm, builder, soft_prompt, config=TINY_STAGE2,
+                             update_soft_prompt=True)
+        sampler = CandidateSampler(tiny_dataset, num_candidates=8, seed=0)
+        prompts = tuner.build_training_prompts(tiny_split.train[:24], sampler)
+        tuner.fine_tune(prompts)
+        assert not np.allclose(soft_prompt.as_array(), prompt_before)
+
+    def test_fine_tune_requires_prompts(self, tiny_dataset, fresh_llm):
+        builder = PromptBuilder(fresh_llm.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        tuner = LSRFineTuner(fresh_llm, builder, None, config=TINY_STAGE2, auxiliary="none")
+        with pytest.raises(ValueError):
+            tuner.fine_tune([])
+
+
+class TestDELRecPipeline:
+    def test_full_pipeline_produces_working_recommender(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        pipeline = DELRec(config=tiny_config(), conventional_model=markov_model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        recommender = pipeline.recommender()
+        assert isinstance(recommender, DELRecRecommender)
+        assert pipeline.name == "DELRec (MarkovChain)"
+        assert pipeline.distillation_result is not None
+        assert pipeline.finetuning_result is not None
+
+        candidates = tiny_dataset.catalog.ids()[:10]
+        scores = recommender.score_candidates(tiny_split.test[0].history, candidates)
+        assert scores.shape == (10,)
+        ranked = recommender.top_k(tiny_split.test[0].history, k=3, candidates=candidates)
+        assert len(ranked) == 3
+        assert set(ranked) <= set(candidates)
+
+    def test_recommender_before_fit_raises(self, markov_model):
+        pipeline = DELRec(config=tiny_config(), conventional_model=markov_model)
+        with pytest.raises(RuntimeError):
+            pipeline.recommender()
+
+    def test_invalid_auxiliary_rejected(self):
+        with pytest.raises(ValueError):
+            DELRec(auxiliary="fancy")
+
+    def test_pipeline_can_be_evaluated(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        pipeline = DELRec(config=tiny_config(), conventional_model=markov_model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        result = evaluate_recommender(pipeline.recommender(), tiny_dataset, tiny_split.test[:20], seed=3)
+        assert 0.0 <= result.metric("HR@10") <= 1.0
+
+    def test_pipeline_trains_unfitted_conventional_model(self, tiny_dataset, tiny_split, fresh_llm):
+        model = MarkovChainRecommender(num_items=tiny_dataset.num_items)
+        pipeline = DELRec(config=tiny_config(), conventional_model=model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        assert model.is_fitted
+
+
+class TestAblationVariants:
+    def test_all_variant_names_buildable(self, markov_model):
+        for variant in ABLATION_VARIANTS:
+            pipeline = build_ablation_variant(variant, config=tiny_config(),
+                                              conventional_model=markov_model)
+            assert isinstance(pipeline, DELRec)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            build_ablation_variant("w/o everything")
+
+    def test_wo_sp_disables_soft_prompts(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        pipeline = build_ablation_variant("w/o SP", config=tiny_config(),
+                                          conventional_model=markov_model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        assert pipeline.soft_prompt is None
+        assert pipeline.distillation_result is None
+
+    def test_wo_lsr_skips_stage2(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        pipeline = build_ablation_variant("w/o LSR", config=tiny_config(),
+                                          conventional_model=markov_model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        assert pipeline.distillation_result is not None
+        assert pipeline.finetuning_result is None
+
+    def test_wo_ta_and_wo_rps_disable_components(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        no_ta = build_ablation_variant("w/o TA", config=tiny_config(),
+                                       conventional_model=markov_model, llm=fresh_llm)
+        assert not no_ta.enable_temporal_analysis
+        no_rps = build_ablation_variant("w/o RPS", config=tiny_config(), conventional_model=markov_model)
+        assert not no_rps.enable_pattern_simulating
+
+    def test_usp_keeps_random_soft_prompt(self, tiny_dataset, tiny_split, markov_model, fresh_llm):
+        pipeline = build_ablation_variant("w USP", config=tiny_config(),
+                                          conventional_model=markov_model, llm=fresh_llm)
+        pipeline.fit(tiny_dataset, tiny_split)
+        assert pipeline.soft_prompt is not None
+        assert pipeline.distillation_result is None  # stage 1 skipped
+
+    def test_flan_t5_large_variant_uses_smaller_llm(self, markov_model):
+        pipeline = build_ablation_variant("w Flan-T5-Large", config=tiny_config(),
+                                          conventional_model=markov_model)
+        assert pipeline.config.llm_size == "simlm-large"

@@ -1,0 +1,216 @@
+"""Tests for prompt construction and the Stage-1 task builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import DELRecConfig, PromptBuilder
+from repro.core.config import PAPER_HYPERPARAMETERS, Stage1Config, Stage2Config
+from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
+from repro.core.prompts import MANUAL_PATTERN_DESCRIPTIONS, PromptExample
+from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.data.splits import SequenceExample
+from repro.llm.registry import build_tokenizer
+from repro.llm.tokenizer import item_token
+from repro.models import MarkovChainRecommender
+
+
+@pytest.fixture(scope="module")
+def tokenizer(tiny_dataset):
+    return build_tokenizer(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def builder(tokenizer, tiny_dataset):
+    return PromptBuilder(tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+
+
+@pytest.fixture(scope="module")
+def item_ids(tiny_dataset):
+    return tiny_dataset.catalog.ids()
+
+
+class TestConfig:
+    def test_paper_hyperparameters_recorded(self):
+        assert PAPER_HYPERPARAMETERS["soft_prompt_size_k"] == 80
+        assert PAPER_HYPERPARAMETERS["num_candidates_m"] == 15
+        assert PAPER_HYPERPARAMETERS["stage1_lr"] == pytest.approx(5e-3)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DELRecConfig(max_history=1)
+        with pytest.raises(ValueError):
+            DELRecConfig(soft_prompt_size=0)
+        with pytest.raises(ValueError):
+            DELRecConfig(top_h=0)
+
+    def test_fast_config_is_smaller(self):
+        fast = DELRecConfig.fast()
+        full = DELRecConfig()
+        assert fast.soft_prompt_size <= full.soft_prompt_size
+        assert fast.stage1.epochs <= full.stage1.epochs
+
+    def test_for_dataset_applies_paper_alpha(self):
+        config = DELRecConfig()
+        assert config.for_dataset("steam").icl_alpha == 6
+        assert config.for_dataset("movielens-100k").icl_alpha == 4
+        assert config.for_dataset("unknown").icl_alpha == config.icl_alpha
+
+    def test_stage_configs_defaults(self):
+        assert Stage1Config().optimizer == "lion"
+        assert Stage2Config().use_adalora
+
+
+class TestRecommendationPrompt:
+    def test_contains_all_sections(self, builder, tokenizer, item_ids, tiny_dataset):
+        history, candidates = item_ids[:5], item_ids[5:13]
+        prompt = builder.recommendation_prompt(history, candidates, label_item=candidates[0],
+                                               sr_model_name="SASRec")
+        tokens = [tokenizer.id_to_token(t) for t in prompt.token_ids]
+        assert tokens[0] == "[CLS]"
+        assert tokens[-1] == "[MASK]"
+        assert tokens.count("[SOFT]") == 3
+        # candidate item tokens present
+        for candidate in candidates:
+            assert item_token(candidate) in tokens
+        # history titles present as words
+        first_title_word = tiny_dataset.catalog.title_of(history[0]).split()[0].lower()
+        assert first_title_word in tokens
+
+    def test_label_must_be_candidate(self, builder, item_ids):
+        with pytest.raises(ValueError):
+            builder.recommendation_prompt(item_ids[:3], item_ids[3:6], label_item=item_ids[10])
+
+    def test_auxiliary_modes(self, builder, tokenizer, item_ids):
+        history, candidates = item_ids[:4], item_ids[4:10]
+        soft = builder.recommendation_prompt(history, candidates, candidates[0], auxiliary="soft")
+        none = builder.recommendation_prompt(history, candidates, candidates[0], auxiliary="none")
+        manual = builder.recommendation_prompt(history, candidates, candidates[0],
+                                               sr_model_name="SASRec", auxiliary="manual")
+        soft_tokens = [tokenizer.id_to_token(t) for t in soft.token_ids]
+        none_tokens = [tokenizer.id_to_token(t) for t in none.token_ids]
+        manual_tokens = [tokenizer.id_to_token(t) for t in manual.token_ids]
+        assert "[SOFT]" in soft_tokens
+        assert "[SOFT]" not in none_tokens
+        assert "[SOFT]" not in manual_tokens
+        assert "sasrec" in manual_tokens
+        with pytest.raises(ValueError):
+            builder.recommendation_prompt(history, candidates, candidates[0], auxiliary="bogus")
+
+    def test_manual_descriptions_cover_backbones(self):
+        assert {"SASRec", "GRU4Rec", "Caser"} <= set(MANUAL_PATTERN_DESCRIPTIONS)
+
+    def test_sr_top_items_included_when_given(self, builder, tokenizer, item_ids):
+        prompt = builder.recommendation_prompt(
+            item_ids[:3], item_ids[3:9], item_ids[3],
+            sr_model_name="SASRec", sr_top_items=item_ids[3:6],
+        )
+        tokens = [tokenizer.id_to_token(t) for t in prompt.token_ids]
+        assert "recommends" in tokens
+
+    def test_padding_items_skipped_in_history(self, builder, item_ids):
+        with_pad = builder.recommendation_prompt([0, 0] + item_ids[:3], item_ids[3:9], item_ids[3])
+        without_pad = builder.recommendation_prompt(item_ids[:3], item_ids[3:9], item_ids[3])
+        assert with_pad.token_ids == without_pad.token_ids
+
+
+class TestTemporalAnalysisPrompt:
+    def test_prompt_masks_second_to_last(self, builder, tokenizer, item_ids):
+        sequence = item_ids[:8]
+        candidates = item_ids[8:18]
+        candidates = [sequence[-2]] + list(candidates)
+        prompt = builder.temporal_analysis_prompt(sequence, candidates, icl_alpha=4)
+        assert prompt.label_item == sequence[-2]
+        tokens = [tokenizer.id_to_token(t) for t in prompt.token_ids]
+        assert tokens.count("[MASK]") == 1
+        # the in-context example reveals the alpha-th item
+        assert item_token(sequence[3]) in tokens
+        # the final item is revealed as the next interaction
+        assert item_token(sequence[-1]) in tokens
+
+    def test_short_sequence_rejected(self, builder, item_ids):
+        with pytest.raises(ValueError):
+            builder.temporal_analysis_prompt(item_ids[:3], item_ids[:5], icl_alpha=4)
+
+    def test_alpha_is_clipped_for_short_sequences(self, builder, item_ids):
+        sequence = item_ids[:5]
+        candidates = [sequence[-2]] + list(item_ids[5:14])
+        prompt = builder.temporal_analysis_prompt(sequence, candidates, icl_alpha=8)
+        assert prompt.label_item == sequence[-2]
+
+
+class TestPatternSimulatingPrompt:
+    def test_label_is_top1(self, builder, tokenizer, item_ids):
+        history = item_ids[:5]
+        top = item_ids[5:9]
+        candidates = list(top) + list(item_ids[9:17])
+        prompt = builder.pattern_simulating_prompt(history, candidates, top, "SASRec")
+        assert prompt.label_item == top[0]
+        tokens = [tokenizer.id_to_token(t) for t in prompt.token_ids]
+        assert "simulate" in tokens
+        assert "sasrec" in tokens
+
+    def test_requires_top_items(self, builder, item_ids):
+        with pytest.raises(ValueError):
+            builder.pattern_simulating_prompt(item_ids[:4], item_ids[4:10], [], "SASRec")
+
+
+class TestBatching:
+    def test_batch_shapes_and_padding(self, builder, tokenizer, item_ids):
+        prompts = [
+            builder.recommendation_prompt(item_ids[:3], item_ids[3:9], item_ids[3]),
+            builder.recommendation_prompt(item_ids[:6], item_ids[6:12], item_ids[6]),
+        ]
+        batch = builder.batch(prompts)
+        assert batch.tokens.shape[0] == 2
+        assert batch.tokens.shape[1] == max(p.length for p in prompts)
+        assert batch.valid_mask.dtype == bool
+        assert (batch.tokens[batch.valid_mask] != tokenizer.pad_id).all()
+        assert batch.candidate_token_ids.shape == (2, 6)
+        assert len(batch) == 2
+
+    def test_empty_batch_rejected(self, builder):
+        with pytest.raises(ValueError):
+            builder.batch([])
+
+    def test_mixed_candidate_sizes_rejected(self, builder, item_ids):
+        prompts = [
+            builder.recommendation_prompt(item_ids[:3], item_ids[3:9], item_ids[3]),
+            builder.recommendation_prompt(item_ids[:3], item_ids[3:8], item_ids[3]),
+        ]
+        with pytest.raises(ValueError):
+            builder.batch(prompts)
+
+
+class TestTaskBuilders:
+    def test_temporal_builder_produces_prompts(self, builder, tiny_dataset, tiny_split):
+        task_builder = TemporalAnalysisTaskBuilder(builder, tiny_dataset.catalog,
+                                                   num_candidates=10, icl_alpha=4, seed=0)
+        prompts = task_builder.build(tiny_split.train, limit=20)
+        assert prompts
+        assert all(isinstance(p, PromptExample) for p in prompts)
+        assert all(p.task == "temporal_analysis" for p in prompts)
+        assert all(len(p.candidate_items) == 10 for p in prompts)
+        assert all(p.label_item in p.candidate_items for p in prompts)
+
+    def test_temporal_builder_skips_short_histories(self, builder, tiny_dataset):
+        task_builder = TemporalAnalysisTaskBuilder(builder, tiny_dataset.catalog)
+        short = SequenceExample(user_id=1, history=(1,), target=2, timestamp=0.0)
+        assert task_builder.build_one(short) is None
+
+    def test_pattern_builder_uses_model_top1_as_label(self, builder, tiny_dataset, tiny_split):
+        model = MarkovChainRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        task_builder = PatternSimulatingTaskBuilder(builder, tiny_dataset.catalog, model,
+                                                    num_candidates=10, top_h=4, seed=0)
+        prompts = task_builder.build(tiny_split.train, limit=20)
+        assert prompts
+        for prompt, example in zip(prompts, tiny_split.train[:20]):
+            history = [i for i in example.history if i != 0]
+            expected = model.top_k(history, k=4)[0]
+            assert prompt.label_item == expected
+
+    def test_pattern_builder_validates_top_h(self, builder, tiny_dataset, tiny_split):
+        model = MarkovChainRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        with pytest.raises(ValueError):
+            PatternSimulatingTaskBuilder(builder, tiny_dataset.catalog, model, num_candidates=5, top_h=9)
+        with pytest.raises(ValueError):
+            PatternSimulatingTaskBuilder(builder, tiny_dataset.catalog, model, top_h=0)

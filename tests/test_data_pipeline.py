@@ -1,0 +1,239 @@
+"""Tests for synthetic generation, splits, candidate sampling, batching and stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CandidateSampler,
+    DATASET_CONFIGS,
+    PAPER_DATASET_STATS,
+    SequenceExample,
+    SyntheticDatasetConfig,
+    SyntheticDatasetGenerator,
+    available_datasets,
+    batch_examples,
+    build_examples,
+    chronological_split,
+    compute_stats,
+    load_dataset,
+    pad_sequence,
+)
+from repro.data.batching import make_batch
+from repro.data.splits import cold_start_examples, limit_examples
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    config = SyntheticDatasetConfig(
+        name="unit-test",
+        domain="movies",
+        num_users=40,
+        num_items=60,
+        interactions_per_user_mean=12.0,
+        seed=7,
+    )
+    return SyntheticDatasetGenerator(config).generate()
+
+
+class TestSyntheticGenerator:
+    def test_generation_is_deterministic(self):
+        config = SyntheticDatasetConfig(
+            name="det", domain="movies", num_users=15, num_items=30, seed=3
+        )
+        a = SyntheticDatasetGenerator(config).generate()
+        b = SyntheticDatasetGenerator(config).generate()
+        assert [s.item_ids for s in a.sequences()] == [s.item_ids for s in b.sequences()]
+
+    def test_titles_match_genres(self, small_dataset):
+        generator_genres = {item.category for item in small_dataset.catalog}
+        assert generator_genres  # every item carries a genre
+        for item in small_dataset.catalog:
+            assert item.title
+            assert item.category in generator_genres
+
+    def test_transition_matrix_is_stochastic(self):
+        config = SyntheticDatasetConfig(name="t", domain="movies", num_users=5, num_items=20, seed=1)
+        generator = SyntheticDatasetGenerator(config)
+        matrix = generator.transition_matrix()
+        np.testing.assert_allclose(matrix.sum(axis=1), np.ones(matrix.shape[0]), atol=1e-9)
+        assert np.all(matrix >= 0)
+
+    def test_sequences_have_genre_structure(self, small_dataset):
+        """Consecutive genre transitions should be far from uniform (learnable signal)."""
+        genre_of = {item.item_id: item.category for item in small_dataset.catalog}
+        genres = sorted({item.category for item in small_dataset.catalog})
+        index = {g: i for i, g in enumerate(genres)}
+        counts = np.zeros((len(genres), len(genres)))
+        for sequence in small_dataset.sequences():
+            ids = sequence.item_ids
+            for a, b in zip(ids, ids[1:]):
+                counts[index[genre_of[a]], index[genre_of[b]]] += 1
+        row_sums = counts.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1
+        probs = counts / row_sums
+        # at least one strongly preferred next genre per row on average
+        assert probs.max(axis=1).mean() > 2.0 / len(genres)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(name="bad", domain="movies", num_users=0, num_items=10)
+        with pytest.raises(ValueError):
+            SyntheticDatasetConfig(
+                name="bad", domain="movies", num_users=5, num_items=10, genre_coherence=2.0
+            )
+
+
+class TestRegistry:
+    def test_available_datasets_match_paper(self):
+        assert set(available_datasets()) == {
+            "movielens-100k",
+            "steam",
+            "beauty",
+            "home-kitchen",
+            "kuairec",
+        }
+        assert set(available_datasets()) == set(DATASET_CONFIGS)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("netflix")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("steam", scale=0.0)
+
+    def test_scale_reduces_size(self):
+        full = load_dataset("movielens-100k")
+        small = load_dataset("movielens-100k", scale=0.5)
+        assert small.num_users <= full.num_users
+
+    def test_sparsity_ordering_matches_paper(self):
+        """KuaiRec densest, the Amazon datasets sparsest — the property Table V uses."""
+        stats = {name: compute_stats(load_dataset(name, scale=0.6)) for name in available_datasets()}
+        assert stats["kuairec"].sparsity < stats["movielens-100k"].sparsity
+        assert stats["movielens-100k"].sparsity < stats["beauty"].sparsity
+        assert stats["movielens-100k"].sparsity < stats["home-kitchen"].sparsity
+
+    def test_paper_reference_stats_available(self):
+        assert PAPER_DATASET_STATS["movielens-100k"].num_sequences == 943
+        assert PAPER_DATASET_STATS["kuairec"].sparsity == pytest.approx(0.8372)
+
+
+class TestSplits:
+    def test_examples_are_chronological_and_leak_free(self, small_dataset):
+        split = chronological_split(small_dataset, max_history=9)
+        train_max = max(e.timestamp for e in split.train)
+        val_min = min(e.timestamp for e in split.validation)
+        test_min = min(e.timestamp for e in split.test)
+        assert train_max <= val_min <= test_min or train_max <= test_min
+
+    def test_split_ratios_roughly_hold(self, small_dataset):
+        split = chronological_split(small_dataset, max_history=9)
+        total = len(split.train) + len(split.validation) + len(split.test)
+        assert total == len(build_examples(small_dataset, max_history=9))
+        assert 0.75 <= len(split.train) / total <= 0.85
+
+    def test_history_never_contains_target_position(self, small_dataset):
+        for example in build_examples(small_dataset, max_history=5)[:200]:
+            assert len(example.history) <= 5
+            assert example.target != 0
+
+    def test_invalid_ratios_raise(self, small_dataset):
+        with pytest.raises(ValueError):
+            chronological_split(small_dataset, ratios=(0.5, 0.5, 0.5))
+
+    def test_example_requires_valid_target(self):
+        with pytest.raises(ValueError):
+            SequenceExample(user_id=1, history=(1, 2), target=0, timestamp=0.0)
+
+    def test_cold_start_examples_have_short_histories(self, small_dataset):
+        examples = cold_start_examples(small_dataset, max_interactions=3)
+        assert examples
+        assert all(len(example.history) <= 2 for example in examples)
+
+    def test_limit_examples(self, small_dataset):
+        examples = build_examples(small_dataset)
+        limited = limit_examples(examples, 10)
+        assert len(limited) == 10
+        assert limit_examples(examples, None) == examples
+
+
+class TestCandidates:
+    def test_candidate_set_contains_target_and_size(self, small_dataset):
+        split = chronological_split(small_dataset)
+        sampler = CandidateSampler(small_dataset, num_candidates=15, seed=1)
+        for example in split.test[:50]:
+            candidates = sampler.candidates_for(example)
+            assert len(candidates) == 15
+            assert example.target in candidates
+            assert len(set(candidates)) == 15
+
+    def test_candidates_are_deterministic_and_cached(self, small_dataset):
+        split = chronological_split(small_dataset)
+        sampler_a = CandidateSampler(small_dataset, num_candidates=10, seed=5)
+        sampler_b = CandidateSampler(small_dataset, num_candidates=10, seed=5)
+        example = split.test[0]
+        assert sampler_a.candidates_for(example) == sampler_b.candidates_for(example)
+        assert sampler_a.candidates_for(example) == sampler_a.candidates_for(example)
+
+    def test_different_seeds_change_negatives(self, small_dataset):
+        split = chronological_split(small_dataset)
+        example = split.test[0]
+        a = CandidateSampler(small_dataset, num_candidates=10, seed=1).candidates_for(example)
+        b = CandidateSampler(small_dataset, num_candidates=10, seed=2).candidates_for(example)
+        assert a != b
+
+    def test_too_many_candidates_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            CandidateSampler(small_dataset, num_candidates=small_dataset.num_items + 1)
+        with pytest.raises(ValueError):
+            CandidateSampler(small_dataset, num_candidates=1)
+
+
+class TestBatching:
+    def test_pad_sequence_left_pads_and_truncates(self):
+        assert pad_sequence([1, 2], 4) == [0, 0, 1, 2]
+        assert pad_sequence([1, 2, 3, 4, 5], 3) == [3, 4, 5]
+
+    def test_make_batch_shapes_and_mask(self, small_dataset):
+        examples = build_examples(small_dataset, max_history=6)[:8]
+        batch = make_batch(examples, max_history=6)
+        assert batch.histories.shape == (8, 6)
+        assert batch.valid_mask.shape == (8, 6)
+        assert len(batch) == 8
+        assert np.all(batch.lengths >= 1)
+        # padding only on the left
+        for row, mask in zip(batch.histories, batch.valid_mask):
+            first_real = np.argmax(mask) if mask.any() else len(mask)
+            assert np.all(row[:first_real] == 0)
+            assert np.all(row[first_real:] != 0)
+
+    def test_batch_examples_partitions_everything(self, small_dataset):
+        examples = build_examples(small_dataset, max_history=6)[:25]
+        batches = list(batch_examples(examples, batch_size=8, max_history=6))
+        assert sum(len(b) for b in batches) == 25
+
+    def test_batch_examples_shuffle_is_deterministic(self, small_dataset):
+        examples = build_examples(small_dataset, max_history=6)[:20]
+        a = list(batch_examples(examples, 5, 6, shuffle=True, rng=np.random.default_rng(3)))
+        b = list(batch_examples(examples, 5, 6, shuffle=True, rng=np.random.default_rng(3)))
+        np.testing.assert_array_equal(a[0].histories, b[0].histories)
+
+    def test_invalid_batch_size(self, small_dataset):
+        examples = build_examples(small_dataset, max_history=6)[:4]
+        with pytest.raises(ValueError):
+            list(batch_examples(examples, 0, 6))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=12),
+    items=st.lists(st.integers(min_value=1, max_value=100), min_size=0, max_size=15),
+)
+def test_property_pad_sequence_always_returns_requested_length(length, items):
+    padded = pad_sequence(items, length)
+    assert len(padded) == length
+    real = [x for x in padded if x != 0]
+    assert real == list(items)[-length:][-len(real):] if real else True

@@ -1,0 +1,152 @@
+"""Tests for data records, catalogs, k-core filtering and title generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Interaction, Item, ItemCatalog, SequenceDataset, TitleGenerator
+from repro.data.records import _k_core_filter
+from repro.data.titles import DOMAIN_GENRES
+
+
+def make_catalog(num_items=6):
+    return ItemCatalog(
+        Item(item_id=i, title=f"Item {i}", category="cat") for i in range(1, num_items + 1)
+    )
+
+
+class TestItemCatalog:
+    def test_basic_lookup(self):
+        catalog = make_catalog()
+        assert len(catalog) == 6
+        assert catalog.title_of(3) == "Item 3"
+        assert catalog.id_of_title("Item 3") == 3
+        assert catalog.id_of_title("missing") is None
+        assert 3 in catalog and 99 not in catalog
+
+    def test_padding_id_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog([Item(item_id=0, title="bad")])
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError):
+            ItemCatalog([Item(item_id=1, title="a"), Item(item_id=1, title="b")])
+
+    def test_categories_and_items_in_category(self):
+        catalog = ItemCatalog(
+            [
+                Item(item_id=1, title="a", category="x"),
+                Item(item_id=2, title="b", category="y"),
+                Item(item_id=3, title="c", category="x"),
+            ]
+        )
+        assert catalog.categories() == ["x", "y"]
+        assert [item.item_id for item in catalog.items_in_category("x")] == [1, 3]
+
+    def test_item_describe_includes_metadata(self):
+        item = Item(item_id=1, title="Neon Horizon (2001)", category="scifi", attributes=("Quantum",))
+        text = item.describe()
+        assert "Neon Horizon (2001)" in text
+        assert "scifi" in text
+        assert "Quantum" in text
+
+
+class TestSequenceDataset:
+    def _interactions(self):
+        records = []
+        for user in range(1, 5):
+            for t in range(6):
+                records.append(Interaction(user_id=user, item_id=(t % 5) + 1, timestamp=t * 10 + user))
+        return records
+
+    def test_sequences_are_chronological(self):
+        dataset = SequenceDataset("toy", make_catalog(), self._interactions(), apply_core_filter=False)
+        for sequence in dataset.sequences():
+            times = sequence.timestamps
+            assert times == sorted(times)
+
+    def test_counts_and_sparsity(self):
+        dataset = SequenceDataset("toy", make_catalog(), self._interactions(), apply_core_filter=False)
+        assert dataset.num_users == 4
+        assert dataset.num_interactions == 24
+        expected_sparsity = 1.0 - 24 / (4 * 6)
+        assert dataset.sparsity == pytest.approx(expected_sparsity)
+
+    def test_core_filter_removes_sparse_users(self):
+        records = self._interactions()
+        records.append(Interaction(user_id=99, item_id=1, timestamp=1000.0))
+        dataset = SequenceDataset("toy", make_catalog(), records, min_interactions=5)
+        assert 99 not in dataset.users
+
+    def test_items_seen_by(self):
+        dataset = SequenceDataset("toy", make_catalog(), self._interactions(), apply_core_filter=False)
+        assert dataset.items_seen_by(1) == {1, 2, 3, 4, 5}
+
+    def test_interactions_for_unknown_items_dropped(self):
+        records = [Interaction(user_id=1, item_id=999, timestamp=0.0)]
+        dataset = SequenceDataset("toy", make_catalog(), records, apply_core_filter=False)
+        assert dataset.num_interactions == 0
+
+
+class TestKCoreFilter:
+    def test_filter_is_stable_fixed_point(self):
+        records = [
+            Interaction(user_id=1, item_id=1, timestamp=t) for t in range(5)
+        ] + [Interaction(user_id=2, item_id=1, timestamp=t) for t in range(2)]
+        filtered = _k_core_filter(records, 5)
+        users = {r.user_id for r in filtered}
+        assert users == {1}
+
+    def test_filter_can_empty_dataset(self):
+        records = [Interaction(user_id=1, item_id=2, timestamp=0.0)]
+        assert _k_core_filter(records, 5) == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        k=st.integers(min_value=2, max_value=4),
+    )
+    def test_property_all_survivors_have_at_least_k(self, seed, k):
+        rng = np.random.default_rng(seed)
+        records = [
+            Interaction(
+                user_id=int(rng.integers(1, 8)),
+                item_id=int(rng.integers(1, 8)),
+                timestamp=float(t),
+            )
+            for t in range(60)
+        ]
+        filtered = _k_core_filter(records, k)
+        user_counts, item_counts = {}, {}
+        for record in filtered:
+            user_counts[record.user_id] = user_counts.get(record.user_id, 0) + 1
+            item_counts[record.item_id] = item_counts.get(record.item_id, 0) + 1
+        assert all(count >= k for count in user_counts.values())
+        assert all(count >= k for count in item_counts.values())
+
+
+class TestTitleGenerator:
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ValueError):
+            TitleGenerator("spaceships")
+
+    @pytest.mark.parametrize("domain", sorted(DOMAIN_GENRES))
+    def test_titles_are_unique_and_nonempty(self, domain):
+        generator = TitleGenerator(domain, rng=np.random.default_rng(0))
+        titles = [generator.generate(generator.genres[0]) for _ in range(50)]
+        assert len(set(titles)) == 50
+        assert all(titles)
+
+    def test_movie_titles_have_year(self):
+        generator = TitleGenerator("movies", rng=np.random.default_rng(0))
+        title = generator.generate("scifi")
+        assert "(" in title and ")" in title
+
+    def test_vocabulary_reflects_genre_words(self):
+        generator = TitleGenerator("movies")
+        vocab = generator.vocabulary_for("scifi")
+        assert "Quantum" in vocab
+        title = generator.generate("scifi")
+        title_words = set(title.replace("(", " ").replace(")", " ").split())
+        assert title_words & set(vocab)

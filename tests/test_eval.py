@@ -1,0 +1,202 @@
+"""Tests for ranking metrics, the evaluator, significance tests, efficiency and cold start."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import SequenceExample, cold_start_examples
+from repro.eval import (
+    EvaluationResult,
+    RankingEvaluator,
+    cold_start_comparison,
+    evaluate_scorer,
+    hit_rate_at_k,
+    mrr,
+    ndcg_at_k,
+    paired_t_test,
+    profile_inference,
+    profile_model,
+    ranking_metrics,
+    significance_markers,
+)
+from repro.eval.metrics import MetricAccumulator, PAPER_METRICS
+from repro.models import PopularityRecommender, MarkovChainRecommender
+from repro.autograd import Linear
+
+
+class TestMetrics:
+    def test_hit_rate(self):
+        assert hit_rate_at_k([3, 1, 2], target=1, k=2) == 1.0
+        assert hit_rate_at_k([3, 1, 2], target=1, k=1) == 0.0
+        assert hit_rate_at_k([3, 1, 2], target=9, k=3) == 0.0
+
+    def test_ndcg_positions(self):
+        assert ndcg_at_k([1, 2, 3], target=1, k=3) == pytest.approx(1.0)
+        assert ndcg_at_k([2, 1, 3], target=1, k=3) == pytest.approx(1.0 / np.log2(3))
+        assert ndcg_at_k([2, 3, 1], target=1, k=2) == 0.0
+
+    def test_mrr(self):
+        assert mrr([5, 4, 1], target=1) == pytest.approx(1 / 3)
+        assert mrr([5, 4], target=1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([1], 1, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], 1, -1)
+
+    def test_ranking_metrics_keys(self):
+        metrics = ranking_metrics([1, 2, 3], target=2)
+        assert set(PAPER_METRICS) <= set(metrics)
+
+    def test_accumulator_means_and_samples(self):
+        acc = MetricAccumulator()
+        acc.update([1, 2, 3], target=1)
+        acc.update([2, 3, 1], target=1)
+        assert len(acc) == 2
+        assert acc.mean("HR@1") == pytest.approx(0.5)
+        assert acc.samples("HR@1").tolist() == [1.0, 0.0]
+        assert set(acc.paper_summary()) == set(PAPER_METRICS)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_hr_at_least_ndcg(self, k, seed):
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(np.arange(1, 16)).tolist()
+        target = int(rng.integers(1, 16))
+        assert hit_rate_at_k(ranked, target, k) >= ndcg_at_k(ranked, target, k)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_metrics_monotone_in_k(self, seed):
+        rng = np.random.default_rng(seed)
+        ranked = rng.permutation(np.arange(1, 16)).tolist()
+        target = int(rng.integers(1, 16))
+        assert hit_rate_at_k(ranked, target, 10) >= hit_rate_at_k(ranked, target, 5)
+        assert ndcg_at_k(ranked, target, 10) >= ndcg_at_k(ranked, target, 5)
+
+
+class TestEvaluator:
+    def test_oracle_scorer_gets_perfect_metrics(self, tiny_dataset, tiny_split):
+        examples = tiny_split.test[:40]
+
+        def oracle(example, candidates):
+            return np.array([1.0 if c == example.target else 0.0 for c in candidates])
+
+        result = evaluate_scorer(oracle, "oracle", tiny_dataset, examples)
+        assert result.metric("HR@1") == pytest.approx(1.0)
+        assert result.metric("NDCG@10") == pytest.approx(1.0)
+
+    def test_random_scorer_near_chance(self, tiny_dataset, tiny_split):
+        examples = tiny_split.test[:100]
+        rng = np.random.default_rng(0)
+
+        def random_scorer(example, candidates):
+            return rng.random(len(candidates))
+
+        result = evaluate_scorer(random_scorer, "random", tiny_dataset, examples, num_candidates=15)
+        assert 0.0 <= result.metric("HR@1") <= 0.25
+        assert result.metric("HR@10") >= 0.4  # 10 of 15 candidates
+
+    def test_recommender_evaluation_produces_all_metrics(self, tiny_dataset, tiny_split):
+        model = PopularityRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        evaluator = RankingEvaluator(tiny_dataset, tiny_split.test[:30], seed=3)
+        result = evaluator.evaluate_recommender(model)
+        assert isinstance(result, EvaluationResult)
+        assert result.num_examples == 30
+        assert set(PAPER_METRICS) <= set(result.metrics)
+
+    def test_scorer_shape_validation(self, tiny_dataset, tiny_split):
+        evaluator = RankingEvaluator(tiny_dataset, tiny_split.test[:5])
+        with pytest.raises(ValueError):
+            evaluator.evaluate_scorer("bad", lambda e, c: np.zeros(3))
+
+    def test_empty_examples_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            RankingEvaluator(tiny_dataset, [])
+
+
+class TestSignificance:
+    def _results(self, tiny_dataset, tiny_split):
+        examples = tiny_split.test[:60]
+        evaluator = RankingEvaluator(tiny_dataset, examples, seed=5)
+        markov = MarkovChainRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        popularity = PopularityRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        oracle_result = evaluator.evaluate_scorer(
+            "oracle", lambda e, c: np.array([1.0 if x == e.target else 0.0 for x in c])
+        )
+        return evaluator, oracle_result, evaluator.evaluate_recommender(popularity), evaluator.evaluate_recommender(markov)
+
+    def test_oracle_significantly_better_than_popularity(self, tiny_dataset, tiny_split):
+        _, oracle, popularity, _ = self._results(tiny_dataset, tiny_split)
+        result = paired_t_test(oracle, popularity, "HR@1")
+        assert result.mean_difference > 0
+        assert result.p_value < 0.01
+        assert result.marker == "*"
+
+    def test_self_comparison_is_not_significant(self, tiny_dataset, tiny_split):
+        _, _, popularity, _ = self._results(tiny_dataset, tiny_split)
+        result = paired_t_test(popularity, popularity, "HR@5")
+        assert result.mean_difference == pytest.approx(0.0)
+        assert result.marker == ""
+
+    def test_markers_dictionary(self, tiny_dataset, tiny_split):
+        _, oracle, popularity, _ = self._results(tiny_dataset, tiny_split)
+        markers = significance_markers(oracle, popularity, metrics=["HR@1", "HR@5"])
+        assert set(markers) == {"HR@1", "HR@5"}
+
+    def test_mismatched_lengths_raise(self, tiny_dataset, tiny_split):
+        evaluator_a = RankingEvaluator(tiny_dataset, tiny_split.test[:10], seed=1)
+        evaluator_b = RankingEvaluator(tiny_dataset, tiny_split.test[:20], seed=1)
+        model = PopularityRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        result_a = evaluator_a.evaluate_recommender(model)
+        result_b = evaluator_b.evaluate_recommender(model)
+        with pytest.raises(ValueError):
+            paired_t_test(result_a, result_b, "HR@1")
+
+    def test_missing_metric_raises(self, tiny_dataset, tiny_split):
+        _, oracle, popularity, _ = self._results(tiny_dataset, tiny_split)
+        with pytest.raises(KeyError):
+            paired_t_test(oracle, popularity, "HR@99")
+
+
+class TestEfficiency:
+    def test_profile_model_counts_parameters(self):
+        layer = Linear(10, 4)
+        profile = profile_model(layer, name="probe")
+        assert profile.total_parameters == 10 * 4 + 4
+        assert profile.memory_megabytes > 0
+
+    def test_profile_inference_accumulates(self):
+        layer = Linear(10, 4)
+        profile = profile_model(layer, name="probe")
+        profile = profile_inference(profile, lambda: None, num_requests=10)
+        assert profile.requests == 10
+        assert profile.seconds_per_request >= 0.0
+        with pytest.raises(ValueError):
+            profile_inference(profile, lambda: None, num_requests=0)
+
+    def test_as_row_fields(self):
+        profile = profile_model(Linear(2, 2), name="p")
+        row = profile.as_row()
+        assert {"model", "parameters", "memory_mb", "latency_s"} <= set(row)
+
+
+class TestColdStart:
+    def test_cold_start_report(self, tiny_dataset, tiny_split):
+        model = PopularityRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        markov = MarkovChainRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        report = cold_start_comparison(
+            tiny_dataset, {"Popularity": model, "Markov": markov}, max_interactions=3
+        )
+        assert report.num_users > 0
+        assert set(report.methods()) == {"Markov", "Popularity"}
+        assert 0.0 <= report.metric("Popularity", "HR@10") <= 1.0
+
+    def test_cold_start_examples_limited_history(self, tiny_dataset):
+        examples = cold_start_examples(tiny_dataset, max_interactions=3)
+        assert all(len(e.history) <= 2 for e in examples)

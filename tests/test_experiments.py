@@ -1,0 +1,131 @@
+"""Tests for the experiment harness (runners, profiles, reporting).
+
+Everything here uses the ``smoke`` profile so the end-to-end runners finish in
+seconds-to-a-minute; the real reproduction numbers come from ``benchmarks/``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    PROFILES,
+    ResultTable,
+    format_table,
+    get_profile,
+    run_fig9_case_study,
+    run_table1_dataset_stats,
+    save_results,
+)
+from repro.experiments.runner import ExperimentProfile
+from repro.experiments.sweeps import _sweep
+from repro.eval.metrics import PAPER_METRICS
+
+SMOKE = PROFILES["smoke"]
+
+
+class TestProfiles:
+    def test_builtin_profiles_exist(self):
+        assert {"smoke", "fast", "standard"} <= set(PROFILES)
+        assert PROFILES["smoke"].stage2_epochs <= PROFILES["standard"].stage2_epochs
+
+    def test_get_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "smoke")
+        assert get_profile().name == "smoke"
+        monkeypatch.delenv("REPRO_BENCH_PROFILE")
+        assert get_profile().name == "fast"
+        with pytest.raises(KeyError):
+            get_profile("turbo")
+
+    def test_profile_produces_delrec_config(self):
+        config = SMOKE.delrec_config("steam")
+        assert config.icl_alpha == 6  # per-dataset alpha from the paper
+        assert config.soft_prompt_size == SMOKE.soft_prompt_size
+
+    def test_table2_datasets_cover_paper(self):
+        assert set(PROFILES["standard"].table2_datasets) == {
+            "movielens-100k", "steam", "beauty", "home-kitchen"
+        }
+
+
+class TestReporting:
+    def test_result_table_roundtrip(self, tmp_path):
+        table = ResultTable(title="demo", columns=["method", "HR@1"])
+        table.add_row(method="A", **{"HR@1": 0.5})
+        table.add_row(method="B", **{"HR@1": 0.25})
+        assert table.value("HR@1", method="A") == 0.5
+        assert table.row_for(method="C") is None
+        with pytest.raises(KeyError):
+            table.value("HR@1", method="C")
+        rendered = format_table(table)
+        assert "demo" in rendered and "0.5000" in rendered
+        path = save_results([table], str(tmp_path / "results.json"))
+        assert os.path.exists(path)
+        assert os.path.exists(str(tmp_path / "results.txt"))
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return ExperimentContext("movielens-100k", SMOKE)
+
+    def test_context_shares_test_examples(self, context):
+        assert len(context.test_examples) <= SMOKE.max_test_examples
+        assert context.evaluator.examples == context.test_examples
+
+    def test_conventional_models_are_cached(self, context):
+        first = context.conventional_model("SASRec")
+        second = context.conventional_model("SASRec")
+        assert first is second
+        assert first.is_fitted
+
+    def test_fresh_llm_returns_independent_copies(self, context):
+        a = context.fresh_llm("simlm-large")
+        b = context.fresh_llm("simlm-large")
+        assert a is not b
+        np.testing.assert_allclose(a.token_embedding.weight.data, b.token_embedding.weight.data)
+        a.token_embedding.weight.data[:] = 0.0
+        assert not np.allclose(a.token_embedding.weight.data, b.token_embedding.weight.data)
+
+    def test_evaluate_caches_results(self, context):
+        model = context.conventional_model("SASRec")
+        result = context.evaluate(model, "SASRec-test")
+        assert context.result("SASRec-test") is result
+        assert set(PAPER_METRICS) <= set(result.metrics)
+
+    def test_unknown_backbone_rejected(self, context):
+        with pytest.raises(KeyError):
+            context.conventional_model("NCF")
+
+
+class TestRunners:
+    def test_table1_contains_all_datasets_and_paper_reference(self):
+        table = run_table1_dataset_stats(SMOKE)
+        datasets = set(table.column("dataset"))
+        assert datasets == {"movielens-100k", "steam", "beauty", "home-kitchen", "kuairec"}
+        kuairec = table.row_for(dataset="kuairec")
+        beauty = table.row_for(dataset="beauty")
+        assert kuairec["sparsity"] < beauty["sparsity"]
+        assert kuairec["paper_sparsity"] == pytest.approx(0.8372)
+
+    def test_case_study_structure(self):
+        study = run_fig9_case_study(SMOKE, dataset_name="movielens-100k", top_k=2)
+        assert study.history_titles
+        assert set(study.recommendations) == {"Flan-T5-XL (zero-shot LLM)", "SASRec", "DELRec"}
+        table = study.as_table()
+        assert len(table.rows) == 3
+        assert any("ground truth" in note for note in table.notes)
+
+    def test_sweep_runner_records_requested_values(self):
+        table = _sweep(
+            parameter="soft_prompt_size",
+            values=(2,),
+            title="smoke sweep",
+            profile=SMOKE,
+            datasets=("movielens-100k",),
+            verbose=False,
+        )
+        assert table.column("soft_prompt_size") == [2]
+        assert 0.0 <= table.rows[0]["HR@1"] <= 1.0

@@ -1,0 +1,289 @@
+"""Tests for the simulated LLM substrate: tokenizer, corpus, SimLM, soft prompts, verbalizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Adam, Tensor
+from repro.autograd import functional as F
+from repro.data import chronological_split
+from repro.llm import (
+    CorpusBuilder,
+    PretrainConfig,
+    SIMLM_CONFIGS,
+    SimLM,
+    SimLMConfig,
+    SoftPrompt,
+    Tokenizer,
+    Verbalizer,
+    build_pretrained_simlm,
+    build_simlm,
+    pretrain_simlm,
+)
+from repro.llm.corpus import corpus_for_dataset
+from repro.llm.registry import build_tokenizer
+from repro.llm.tokenizer import item_token
+
+
+@pytest.fixture(scope="module")
+def tokenizer(tiny_dataset):
+    return build_tokenizer(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def small_simlm(tiny_dataset):
+    return build_simlm(tiny_dataset, size="simlm-large", seed=0)
+
+
+class TestTokenizer:
+    def test_special_token_ids_are_stable(self, tokenizer):
+        assert tokenizer.pad_id == 0
+        assert tokenizer.mask_id != tokenizer.pad_id
+        assert tokenizer.soft_id != tokenizer.mask_id
+
+    def test_item_tokens_present_for_every_item(self, tiny_dataset, tokenizer):
+        for item in tiny_dataset.catalog:
+            assert item_token(item.item_id) in tokenizer
+            assert tokenizer.item_token_id(item.item_id) != tokenizer.unk_id
+
+    def test_title_words_in_vocabulary(self, tiny_dataset, tokenizer):
+        item = next(iter(tiny_dataset.catalog))
+        for word in Tokenizer.split_words(item.title):
+            assert tokenizer.token_to_id(word) != tokenizer.unk_id
+
+    def test_encode_decode_roundtrip(self, tokenizer, tiny_dataset):
+        item = next(iter(tiny_dataset.catalog))
+        text = f"users who enjoyed {item.title} often choose"
+        ids = tokenizer.encode(text)
+        decoded = tokenizer.decode(ids)
+        assert "users" in decoded
+        assert all(isinstance(i, int) for i in ids)
+
+    def test_unknown_word_maps_to_unk(self, tokenizer):
+        assert tokenizer.encode("zzzunknownwordzzz") == [tokenizer.unk_id]
+
+    def test_special_tokens_survive_encoding(self, tokenizer):
+        ids = tokenizer.encode("[CLS] hello [MASK] [SEP] [SOFT]")
+        assert tokenizer.cls_id in ids
+        assert tokenizer.mask_id in ids
+        assert tokenizer.soft_id in ids
+
+    def test_vocab_size_consistent(self, tokenizer):
+        assert len(tokenizer) == tokenizer.vocab_size
+        assert tokenizer.vocab_size > 6
+
+
+class TestCorpus:
+    def test_corpus_mentions_every_item_token(self, tiny_dataset):
+        corpus = CorpusBuilder(tiny_dataset.catalog).build()
+        text = " ".join(corpus)
+        for item in tiny_dataset.catalog:
+            assert item_token(item.item_id) in text
+
+    def test_cooccurrence_sentences_use_training_examples(self, tiny_dataset, tiny_split):
+        builder = CorpusBuilder(tiny_dataset.catalog)
+        sentences = builder.cooccurrence_sentences(tiny_split.train, max_sentences=50)
+        assert sentences
+        assert all("next" in sentence for sentence in sentences)
+
+    def test_corpus_for_dataset_uses_domain_noun(self, tiny_dataset):
+        corpus = corpus_for_dataset(tiny_dataset)
+        assert any("item" in sentence for sentence in corpus)
+
+    def test_corpus_is_deterministic(self, tiny_dataset):
+        a = CorpusBuilder(tiny_dataset.catalog, rng=np.random.default_rng(1)).build()
+        b = CorpusBuilder(tiny_dataset.catalog, rng=np.random.default_rng(1)).build()
+        assert a == b
+
+
+class TestSimLM:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SimLMConfig(dim=30, num_heads=4)
+
+    def test_registry_sizes_ordered(self, tiny_dataset):
+        small = build_simlm(tiny_dataset, "simlm-large")
+        big = build_simlm(tiny_dataset, "simlm-xl")
+        assert big.num_parameters() > small.num_parameters()
+        with pytest.raises(KeyError):
+            build_simlm(tiny_dataset, "simlm-xxl")
+
+    def test_forward_shapes(self, small_simlm):
+        tokens = np.array([[small_simlm.tokenizer.cls_id, 7, 8, small_simlm.tokenizer.pad_id]])
+        logits = small_simlm.forward(tokens)
+        assert logits.shape == (1, 4, small_simlm.tokenizer.vocab_size)
+
+    def test_mask_logits_requires_mask(self, small_simlm):
+        tokens = np.array([[small_simlm.tokenizer.cls_id, 7, 8]])
+        with pytest.raises(ValueError):
+            small_simlm.mask_logits(tokens)
+
+    def test_mask_logits_shape(self, small_simlm):
+        t = small_simlm.tokenizer
+        tokens = np.array([[t.cls_id, 7, t.mask_id], [t.cls_id, t.mask_id, t.pad_id]])
+        logits = small_simlm.mask_logits(tokens)
+        assert logits.shape == (2, t.vocab_size)
+
+    def test_sequence_length_limit(self, tiny_dataset):
+        model = SimLM(build_tokenizer(tiny_dataset), SimLMConfig(dim=16, num_layers=1, num_heads=2, max_position=8))
+        tokens = np.full((1, 16), model.tokenizer.mask_id)
+        with pytest.raises(ValueError):
+            model.mask_logits(tokens)
+
+    def test_item_title_embeddings_shape(self, small_simlm, tiny_dataset):
+        embeddings = small_simlm.item_title_embeddings(tiny_dataset.catalog)
+        assert embeddings.shape == (tiny_dataset.num_items + 1, small_simlm.dim)
+        np.testing.assert_allclose(embeddings[0], np.zeros(small_simlm.dim))
+
+    def test_adaptable_linear_filter(self, small_simlm):
+        assert small_simlm.adaptable_linear_filter("layers.0.attention.query_proj")
+        assert not small_simlm.adaptable_linear_filter("layers.0.attention.key_proj")
+
+    def test_pretraining_reduces_loss(self, tiny_dataset, tiny_split):
+        model = build_simlm(tiny_dataset, "simlm-large", seed=1)
+        corpus = corpus_for_dataset(tiny_dataset, train_examples=tiny_split.train[:100])[:120]
+        losses = pretrain_simlm(model, corpus, PretrainConfig(epochs=3, batch_size=16, lr=3e-3))
+        assert model.is_pretrained
+        assert losses[-1] < losses[0]
+
+    def test_pretrain_empty_corpus_rejected(self, small_simlm):
+        with pytest.raises(ValueError):
+            pretrain_simlm(small_simlm, [])
+
+
+class TestSoftPrompt:
+    def test_shapes_and_validation(self):
+        prompt = SoftPrompt(num_tokens=4, dim=8)
+        assert prompt.embeddings().shape == (4, 8)
+        with pytest.raises(ValueError):
+            SoftPrompt(num_tokens=0, dim=8)
+        with pytest.raises(ValueError):
+            SoftPrompt(num_tokens=2, dim=8, init_style="magic")
+
+    def test_vocab_init_requires_model(self):
+        with pytest.raises(ValueError):
+            SoftPrompt(num_tokens=2, dim=8, init_style="vocab")
+
+    def test_vocab_init_draws_rows_from_embedding(self, small_simlm):
+        prompt = SoftPrompt(num_tokens=3, dim=small_simlm.dim, init_style="vocab", model=small_simlm)
+        table = small_simlm.token_embedding.weight.data
+        for row in prompt.as_array():
+            assert any(np.allclose(row, table[i]) for i in range(table.shape[0]))
+
+    def test_splice_replaces_soft_positions(self, small_simlm):
+        t = small_simlm.tokenizer
+        prompt = SoftPrompt(num_tokens=2, dim=small_simlm.dim, rng=np.random.default_rng(0))
+        tokens = np.array([[t.cls_id, t.soft_id, t.soft_id, 9]])
+        base = small_simlm.embed_tokens(tokens)
+        spliced = prompt.splice_into(base, tokens, t.soft_id)
+        np.testing.assert_allclose(spliced.data[0, 1], prompt.as_array()[0])
+        np.testing.assert_allclose(spliced.data[0, 2], prompt.as_array()[1])
+        np.testing.assert_allclose(spliced.data[0, 0], base.data[0, 0])
+
+    def test_splice_validates_slot_count(self, small_simlm):
+        t = small_simlm.tokenizer
+        prompt = SoftPrompt(num_tokens=3, dim=small_simlm.dim)
+        tokens = np.array([[t.cls_id, t.soft_id, 9, 9]])
+        with pytest.raises(ValueError):
+            prompt.splice_into(small_simlm.embed_tokens(tokens), tokens, t.soft_id)
+
+    def test_splice_without_slots_is_identity(self, small_simlm):
+        t = small_simlm.tokenizer
+        prompt = SoftPrompt(num_tokens=2, dim=small_simlm.dim)
+        tokens = np.array([[t.cls_id, 9, 9, 9]])
+        base = small_simlm.embed_tokens(tokens)
+        assert prompt.splice_into(base, tokens, t.soft_id) is base
+
+    def test_gradient_flows_into_soft_prompt_only_when_model_frozen(self, small_simlm):
+        t = small_simlm.tokenizer
+        prompt = SoftPrompt(num_tokens=2, dim=small_simlm.dim, rng=np.random.default_rng(1))
+        small_simlm.freeze()
+        tokens = np.array([[t.cls_id, t.soft_id, t.soft_id, t.mask_id]])
+        embeddings = prompt.splice_into(small_simlm.embed_tokens(tokens), tokens, t.soft_id)
+        logits = small_simlm.mask_logits(tokens, input_embeddings=embeddings)
+        loss = F.cross_entropy(logits, np.array([5]))
+        loss.backward()
+        assert prompt.weight.grad is not None
+        assert np.abs(prompt.weight.grad).sum() > 0
+        assert all(p.grad is None for p in small_simlm.parameters())
+        small_simlm.unfreeze()
+
+    def test_clone_and_randomise(self):
+        prompt = SoftPrompt(num_tokens=2, dim=4, rng=np.random.default_rng(0))
+        copy = prompt.clone()
+        np.testing.assert_allclose(copy.as_array(), prompt.as_array())
+        copy.randomise(np.random.default_rng(99))
+        assert not np.allclose(copy.as_array(), prompt.as_array())
+
+
+class TestVerbalizer:
+    def test_invalid_aggregation(self, tokenizer, tiny_dataset):
+        with pytest.raises(ValueError):
+            Verbalizer(tokenizer, tiny_dataset.catalog, aggregation="max")
+
+    def test_item_token_scores_match_logits(self, tokenizer, tiny_dataset):
+        verbalizer = Verbalizer(tokenizer, tiny_dataset.catalog)
+        candidates = tiny_dataset.catalog.ids()[:5]
+        logits = np.zeros(tokenizer.vocab_size)
+        logits[tokenizer.item_token_id(candidates[2])] = 3.0
+        scores = verbalizer.score_candidates(logits, candidates)
+        assert np.argmax(scores) == 2
+
+    def test_candidate_logits_differentiable(self, tokenizer, tiny_dataset, small_simlm):
+        verbalizer = Verbalizer(tokenizer, tiny_dataset.catalog)
+        candidates = tiny_dataset.catalog.ids()[:4]
+        logits = Tensor(np.random.default_rng(0).normal(size=(2, tokenizer.vocab_size)), requires_grad=True)
+        candidate_scores = verbalizer.candidate_logits(logits, candidates)
+        assert candidate_scores.shape == (2, 4)
+        candidate_scores.sum().backward()
+        assert logits.grad is not None
+
+    def test_title_aggregations_differ_from_item_token(self, tokenizer, tiny_dataset):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=tokenizer.vocab_size)
+        candidates = tiny_dataset.catalog.ids()[:6]
+        scores = {
+            agg: Verbalizer(tokenizer, tiny_dataset.catalog, aggregation=agg).score_candidates(logits, candidates)
+            for agg in ("item-token", "title-mean", "title-first")
+        }
+        assert not np.allclose(scores["item-token"], scores["title-mean"])
+
+    def test_score_all_items_masks_padding(self, tokenizer, tiny_dataset):
+        verbalizer = Verbalizer(tokenizer, tiny_dataset.catalog)
+        logits = np.zeros(tokenizer.vocab_size)
+        full = verbalizer.score_all_items(logits)
+        assert full[0] < -1e10
+        assert full.shape[0] == max(tiny_dataset.catalog.ids()) + 1
+
+
+class TestEndToEndPromptTuning:
+    def test_soft_prompt_tuning_fits_a_toy_task(self, tiny_dataset):
+        """Frozen SimLM + trainable soft prompt can learn to predict a fixed item token."""
+        model = build_simlm(tiny_dataset, "simlm-large", seed=3)
+        t = model.tokenizer
+        model.freeze()
+        prompt = SoftPrompt(num_tokens=2, dim=model.dim, rng=np.random.default_rng(0))
+        target_item = tiny_dataset.catalog.ids()[0]
+        target_token = t.item_token_id(target_item)
+        tokens = np.array([[t.cls_id, t.soft_id, t.soft_id, t.mask_id]])
+        optimizer = Adam(prompt.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(30):
+            optimizer.zero_grad()
+            embeddings = prompt.splice_into(model.embed_tokens(tokens), tokens, t.soft_id)
+            logits = model.mask_logits(tokens, input_embeddings=embeddings)
+            loss = F.cross_entropy(logits, np.array([target_token]))
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss
+        model.unfreeze()
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_tokens=st.integers(min_value=1, max_value=6), dim=st.integers(min_value=2, max_value=16))
+def test_property_soft_prompt_shapes(num_tokens, dim):
+    prompt = SoftPrompt(num_tokens=num_tokens, dim=dim)
+    assert prompt.as_array().shape == (num_tokens, dim)

@@ -1,0 +1,119 @@
+"""Tests for the classical (non-neural) recommenders and the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import SequenceExample
+from repro.models import (
+    FPMCRecommender,
+    MarkovChainRecommender,
+    PopularityRecommender,
+    available_models,
+    create_model,
+)
+from repro.models.base import NEG_INF, SequentialRecommender
+
+
+def toy_examples():
+    """Deterministic pattern: item 1 -> 2 -> 3 -> 1 ..., plus a popular item 4."""
+    examples = []
+    cycle = [1, 2, 3]
+    for user in range(1, 11):
+        history = []
+        for step in range(6):
+            item = cycle[step % 3]
+            if history:
+                examples.append(
+                    SequenceExample(user_id=user, history=tuple(history[-5:]), target=item, timestamp=step)
+                )
+            history.append(item)
+        examples.append(
+            SequenceExample(user_id=user, history=tuple(history[-5:]), target=4, timestamp=99)
+        )
+    return examples
+
+
+class TestPopularity:
+    def test_most_popular_item_ranked_first(self):
+        model = PopularityRecommender(num_items=5).fit(toy_examples())
+        top = model.top_k([1], k=3)
+        # items 1,2,3 occur most often in histories+targets
+        assert set(top) <= {1, 2, 3, 4}
+        assert model.score_all([])[0] == NEG_INF
+
+    def test_requires_fit(self):
+        model = PopularityRecommender(num_items=5)
+        with pytest.raises(RuntimeError):
+            model.score_all([1])
+
+    def test_score_candidates_order_matches_candidates(self):
+        model = PopularityRecommender(num_items=5).fit(toy_examples())
+        scores = model.score_candidates([1], [4, 2])
+        assert scores.shape == (2,)
+
+
+class TestMarkov:
+    def test_learns_cycle_transition(self):
+        model = MarkovChainRecommender(num_items=5).fit(toy_examples())
+        assert model.top_k([3, 1], k=1)[0] == 2
+        assert model.top_k([1, 2], k=1)[0] == 3
+
+    def test_empty_history_falls_back_to_popularity(self):
+        model = MarkovChainRecommender(num_items=5).fit(toy_examples())
+        scores = model.score_all([])
+        assert np.isfinite(scores[1:]).all()
+
+    def test_padding_never_recommended(self):
+        model = MarkovChainRecommender(num_items=5).fit(toy_examples())
+        assert 0 not in model.top_k([1], k=5)
+
+
+class TestFPMC:
+    def test_learns_transition_pattern(self):
+        model = FPMCRecommender(num_items=5, num_users=12, embedding_dim=16, seed=0)
+        model.fit(toy_examples(), epochs=30, lr=0.05)
+        # after item 1 the next item in the cycle is 2
+        top2 = model.top_k([3, 1], k=2)
+        assert 2 in top2
+
+    def test_requires_nonempty_history_examples(self):
+        model = FPMCRecommender(num_items=5)
+        with pytest.raises(ValueError):
+            model.fit([SequenceExample(user_id=1, history=(), target=1, timestamp=0)])
+
+    def test_item_embeddings_shape(self):
+        model = FPMCRecommender(num_items=5, embedding_dim=8)
+        model.fit(toy_examples(), epochs=1)
+        assert model.item_embeddings().shape == (6, 8)
+
+
+class TestBaseInterface:
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            PopularityRecommender(num_items=0)
+
+    def test_top_k_with_candidates_respects_candidate_set(self):
+        model = PopularityRecommender(num_items=5).fit(toy_examples())
+        ranked = model.top_k([1], k=2, candidates=[5, 4])
+        assert set(ranked) <= {4, 5}
+
+    def test_top_k_exclude_history(self):
+        model = PopularityRecommender(num_items=5).fit(toy_examples())
+        ranked = model.top_k([1, 2, 3], k=2, exclude_history=True)
+        assert not set(ranked) & {1, 2, 3}
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert {"gru4rec", "caser", "sasrec", "popularity", "markov", "fpmc", "bert4rec"} <= set(
+            available_models()
+        )
+
+    def test_create_model(self):
+        model = create_model("markov", num_items=10)
+        assert isinstance(model, SequentialRecommender)
+        assert model.num_items == 10
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("transformer-xxl", num_items=10)

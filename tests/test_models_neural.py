@@ -1,0 +1,146 @@
+"""Tests for the neural recommenders (GRU4Rec, Caser, SASRec, BERT4Rec) and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data import chronological_split
+from repro.data.batching import make_batch
+from repro.data.splits import SequenceExample
+from repro.eval import evaluate_recommender
+from repro.models import (
+    BERT4Rec,
+    Caser,
+    GRU4Rec,
+    PopularityRecommender,
+    SASRec,
+    TrainingConfig,
+    train_recommender,
+)
+from repro.models.trainer import PAPER_TRAINING_DEFAULTS
+
+
+def cyclic_examples(num_items=6, num_users=20, length=8):
+    """Deterministic cyclical pattern every neural model should be able to learn."""
+    examples = []
+    for user in range(1, num_users + 1):
+        history = [((user + step) % num_items) + 1 for step in range(length)]
+        for position in range(2, length):
+            examples.append(
+                SequenceExample(
+                    user_id=user,
+                    history=tuple(history[:position]),
+                    target=history[position],
+                    timestamp=float(position),
+                )
+            )
+    return examples
+
+
+NEURAL_FACTORIES = {
+    "gru4rec": lambda n: GRU4Rec(num_items=n, embedding_dim=16, max_history=9, seed=0),
+    "caser": lambda n: Caser(num_items=n, embedding_dim=16, num_horizontal_filters=4,
+                             num_vertical_filters=2, max_history=9, seed=0),
+    "sasrec": lambda n: SASRec(num_items=n, embedding_dim=16, num_blocks=1, num_heads=2,
+                               dropout=0.1, max_history=9, seed=0),
+    "bert4rec": lambda n: BERT4Rec(num_items=n, embedding_dim=16, num_blocks=1, num_heads=2,
+                                   dropout=0.1, max_history=9, seed=0),
+}
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", sorted(NEURAL_FACTORIES))
+    def test_forward_logits_shape(self, name):
+        model = NEURAL_FACTORIES[name](8)
+        examples = cyclic_examples(num_items=8)[:5]
+        batch = make_batch(examples, max_history=9)
+        logits = model.forward(batch.histories, batch.valid_mask)
+        assert logits.shape[0] == 5
+        assert logits.shape[1] >= 9  # num_items + 1 (+ mask token for BERT4Rec)
+
+    @pytest.mark.parametrize("name", ["gru4rec", "caser", "sasrec"])
+    def test_item_embeddings_shape(self, name):
+        model = NEURAL_FACTORIES[name](8)
+        assert model.item_embeddings().shape == (9, 16)
+
+    def test_bert4rec_item_embeddings_exclude_mask_token(self):
+        model = NEURAL_FACTORIES["bert4rec"](8)
+        assert model.item_embeddings().shape == (9, 16)
+
+    def test_unfitted_model_refuses_to_score(self):
+        model = NEURAL_FACTORIES["sasrec"](8)
+        with pytest.raises(RuntimeError):
+            model.score_all([1, 2])
+
+
+class TestLearning:
+    @pytest.mark.parametrize("name", ["gru4rec", "sasrec", "caser"])
+    def test_learns_cyclic_pattern_better_than_popularity(self, name):
+        examples = cyclic_examples(num_items=6)
+        model = NEURAL_FACTORIES[name](6)
+        config = TrainingConfig(epochs=15, batch_size=32, lr=0.01, optimizer="adam", verbose=False)
+        history = train_recommender(model, examples, config)
+        assert history.losses[-1] < history.losses[0]
+        hits = sum(model.top_k(e.history, k=1)[0] == e.target for e in examples[:60])
+        assert hits / 60 > 0.5
+
+    def test_bert4rec_cloze_training_learns_pattern(self):
+        examples = cyclic_examples(num_items=6)
+        model = NEURAL_FACTORIES["bert4rec"](6)
+        model.fit(examples, epochs=15, lr=0.01, batch_size=32)
+        hits = sum(model.top_k(e.history, k=2).count(e.target) for e in examples[:60])
+        assert hits / 60 > 0.4
+
+    def test_training_loss_decreases_on_synthetic_dataset(self, tiny_dataset, tiny_split):
+        model = SASRec(num_items=tiny_dataset.num_items, embedding_dim=16, num_blocks=1,
+                       dropout=0.1, max_history=9, seed=1)
+        config = TrainingConfig(epochs=3, batch_size=64, lr=0.005)
+        history = train_recommender(model, tiny_split.train, config,
+                                    validation_examples=tiny_split.validation)
+        assert history.losses[-1] < history.losses[0]
+        assert len(history.validation_hit_rates) == 3
+
+
+class TestTrainerConfig:
+    def test_paper_defaults_available(self):
+        assert PAPER_TRAINING_DEFAULTS["GRU4Rec"]["optimizer"] == "adagrad"
+        config = TrainingConfig.for_model("GRU4Rec", epochs=2)
+        assert config.optimizer == "adagrad"
+        assert config.lr == pytest.approx(0.01)
+        assert config.epochs == 2
+
+    def test_unknown_optimizer_rejected(self):
+        model = GRU4Rec(num_items=5, embedding_dim=8)
+        with pytest.raises(ValueError):
+            train_recommender(model, cyclic_examples(5)[:10], TrainingConfig(optimizer="rmsprop"))
+
+    def test_empty_examples_rejected(self):
+        model = GRU4Rec(num_items=5, embedding_dim=8)
+        with pytest.raises(ValueError):
+            train_recommender(model, [], TrainingConfig())
+
+
+class TestBert4RecInitialization:
+    def test_initialize_item_embeddings(self):
+        model = BERT4Rec(num_items=4, embedding_dim=8)
+        new_embeddings = np.full((4, 8), 0.5)
+        model.initialize_item_embeddings(new_embeddings)
+        np.testing.assert_allclose(model.item_embedding.weight.data[1:5], 0.5)
+
+    def test_initialize_wrong_dim_raises(self):
+        model = BERT4Rec(num_items=4, embedding_dim=8)
+        with pytest.raises(ValueError):
+            model.initialize_item_embeddings(np.zeros((4, 16)))
+        with pytest.raises(ValueError):
+            model.initialize_item_embeddings(np.zeros((7, 8)))
+
+
+class TestIntegrationWithEvaluator:
+    def test_trained_sasrec_beats_popularity_on_candidates(self, tiny_dataset, tiny_split):
+        popularity = PopularityRecommender(num_items=tiny_dataset.num_items).fit(tiny_split.train)
+        sasrec = SASRec(num_items=tiny_dataset.num_items, embedding_dim=16, num_blocks=1,
+                        dropout=0.1, max_history=9, seed=3)
+        train_recommender(sasrec, tiny_split.train, TrainingConfig(epochs=6, batch_size=64, lr=0.005))
+        test_examples = tiny_split.test[:80]
+        pop_result = evaluate_recommender(popularity, tiny_dataset, test_examples, seed=11)
+        sas_result = evaluate_recommender(sasrec, tiny_dataset, test_examples, seed=11)
+        assert sas_result.metric("HR@5") >= pop_result.metric("HR@5")
