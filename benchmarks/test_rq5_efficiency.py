@@ -13,10 +13,11 @@ def test_rq5_efficiency_and_cold_start(benchmark):
         rounds=1,
         iterations=1,
     )
-    efficiency, cold = tables["efficiency"], tables["cold_start"]
+    efficiency, throughput, cold = tables["efficiency"], tables["throughput"], tables["cold_start"]
     print("\n" + str(efficiency))
+    print("\n" + str(throughput))
     print("\n" + str(cold))
-    save_results([efficiency, cold], results_path("rq5_efficiency.json"))
+    save_results([efficiency, throughput, cold], results_path("rq5_efficiency.json"))
 
     # soft prompts add a negligible fraction of the LLM's parameters (paper: 0.2M vs 3B)
     llm_row = efficiency.row_for(model="SimLM backbone (stands in for Flan-T5-XL)")
@@ -26,6 +27,15 @@ def test_rq5_efficiency_and_cold_start(benchmark):
 
     # DELRec latency is within a small factor of the raw LLM's (paper: 0.182s vs 0.161s)
     assert delrec_row["latency_s"] <= llm_row["latency_s"] * 3 + 1e-3
+
+    # batched candidate scoring beats the per-example loop with scores
+    # bitwise-identical to it for every model (the >=3x examples/sec bar is
+    # asserted with a wide margin in tests/test_batched_scoring.py; here the
+    # threshold leaves headroom for timing noise under the benchmark load)
+    sasrec_tp = throughput.row_for(model="SASRec")
+    assert sasrec_tp["speedup"] >= 2.0
+    for row in throughput.rows:
+        assert row["max_score_diff"] == 0.0
 
     # cold start: DELRec does not collapse for users with <3 interactions and
     # remains competitive with SASRec (paper: DELRec beats SASRec, ties KDALRD)

@@ -1,0 +1,78 @@
+"""Batched candidate scoring: throughput and bit-exactness demonstration.
+
+Run with::
+
+    python examples/batched_scoring.py
+
+The script (1) trains the three conventional backbones on the synthetic
+MovieLens-100K stand-in, (2) builds an (untrained) DELRec stack, and
+(3) times the per-example ``score_candidates`` loop against the batched
+``score_candidates_batch`` path over the same test examples, printing
+examples/sec for both plus the maximum score difference — which is 0.0
+because the batched engine is bitwise-identical to the loop.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+import numpy as np
+
+from repro.core.prompts import PromptBuilder
+from repro.core.recommend import DELRecRecommender
+from repro.data import chronological_split, load_dataset
+from repro.data.candidates import CandidateSampler
+from repro.eval import measure_scoring_throughput
+from repro.llm import SoftPrompt, Verbalizer
+from repro.llm.registry import build_simlm
+from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig, train_recommender
+
+
+def main() -> None:
+    dataset = load_dataset("movielens-100k", scale=0.6)
+    split = chronological_split(dataset, max_history=9)
+    sampler = CandidateSampler(dataset, num_candidates=15, seed=0)
+    examples = split.test[:96]
+    histories = [example.history for example in examples]
+    candidate_sets = [sampler.candidates_for(example) for example in examples]
+    print(f"dataset: {dataset}")
+    print(f"scoring {len(examples)} examples, 15 candidates each, batch_size=32\n")
+
+    header = f"{'model':10s} {'looped ex/s':>12s} {'batched ex/s':>13s} {'speedup':>8s} {'max diff':>9s}"
+    print(header)
+    print("-" * len(header))
+
+    for model_cls in (SASRec, GRU4Rec, Caser):
+        model = model_cls(num_items=dataset.num_items, embedding_dim=32, seed=0)
+        train_recommender(model, split.train, TrainingConfig.for_model(model.name, epochs=2))
+        report = measure_scoring_throughput(model, histories, candidate_sets, batch_size=32)
+        print(
+            f"{report.name:10s} {report.looped_examples_per_second:12.1f} "
+            f"{report.batched_examples_per_second:13.1f} {report.speedup:7.1f}x "
+            f"{report.max_score_difference:9.1e}"
+        )
+
+    llm = build_simlm(dataset, size="simlm-large", seed=0)
+    builder = PromptBuilder(llm.tokenizer, dataset.catalog, soft_prompt_size=8)
+    delrec = DELRecRecommender(
+        model=llm,
+        prompt_builder=builder,
+        verbalizer=Verbalizer(llm.tokenizer, dataset.catalog),
+        soft_prompt=SoftPrompt(8, llm.dim, rng=np.random.default_rng(0)),
+        auxiliary="soft",
+    )
+    report = measure_scoring_throughput(delrec, histories, candidate_sets, batch_size=32)
+    print(
+        f"{'DELRec':10s} {report.looped_examples_per_second:12.1f} "
+        f"{report.batched_examples_per_second:13.1f} {report.speedup:7.1f}x "
+        f"{report.max_score_difference:9.1e}"
+    )
+    print(
+        "\nmax diff is exactly 0.0: the batched engine buckets prompts by length and"
+        "\nuses batch-invariant matmuls, so it reproduces the looped scores bit for bit."
+    )
+
+
+if __name__ == "__main__":
+    main()

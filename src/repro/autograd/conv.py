@@ -68,7 +68,7 @@ class HorizontalConv(Module):
             window_outputs: List[Tensor] = []
             for start in range(length - h + 1):
                 window = x[:, start:start + h, :].reshape(batch, h * dim)
-                activation = (window.matmul(weight.transpose()) + bias).relu()
+                activation = (window.rowwise_matmul(weight.transpose()) + bias).relu()
                 window_outputs.append(activation)
             stacked = Tensor.stack(window_outputs, axis=1)  # (batch, positions, filters)
             pooled.append(stacked.max(axis=1))

@@ -30,7 +30,13 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x.matmul(self.weight.transpose())
+        weight_t = self.weight.transpose()
+        # 2-D inputs go through the batch-invariant product so that scoring a
+        # batch of rows is bitwise-identical to scoring each row alone.
+        if x.data.ndim == 2:
+            out = x.rowwise_matmul(weight_t)
+        else:
+            out = x.matmul(weight_t)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -35,8 +35,10 @@ class GRUCell(Module):
         self.bias_hidden = Parameter(init.zeros((3 * hidden_dim,)))
 
     def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
-        gates_x = x.matmul(self.weight_input.transpose()) + self.bias_input
-        gates_h = hidden.matmul(self.weight_hidden.transpose()) + self.bias_hidden
+        # rowwise_matmul keeps each row's arithmetic independent of the batch
+        # size, so batched scoring matches per-example scoring bit for bit.
+        gates_x = x.rowwise_matmul(self.weight_input.transpose()) + self.bias_input
+        gates_h = hidden.rowwise_matmul(self.weight_hidden.transpose()) + self.bias_hidden
         h = self.hidden_dim
         update = (gates_x[:, :h] + gates_h[:, :h]).sigmoid()
         reset = (gates_x[:, h:2 * h] + gates_h[:, h:2 * h]).sigmoid()

@@ -294,6 +294,40 @@ class Tensor:
 
         return self._make_result(out_data, (self, other), backward)
 
+    def rowwise_matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        """Batch-invariant matrix product for 2-D operands.
+
+        Computes ``self @ other`` for ``self`` of shape ``(rows, k)`` and
+        ``other`` of shape ``(k, n)`` by evaluating each row as an independent
+        ``(1, k) @ (k, n)`` product.  A plain GEMM rounds differently depending
+        on the number of rows, so scoring a batch and scoring the same rows one
+        at a time are not bitwise-reproducible through :meth:`matmul`; the
+        stacked form is, which is what lets batched candidate scoring return
+        bit-identical results to the per-example loop.
+
+        While gradient tracking is enabled this falls back to the single fused
+        GEMM: training steps do not need bitwise batch invariance and the
+        fused product is ~3x faster.  Every scoring path runs under
+        ``no_grad`` and therefore always takes the batch-invariant form.
+        """
+        if is_grad_enabled():
+            return self.matmul(other)
+        other = self._ensure(other)
+        a, b = self.data, other.data
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError(
+                f"rowwise_matmul expects 2-D operands, got {a.ndim}-D and {b.ndim}-D"
+            )
+        out_data = np.matmul(a[:, None, :], b)[:, 0, :]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ b.T)
+            if other.requires_grad:
+                other._accumulate(a.T @ grad)
+
+        return self._make_result(out_data, (self, other), backward)
+
     # ------------------------------------------------------------------ #
     # elementwise functions
     # ------------------------------------------------------------------ #

@@ -116,6 +116,26 @@ class LLMBaseline:
     def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
         raise NotImplementedError
 
+    def score_candidates_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        candidate_sets: Sequence[Sequence[int]],
+    ) -> List[np.ndarray]:
+        """Batched-scoring protocol; the default loops over :meth:`score_candidates`.
+
+        The baselines differ wildly in how a single example is scored, so the
+        shared fallback keeps all of them compatible with the batched
+        evaluator without requiring each to implement a fused forward pass.
+        """
+        if len(histories) != len(candidate_sets):
+            raise ValueError(
+                f"got {len(histories)} histories but {len(candidate_sets)} candidate sets"
+            )
+        return [
+            self.score_candidates(history, candidates)
+            for history, candidates in zip(histories, candidate_sets)
+        ]
+
     def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
         scores = self.score_candidates(history, candidates)
         order = np.argsort(-scores, kind="stable")

@@ -10,7 +10,7 @@ it can be evaluated by the shared harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -103,6 +103,50 @@ class DELRecRecommender:
             vocab_logits = self._vocab_logits(batch)[0]
             self.model.train(was_training)
         return self.verbalizer.score_candidates(vocab_logits, candidates)
+
+    def score_candidates_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        candidate_sets: Sequence[Sequence[int]],
+    ) -> List[np.ndarray]:
+        """Score many examples through a handful of batched SimLM forwards.
+
+        Prompts are grouped into buckets of identical token length (and
+        candidate-set size), so each bucket forms one un-padded
+        :class:`~repro.core.prompts.PromptBatch` and one transformer forward.
+        Because a bucket needs no padding and the forward pass only uses
+        batch-invariant operations, every row's scores are bitwise-identical
+        to the per-example :meth:`score_candidates` loop — just several times
+        faster.
+        """
+        if len(histories) != len(candidate_sets):
+            raise ValueError(
+                f"got {len(histories)} histories but {len(candidate_sets)} candidate sets"
+            )
+        if not len(histories):
+            return []
+        prompts = [
+            self.build_prompt(history, candidates)
+            for history, candidates in zip(histories, candidate_sets)
+        ]
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for index, prompt in enumerate(prompts):
+            key = (prompt.length, len(prompt.candidate_items))
+            buckets.setdefault(key, []).append(index)
+        scores: List[Optional[np.ndarray]] = [None] * len(prompts)
+        with no_grad():
+            was_training = self.model.training
+            self.model.eval()
+            for indices in buckets.values():
+                batch = self.prompt_builder.batch([prompts[i] for i in indices])
+                vocab_logits = self._vocab_logits(batch)
+                row_scores = self.verbalizer.score_candidate_rows(
+                    vocab_logits, [candidate_sets[i] for i in indices]
+                )
+                for row, index in enumerate(indices):
+                    scores[index] = row_scores[row]
+            self.model.train(was_training)
+        return scores
 
     def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
         scores = self.score_candidates(history, candidates)

@@ -18,6 +18,12 @@ from repro.data.splits import SequenceExample
 
 PADDING_ID = 0
 
+#: Shared generator for ``batch_examples(shuffle=True)`` calls without an
+#: explicit ``rng``.  A fresh ``default_rng(0)`` per call would replay the
+#: identical permutation every epoch; advancing a module-level generator keeps
+#: runs reproducible process-wide while still varying the order across epochs.
+_shared_shuffle_rng = np.random.default_rng(0)
+
 
 def pad_sequence(items: Sequence[int], length: int, padding_id: int = PADDING_ID) -> List[int]:
     """Left-pad (or left-truncate) ``items`` to exactly ``length`` entries."""
@@ -75,7 +81,7 @@ def batch_examples(
         raise ValueError("batch_size must be positive")
     order = np.arange(len(examples))
     if shuffle:
-        rng = rng or np.random.default_rng(0)
+        rng = rng if rng is not None else _shared_shuffle_rng
         rng.shuffle(order)
     for start in range(0, len(order), batch_size):
         index = order[start:start + batch_size]

@@ -50,7 +50,13 @@ class CandidateSampler:
         if cached is not None:
             return list(cached)
 
-        rng = np.random.default_rng((self.seed, example.user_id, example.target, len(example.history)))
+        # The seed folds in the full history (not just its length): two examples
+        # sharing user/target/history-length must not draw identical negatives,
+        # while re-evaluating the same example — in this sampler or another one
+        # with the same seed — still yields the same candidate set.
+        rng = np.random.default_rng(
+            (self.seed, example.user_id, example.target, len(example.history), *example.history)
+        )
         excluded = {example.target}
         if self.exclude_history:
             excluded.update(example.history)

@@ -4,7 +4,13 @@ efficiency profiling and the cold-start study."""
 from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, mrr, ranking_metrics, MetricAccumulator
 from repro.eval.evaluator import EvaluationResult, RankingEvaluator, evaluate_recommender, evaluate_scorer
 from repro.eval.significance import paired_t_test, SignificanceResult, significance_markers
-from repro.eval.efficiency import EfficiencyProfile, profile_model, profile_inference
+from repro.eval.efficiency import (
+    EfficiencyProfile,
+    ThroughputReport,
+    measure_scoring_throughput,
+    profile_model,
+    profile_inference,
+)
 from repro.eval.coldstart import ColdStartReport, cold_start_comparison
 
 __all__ = [
@@ -21,6 +27,8 @@ __all__ = [
     "SignificanceResult",
     "significance_markers",
     "EfficiencyProfile",
+    "ThroughputReport",
+    "measure_scoring_throughput",
     "profile_model",
     "profile_inference",
     "ColdStartReport",

@@ -39,18 +39,22 @@ def cold_start_comparison(
     num_candidates: int = 15,
     seed: int = 0,
     max_examples: int | None = None,
+    batch_size: int = 32,
 ) -> ColdStartReport:
     """Evaluate ``recommenders`` on users with at most ``max_interactions`` interactions.
 
     ``recommenders`` maps a method name to anything exposing
-    ``score_candidates(history, candidates)``.
+    ``score_candidates(history, candidates)``; methods with a batched scoring
+    path are driven in batches of ``batch_size``.
     """
     examples: List[SequenceExample] = cold_start_examples(dataset, max_interactions=max_interactions)
     if max_examples is not None:
         examples = examples[:max_examples]
     if not examples:
         raise ValueError("no cold-start examples found")
-    evaluator = RankingEvaluator(dataset, examples, num_candidates=num_candidates, seed=seed)
+    evaluator = RankingEvaluator(
+        dataset, examples, num_candidates=num_candidates, seed=seed, batch_size=batch_size
+    )
     report = ColdStartReport(
         dataset=dataset.name,
         max_interactions=max_interactions,

@@ -7,6 +7,12 @@ parameter counts of the numpy models and wall-clock timing of batched
 inference, so the *relative* comparison (DELRec adds only a small soft-prompt
 overhead on top of the base LLM) is reproduced even though absolute numbers
 are orders of magnitude smaller.
+
+:func:`measure_scoring_throughput` additionally compares the per-example
+candidate-scoring loop against the batched engine
+(``score_candidates_batch``) over identical examples, reporting examples/sec
+for both paths and the maximum score difference (0.0 — the batched path is
+bitwise-identical to the loop).
 """
 
 from __future__ import annotations
@@ -80,3 +86,98 @@ def profile_inference(
 def compare_profiles(profiles: Sequence[EfficiencyProfile]) -> Dict[str, Dict[str, object]]:
     """Tabulate a set of profiles keyed by model name."""
     return {profile.name: profile.as_row() for profile in profiles}
+
+
+@dataclass
+class ThroughputReport:
+    """Looped vs. batched candidate-scoring throughput for one recommender.
+
+    ``max_score_difference`` is the largest absolute difference between the
+    looped and batched scores over all examples — 0.0 when the batched path is
+    bitwise-identical to the loop, which is what the scoring engine guarantees.
+    """
+
+    name: str
+    num_examples: int
+    batch_size: int
+    looped_seconds: float
+    batched_seconds: float
+    max_score_difference: float
+
+    @property
+    def looped_examples_per_second(self) -> float:
+        return self.num_examples / self.looped_seconds if self.looped_seconds else 0.0
+
+    @property
+    def batched_examples_per_second(self) -> float:
+        return self.num_examples / self.batched_seconds if self.batched_seconds else 0.0
+
+    @property
+    def speedup(self) -> float:
+        return self.looped_seconds / self.batched_seconds if self.batched_seconds else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.name,
+            "examples": self.num_examples,
+            "batch_size": self.batch_size,
+            "looped_examples_per_s": round(self.looped_examples_per_second, 2),
+            "batched_examples_per_s": round(self.batched_examples_per_second, 2),
+            "speedup": round(self.speedup, 2),
+            "max_score_diff": self.max_score_difference,
+        }
+
+
+def measure_scoring_throughput(
+    recommender,
+    histories: Sequence[Sequence[int]],
+    candidate_sets: Sequence[Sequence[int]],
+    batch_size: int = 32,
+    name: Optional[str] = None,
+) -> ThroughputReport:
+    """Time per-example vs. batched candidate scoring over the same examples.
+
+    The looped pass calls ``score_candidates`` once per example; the batched
+    pass calls ``score_candidates_batch`` on chunks of ``batch_size``.  Both
+    passes score identical (history, candidate set) pairs, and the report
+    records the largest score difference between them alongside the
+    examples/sec of each path.
+    """
+    if len(histories) != len(candidate_sets):
+        raise ValueError(
+            f"got {len(histories)} histories but {len(candidate_sets)} candidate sets"
+        )
+    if not len(histories):
+        raise ValueError("throughput measurement needs at least one example")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+
+    start = time.perf_counter()
+    looped = [
+        recommender.score_candidates(history, candidates)
+        for history, candidates in zip(histories, candidate_sets)
+    ]
+    looped_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched: list = []
+    for chunk_start in range(0, len(histories), batch_size):
+        batched.extend(
+            recommender.score_candidates_batch(
+                histories[chunk_start:chunk_start + batch_size],
+                candidate_sets[chunk_start:chunk_start + batch_size],
+            )
+        )
+    batched_seconds = time.perf_counter() - start
+
+    max_difference = max(
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(looped, batched)
+    )
+    return ThroughputReport(
+        name=name or getattr(recommender, "name", recommender.__class__.__name__),
+        num_examples=len(histories),
+        batch_size=batch_size,
+        looped_seconds=looped_seconds,
+        batched_seconds=batched_seconds,
+        max_score_difference=max_difference,
+    )

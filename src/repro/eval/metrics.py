@@ -90,7 +90,15 @@ class MetricAccumulator:
         return np.asarray(self._samples.get(metric, []), dtype=np.float64)
 
     def summary(self) -> Dict[str, float]:
-        return {name: self.mean(name) for name in sorted(self._samples)}
+        """Means of every accumulated metric, paper metrics first, in table order.
+
+        Lexicographic ordering would put "HR@10" before "HR@5"; instead the
+        five paper metrics lead in :data:`PAPER_METRICS` order, followed by
+        any extra metrics (e.g. MRR, other cutoffs) sorted by name.
+        """
+        ordered = [name for name in PAPER_METRICS if name in self._samples]
+        extras = sorted(name for name in self._samples if name not in PAPER_METRICS)
+        return {name: self.mean(name) for name in ordered + extras}
 
     def paper_summary(self) -> Dict[str, float]:
         """The five metrics of the paper, in table order."""

@@ -43,6 +43,8 @@ class ExperimentProfile:
     dataset_scale: float = 1.0
     max_test_examples: int = 100
     num_candidates: int = 15
+    #: how many test examples each batched scoring call covers
+    eval_batch_size: int = 32
     # conventional backbones
     conventional_embedding_dim: int = 32
     conventional_epochs: int = 8
@@ -169,6 +171,7 @@ class ExperimentContext:
             self.test_examples,
             num_candidates=self.profile.num_candidates,
             seed=self.profile.seed,
+            batch_size=self.profile.eval_batch_size,
         )
         self._conventional: Dict[str, NeuralSequentialRecommender] = {}
         self._llm_states: Dict[str, Dict[str, np.ndarray]] = {}

@@ -142,8 +142,16 @@ class SimLM(Module):
         return self.lm_logits(hidden)
 
     def lm_logits(self, hidden: Tensor) -> Tensor:
-        """Tied LM head: project hidden states back onto the vocabulary."""
-        return hidden.matmul(self.token_embedding.weight.transpose()) + self.output_bias
+        """Tied LM head: project hidden states back onto the vocabulary.
+
+        2-D hidden states (one vector per sequence, the ``mask_logits`` path)
+        use the batch-invariant product so that a batch of sequences scores
+        bitwise-identically to the same sequences run one at a time.
+        """
+        weight_t = self.token_embedding.weight.transpose()
+        if hidden.data.ndim == 2:
+            return hidden.rowwise_matmul(weight_t) + self.output_bias
+        return hidden.matmul(weight_t) + self.output_bias
 
     def mask_logits(
         self,
@@ -174,11 +182,15 @@ class SimLM(Module):
 
 
 def _single_mask_positions(token_ids: np.ndarray, mask_id: int) -> np.ndarray:
-    """Index of the [MASK] token in each row (raises if a row has none)."""
-    positions = np.zeros(token_ids.shape[0], dtype=np.int64)
-    for row in range(token_ids.shape[0]):
-        hits = np.where(token_ids[row] == mask_id)[0]
-        if hits.size == 0:
-            raise ValueError(f"sequence {row} contains no [MASK] token")
-        positions[row] = hits[-1]
-    return positions
+    """Index of the last [MASK] token in each row (raises if a row has none).
+
+    Vectorised: the last occurrence per row is found by arg-maxing the reversed
+    hit mask, with no per-row Python loop.
+    """
+    hits = token_ids == mask_id
+    has_mask = hits.any(axis=1)
+    if not has_mask.all():
+        missing = int(np.argmin(has_mask))
+        raise ValueError(f"sequence {missing} contains no [MASK] token")
+    length = token_ids.shape[1]
+    return (length - 1 - hits[:, ::-1].argmax(axis=1)).astype(np.int64)

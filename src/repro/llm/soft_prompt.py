@@ -62,9 +62,15 @@ class SoftPrompt(Module):
         return self
 
     def clone(self) -> "SoftPrompt":
-        """Deep copy (used when freezing distilled prompts for Stage 2)."""
+        """Deep copy (used when freezing distilled prompts for Stage 2).
+
+        The frozen/trainable state travels with the copy: a clone of a frozen
+        prompt must stay frozen, or distilled prompts could silently become
+        trainable again in Stage 2.
+        """
         copy = SoftPrompt(self.num_tokens, self.dim, init_style="random")
         copy.weight.data = self.weight.data.copy()
+        copy.weight.requires_grad = self.weight.requires_grad
         copy.init_style = self.init_style
         return copy
 
@@ -89,9 +95,8 @@ class SoftPrompt(Module):
         keep = Tensor((~soft_mask).astype(np.float64)[..., None])
         base = token_embeddings * keep
         placement = np.zeros((batch, length, self.num_tokens), dtype=np.float64)
-        for row in range(batch):
-            positions = np.where(soft_mask[row])[0]
-            for slot, position in enumerate(positions):
-                placement[row, position, slot] = 1.0
+        rows, positions = np.nonzero(soft_mask)
+        slots = soft_mask.cumsum(axis=1)[rows, positions] - 1
+        placement[rows, positions, slots] = 1.0
         spliced = Tensor(placement).matmul(self.weight)
         return base + spliced

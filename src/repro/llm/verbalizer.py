@@ -76,6 +76,34 @@ class Verbalizer:
                     scores[:, column] = title_scores[:, 0]
         return scores[0] if squeeze else scores
 
+    def score_candidate_rows(
+        self, vocab_logits: np.ndarray, candidate_sets: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        """Per-row candidate scores when every row has its own candidate set.
+
+        ``vocab_logits`` has shape ``(batch, vocab)`` and ``candidate_sets``
+        one candidate list per row.  The default item-token aggregation is a
+        single vectorised gather; the title aggregations fall back to the
+        per-row path.  Either way each row's scores are bitwise-identical to
+        ``score_candidates(vocab_logits[row], candidate_sets[row])``.
+        """
+        vocab_logits = np.asarray(vocab_logits)
+        if vocab_logits.ndim != 2 or len(candidate_sets) != vocab_logits.shape[0]:
+            raise ValueError("score_candidate_rows needs one candidate set per logit row")
+        if self.aggregation == "item-token" and candidate_sets:
+            sizes = {len(candidates) for candidates in candidate_sets}
+            if len(sizes) == 1:
+                token_ids = np.asarray(
+                    [self.tokenizer.item_token_ids(candidates) for candidates in candidate_sets],
+                    dtype=np.int64,
+                )
+                gathered = vocab_logits[np.arange(len(candidate_sets))[:, None], token_ids]
+                return list(gathered)
+        return [
+            self.score_candidates(vocab_logits[row], candidates)
+            for row, candidates in enumerate(candidate_sets)
+        ]
+
     def score_all_items(self, vocab_logits: np.ndarray) -> np.ndarray:
         """Scores over the full catalog (index = item id; index 0 = -inf)."""
         item_ids = self.catalog.ids()

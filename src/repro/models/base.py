@@ -8,6 +8,9 @@ Every model — classical or neural — exposes the same small API:
   one history;
 * :meth:`SequentialRecommender.score_candidates` — scores restricted to a
   candidate set (the paper's evaluation protocol);
+* :meth:`SequentialRecommender.score_candidates_batch` — the batched scoring
+  protocol: many (history, candidate set) pairs per call, bitwise-identical
+  to the per-example loop (neural models answer it with a single forward);
 * :meth:`SequentialRecommender.top_k` — ranked recommendation list, used by
   the Recommendation Pattern Simulating component of DELRec to obtain the
   conventional model's top-``h`` items;
@@ -61,6 +64,29 @@ class SequentialRecommender:
         """Scores for the given candidate item ids (same order as ``candidates``)."""
         scores = self.score_all(history)
         return scores[np.asarray(candidates, dtype=np.int64)]
+
+    def score_candidates_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        candidate_sets: Sequence[Sequence[int]],
+    ) -> List[np.ndarray]:
+        """Scores for many (history, candidate set) pairs at once.
+
+        Returns one score array per example, aligned with ``candidate_sets``.
+        The default implementation loops over :meth:`score_candidates` so
+        every recommender supports the batched protocol; models with a cheap
+        batched forward pass override it (see
+        :meth:`NeuralSequentialRecommender.score_candidates_batch`).  Batched
+        implementations must return scores bitwise-identical to the loop.
+        """
+        if len(histories) != len(candidate_sets):
+            raise ValueError(
+                f"got {len(histories)} histories but {len(candidate_sets)} candidate sets"
+            )
+        return [
+            self.score_candidates(history, candidates)
+            for history, candidates in zip(histories, candidate_sets)
+        ]
 
     def top_k(
         self,
@@ -118,22 +144,52 @@ class NeuralSequentialRecommender(SequentialRecommender, Module):
     def forward(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
         """Logits over the full catalog for each history: ``(batch, num_items + 1)``."""
         encoded = self.encode_histories(histories, valid_mask)
-        logits = encoded.matmul(self.item_embedding.weight.transpose()) + self.item_bias
+        # batch-invariant projection: row i's logits do not depend on the batch size
+        logits = encoded.rowwise_matmul(self.item_embedding.weight.transpose()) + self.item_bias
         return logits
 
     def score_all(self, history: Sequence[int]) -> np.ndarray:
+        return self.score_all_batch([history])[0]
+
+    def score_all_batch(self, histories: Sequence[Sequence[int]]) -> np.ndarray:
+        """Full-catalog scores ``(batch, num_items + 1)`` from one forward pass.
+
+        Every row is bitwise-identical to what :meth:`score_all` returns for
+        that history alone: histories are padded to the same fixed length
+        either way, and the forward pass only uses batch-invariant operations.
+        """
         self._check_fitted()
         from repro.data.batching import pad_sequence
 
-        padded = np.asarray([pad_sequence(history, self.max_history)], dtype=np.int64)
+        padded = np.asarray(
+            [pad_sequence(history, self.max_history) for history in histories], dtype=np.int64
+        )
         valid = padded != 0
         with no_grad():
             was_training = self.training
             self.eval()
-            logits = self.forward(padded, valid).data[0].copy()
+            logits = self.forward(padded, valid).data.copy()
             self.train(was_training)
-        logits[0] = NEG_INF
+        logits[:, 0] = NEG_INF
         return logits
+
+    def score_candidates_batch(
+        self,
+        histories: Sequence[Sequence[int]],
+        candidate_sets: Sequence[Sequence[int]],
+    ) -> List[np.ndarray]:
+        """One padded forward pass for the whole batch instead of one per example."""
+        if len(histories) != len(candidate_sets):
+            raise ValueError(
+                f"got {len(histories)} histories but {len(candidate_sets)} candidate sets"
+            )
+        if not len(histories):
+            return []
+        logits = self.score_all_batch(histories)
+        return [
+            logits[row, np.asarray(candidates, dtype=np.int64)]
+            for row, candidates in enumerate(candidate_sets)
+        ]
 
     def item_embeddings(self) -> np.ndarray:
         return self.item_embedding.weight.data.copy()

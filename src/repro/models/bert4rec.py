@@ -104,7 +104,7 @@ class BERT4Rec(NeuralSequentialRecommender):
 
     def forward(self, histories: np.ndarray, valid_mask: np.ndarray) -> Tensor:
         encoded = self.encode_histories(histories, valid_mask)
-        logits = encoded.matmul(self.item_embedding.weight.transpose()) + self.item_bias
+        logits = encoded.rowwise_matmul(self.item_embedding.weight.transpose()) + self.item_bias
         return logits
 
     # ------------------------------------------------------------------ #
