@@ -14,10 +14,12 @@ def test_rq5_efficiency_and_cold_start(benchmark):
         iterations=1,
     )
     efficiency, throughput, cold = tables["efficiency"], tables["throughput"], tables["cold_start"]
+    cold_warm = tables["cold_warm"]
     print("\n" + str(efficiency))
     print("\n" + str(throughput))
+    print("\n" + str(cold_warm))
     print("\n" + str(cold))
-    save_results([efficiency, throughput, cold], results_path("rq5_efficiency.json"))
+    save_results([efficiency, throughput, cold_warm, cold], results_path("rq5_efficiency.json"))
 
     # soft prompts add a negligible fraction of the LLM's parameters (paper: 0.2M vs 3B)
     llm_row = efficiency.row_for(model="SimLM backbone (stands in for Flan-T5-XL)")
@@ -36,6 +38,16 @@ def test_rq5_efficiency_and_cold_start(benchmark):
     assert sasrec_tp["speedup"] >= 2.0
     for row in throughput.rows:
         assert row["max_score_diff"] == 0.0
+
+    # warm pipeline construction reloads every component from the artifact
+    # store: it must build nothing, hit the cache for the backbone + SimLM +
+    # recommender bundle, and be much faster than the cold (training) build
+    warm_row = cold_warm.rows[0]
+    assert warm_row["warm_builds"] == 0
+    assert warm_row["warm_hits"] >= 3
+    assert warm_row["cold_builds"] >= 3
+    assert warm_row["warm_s"] < warm_row["cold_s"]
+    assert warm_row["speedup"] >= 5.0
 
     # cold start: DELRec does not collapse for users with <3 interactions and
     # remains competitive with SASRec (paper: DELRec beats SASRec, ties KDALRD)

@@ -185,6 +185,34 @@ class AdaLoRAController:
         return int(sum(a.active_rank() for a in self.adapters))
 
 
+def wrap_named_linear_with_adalora(
+    module: Module,
+    dotted_name: str,
+    rank: int = 8,
+    alpha: float = 8.0,
+    rng: Optional[np.random.Generator] = None,
+) -> AdaLoRALinear:
+    """Wrap one specific :class:`Linear` (addressed by dotted module path) with AdaLoRA.
+
+    Used when *reconstructing* a fine-tuned model from a stored artifact: the
+    artifact records which layers were adapted (and at what rank), and this
+    rebuilds exactly that module structure so the stored state dict loads
+    strictly.
+    """
+    parts = dotted_name.split(".")
+    parent = module
+    for part in parts[:-1]:
+        if part not in parent._modules:
+            raise KeyError(f"module path {dotted_name!r} not found (missing {part!r})")
+        parent = parent._modules[part]
+    child = parent._modules.get(parts[-1])
+    if not isinstance(child, Linear):
+        raise TypeError(f"module at {dotted_name!r} is {type(child).__name__}, not Linear")
+    adapter = AdaLoRALinear(child, rank=rank, alpha=alpha, rng=rng)
+    parent.add_module(parts[-1], adapter)
+    return adapter
+
+
 def wrap_linears_with_adalora(
     module: Module,
     rank: int = 8,

@@ -123,24 +123,81 @@ class Module:
             state.update(module.state_dict(prefix=f"{prefix}{module_name}."))
         return state
 
+    def state_keys(self, prefix: str = "") -> Iterator[str]:
+        """Keys :meth:`state_dict` would produce, without copying any arrays."""
+        for name in self._parameters:
+            yield prefix + name
+        for name in self._buffers:
+            yield prefix + name
+        for module_name, module in self._modules.items():
+            yield from module.state_keys(prefix=f"{prefix}{module_name}.")
+
     def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load a state dict produced by :meth:`state_dict`.
+
+        Loading is *strict*: the provided keys must match this module's
+        parameters and buffers exactly, and every value must match the target
+        shape and be numerically convertible.  Missing keys, unexpected keys
+        and shape/dtype mismatches are all collected and reported in a single
+        error so a broken checkpoint is diagnosed in one pass, never silently
+        partial-loaded.
+        """
+        expected = set(self.state_keys(prefix=prefix))
+        provided = {key for key in state if key.startswith(prefix)} if prefix else set(state)
+        problems: List[str] = []
+        missing = sorted(expected - provided)
+        unexpected = sorted(provided - expected)
+        if missing:
+            problems.append(f"missing keys: {missing}")
+        if unexpected:
+            problems.append(f"unexpected keys: {unexpected}")
+        problems.extend(self._shape_dtype_mismatches(state, prefix=prefix))
+        if problems:
+            raise ValueError(
+                f"cannot load state dict into {type(self).__name__}: " + "; ".join(problems)
+            )
+        self._load_state(state, prefix=prefix)
+
+    def _shape_dtype_mismatches(self, state: Dict[str, np.ndarray], prefix: str = "") -> List[str]:
+        problems: List[str] = []
         for name, param in self._parameters.items():
             key = prefix + name
             if key not in state:
-                raise KeyError(f"missing parameter {key!r} in state dict")
-            value = np.asarray(state[key], dtype=np.float64)
+                continue
+            value = np.asarray(state[key])
             if value.shape != param.data.shape:
-                raise ValueError(
+                problems.append(
                     f"shape mismatch for {key!r}: expected {param.data.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            elif value.dtype.kind not in "fiub":
+                problems.append(
+                    f"dtype mismatch for {key!r}: expected a numeric array, got {value.dtype}"
+                )
         for name in self._buffers:
             key = prefix + name
-            if key in state:
-                self._buffers[name] = np.asarray(state[key]).copy()
-                object.__setattr__(self, name, self._buffers[name])
+            if key not in state:
+                continue
+            value = np.asarray(state[key])
+            target = np.asarray(self._buffers[name])
+            if value.shape != target.shape:
+                problems.append(
+                    f"shape mismatch for buffer {key!r}: expected {target.shape}, got {value.shape}"
+                )
         for module_name, module in self._modules.items():
-            module.load_state_dict(state, prefix=f"{prefix}{module_name}.")
+            problems.extend(
+                module._shape_dtype_mismatches(state, prefix=f"{prefix}{module_name}.")
+            )
+        return problems
+
+    def _load_state(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+        """Copy validated values into parameters and buffers (no checks)."""
+        for name, param in self._parameters.items():
+            param.data = np.asarray(state[prefix + name], dtype=np.float64).copy()
+        for name in self._buffers:
+            self._buffers[name] = np.asarray(state[prefix + name]).copy()
+            object.__setattr__(self, name, self._buffers[name])
+        for module_name, module in self._modules.items():
+            module._load_state(state, prefix=f"{prefix}{module_name}.")
 
     # ------------------------------------------------------------------ #
     # call protocol

@@ -1,4 +1,12 @@
-"""Saving and loading module state dicts as ``.npz`` archives."""
+"""Saving and loading module state dicts as ``.npz`` archives.
+
+Loading is strict: the archive must contain exactly the module's parameters
+and buffers, with matching shapes and numeric dtypes — a mismatched archive
+raises with every problem listed instead of silently partial-loading (see
+:meth:`repro.autograd.module.Module.load_state_dict`).  For persisting whole
+*components* (the arrays plus the metadata needed to rebuild the object around
+them), see :mod:`repro.store`.
+"""
 
 from __future__ import annotations
 
@@ -26,10 +34,20 @@ def save_state_dict(module: Module, path: str) -> str:
 
 
 def load_state_dict(module: Module, path: str) -> Module:
-    """Load parameters stored by :func:`save_state_dict` into ``module``."""
+    """Load parameters stored by :func:`save_state_dict` into ``module``.
+
+    Raises ``FileNotFoundError`` if the archive does not exist and
+    ``ValueError`` (listing every missing/unexpected/mismatched key) if the
+    archive does not exactly match the module's state.
+    """
     if not path.endswith(".npz"):
         path = path + ".npz"
+    if not os.path.isfile(path):
+        raise FileNotFoundError(f"no state-dict archive at {path!r}")
     with np.load(path) as archive:
         state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    try:
+        module.load_state_dict(state)
+    except ValueError as error:
+        raise ValueError(f"state dict at {path!r} does not match the module: {error}") from error
     return module

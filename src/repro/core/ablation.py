@@ -51,6 +51,7 @@ def build_ablation_variant(
     config: Optional[DELRecConfig] = None,
     conventional_model: Optional[SequentialRecommender] = None,
     llm: Optional[SimLM] = None,
+    store=None,
 ) -> DELRec:
     """Create a DELRec pipeline configured for one ablation variant.
 
@@ -65,6 +66,7 @@ def build_ablation_variant(
         conventional_model=conventional_model,
         llm=llm,
         name=f"DELRec [{variant}]" if variant != "default" else None,
+        store=store,
     )
     if variant == "default":
         pass

@@ -113,26 +113,30 @@ class PatternDistiller:
         for _epoch in range(config.epochs):
             ta_order = rng.permutation(len(ta_prompts)) if ta_prompts else np.array([], dtype=int)
             rps_order = rng.permutation(len(rps_prompts)) if rps_prompts else np.array([], dtype=int)
-            steps = max(
-                int(np.ceil(len(ta_order) / config.batch_size)) if len(ta_order) else 0,
-                int(np.ceil(len(rps_order) / config.batch_size)) if len(rps_order) else 0,
-            )
+            # Each task walks its own permutation exactly once per epoch; when
+            # the task sets differ in size, the exhausted task simply sits out
+            # the remaining steps instead of replaying early batches.
+            ta_batches = [
+                ta_order[start:start + config.batch_size]
+                for start in range(0, len(ta_order), config.batch_size)
+            ]
+            rps_batches = [
+                rps_order[start:start + config.batch_size]
+                for start in range(0, len(rps_order), config.batch_size)
+            ]
+            steps = max(len(ta_batches), len(rps_batches))
             epoch_ta, epoch_rps, epoch_combined, seen = 0.0, 0.0, 0.0, 0
             for step in range(steps):
                 optimizer.zero_grad()
                 losses: Dict[str, Optional[Tensor]] = {"ta": None, "rps": None}
-                if len(ta_order):
-                    index = ta_order[(step * config.batch_size) % len(ta_order):][: config.batch_size]
-                    if len(index):
-                        losses["ta"] = self._task_loss(
-                            self.prompt_builder.batch([ta_prompts[i] for i in index])
-                        )
-                if len(rps_order):
-                    index = rps_order[(step * config.batch_size) % len(rps_order):][: config.batch_size]
-                    if len(index):
-                        losses["rps"] = self._task_loss(
-                            self.prompt_builder.batch([rps_prompts[i] for i in index])
-                        )
+                if step < len(ta_batches):
+                    losses["ta"] = self._task_loss(
+                        self.prompt_builder.batch([ta_prompts[i] for i in ta_batches[step]])
+                    )
+                if step < len(rps_batches):
+                    losses["rps"] = self._task_loss(
+                        self.prompt_builder.batch([rps_prompts[i] for i in rps_batches[step]])
+                    )
                 if losses["ta"] is not None and losses["rps"] is not None:
                     combined = losses["ta"] * lam + losses["rps"] * (1.0 - lam)
                 elif losses["ta"] is not None:

@@ -19,6 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.module import Module
 from repro.core.config import DELRecConfig
 from repro.core.distill import DistillationResult, PatternDistiller
 from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
@@ -34,7 +35,16 @@ from repro.llm.soft_prompt import SoftPrompt
 from repro.llm.verbalizer import Verbalizer
 from repro.models.base import NeuralSequentialRecommender, SequentialRecommender
 from repro.models.sasrec import SASRec
-from repro.models.trainer import TrainingConfig, train_recommender
+from repro.models.trainer import TrainingConfig
+from repro.store.components import DELREC_KIND, train_or_reload_backbone
+from repro.store.fingerprint import (
+    canonicalize,
+    dataset_fingerprint,
+    examples_fingerprint,
+    fingerprint,
+    state_fingerprint,
+)
+from repro.store.store import ArtifactStore
 
 
 class DELRec:
@@ -54,6 +64,7 @@ class DELRec:
         update_llm_in_stage1: bool = False,
         update_soft_prompt_in_stage2: bool = False,
         name: Optional[str] = None,
+        store: Optional[ArtifactStore] = None,
     ):
         self.config = config or DELRecConfig()
         self.conventional_model = conventional_model
@@ -69,6 +80,12 @@ class DELRec:
         self.update_llm_in_stage1 = update_llm_in_stage1
         self.update_soft_prompt_in_stage2 = update_soft_prompt_in_stage2
         self._name = name
+        #: optional artifact store: when set, ``fit`` caches the trained
+        #: backbone, the pre-trained LLM and the final recommender bundle, and
+        #: a warm ``fit`` with identical inputs skips every training stage.
+        self.store = store
+        #: True when the last ``fit`` reloaded the recommender instead of training.
+        self.loaded_from_store = False
         # populated by fit()
         self.soft_prompt: Optional[SoftPrompt] = None
         self.prompt_builder: Optional[PromptBuilder] = None
@@ -92,7 +109,8 @@ class DELRec:
 
     # ------------------------------------------------------------------ #
     def _ensure_conventional_model(self, dataset: SequenceDataset, split: ChronologicalSplit,
-                                   conventional_epochs: int) -> SequentialRecommender:
+                                   conventional_epochs: int,
+                                   train_fp: Optional[str] = None) -> SequentialRecommender:
         model = self.conventional_model
         if model is None:
             model = SASRec(num_items=dataset.num_items, embedding_dim=32,
@@ -101,7 +119,10 @@ class DELRec:
             if isinstance(model, NeuralSequentialRecommender):
                 training_config = TrainingConfig.for_model(model.name, epochs=conventional_epochs,
                                                            seed=self.config.seed)
-                train_recommender(model, split.train, training_config)
+                train_or_reload_backbone(
+                    model, dataset, split.train, training_config,
+                    store=self.store, train_fp=train_fp,
+                )
             else:
                 model.fit(split.train)
         self.conventional_model = model
@@ -114,8 +135,72 @@ class DELRec:
                 size=self.config.llm_size,
                 train_examples=split.train,
                 seed=self.config.seed,
+                store=self.store,
             )
         return self.llm
+
+    @staticmethod
+    def _backbone_identity(model: SequentialRecommender):
+        """Everything that determines how the backbone scores, or ``None``.
+
+        Neural backbones are identified by their trained parameters.  Classical
+        models are identified by their full attribute dict (hyper-parameters
+        plus fitted arrays, e.g. the Markov transition counts); a model whose
+        attributes cannot be canonically hashed returns ``None``, which
+        disables bundle caching for that fit rather than risking serving a
+        recommender distilled from a different backbone.
+        """
+        if isinstance(model, Module):
+            return {"kind": "state", "value": state_fingerprint(model.state_dict())}
+        try:
+            payload = {key: canonicalize(value) for key, value in sorted(vars(model).items())}
+        except TypeError:
+            return None
+        return {"kind": "classical", "value": payload}
+
+    def _fit_fingerprint(self, dataset: SequenceDataset, train_fp: str,
+                         model: SequentialRecommender, llm: SimLM) -> Optional[str]:
+        """Identity of a fitted pipeline: data + config + flags + input components.
+
+        The backbone and LLM enter through their *trained parameters* (their
+        state fingerprints), so a recommender distilled from differently
+        trained inputs can never be served from the cache.  Returns ``None``
+        (no caching) when the backbone's identity cannot be established.
+        """
+        backbone_state = self._backbone_identity(model)
+        if backbone_state is None:
+            return None
+        flags = {
+            "enable_stage1": self.enable_stage1,
+            "enable_stage2": self.enable_stage2,
+            "enable_temporal_analysis": self.enable_temporal_analysis,
+            "enable_pattern_simulating": self.enable_pattern_simulating,
+            "auxiliary": self.auxiliary,
+            "untrained_soft_prompt": self.untrained_soft_prompt,
+            "update_llm_in_stage1": self.update_llm_in_stage1,
+            "update_soft_prompt_in_stage2": self.update_soft_prompt_in_stage2,
+            "name": self.name,
+        }
+        return fingerprint(
+            DELREC_KIND,
+            dataset_fingerprint(dataset),
+            train_fp,
+            self.config,
+            flags,
+            {"backbone": model.name, "state": backbone_state},
+            {"llm": llm.config.name, "state": state_fingerprint(llm.state_dict())},
+        )
+
+    def _adopt_recommender(self, recommender: DELRecRecommender) -> None:
+        """Install a reloaded recommender as this pipeline's fit() outcome."""
+        self.llm = recommender.model
+        self.soft_prompt = recommender.soft_prompt
+        self.prompt_builder = recommender.prompt_builder
+        self.verbalizer = recommender.verbalizer
+        # training traces are not part of the deployable bundle
+        self.distillation_result = None
+        self.finetuning_result = None
+        self._recommender = recommender
 
     # ------------------------------------------------------------------ #
     def fit(
@@ -124,11 +209,31 @@ class DELRec:
         split: ChronologicalSplit,
         conventional_epochs: int = 5,
     ) -> "DELRec":
-        """Run both stages on the dataset's training split."""
+        """Run both stages on the dataset's training split.
+
+        With an artifact store attached, the trained backbone and pre-trained
+        LLM are cached individually, and the final recommender bundle is
+        cached under the fingerprint of every input that determines it — a
+        warm ``fit`` reloads the bundle and skips both DELRec stages, with
+        candidate scores bitwise-identical to the cold run's.
+        """
         config = self.config
         rng = np.random.default_rng(config.seed)
-        model = self._ensure_conventional_model(dataset, split, conventional_epochs)
+        self.loaded_from_store = False
+        train_fp = examples_fingerprint(split.train) if self.store is not None else None
+        model = self._ensure_conventional_model(dataset, split, conventional_epochs,
+                                                train_fp=train_fp)
         llm = self._ensure_llm(dataset, split)
+
+        bundle_fp = None
+        if self.store is not None:
+            bundle_fp = self._fit_fingerprint(dataset, train_fp, model, llm)
+            cached = self.store.fetch(DELREC_KIND, bundle_fp) if bundle_fp is not None else None
+            if cached is not None:
+                arrays, metadata = cached
+                self._adopt_recommender(DELRecRecommender.restore(arrays, metadata, dataset))
+                self.loaded_from_store = True
+                return self
 
         self.prompt_builder = PromptBuilder(
             llm.tokenizer,
@@ -226,4 +331,6 @@ class DELRec:
             name=self.name,
             max_history=config.max_history,
         )
+        if self.store is not None and bundle_fp is not None:
+            self.store.save(DELREC_KIND, bundle_fp, *self._recommender.serialize())
         return self

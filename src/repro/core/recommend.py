@@ -9,6 +9,7 @@ it can be evaluated by the shared harness.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -16,14 +17,23 @@ import numpy as np
 
 from repro.autograd import Adam, Lion, SGD, no_grad
 from repro.autograd import functional as F
-from repro.autograd.lora import AdaLoRAController, wrap_linears_with_adalora
+from repro.autograd.lora import (
+    AdaLoRAController,
+    AdaLoRALinear,
+    wrap_linears_with_adalora,
+    wrap_named_linear_with_adalora,
+)
 from repro.core.config import Stage2Config
 from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample
 from repro.data.candidates import CandidateSampler
+from repro.data.records import SequenceDataset
 from repro.data.splits import SequenceExample
-from repro.llm.simlm import SimLM
+from repro.llm.registry import build_tokenizer
+from repro.llm.simlm import SimLM, SimLMConfig
 from repro.llm.soft_prompt import SoftPrompt
 from repro.llm.verbalizer import Verbalizer
+from repro.store.components import restore_soft_prompt, serialize_soft_prompt
+from repro.store.store import ArtifactError, read_artifact, write_artifact
 
 _OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
 
@@ -152,6 +162,120 @@ class DELRecRecommender:
         scores = self.score_candidates(history, candidates)
         order = np.argsort(-scores, kind="stable")
         return [int(candidates[i]) for i in order[:k]]
+
+    # ------------------------------------------------------------------ #
+    # persistence: the deployable bundle
+    # ------------------------------------------------------------------ #
+    def serialize(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Arrays + metadata for the full deployable bundle.
+
+        The bundle covers everything scoring depends on: the fine-tuned LLM
+        state (including AdaLoRA adapter parameters and rank masks, with the
+        adapted layer names recorded so the module structure can be rebuilt),
+        the frozen soft prompt, and the prompt-builder / verbalizer
+        configuration.  Model arrays are stored under a ``model.`` prefix and
+        soft-prompt arrays under ``soft_prompt.``.
+        """
+        adapters = [
+            {"name": name, "rank": int(module.rank), "alpha": float(module.alpha)}
+            for name, module in self.model.named_modules()
+            if isinstance(module, AdaLoRALinear)
+        ]
+        arrays = {f"model.{key}": value for key, value in self.model.state_dict().items()}
+        metadata = {
+            "component": "delrec_recommender",
+            "name": self.name,
+            "auxiliary": self.auxiliary,
+            "sr_model_name": self.sr_model_name,
+            "max_history": int(self.max_history),
+            "llm": {
+                "config": dataclasses.asdict(self.model.config),
+                "is_pretrained": bool(self.model.is_pretrained),
+                "vocab_size": int(self.model.tokenizer.vocab_size),
+            },
+            "adalora": adapters,
+            "prompt_builder": {
+                "soft_prompt_size": int(self.prompt_builder.soft_prompt_size),
+                "include_item_tokens_in_history": bool(
+                    self.prompt_builder.include_item_tokens_in_history
+                ),
+                "include_titles_in_history": bool(
+                    self.prompt_builder.include_titles_in_history
+                ),
+            },
+            "verbalizer": {"aggregation": self.verbalizer.aggregation},
+            "soft_prompt": None,
+        }
+        if self.soft_prompt is not None:
+            soft_arrays, soft_meta = serialize_soft_prompt(self.soft_prompt)
+            metadata["soft_prompt"] = soft_meta
+            arrays.update({f"soft_prompt.{key}": value for key, value in soft_arrays.items()})
+        return arrays, metadata
+
+    @classmethod
+    def restore(cls, arrays: Dict[str, np.ndarray], metadata: dict,
+                dataset: SequenceDataset) -> "DELRecRecommender":
+        """Rebuild a recommender from :meth:`serialize` output.
+
+        ``dataset`` must be the dataset the recommender was fitted on: the
+        tokenizer, item catalog (prompt titles) and verbalizer mapping are all
+        reproduced from it, guarded by the stored vocabulary size.
+        """
+        if metadata.get("component") != "delrec_recommender":
+            raise ArtifactError(
+                f"artifact is a {metadata.get('component')!r}, not a delrec_recommender"
+            )
+        tokenizer = build_tokenizer(dataset)
+        llm_meta = metadata["llm"]
+        if tokenizer.vocab_size != int(llm_meta["vocab_size"]):
+            raise ArtifactError(
+                f"stored recommender has vocabulary size {llm_meta['vocab_size']}, but "
+                f"dataset {dataset.name!r} produces {tokenizer.vocab_size}; the bundle "
+                "was fitted on a different dataset"
+            )
+        model = SimLM(tokenizer, SimLMConfig(**llm_meta["config"]))
+        for spec in metadata.get("adalora", []):
+            wrap_named_linear_with_adalora(
+                model, spec["name"], rank=int(spec["rank"]), alpha=float(spec["alpha"])
+            )
+        model.load_state_dict(
+            {key[len("model."):]: value for key, value in arrays.items()
+             if key.startswith("model.")}
+        )
+        model.is_pretrained = bool(llm_meta.get("is_pretrained", True))
+        model.eval()
+        soft_prompt = None
+        if metadata.get("soft_prompt") is not None:
+            soft_prompt = restore_soft_prompt(
+                {key[len("soft_prompt."):]: value for key, value in arrays.items()
+                 if key.startswith("soft_prompt.")},
+                metadata["soft_prompt"],
+            )
+        prompt_builder = PromptBuilder(tokenizer, dataset.catalog, **metadata["prompt_builder"])
+        verbalizer = Verbalizer(
+            tokenizer, dataset.catalog, aggregation=metadata["verbalizer"]["aggregation"]
+        )
+        return cls(
+            model=model,
+            prompt_builder=prompt_builder,
+            verbalizer=verbalizer,
+            soft_prompt=soft_prompt,
+            auxiliary=metadata["auxiliary"],
+            sr_model_name=metadata.get("sr_model_name"),
+            name=metadata["name"],
+            max_history=int(metadata["max_history"]),
+        )
+
+    def save(self, path: str) -> str:
+        """Persist the deployable bundle as an artifact directory at ``path``."""
+        arrays, metadata = self.serialize()
+        return write_artifact(path, arrays, metadata)
+
+    @classmethod
+    def load(cls, path: str, dataset: SequenceDataset) -> "DELRecRecommender":
+        """Reload a bundle saved by :meth:`save`; scores match the original exactly."""
+        arrays, metadata = read_artifact(path)
+        return cls.restore(arrays, metadata, dataset)
 
 
 class LSRFineTuner:

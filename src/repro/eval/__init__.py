@@ -5,8 +5,10 @@ from repro.eval.metrics import hit_rate_at_k, ndcg_at_k, mrr, ranking_metrics, M
 from repro.eval.evaluator import EvaluationResult, RankingEvaluator, evaluate_recommender, evaluate_scorer
 from repro.eval.significance import paired_t_test, SignificanceResult, significance_markers
 from repro.eval.efficiency import (
+    ColdWarmReport,
     EfficiencyProfile,
     ThroughputReport,
+    measure_cold_warm,
     measure_scoring_throughput,
     profile_model,
     profile_inference,
@@ -26,8 +28,10 @@ __all__ = [
     "paired_t_test",
     "SignificanceResult",
     "significance_markers",
+    "ColdWarmReport",
     "EfficiencyProfile",
     "ThroughputReport",
+    "measure_cold_warm",
     "measure_scoring_throughput",
     "profile_model",
     "profile_inference",

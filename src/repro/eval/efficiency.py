@@ -13,6 +13,11 @@ candidate-scoring loop against the batched engine
 (``score_candidates_batch``) over identical examples, reporting examples/sec
 for both paths and the maximum score difference (0.0 — the batched path is
 bitwise-identical to the loop).
+
+:func:`measure_cold_warm` times a store-backed training pipeline twice over
+the same artifact store — once cold (everything trains and is persisted) and
+once warm (everything reloads) — reporting the wall-clock of both runs and
+the store activity of the warm one, which must build nothing.
 """
 
 from __future__ import annotations
@@ -126,6 +131,67 @@ class ThroughputReport:
             "speedup": round(self.speedup, 2),
             "max_score_diff": self.max_score_difference,
         }
+
+
+@dataclass
+class ColdWarmReport:
+    """Wall-clock of a cold (training) vs warm (store-backed) pipeline run.
+
+    ``warm_artifacts_built`` counts store saves during the warm run — 0 when
+    the warm run reloaded every component instead of retraining anything.
+    """
+
+    name: str
+    cold_seconds: float
+    warm_seconds: float
+    cold_artifacts_built: int
+    warm_artifacts_built: int
+    warm_cache_hits: int
+
+    @property
+    def speedup(self) -> float:
+        return self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "pipeline": self.name,
+            "cold_s": round(self.cold_seconds, 3),
+            "warm_s": round(self.warm_seconds, 3),
+            "speedup": round(self.speedup, 2),
+            "cold_builds": self.cold_artifacts_built,
+            "warm_builds": self.warm_artifacts_built,
+            "warm_hits": self.warm_cache_hits,
+        }
+
+
+def measure_cold_warm(run_fn: Callable[[], object], store, name: str = "pipeline") -> ColdWarmReport:
+    """Time ``run_fn`` twice against the same artifact store: cold, then warm.
+
+    ``run_fn`` must route all of its training through ``store`` (e.g. build a
+    store-backed :class:`~repro.experiments.runner.ExperimentContext` and fit
+    a :class:`~repro.core.pipeline.DELRec` with ``store=``).  The first call
+    trains and persists; the second call must find every fingerprint already
+    present.  Store activity is read from ``store.stats``, so pass the same
+    live :class:`~repro.store.store.ArtifactStore` instance that ``run_fn``
+    uses.
+    """
+    _, _, saves_before = store.stats.snapshot()
+    start = time.perf_counter()
+    run_fn()
+    cold_seconds = time.perf_counter() - start
+    hits_cold, _, saves_cold = store.stats.snapshot()
+    start = time.perf_counter()
+    run_fn()
+    warm_seconds = time.perf_counter() - start
+    hits_warm, _, saves_warm = store.stats.snapshot()
+    return ColdWarmReport(
+        name=name,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cold_artifacts_built=saves_cold - saves_before,
+        warm_artifacts_built=saves_warm - saves_cold,
+        warm_cache_hits=hits_warm - hits_cold,
+    )
 
 
 def measure_scoring_throughput(

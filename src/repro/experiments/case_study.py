@@ -61,7 +61,7 @@ def run_fig9_case_study(
                   llm=context.fresh_llm(include_behavior=False))
 
     pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
-                      llm=context.fresh_llm())
+                      llm=context.fresh_llm(), store=context.store)
     pipeline.fit(context.dataset, context.split)
     delrec = pipeline.recommender()
 

@@ -31,8 +31,10 @@ from repro.eval import EvaluationResult, RankingEvaluator
 from repro.llm.pretrain import PretrainConfig
 from repro.llm.registry import build_pretrained_simlm, build_simlm
 from repro.llm.simlm import SimLM
-from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig, train_recommender
+from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig
 from repro.models.base import NeuralSequentialRecommender
+from repro.store import ArtifactStore, dataset_fingerprint, examples_fingerprint, default_store
+from repro.store.components import train_or_reload_backbone
 
 
 @dataclass
@@ -154,14 +156,30 @@ def get_profile(name: Optional[str] = None) -> ExperimentProfile:
 
 
 class ExperimentContext:
-    """Shared state for evaluating many methods on one dataset."""
+    """Shared state for evaluating many methods on one dataset.
+
+    With an artifact store attached (explicitly, or implicitly through the
+    ``REPRO_ARTIFACT_DIR`` environment variable), every trained component the
+    context owns — conventional backbones, pre-trained SimLM states and (via
+    :class:`repro.core.pipeline.DELRec` constructed with ``store=context.store``)
+    whole DELRec recommenders — is persisted under its config fingerprint.  A
+    warm context over the same store then performs **zero** training and
+    produces :class:`~repro.eval.EvaluationResult`\\ s bitwise-identical to the
+    cold run's; :attr:`training_events` records what was actually trained.
+    """
 
     #: conventional backbones used throughout the paper's tables.
     BACKBONES = ("Caser", "GRU4Rec", "SASRec")
 
-    def __init__(self, dataset_name: str, profile: Optional[ExperimentProfile] = None):
+    def __init__(
+        self,
+        dataset_name: str,
+        profile: Optional[ExperimentProfile] = None,
+        store: Optional[ArtifactStore] = None,
+    ):
         self.profile = profile or get_profile()
         self.dataset_name = dataset_name
+        self.store = store if store is not None else default_store()
         self.dataset: SequenceDataset = load_dataset(dataset_name, scale=self.profile.dataset_scale)
         self.split: ChronologicalSplit = chronological_split(self.dataset, max_history=9)
         rng = np.random.default_rng(self.profile.seed)
@@ -176,12 +194,27 @@ class ExperimentContext:
         self._conventional: Dict[str, NeuralSequentialRecommender] = {}
         self._llm_states: Dict[str, Dict[str, np.ndarray]] = {}
         self.results: Dict[str, EvaluationResult] = {}
+        #: counts of components actually trained (not served from the store)
+        self.training_events: Dict[str, int] = {}
+        # content hashes are only needed (and only paid for) when a store is attached
+        self._dataset_fp = dataset_fingerprint(self.dataset) if self.store is not None else None
+        self._train_fp = (
+            examples_fingerprint(self.split.train) if self.store is not None else None
+        )
+
+    def _record_training(self, key: str) -> None:
+        self.training_events[key] = self.training_events.get(key, 0) + 1
+
+    @property
+    def total_trainings(self) -> int:
+        """How many components this context trained from scratch."""
+        return sum(self.training_events.values())
 
     # ------------------------------------------------------------------ #
     # shared components
     # ------------------------------------------------------------------ #
     def conventional_model(self, name: str) -> NeuralSequentialRecommender:
-        """Train (once) and return one of the conventional backbones."""
+        """Train (or reload from the artifact store) one of the conventional backbones."""
         if name not in self._conventional:
             factories = {
                 "SASRec": lambda: SASRec(
@@ -207,7 +240,12 @@ class ExperimentContext:
             if name not in factories:
                 raise KeyError(f"unknown conventional backbone {name!r}")
             model = factories[name]()
-            train_recommender(model, self.split.train, self.profile.training_config(name))
+            trained = train_or_reload_backbone(
+                model, self.dataset, self.split.train, self.profile.training_config(name),
+                store=self.store, dataset_fp=self._dataset_fp, train_fp=self._train_fp,
+            )
+            if trained:
+                self._record_training(f"backbone:{name}")
             self._conventional[name] = model
         return self._conventional[name]
 
@@ -218,16 +256,28 @@ class ExperimentContext:
         genres, attributes) without any interaction-derived sentences — the
         configuration used for the paper's *raw* LLM rows, which have world
         knowledge but no exposure to the behavioural data.
+
+        The pre-trained state is cached in memory per size (so the thirteen
+        LLM rows of Table II share one pre-training) and, when a store is
+        attached, on disk under its config fingerprint (so a warm run skips
+        MLM pre-training entirely).
         """
         key = f"{size}:{'behaviour' if include_behavior else 'metadata-only'}"
         if key not in self._llm_states:
+            # build_pretrained_simlm publishes an artifact exactly when it
+            # pre-trained, so the saves delta is the training signal (robust
+            # even when a corrupt artifact forces a self-healing rebuild)
+            saves_before = self.store.stats.saves if self.store is not None else 0
             model = build_pretrained_simlm(
                 self.dataset,
                 size=size,
                 train_examples=self.split.train if include_behavior else None,
                 pretrain_config=self.profile.pretrain_config(),
                 seed=self.profile.seed,
+                store=self.store,
             )
+            if self.store is None or self.store.stats.saves > saves_before:
+                self._record_training(f"simlm:{key}")
             self._llm_states[key] = model.state_dict()
             return model
         model = build_simlm(self.dataset, size=size, seed=self.profile.seed)

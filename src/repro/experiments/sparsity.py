@@ -43,7 +43,7 @@ def run_table5_sparsity(
                          for m in PAPER_METRICS})
 
         pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
-                          llm=context.fresh_llm())
+                          llm=context.fresh_llm(), store=context.store)
         pipeline.fit(context.dataset, context.split)
         table.add_row(dataset=dataset_name, sparsity=sparsity, method="DELRec",
                       **{m: context.evaluate(pipeline.recommender(), f"DELRec@{dataset_name}").metric(m)

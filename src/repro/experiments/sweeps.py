@@ -34,6 +34,7 @@ def _sweep(
                 config=context.delrec_config(**overrides),
                 conventional_model=sasrec,
                 llm=context.fresh_llm(),
+                store=context.store,
             )
             pipeline.fit(context.dataset, context.split)
             result = context.evaluate(pipeline.recommender(), f"{parameter}={value}@{dataset_name}")

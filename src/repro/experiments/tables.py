@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -24,6 +26,7 @@ from repro.data import available_datasets, compute_stats, load_dataset
 from repro.data.stats import PAPER_DATASET_STATS
 from repro.eval import (
     cold_start_comparison,
+    measure_cold_warm,
     measure_scoring_throughput,
     profile_inference,
     profile_model,
@@ -32,6 +35,7 @@ from repro.eval.metrics import PAPER_METRICS
 from repro.eval.significance import significance_markers
 from repro.experiments.reporting import ResultTable
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
+from repro.store import ArtifactStore
 
 #: Row order of Table II (raw LLM rows are created via ZeroShotLLM.for_paper_llm).
 RAW_LLM_ROWS = ("Bert-Large", "Flan-T5-Large", "Flan-T5-XL")
@@ -164,6 +168,7 @@ def run_table2_overall(
                 config=context.delrec_config(),
                 conventional_model=context.conventional_model(backbone),
                 llm=context.fresh_llm(),
+                store=context.store,
             )
             pipeline.fit(context.dataset, context.split)
             method = f"DELRec ({backbone})"
@@ -199,7 +204,8 @@ def _run_ablation(
         for variant in variants:
             llm = None if variant == "w Flan-T5-Large" else context.fresh_llm()
             pipeline = build_ablation_variant(
-                variant, config=context.delrec_config(), conventional_model=sasrec, llm=llm
+                variant, config=context.delrec_config(), conventional_model=sasrec, llm=llm,
+                store=context.store,
             )
             pipeline.fit(context.dataset, context.split)
             result = context.evaluate(pipeline.recommender(), f"{variant}@{dataset_name}")
@@ -243,16 +249,48 @@ def run_rq5_efficiency(
     profile: Optional[ExperimentProfile] = None,
     dataset_name: str = "home-kitchen",
     num_requests: int = 50,
+    artifact_dir: Optional[str] = None,
 ) -> Dict[str, ResultTable]:
-    """RQ5: memory footprint, per-request latency, and the cold-start comparison."""
-    profile = profile or get_profile()
-    context = ExperimentContext(dataset_name, profile)
-    sasrec = context.conventional_model("SASRec")
+    """RQ5: memory footprint, latency, cold-vs-warm pipeline wall-clock, cold start.
 
-    pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
-                      llm=context.fresh_llm())
-    pipeline.fit(context.dataset, context.split)
-    delrec = pipeline.recommender()
+    The DELRec pipeline is built twice through a private artifact store (a
+    temporary directory unless ``artifact_dir`` is given): the first, cold
+    build trains everything and persists it; the second, warm build reloads
+    every component.  Both wall-clocks are reported in the ``cold_warm``
+    table, alongside the store activity of the warm run (which builds
+    nothing).
+    """
+    profile = profile or get_profile()
+    store_root = artifact_dir or tempfile.mkdtemp(prefix="repro-rq5-artifacts-")
+    cleanup_store = artifact_dir is None
+    try:
+        store = ArtifactStore(store_root)
+        built: Dict[str, object] = {}
+
+        def build_pipeline():
+            context = ExperimentContext(dataset_name, profile, store=store)
+            sasrec = context.conventional_model("SASRec")
+            pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
+                              llm=context.fresh_llm(), store=store)
+            pipeline.fit(context.dataset, context.split)
+            built["context"], built["pipeline"] = context, pipeline
+
+        cold_warm_report = measure_cold_warm(
+            build_pipeline, store, name=f"DELRec ({dataset_name})"
+        )
+        context: ExperimentContext = built["context"]
+        pipeline: DELRec = built["pipeline"]
+        sasrec = context.conventional_model("SASRec")
+        delrec = pipeline.recommender()
+        return _rq5_tables(profile, dataset_name, num_requests, context, pipeline,
+                           sasrec, delrec, cold_warm_report)
+    finally:
+        if cleanup_store:
+            shutil.rmtree(store_root, ignore_errors=True)
+
+
+def _rq5_tables(profile, dataset_name, num_requests, context, pipeline, sasrec, delrec,
+                cold_warm_report) -> Dict[str, ResultTable]:
 
     zero_shot = ZeroShotLLM(num_candidates=profile.num_candidates, seed=profile.seed)
     zero_shot.fit(context.dataset, context.split, llm=context.fresh_llm())
@@ -315,6 +353,19 @@ def run_rq5_efficiency(
         "forward per example, while the SimLM path is already compute-bound per prompt"
     )
 
+    # --- cold vs warm pipeline wall-clock ------------------------------------------------- #
+    cold_warm = ResultTable(
+        title="RQ5: cold vs warm end-to-end pipeline construction (artifact store)",
+        columns=["pipeline", "cold_s", "warm_s", "speedup", "cold_builds",
+                 "warm_builds", "warm_hits"],
+    )
+    cold_warm.add_row(**cold_warm_report.as_row())
+    cold_warm.notes.append(
+        "cold = train backbone + MLM pre-training + both DELRec stages and persist each "
+        "component; warm = reload everything from the config-fingerprinted artifact store "
+        "(warm_builds must be 0) with bitwise-identical scores"
+    )
+
     # --- cold start ---------------------------------------------------------------------- #
     cold = cold_start_comparison(
         context.dataset,
@@ -330,4 +381,5 @@ def run_rq5_efficiency(
     )
     for method in ("SASRec", "KDALRD", "DELRec"):
         cold_table.add_row(method=method, **_metric_columns(cold.results[method]))
-    return {"efficiency": efficiency, "throughput": throughput, "cold_start": cold_table}
+    return {"efficiency": efficiency, "throughput": throughput, "cold_warm": cold_warm,
+            "cold_start": cold_table}

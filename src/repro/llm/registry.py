@@ -9,7 +9,8 @@ BERT-Large's raw (non-instruction-tuned) behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,6 +19,8 @@ from repro.llm.corpus import corpus_for_dataset
 from repro.llm.pretrain import PretrainConfig, pretrain_simlm
 from repro.llm.simlm import SimLM, SimLMConfig
 from repro.llm.tokenizer import Tokenizer
+from repro.store.fingerprint import dataset_fingerprint, examples_fingerprint, fingerprint
+from repro.store.store import ArtifactError, ArtifactStore, read_artifact, write_artifact
 
 #: Architecture configurations, smallest to largest.
 SIMLM_CONFIGS: Dict[str, SimLMConfig] = {
@@ -74,9 +77,99 @@ def build_pretrained_simlm(
     train_examples: Optional[Sequence] = None,
     pretrain_config: Optional[PretrainConfig] = None,
     seed: int = 0,
+    store: Optional[ArtifactStore] = None,
 ) -> SimLM:
-    """Build and MLM-pre-train a SimLM on the dataset's synthetic corpus."""
+    """Build and MLM-pre-train a SimLM on the dataset's synthetic corpus.
+
+    With a ``store``, the pre-trained state is cached under the fingerprint of
+    (dataset, size, pre-training config, training examples, seed): a warm call
+    rebuilds the model from the stored arrays and skips MLM pre-training
+    entirely, bitwise-identically to the cold run.
+    """
+    pretrain_config = pretrain_config or PretrainConfig(seed=seed)
+    if store is not None:
+        fp = simlm_fingerprint(dataset, size=size, train_examples=train_examples,
+                               pretrain_config=pretrain_config, seed=seed)
+        cached = store.fetch(SIMLM_KIND, fp)
+        if cached is not None:
+            return restore_simlm(*cached, dataset=dataset)
     model = build_simlm(dataset, size=size, seed=seed)
     corpus = corpus_for_dataset(dataset, train_examples=train_examples, seed=seed)
-    pretrain_simlm(model, corpus, pretrain_config or PretrainConfig(seed=seed))
+    pretrain_simlm(model, corpus, pretrain_config)
+    if store is not None:
+        store.save(SIMLM_KIND, fp, *serialize_simlm(model))
     return model
+
+
+# --------------------------------------------------------------------------- #
+# artifact-store integration
+# --------------------------------------------------------------------------- #
+#: Artifact kind under which pre-trained SimLM states are stored.
+SIMLM_KIND = "simlm"
+
+
+def simlm_fingerprint(
+    dataset: SequenceDataset,
+    size: str = "simlm-xl",
+    train_examples: Optional[Sequence] = None,
+    pretrain_config: Optional[PretrainConfig] = None,
+    seed: int = 0,
+) -> str:
+    """Identity of a pre-trained SimLM: architecture + corpus inputs + seed."""
+    if size not in SIMLM_CONFIGS:
+        raise KeyError(f"unknown SimLM size {size!r}; available: {sorted(SIMLM_CONFIGS)}")
+    return fingerprint(
+        SIMLM_KIND,
+        dataset_fingerprint(dataset),
+        SIMLM_CONFIGS[size],
+        examples_fingerprint(train_examples) if train_examples is not None else None,
+        pretrain_config or PretrainConfig(seed=seed),
+        seed,
+    )
+
+
+def serialize_simlm(model: SimLM) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Arrays + reconstruction metadata for a (pre-trained) SimLM."""
+    metadata = {
+        "component": SIMLM_KIND,
+        "config": dataclasses.asdict(model.config),
+        "is_pretrained": bool(model.is_pretrained),
+        "vocab_size": int(model.tokenizer.vocab_size),
+    }
+    return model.state_dict(), metadata
+
+
+def restore_simlm(arrays: Dict[str, np.ndarray], metadata: dict,
+                  dataset: SequenceDataset) -> SimLM:
+    """Rebuild a SimLM from :func:`serialize_simlm` output.
+
+    The tokenizer is not stored — it is reproduced deterministically from the
+    dataset's catalog, and the stored vocabulary size guards against loading
+    an artifact against a different dataset.
+    """
+    if metadata.get("component") != SIMLM_KIND:
+        raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a SimLM")
+    tokenizer = build_tokenizer(dataset)
+    if tokenizer.vocab_size != int(metadata["vocab_size"]):
+        raise ArtifactError(
+            f"stored SimLM has vocabulary size {metadata['vocab_size']}, but dataset "
+            f"{dataset.name!r} produces {tokenizer.vocab_size}; the artifact was trained "
+            "on a different dataset"
+        )
+    model = SimLM(tokenizer, SimLMConfig(**metadata["config"]))
+    model.load_state_dict(arrays)
+    model.is_pretrained = bool(metadata.get("is_pretrained", True))
+    model.eval()
+    return model
+
+
+def save_simlm(model: SimLM, path: str) -> str:
+    """Persist a SimLM (arrays + identity) as an artifact directory at ``path``."""
+    arrays, metadata = serialize_simlm(model)
+    return write_artifact(path, arrays, metadata)
+
+
+def load_simlm(path: str, dataset: SequenceDataset) -> SimLM:
+    """Reconstruct a SimLM saved by :func:`save_simlm` (tokenizer from ``dataset``)."""
+    arrays, metadata = read_artifact(path)
+    return restore_simlm(arrays, metadata, dataset)

@@ -37,12 +37,24 @@ class SequentialRecommender:
     #: Human-readable model name used in result tables.
     name: str = "base"
 
+    #: Constructor arguments recorded by :meth:`_record_init_config`; the
+    #: artifact store uses them to rebuild the model around a stored state
+    #: dict (``None`` for models that do not support component reload).
+    init_config: Optional[dict] = None
+
     def __init__(self, num_items: int, max_history: int = 9):
         if num_items <= 0:
             raise ValueError("num_items must be positive")
         self.num_items = num_items
         self.max_history = max_history
         self.is_fitted = False
+
+    def _record_init_config(self, **kwargs) -> None:
+        """Remember the constructor arguments for artifact-store reconstruction."""
+        self.init_config = {
+            key: (list(value) if isinstance(value, tuple) else value)
+            for key, value in kwargs.items()
+        }
 
     # ------------------------------------------------------------------ #
     # training

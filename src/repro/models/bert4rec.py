@@ -41,6 +41,11 @@ class BERT4Rec(NeuralSequentialRecommender):
         seed: int = 0,
     ):
         super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        self._record_init_config(
+            num_items=num_items, embedding_dim=embedding_dim, num_blocks=num_blocks,
+            num_heads=num_heads, dropout=dropout, max_history=max_history,
+            mask_probability=mask_probability, seed=seed,
+        )
         rng = np.random.default_rng(seed)
         self.mask_probability = mask_probability
         self.mask_token = num_items + 1  # ids: 0 padding, 1..num_items items, num_items+1 [MASK]

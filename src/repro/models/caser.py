@@ -33,6 +33,13 @@ class Caser(NeuralSequentialRecommender):
         seed: int = 0,
     ):
         super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        self._record_init_config(
+            num_items=num_items, embedding_dim=embedding_dim,
+            num_horizontal_filters=num_horizontal_filters,
+            num_vertical_filters=num_vertical_filters,
+            filter_heights=list(filter_heights) if filter_heights is not None else None,
+            dropout=dropout, max_history=max_history, seed=seed,
+        )
         rng = np.random.default_rng(seed)
         filter_heights = list(filter_heights or (2, 3, 4))
         filter_heights = [h for h in filter_heights if h <= max_history]

@@ -32,6 +32,10 @@ class GRU4Rec(NeuralSequentialRecommender):
         seed: int = 0,
     ):
         super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        self._record_init_config(
+            num_items=num_items, embedding_dim=embedding_dim, hidden_dim=hidden_dim,
+            num_layers=num_layers, dropout=dropout, max_history=max_history, seed=seed,
+        )
         rng = np.random.default_rng(seed)
         hidden_dim = hidden_dim or embedding_dim
         self.hidden_dim = hidden_dim

@@ -34,6 +34,10 @@ class SASRec(NeuralSequentialRecommender):
         seed: int = 0,
     ):
         super().__init__(num_items=num_items, embedding_dim=embedding_dim, max_history=max_history)
+        self._record_init_config(
+            num_items=num_items, embedding_dim=embedding_dim, num_blocks=num_blocks,
+            num_heads=num_heads, dropout=dropout, max_history=max_history, seed=seed,
+        )
         rng = np.random.default_rng(seed)
         self.item_embedding = Embedding(num_items + 1, embedding_dim, padding_idx=0, rng=rng)
         self.position_embedding = Embedding(max_history, embedding_dim, rng=rng)

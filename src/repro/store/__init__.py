@@ -1,0 +1,54 @@
+"""Config-fingerprinted artifact store.
+
+Trained components — conventional backbones, pre-trained SimLM states, soft
+prompts and whole DELRec recommenders — are persisted under a content address
+derived from *what produced them* (configuration + dataset + seed).  A warm
+process finds the fingerprint already present and loads the component instead
+of training it; any config change produces a new fingerprint, so stale
+artifacts are never served.
+
+The default store root is the ``REPRO_ARTIFACT_DIR`` environment variable
+(see :func:`default_store`); without it the stack simply trains as before.
+
+Component (de)serialisers live in :mod:`repro.store.components` (backbones,
+soft prompts), :mod:`repro.llm.registry` (SimLM) and
+:mod:`repro.core.recommend` (the DELRec recommender bundle).  This package's
+top level deliberately imports none of them, so low-level modules can depend
+on fingerprints without import cycles.
+"""
+
+from repro.store.fingerprint import (
+    canonicalize,
+    dataset_fingerprint,
+    examples_fingerprint,
+    fingerprint,
+    state_fingerprint,
+)
+from repro.store.store import (
+    ARTIFACT_DIR_ENV,
+    ArtifactError,
+    ArtifactNotFoundError,
+    ArtifactStore,
+    FORMAT_VERSION,
+    StoreStats,
+    default_store,
+    read_artifact,
+    write_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_DIR_ENV",
+    "ArtifactError",
+    "ArtifactNotFoundError",
+    "ArtifactStore",
+    "FORMAT_VERSION",
+    "StoreStats",
+    "canonicalize",
+    "dataset_fingerprint",
+    "default_store",
+    "examples_fingerprint",
+    "fingerprint",
+    "read_artifact",
+    "state_fingerprint",
+    "write_artifact",
+]

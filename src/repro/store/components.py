@@ -1,0 +1,192 @@
+"""Whole-component serialisation: conventional backbones and soft prompts.
+
+:mod:`repro.autograd.serialization` persists a raw parameter dict; the helpers
+here persist *components* — the arrays **plus** the metadata needed to rebuild
+the surrounding object (class, constructor arguments, fitted state) — so a
+consumer can reconstruct a working recommender from a path alone.
+
+Each component kind follows the same pattern:
+
+* ``serialize_X(obj) -> (arrays, metadata)`` — pure, used by both the
+  path-based API and :class:`~repro.store.store.ArtifactStore`;
+* ``restore_X(arrays, metadata, ...) -> obj`` — the inverse;
+* ``save_X(obj, path)`` / ``load_X(path)`` — directory-based convenience
+  wrappers (``metadata.json`` + ``payload.npz``).
+
+SimLM serialisation lives in :mod:`repro.llm.registry` (next to the builders
+it inverts); the DELRec recommender bundle lives in
+:mod:`repro.core.recommend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.module import Module
+from repro.llm.soft_prompt import SoftPrompt
+from repro.store.fingerprint import fingerprint
+from repro.store.store import ArtifactError, read_artifact, write_artifact
+
+#: Artifact kind names used by the store-backed training paths (the SimLM
+#: kind lives in :mod:`repro.llm.registry` next to its serialisers).
+BACKBONE_KIND = "backbone"
+DELREC_KIND = "delrec"
+SOFT_PROMPT_KIND = "soft_prompt"
+
+
+# --------------------------------------------------------------------------- #
+# conventional backbones
+# --------------------------------------------------------------------------- #
+def serialize_backbone(model) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Arrays + reconstruction metadata for a neural sequential recommender."""
+    if not isinstance(model, Module):
+        raise TypeError(
+            f"{type(model).__name__} is not a Module; only neural backbones serialise "
+            "through the artifact store"
+        )
+    init_config = getattr(model, "init_config", None)
+    if init_config is None:
+        raise ArtifactError(
+            f"{type(model).__name__} does not record its constructor arguments "
+            "(init_config); cannot serialise it as a reloadable component"
+        )
+    metadata = {
+        "component": BACKBONE_KIND,
+        "class": type(model).__name__,
+        "model_name": model.name,
+        "init_config": dict(init_config),
+        "is_fitted": bool(model.is_fitted),
+    }
+    return model.state_dict(), metadata
+
+
+def restore_backbone(arrays: Dict[str, np.ndarray], metadata: dict, model=None):
+    """Rebuild a backbone from :func:`serialize_backbone` output.
+
+    ``model`` may be a freshly constructed (compatible) instance to load into;
+    otherwise the class is looked up in the model registry and constructed
+    from the stored ``init_config``.
+    """
+    if metadata.get("component") != BACKBONE_KIND:
+        raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a backbone")
+    if model is None:
+        from repro.models.registry import create_model
+
+        model = create_model(metadata["class"], **metadata["init_config"])
+    model.load_state_dict(arrays)
+    model.is_fitted = bool(metadata.get("is_fitted", True))
+    model.eval()
+    return model
+
+
+def save_backbone(model, path: str) -> str:
+    """Persist a fitted backbone (arrays + identity) under ``path``."""
+    arrays, metadata = serialize_backbone(model)
+    return write_artifact(path, arrays, metadata)
+
+
+def load_backbone(path: str):
+    """Reconstruct a backbone saved by :func:`save_backbone`."""
+    arrays, metadata = read_artifact(path)
+    return restore_backbone(arrays, metadata)
+
+
+def train_or_reload_backbone(
+    model,
+    dataset,
+    train_examples,
+    training_config,
+    store=None,
+    dataset_fp: Optional[str] = None,
+    train_fp: Optional[str] = None,
+) -> bool:
+    """Fit a neural backbone through the store's cache protocol.
+
+    Reloads the trained parameters when an artifact with the matching
+    fingerprint exists; otherwise trains and (when possible) publishes the
+    result.  Models that do not record ``init_config`` train uncached — they
+    could not be reconstructed from an artifact.  Returns ``True`` when
+    training actually ran, ``False`` on a cache hit.
+
+    ``dataset_fp`` / ``train_fp`` are optional precomputed content hashes
+    (callers that fit many components on one dataset pass them to avoid
+    re-hashing the data); they are only computed when a store is attached.
+    """
+    from repro.models.trainer import train_recommender
+    from repro.store.fingerprint import dataset_fingerprint, examples_fingerprint
+
+    fp = None
+    if store is not None and getattr(model, "init_config", None) is not None:
+        fp = backbone_fingerprint(
+            dataset_fp or dataset_fingerprint(dataset),
+            train_fp or examples_fingerprint(train_examples),
+            model,
+            training_config,
+        )
+        cached = store.fetch(BACKBONE_KIND, fp)
+        if cached is not None:
+            restore_backbone(*cached, model=model)
+            return False
+    train_recommender(model, train_examples, training_config)
+    if fp is not None:
+        store.save(BACKBONE_KIND, fp, *serialize_backbone(model))
+    return True
+
+
+def backbone_fingerprint(dataset_fp: str, train_fp: str, model, training_config) -> str:
+    """Identity of a trained backbone: data + architecture + training recipe.
+
+    Requires the model to record its constructor arguments (``init_config``) —
+    without them the artifact could not be reconstructed, so callers must skip
+    caching for such models instead of fingerprinting them.
+    """
+    init_config = getattr(model, "init_config", None)
+    if init_config is None:
+        raise ArtifactError(
+            f"{type(model).__name__} does not record init_config; it cannot be cached "
+            "as a backbone artifact"
+        )
+    return fingerprint(
+        BACKBONE_KIND,
+        dataset_fp,
+        train_fp,
+        type(model).__name__,
+        init_config,
+        training_config,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# soft prompts
+# --------------------------------------------------------------------------- #
+def serialize_soft_prompt(soft_prompt: SoftPrompt) -> Tuple[Dict[str, np.ndarray], dict]:
+    metadata = {
+        "component": SOFT_PROMPT_KIND,
+        "num_tokens": int(soft_prompt.num_tokens),
+        "dim": int(soft_prompt.dim),
+        "init_style": soft_prompt.init_style,
+        "requires_grad": bool(soft_prompt.weight.requires_grad),
+    }
+    return {"weight": soft_prompt.weight.data.copy()}, metadata
+
+
+def restore_soft_prompt(arrays: Dict[str, np.ndarray], metadata: dict) -> SoftPrompt:
+    if metadata.get("component") != SOFT_PROMPT_KIND:
+        raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a soft prompt")
+    soft_prompt = SoftPrompt(int(metadata["num_tokens"]), int(metadata["dim"]))
+    soft_prompt.load_state_dict({"weight": arrays["weight"]})
+    soft_prompt.init_style = metadata.get("init_style", "random")
+    soft_prompt.weight.requires_grad = bool(metadata.get("requires_grad", True))
+    return soft_prompt
+
+
+def save_soft_prompt(soft_prompt: SoftPrompt, path: str) -> str:
+    arrays, metadata = serialize_soft_prompt(soft_prompt)
+    return write_artifact(path, arrays, metadata)
+
+
+def load_soft_prompt(path: str) -> SoftPrompt:
+    arrays, metadata = read_artifact(path)
+    return restore_soft_prompt(arrays, metadata)

@@ -1,0 +1,252 @@
+"""Content-addressed artifact store for trained components.
+
+Layout
+------
+Artifacts live under a root directory (the ``REPRO_ARTIFACT_DIR`` environment
+variable, or an explicit path)::
+
+    <root>/
+        counters.json                      # cumulative hits / misses / saves
+        backbone/<fingerprint>/
+            metadata.json                  # versioned, human-readable identity
+            payload.npz                    # the arrays (state dict)
+        simlm/<fingerprint>/...
+        delrec/<fingerprint>/...
+
+Every artifact is addressed by the fingerprint of *what produced it* (config +
+dataset + seed, see :mod:`repro.store.fingerprint`), so a configuration change
+automatically invalidates the cache: the new fingerprint simply misses and the
+component is rebuilt and stored alongside the old one.
+
+Writes are atomic (temp directory + ``os.replace``) so a crashed run never
+leaves a half-written artifact that a later run would try to load.  The store
+keeps per-process hit/miss/save statistics on the instance *and* cumulative
+counters in ``counters.json``, which is what the CI warm-cache job asserts on:
+a warm run over a populated store must perform zero saves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Environment variable naming the default artifact directory.
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+FORMAT_VERSION = 1
+
+METADATA_FILE = "metadata.json"
+PAYLOAD_FILE = "payload.npz"
+COUNTERS_FILE = "counters.json"
+
+
+class ArtifactError(RuntimeError):
+    """A stored artifact is missing, corrupt or incompatible."""
+
+
+class ArtifactNotFoundError(ArtifactError):
+    """No artifact exists for the requested kind/fingerprint."""
+
+
+def write_artifact(path: str, arrays: Dict[str, np.ndarray], metadata: dict,
+                   overwrite: bool = True) -> str:
+    """Atomically write ``arrays`` + ``metadata`` as an artifact directory.
+
+    The artifact is staged in a temporary sibling directory and moved into
+    place with a single rename, so readers never observe a partial artifact.
+    With ``overwrite=False`` an existing artifact at ``path`` is kept and the
+    staged copy discarded — the behaviour the content-addressed store wants,
+    where two writers of one fingerprint produce identical content and
+    deleting a published artifact could break a concurrent reader.  Returns
+    the final path.
+    """
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path)
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(prefix=".staging-", dir=parent)
+    try:
+        np.savez(os.path.join(staging, PAYLOAD_FILE), **arrays)
+        document = dict(metadata)
+        document.setdefault("format_version", FORMAT_VERSION)
+        with open(os.path.join(staging, METADATA_FILE), "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True, default=str)
+        if os.path.isdir(path):
+            if not overwrite:
+                shutil.rmtree(staging, ignore_errors=True)
+                return path
+            shutil.rmtree(path)
+        try:
+            os.rename(staging, path)
+        except OSError:
+            # a concurrent writer published the same artifact between our
+            # existence check and rename; keep theirs
+            if os.path.isdir(path):
+                shutil.rmtree(staging, ignore_errors=True)
+            else:
+                raise
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return path
+
+
+def read_artifact(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read an artifact directory written by :func:`write_artifact`."""
+    metadata_path = os.path.join(path, METADATA_FILE)
+    payload_path = os.path.join(path, PAYLOAD_FILE)
+    if not os.path.isfile(metadata_path) or not os.path.isfile(payload_path):
+        raise ArtifactNotFoundError(f"no artifact at {path!r}")
+    with open(metadata_path) as handle:
+        metadata = json.load(handle)
+    version = metadata.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact at {path!r} has format version {version!r}; "
+            f"this code reads version {FORMAT_VERSION}"
+        )
+    with np.load(payload_path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    return arrays, metadata
+
+
+@dataclass
+class StoreStats:
+    """Per-process counters of one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def record(self, event: str, kind: str) -> None:
+        setattr(self, event, getattr(self, event) + 1)
+        bucket = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0, "saves": 0})
+        bucket[event] += 1
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        return (self.hits, self.misses, self.saves)
+
+
+class ArtifactStore:
+    """A directory of fingerprint-addressed trained components."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(str(root))
+        os.makedirs(self.root, exist_ok=True)
+        self.stats = StoreStats()
+
+    @classmethod
+    def from_env(cls) -> Optional["ArtifactStore"]:
+        """The store named by ``REPRO_ARTIFACT_DIR``, or ``None`` if unset."""
+        root = os.environ.get(ARTIFACT_DIR_ENV, "").strip()
+        return cls(root) if root else None
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(root={self.root!r})"
+
+    # ------------------------------------------------------------------ #
+    # addressing
+    # ------------------------------------------------------------------ #
+    def path_for(self, kind: str, fingerprint: str) -> str:
+        if not kind or os.sep in kind:
+            raise ValueError(f"invalid artifact kind {kind!r}")
+        if not fingerprint or os.sep in fingerprint:
+            raise ValueError(f"invalid fingerprint {fingerprint!r}")
+        return os.path.join(self.root, kind, fingerprint)
+
+    def contains(self, kind: str, fingerprint: str) -> bool:
+        path = self.path_for(kind, fingerprint)
+        return os.path.isfile(os.path.join(path, METADATA_FILE)) and os.path.isfile(
+            os.path.join(path, PAYLOAD_FILE)
+        )
+
+    # ------------------------------------------------------------------ #
+    # save / load
+    # ------------------------------------------------------------------ #
+    def save(self, kind: str, fingerprint: str, arrays: Dict[str, np.ndarray],
+             metadata: dict) -> str:
+        """Persist an artifact and return its directory path."""
+        document = dict(metadata)
+        document["kind"] = kind
+        document["fingerprint"] = fingerprint
+        # never overwrite: fingerprints are content addresses, so an existing
+        # artifact is identical and may have concurrent readers
+        path = write_artifact(self.path_for(kind, fingerprint), arrays, document,
+                              overwrite=False)
+        self.stats.record("saves", kind)
+        self._bump_counters("saves")
+        return path
+
+    def load(self, kind: str, fingerprint: str) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Load an artifact; raises :class:`ArtifactNotFoundError` on a miss."""
+        path = self.path_for(kind, fingerprint)
+        if not self.contains(kind, fingerprint):
+            self.stats.record("misses", kind)
+            self._bump_counters("misses")
+            raise ArtifactNotFoundError(f"no {kind!r} artifact with fingerprint {fingerprint!r}")
+        arrays, metadata = read_artifact(path)
+        stored = metadata.get("fingerprint")
+        if stored != fingerprint:
+            raise ArtifactError(
+                f"artifact at {path!r} records fingerprint {stored!r}, expected {fingerprint!r}"
+            )
+        self.stats.record("hits", kind)
+        self._bump_counters("hits")
+        return arrays, metadata
+
+    def fetch(self, kind: str, fingerprint: str) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
+        """Like :meth:`load` but returns ``None`` on a miss.
+
+        A corrupt or format-incompatible artifact (truncated payload, stale
+        format version, tampered metadata) is treated as a miss too: the
+        broken directory is discarded so the caller rebuilds and re-publishes
+        it, instead of every future run crashing on the same entry.  Use
+        :meth:`load` directly when corruption should be surfaced.
+        """
+        try:
+            return self.load(kind, fingerprint)
+        except ArtifactNotFoundError:
+            return None
+        except (ArtifactError, OSError, ValueError, zipfile.BadZipFile):
+            shutil.rmtree(self.path_for(kind, fingerprint), ignore_errors=True)
+            self.stats.record("misses", kind)
+            self._bump_counters("misses")
+            return None
+
+    # ------------------------------------------------------------------ #
+    # cumulative counters (shared across processes via counters.json)
+    # ------------------------------------------------------------------ #
+    def counters(self) -> Dict[str, int]:
+        """Cumulative hit/miss/save counts over every process that used this root.
+
+        Updates are atomic (write + rename) but the read-modify-write cycle is
+        not locked, so truly concurrent writers may lose increments; the
+        counters are exact for sequential runs (the CI warm-cache job) and
+        best-effort otherwise.  Artifact content is never affected.
+        """
+        path = os.path.join(self.root, COUNTERS_FILE)
+        if not os.path.isfile(path):
+            return {"hits": 0, "misses": 0, "saves": 0}
+        with open(path) as handle:
+            return json.load(handle)
+
+    def _bump_counters(self, event: str) -> None:
+        counts = self.counters()
+        counts[event] = counts.get(event, 0) + 1
+        descriptor, staging = tempfile.mkstemp(dir=self.root, prefix=".counters-")
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(counts, handle)
+        os.replace(staging, os.path.join(self.root, COUNTERS_FILE))
+
+
+def default_store() -> Optional[ArtifactStore]:
+    """The process-default store (from ``REPRO_ARTIFACT_DIR``), or ``None``."""
+    return ArtifactStore.from_env()
