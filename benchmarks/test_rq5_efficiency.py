@@ -15,11 +15,15 @@ def test_rq5_efficiency_and_cold_start(benchmark):
     )
     efficiency, throughput, cold = tables["efficiency"], tables["throughput"], tables["cold_start"]
     cold_warm = tables["cold_warm"]
+    training, restricted_scoring = tables["training"], tables["restricted_scoring"]
     print("\n" + str(efficiency))
     print("\n" + str(throughput))
+    print("\n" + str(restricted_scoring))
+    print("\n" + str(training))
     print("\n" + str(cold_warm))
     print("\n" + str(cold))
-    save_results([efficiency, throughput, cold_warm, cold], results_path("rq5_efficiency.json"))
+    save_results([efficiency, throughput, restricted_scoring, training, cold_warm, cold],
+                 results_path("rq5_efficiency.json"))
 
     # soft prompts add a negligible fraction of the LLM's parameters (paper: 0.2M vs 3B)
     llm_row = efficiency.row_for(model="SimLM backbone (stands in for Flan-T5-XL)")
@@ -38,6 +42,26 @@ def test_rq5_efficiency_and_cold_start(benchmark):
     assert sasrec_tp["speedup"] >= 2.0
     for row in throughput.rows:
         assert row["max_score_diff"] == 0.0
+
+    # the restricted LM head scores bitwise-identically to the kept
+    # full-vocabulary reference head
+    for row in restricted_scoring.rows:
+        assert row["max_score_diff"] == 0.0
+
+    # restricted-head training: the MLM step no longer builds the
+    # (batch, length, vocab) logit cube — >= 2x on the benchmark vocabulary —
+    # and every stage trains bitwise-identically through either head
+    mlm_row = next(row for row in training.rows if row["stage"].startswith("MLM"))
+    # the smoke profile runs on a deliberately tiny vocabulary where the head
+    # is a small share of the step; the >= 2x bar applies to the benchmark
+    # (fast/standard) vocabularies.  speedup_vs_blas checks the same win
+    # against the legacy fused-GEMM implementation (with timing headroom)
+    assert mlm_row["speedup"] >= (1.0 if profile.name == "smoke" else 2.0)
+    if profile.name != "smoke":
+        assert mlm_row["speedup_vs_blas"] >= 1.5
+    for row in training.rows:
+        assert row["max_loss_diff"] == 0.0
+        assert row["max_state_diff"] == 0.0
 
     # warm pipeline construction reloads every component from the artifact
     # store: it must build nothing, hit the cache for the backbone + SimLM +

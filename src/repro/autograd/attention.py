@@ -7,6 +7,8 @@ plain boolean numpy arrays: ``True`` marks positions that may be attended to.
 
 from __future__ import annotations
 
+import functools
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -18,10 +20,42 @@ from repro.autograd.tensor import Tensor
 
 _NEG_INF = -1e9
 
+#: Entries kept in the content-addressed padding-expansion cache.  Training
+#: loops cycle through a handful of (shape, validity) patterns, so a small
+#: cache removes the per-forward ``(batch, length, length)`` rebuild entirely.
+#: Masks larger than the byte bound are built but not retained, so scoring
+#: sweeps over huge buckets cannot pin unbounded memory in the cache.
+_EXPANSION_CACHE_LIMIT = 32
+_EXPANSION_CACHE_MAX_BYTES = 1 << 20
+_expansion_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 
+
+def reset_mask_caches() -> None:
+    """Drop every memoised attention mask (used for fair A/B benchmarking)."""
+    _expansion_cache.clear()
+    causal_mask.cache_clear()
+    identity_mask.cache_clear()
+
+
+@functools.lru_cache(maxsize=256)
 def causal_mask(length: int) -> np.ndarray:
-    """Lower-triangular mask allowing each position to attend to itself and the past."""
-    return np.tril(np.ones((length, length), dtype=bool))
+    """Lower-triangular mask allowing each position to attend to itself and the past.
+
+    Memoised per length (the mask only depends on it); the returned array is
+    read-only — callers combining it with other masks get a fresh array from
+    the boolean operation anyway.
+    """
+    mask = np.tril(np.ones((length, length), dtype=bool))
+    mask.setflags(write=False)
+    return mask
+
+
+@functools.lru_cache(maxsize=256)
+def identity_mask(length: int) -> np.ndarray:
+    """Read-only, memoised ``np.eye(length, dtype=bool)`` (self-attention slots)."""
+    mask = np.eye(length, dtype=bool)
+    mask.setflags(write=False)
+    return mask
 
 
 def padding_mask(valid: np.ndarray) -> np.ndarray:
@@ -32,6 +66,33 @@ def padding_mask(valid: np.ndarray) -> np.ndarray:
     """
     valid = np.asarray(valid, dtype=bool)
     return valid[:, None, :] & np.ones((valid.shape[1], 1), dtype=bool)
+
+
+def padded_self_attention_mask(valid: np.ndarray) -> Optional[np.ndarray]:
+    """``(batch, length, length)`` mask: attend to valid keys, plus self-attention.
+
+    This is the expansion every SimLM forward used to rebuild from scratch
+    (``valid[:, None, :] | np.eye(length)``).  The result is memoised by the
+    *content* of ``valid`` — repeated batches reuse one read-only array
+    instead of reallocating.  Fully-valid inputs (the un-padded length buckets
+    of batched scoring) return ``None``: attention over them is unmasked, so
+    the expansion would be allocated, hashed and then ignored.
+    """
+    valid = np.asarray(valid, dtype=bool)
+    if valid.all():
+        return None
+    key = (valid.shape, valid.tobytes())
+    cached = _expansion_cache.get(key)
+    if cached is not None:
+        _expansion_cache.move_to_end(key)
+        return cached
+    mask = valid[:, None, :] | identity_mask(valid.shape[1])[None, :, :]
+    mask.setflags(write=False)
+    if mask.nbytes <= _EXPANSION_CACHE_MAX_BYTES:
+        _expansion_cache[key] = mask
+        if len(_expansion_cache) > _EXPANSION_CACHE_LIMIT:
+            _expansion_cache.popitem(last=False)
+    return mask
 
 
 class MultiHeadSelfAttention(Module):
@@ -75,9 +136,16 @@ class MultiHeadSelfAttention(Module):
         if attention_mask is not None:
             mask = np.asarray(attention_mask, dtype=bool)
             if mask.ndim == 2:
-                mask = np.broadcast_to(mask, (batch, length, length))
-            mask = mask[:, None, :, :]  # broadcast over heads
-            scores = F.masked_fill(scores, ~np.broadcast_to(mask, scores.shape), _NEG_INF)
+                mask = mask[None, None, :, :]
+            elif mask.ndim == 3:
+                mask = mask[:, None, :, :]  # broadcast over heads
+            # The negated mask stays at (batch, 1, length, length) and is
+            # broadcast inside masked_fill — the old code materialised a full
+            # (batch, heads, length, length) negation plus an equally large
+            # fill tensor on every forward.  Fully-valid masks (un-padded
+            # length buckets) skip the fill entirely.
+            if not mask.all():
+                scores = F.masked_fill(scores, ~mask, _NEG_INF)
 
         weights = F.softmax(scores, axis=-1)
         weights = self.dropout(weights)

@@ -157,11 +157,15 @@ def mse_loss(predictions: Tensor, targets: ArrayLike, reduction: str = "mean") -
 def masked_fill(tensor: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Return a tensor with positions where ``mask`` is True set to ``value``.
 
-    Gradients do not flow through the filled positions.
+    Gradients do not flow through the filled positions.  ``mask`` may be any
+    shape broadcastable to ``tensor`` (e.g. ``(batch, 1, length, length)``
+    against ``(batch, heads, length, length)`` attention scores) — it is
+    broadcast inside ``np.where`` rather than materialised at full size, and
+    the fill value is a broadcast view rather than a full-size allocation.
     """
     mask = np.asarray(mask, dtype=bool)
-    filler = Tensor(np.full(tensor.shape, value, dtype=np.float64))
-    return Tensor.where(~mask, tensor, filler)
+    filler = Tensor(np.broadcast_to(np.float64(value), tensor.shape))
+    return Tensor.where(np.broadcast_to(~mask, tensor.shape), tensor, filler)
 
 
 def dropout_mask(shape, rate: float, rng: np.random.Generator) -> np.ndarray:

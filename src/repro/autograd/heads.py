@@ -1,0 +1,289 @@
+"""LM-head operations that avoid the full ``(batch, length, vocab)`` logit cube.
+
+DELRec only ever reads the LLM head at one ``[MASK]`` position per sequence and
+— with the default candidate-restricted objective — only at the ~15 candidate
+token columns, yet the original implementation materialised logits for the
+whole vocabulary (and, during MLM pre-training, for every sequence position)
+on every training and scoring step.  This module provides restricted heads
+that compute exactly the entries the losses and scores consume, together with
+full-width *reference* implementations that are **bitwise identical** to them.
+
+Bitwise identity is achieved the same way PR 1's ``rowwise_matmul`` achieved
+batch invariance: by fixing the per-element reduction structure instead of
+relying on a BLAS call whose rounding depends on operand shapes.
+
+* The mask-position heads compute every logit as an elementwise product
+  followed by a pairwise sum over the (contiguous) embedding axis.  The
+  summation tree depends only on the embedding dimension, so the value of
+  ``logit[b, c]`` is independent of the batch size, of how many other columns
+  are computed alongside it, and of any chunking — computing 15 candidate
+  columns or all ``V`` vocabulary columns yields the same bits per entry.
+* The pre-training heads compute each row's logits as an independent
+  ``(1, dim) @ (dim, vocab)`` product (the PR 1 rowwise trick), so restricting
+  the computation to the masked *rows* cannot change any row's bits.
+* The backward passes of the restricted and reference heads share one
+  implementation that reduces over the (ascending-ordered) non-zero gradient
+  entries, so losses, gradients, and therefore entire training trajectories
+  match bit for bit between the restricted and full-width paths.
+
+A full-vocabulary *BLAS* head (``SimLM.lm_logits``) still exists for the
+``loss_over_full_vocab`` ablation and the zero-shot baselines; its fused GEMM
+rounds differently and is not part of the bit-exactness contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd.functional import _make
+from repro.autograd.tensor import Tensor, is_grad_enabled
+
+#: Number of vocabulary columns evaluated per chunk by the full-width
+#: reference heads.  Chunking bounds the ``(batch, chunk, dim)`` intermediate
+#: without affecting any per-element value (the reduction is per logit).
+REFERENCE_CHUNK = 1024
+
+
+def _dot_rows(hidden_rows: np.ndarray, embedding_rows: np.ndarray) -> np.ndarray:
+    """Per-element dot products ``out[b, c] = hidden[b] . embedding[b, c]``.
+
+    ``hidden_rows`` is ``(batch, dim)`` and ``embedding_rows`` is
+    ``(batch, C, dim)`` or ``(C, dim)`` (shared across the batch).  The product
+    is an elementwise multiply followed by a pairwise sum over the contiguous
+    trailing axis, so each output element's value depends only on the two
+    ``dim``-vectors involved — not on the batch size, the number of columns, or
+    which other columns are present.
+    """
+    if embedding_rows.ndim == 2:
+        return (hidden_rows[:, None, :] * embedding_rows[None, :, :]).sum(axis=-1)
+    return (hidden_rows[:, None, :] * embedding_rows).sum(axis=-1)
+
+
+def _mask_head_backward(
+    grad_cols: np.ndarray,
+    col_ids: np.ndarray,
+    hidden: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+) -> None:
+    """Shared backward of the mask-position heads.
+
+    ``grad_cols`` holds the incoming gradients aligned with vocabulary columns
+    ``col_ids`` (both ``(batch, K)``; ``col_ids`` must be ascending within each
+    row).  Reductions visit each row's non-zero gradient entries in ascending
+    column order through identical numpy calls, so the restricted head
+    (``K = num_candidates``) and the full reference head (``K = vocab``)
+    accumulate bit-identical parameter and hidden-state gradients.
+    """
+    need_hidden = hidden.requires_grad
+    need_weight = weight.requires_grad
+    need_bias = bias is not None and bias.requires_grad
+    if not (need_hidden or need_weight or need_bias):
+        return
+    table = weight.data
+    grad_hidden = np.zeros_like(hidden.data) if need_hidden else None
+    grad_weight = np.zeros_like(table) if need_weight else None
+    grad_bias = np.zeros_like(bias.data) if need_bias else None
+    for row in range(grad_cols.shape[0]):
+        nonzero = grad_cols[row] != 0
+        if not nonzero.any():
+            continue
+        cols = col_ids[row][nonzero] if col_ids.ndim == 2 else col_ids[nonzero]
+        values = grad_cols[row][nonzero]
+        if need_hidden:
+            grad_hidden[row] = np.matmul(values[None, :], table[cols])[0]
+        if need_weight:
+            grad_weight[cols] += values[:, None] * hidden.data[row][None, :]
+        if need_bias:
+            grad_bias[cols] += values
+    if need_hidden:
+        hidden._accumulate(grad_hidden)
+    if need_weight:
+        weight._accumulate(grad_weight)
+    if need_bias:
+        bias._accumulate(grad_bias)
+
+
+def candidate_lm_logits(
+    mask_hidden: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    candidate_ids: np.ndarray,
+) -> Tensor:
+    """Head logits for each row's candidate tokens only: ``(batch, C)``.
+
+    ``mask_hidden`` is ``(batch, dim)`` (the hidden states at the mask
+    positions), ``weight`` the tied ``(vocab, dim)`` embedding table, ``bias``
+    the ``(vocab,)`` output bias (or ``None``) and ``candidate_ids`` an int64
+    ``(batch, C)`` array of vocabulary columns — distinct within each row.
+
+    Every returned entry is bitwise identical to the corresponding entry of
+    :func:`full_vocab_lm_logits`, and the gradients it produces are bitwise
+    identical to computing the full-vocabulary logits and slicing.
+    """
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    if candidate_ids.ndim != 2 or candidate_ids.shape[0] != mask_hidden.shape[0]:
+        raise ValueError(
+            f"candidate_ids must be (batch, C); got {candidate_ids.shape} for "
+            f"batch {mask_hidden.shape[0]}"
+        )
+    parents = (mask_hidden, weight) + ((bias,) if bias is not None else ())
+    needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+    order = sorted_ids = None
+    if needs_grad:
+        # the backward reductions visit columns in ascending order; duplicate
+        # columns would be silently dropped by the fancy-index accumulate, so
+        # they are rejected up front.  Forward-only calls (scoring under
+        # no_grad) are per-element and handle duplicates fine.
+        order = np.argsort(candidate_ids, axis=1, kind="stable")
+        sorted_ids = np.take_along_axis(candidate_ids, order, axis=1)
+        if sorted_ids.shape[1] > 1 and (sorted_ids[:, 1:] == sorted_ids[:, :-1]).any():
+            raise ValueError("candidate token ids must be distinct within each row")
+    out_data = _dot_rows(mask_hidden.data, weight.data[candidate_ids])
+    if bias is not None:
+        out_data = out_data + bias.data[candidate_ids]
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        _mask_head_backward(
+            np.take_along_axis(grad, order, axis=1), sorted_ids, mask_hidden, weight, bias
+        )
+
+    return _make(out_data, parents, backward)
+
+
+def full_vocab_lm_logits(mask_hidden: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Reference head: logits over the whole vocabulary, ``(batch, vocab)``.
+
+    Kept as the full-width reference implementation the restricted head is
+    verified against: every entry matches :func:`candidate_lm_logits` bit for
+    bit, and the backward pass runs through the same per-row reduction, so a
+    training step through "full cube, then slice" and one through the
+    restricted head produce identical losses, gradients and updated weights.
+    """
+    vocab = weight.shape[0]
+    batch = mask_hidden.shape[0]
+    dtypes = [mask_hidden.data.dtype, weight.data.dtype]
+    if bias is not None:
+        dtypes.append(bias.data.dtype)
+    out_data = np.empty((batch, vocab), dtype=np.result_type(*dtypes))
+    for start in range(0, vocab, REFERENCE_CHUNK):
+        stop = min(start + REFERENCE_CHUNK, vocab)
+        chunk = _dot_rows(mask_hidden.data, weight.data[start:stop])
+        if bias is not None:
+            chunk = chunk + bias.data[start:stop]
+        out_data[:, start:stop] = chunk
+
+    all_cols = np.arange(vocab, dtype=np.int64)
+
+    def backward(grad: np.ndarray) -> None:
+        _mask_head_backward(np.asarray(grad), all_cols, mask_hidden, weight, bias)
+
+    parents = (mask_hidden, weight) + ((bias,) if bias is not None else ())
+    return _make(out_data, parents, backward)
+
+
+# --------------------------------------------------------------------------- #
+# pre-training heads: restrict the *rows* (sequence positions), keep the vocab
+# --------------------------------------------------------------------------- #
+def _rows_weight_grads(hidden_rows: np.ndarray, grad: np.ndarray, weight: Tensor,
+                       bias: Optional[Tensor]) -> None:
+    """Parameter gradients of a row-restricted head, shared by both paths.
+
+    Rows whose gradient is entirely zero (the unmasked positions of the
+    reference path — the cross-entropy weights zero them out exactly) are
+    excluded before the reduction, so the reference head over all rows and the
+    restricted head over the masked rows reduce over the *same* operands.
+    """
+    need_weight = weight.requires_grad
+    need_bias = bias is not None and bias.requires_grad
+    if not (need_weight or need_bias):
+        return
+    nonzero = np.flatnonzero(np.any(grad != 0, axis=1))
+    grad_rows = grad[nonzero]
+    if need_weight:
+        grad_weight = np.matmul(grad_rows.T, hidden_rows[nonzero])
+        weight._accumulate(grad_weight)
+    if need_bias:
+        bias._accumulate(grad_rows.sum(axis=0))
+
+
+def masked_rows_lm_logits(
+    hidden: Tensor,
+    row_mask: np.ndarray,
+    weight: Tensor,
+    bias: Optional[Tensor],
+) -> Tensor:
+    """Head logits at the masked positions only: ``(num_masked, vocab)``.
+
+    ``hidden`` is ``(batch, length, dim)`` and ``row_mask`` a boolean
+    ``(batch, length)`` array selecting the positions whose logits the MLM loss
+    consumes (row-major order).  Each selected row is evaluated as an
+    independent ``(1, dim) @ (dim, vocab)`` product, so its bits match the
+    same row of :func:`rowwise_lm_logits` computed over every position.
+    """
+    row_mask = np.asarray(row_mask, dtype=bool)
+    if row_mask.shape != hidden.shape[:2]:
+        raise ValueError(f"row_mask {row_mask.shape} must match hidden rows {hidden.shape[:2]}")
+    hidden_rows = hidden.data[row_mask]
+    out_data = np.matmul(hidden_rows[:, None, :], weight.data.T)[:, 0, :]
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        if hidden.requires_grad:
+            grad_rows = np.matmul(grad[:, None, :], weight.data)[:, 0, :]
+            full = np.zeros_like(hidden.data)
+            full[row_mask] = grad_rows
+            hidden._accumulate(full)
+        _rows_weight_grads(hidden_rows, grad, weight, bias)
+
+    parents = (hidden, weight) + ((bias,) if bias is not None else ())
+    return _make(out_data, parents, backward)
+
+
+def rowwise_lm_logits(hidden: Tensor, weight: Tensor, bias: Optional[Tensor]) -> Tensor:
+    """Reference pre-training head: logits at every position, ``(batch, length, vocab)``.
+
+    Row-by-row evaluation (the PR 1 rowwise trick) makes each position's logits
+    independent of how many positions are computed, which is what lets
+    :func:`masked_rows_lm_logits` skip the unmasked rows without changing a
+    bit of the loss or its gradients.
+    """
+    batch, length, dim = hidden.shape
+    flat = hidden.data.reshape(batch * length, dim)
+    out_data = np.matmul(flat[:, None, :], weight.data.T)[:, 0, :]
+    if bias is not None:
+        out_data = out_data + bias.data
+    out_data = out_data.reshape(batch, length, weight.shape[0])
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = np.asarray(grad).reshape(batch * length, -1)
+        if hidden.requires_grad:
+            grad_rows = np.matmul(grad_flat[:, None, :], weight.data)[:, 0, :]
+            hidden._accumulate(grad_rows.reshape(hidden.shape))
+        _rows_weight_grads(flat, grad_flat, weight, bias)
+
+    parents = (hidden, weight) + ((bias,) if bias is not None else ())
+    return _make(out_data, parents, backward)
+
+
+def scatter_rows(values: Tensor, row_mask: np.ndarray, shape) -> Tensor:
+    """Place ``values`` (one entry per True in ``row_mask``) into a zero tensor.
+
+    Used by the masked-position MLM loss so its per-position losses occupy the
+    same slots as the reference all-position loss vector: summing the scattered
+    tensor then reduces through an identical pairwise tree, keeping the loss
+    (and its gradient) bitwise equal to the reference.
+    """
+    row_mask = np.asarray(row_mask, dtype=bool)
+    out_data = np.zeros(shape, dtype=values.data.dtype)
+    out_data[row_mask] = values.data
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(np.asarray(grad)[row_mask])
+
+    return _make(out_data, (values,), backward)

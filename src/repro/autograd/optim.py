@@ -5,6 +5,15 @@ details: Adam (SASRec / Caser), Adagrad (GRU4Rec) and Lion (both DELRec
 stages), plus plain SGD for tests.  All optimisers support decoupled weight
 decay and skip parameters whose gradient is ``None`` or whose
 ``requires_grad`` flag has been turned off (frozen modules).
+
+Every ``step`` updates the parameters **in place**: moment buffers persist per
+parameter, stateless scratch buffers are pooled per (shape, dtype) across
+parameters, and all arithmetic runs through ``out=`` ufunc calls, so a step
+performs zero array allocations on the hot path.  The in-place forms execute
+the same arithmetic operations in the same order as the naive expressions
+they replaced, so parameter trajectories are bitwise identical —
+``tests/test_autograd_modules.py`` pins this against reference
+implementations of the original update rules.
 """
 
 from __future__ import annotations
@@ -27,6 +36,11 @@ class Optimizer:
         self.lr = lr
         self.weight_decay = weight_decay
         self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        #: Scratch buffers shared across parameters, keyed by (shape, dtype,
+        #: slot).  Scratch carries no state between steps (every use fully
+        #: overwrites it before reading), so same-shaped parameters reuse one
+        #: pair of buffers instead of each pinning its own.
+        self._scratch_pool: Dict[tuple, np.ndarray] = {}
         self.step_count = 0
 
     def zero_grad(self) -> None:
@@ -40,6 +54,23 @@ class Optimizer:
 
     def _get_state(self, param: Tensor) -> Dict[str, np.ndarray]:
         return self.state.setdefault(id(param), {})
+
+    def _buffer(self, state: Dict[str, np.ndarray], name: str, param: Tensor) -> np.ndarray:
+        """Persistent zero-initialised *state* buffer (moments, accumulators)."""
+        buffer = state.get(name)
+        if buffer is None or buffer.shape != param.data.shape:
+            buffer = np.zeros_like(param.data)
+            state[name] = buffer
+        return buffer
+
+    def _scratch(self, param: Tensor, slot: int) -> np.ndarray:
+        """Stateless scratch buffer matching the parameter's shape/dtype."""
+        key = (param.data.shape, param.data.dtype.str, slot)
+        buffer = self._scratch_pool.get(key)
+        if buffer is None:
+            buffer = np.empty_like(param.data)
+            self._scratch_pool[key] = buffer
+        return buffer
 
     def step(self) -> None:
         raise NotImplementedError
@@ -55,16 +86,18 @@ class SGD(Optimizer):
     def step(self) -> None:
         self.step_count += 1
         for param in self._active_parameters():
-            grad = param.grad + self.weight_decay * param.data
+            scratch = self._scratch(param, 0)
+            # grad + weight_decay * param  (into scratch; param.grad untouched)
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            np.add(param.grad, scratch, out=scratch)
             if self.momentum > 0:
-                state = self._get_state(param)
-                velocity = state.get("velocity")
-                if velocity is None:
-                    velocity = np.zeros_like(param.data)
-                velocity = self.momentum * velocity + grad
-                state["velocity"] = velocity
-                grad = velocity
-            param.data = param.data - self.lr * grad
+                velocity = self._buffer(self._get_state(param), "velocity", param)
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, scratch, out=velocity)
+                np.multiply(velocity, self.lr, out=scratch)
+            else:
+                np.multiply(scratch, self.lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
 
 
 class Adam(Optimizer):
@@ -85,23 +118,35 @@ class Adam(Optimizer):
     def step(self) -> None:
         self.step_count += 1
         t = self.step_count
+        bias1 = 1 - self.beta1 ** t
+        bias2 = 1 - self.beta2 ** t
         for param in self._active_parameters():
             state = self._get_state(param)
-            m = state.get("m")
-            v = state.get("v")
-            if m is None:
-                m = np.zeros_like(param.data)
-                v = np.zeros_like(param.data)
+            m = self._buffer(state, "m", param)
+            v = self._buffer(state, "v", param)
+            s1 = self._scratch(param, 0)
+            s2 = self._scratch(param, 1)
             grad = param.grad
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad * grad
-            state["m"], state["v"] = m, v
-            m_hat = m / (1 - self.beta1 ** t)
-            v_hat = v / (1 - self.beta2 ** t)
-            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=s1)
+            np.add(m, s1, out=m)
+            # v = beta2 * v + (1 - beta2) * grad * grad
+            np.multiply(grad, 1 - self.beta2, out=s1)
+            np.multiply(s1, grad, out=s1)
+            np.multiply(v, self.beta2, out=v)
+            np.add(v, s1, out=v)
+            # update = m_hat / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=s1)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(s1, s2, out=s1)
             if self.weight_decay:
-                update = update + self.weight_decay * param.data
-            param.data = param.data - self.lr * update
+                np.multiply(param.data, self.weight_decay, out=s2)
+                np.add(s1, s2, out=s1)
+            np.multiply(s1, self.lr, out=s1)
+            np.subtract(param.data, s1, out=param.data)
 
 
 class Adagrad(Optimizer):
@@ -114,14 +159,21 @@ class Adagrad(Optimizer):
     def step(self) -> None:
         self.step_count += 1
         for param in self._active_parameters():
-            state = self._get_state(param)
-            accumulator = state.get("sum")
-            if accumulator is None:
-                accumulator = np.zeros_like(param.data)
-            grad = param.grad + self.weight_decay * param.data
-            accumulator = accumulator + grad * grad
-            state["sum"] = accumulator
-            param.data = param.data - self.lr * grad / (np.sqrt(accumulator) + self.eps)
+            accumulator = self._buffer(self._get_state(param), "sum", param)
+            s1 = self._scratch(param, 0)
+            s2 = self._scratch(param, 1)
+            # grad + weight_decay * param
+            np.multiply(param.data, self.weight_decay, out=s1)
+            np.add(param.grad, s1, out=s1)
+            # sum += grad * grad
+            np.multiply(s1, s1, out=s2)
+            np.add(accumulator, s2, out=accumulator)
+            # param -= lr * grad / (sqrt(sum) + eps)
+            np.sqrt(accumulator, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(s1, s2, out=s1)
+            np.subtract(param.data, s1, out=param.data)
 
 
 class Lion(Optimizer):
@@ -144,13 +196,21 @@ class Lion(Optimizer):
     def step(self) -> None:
         self.step_count += 1
         for param in self._active_parameters():
-            state = self._get_state(param)
-            m = state.get("m")
-            if m is None:
-                m = np.zeros_like(param.data)
+            m = self._buffer(self._get_state(param), "m", param)
+            s1 = self._scratch(param, 0)
+            s2 = self._scratch(param, 1)
             grad = param.grad
-            update = np.sign(self.beta1 * m + (1 - self.beta1) * grad)
+            # update = sign(beta1 * m + (1 - beta1) * grad)
+            np.multiply(m, self.beta1, out=s1)
+            np.multiply(grad, 1 - self.beta1, out=s2)
+            np.add(s1, s2, out=s1)
+            np.sign(s1, out=s1)
+            # m = beta2 * m + (1 - beta2) * grad
+            np.multiply(m, self.beta2, out=m)
+            np.multiply(grad, 1 - self.beta2, out=s2)
+            np.add(m, s2, out=m)
             if self.weight_decay:
-                update = update + self.weight_decay * param.data
-            param.data = param.data - self.lr * update
-            state["m"] = self.beta2 * m + (1 - self.beta2) * grad
+                np.multiply(param.data, self.weight_decay, out=s2)
+                np.add(s1, s2, out=s1)
+            np.multiply(s1, self.lr, out=s1)
+            np.subtract(param.data, s1, out=param.data)

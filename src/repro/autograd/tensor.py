@@ -50,12 +50,20 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Wrap ``value`` as an ndarray without silent casts or copies.
+
+    Existing arrays are adopted as-is — in particular, wrapping a float64 (or
+    float32) array never copies it, and float32 data is no longer silently
+    promoted to float64.  Pass ``dtype`` to request an explicit cast; the cast
+    is skipped (and the array aliased) when the dtype already matches.
+    Non-array inputs (scalars, lists) are materialised as float64 by default.
+    """
     if isinstance(value, np.ndarray):
-        if value.dtype != dtype and np.issubdtype(value.dtype, np.floating):
+        if dtype is not None and value.dtype != dtype:
             return value.astype(dtype)
         return value
-    return np.asarray(value, dtype=dtype)
+    return np.asarray(value, dtype=dtype or np.float64)
 
 
 class Tensor:
@@ -73,8 +81,9 @@ class Tensor:
     __slots__ = ("data", "requires_grad", "grad", "_backward", "_parents", "name")
     __array_priority__ = 100.0  # numpy should defer binary ops to Tensor
 
-    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = ""):
-        self.data = _as_array(data)
+    def __init__(self, data: ArrayLike, requires_grad: bool = False, name: str = "",
+                 dtype=None):
+        self.data = _as_array(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -576,8 +585,12 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = np.asarray(grad)
-            a._accumulate(_unbroadcast(grad_arr * cond, a.shape))
-            b._accumulate(_unbroadcast(grad_arr * (~cond), b.shape))
+            # Guard each branch so a constant operand (e.g. the broadcast fill
+            # value in masked_fill) never materialises a full-size gradient.
+            if a.requires_grad:
+                a._accumulate(_unbroadcast(grad_arr * cond, a.shape))
+            if b.requires_grad:
+                b._accumulate(_unbroadcast(grad_arr * (~cond), b.shape))
 
         requires = is_grad_enabled() and (a.requires_grad or b.requires_grad)
         out = Tensor(out_data, requires_grad=requires)

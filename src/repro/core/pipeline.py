@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.autograd.module import Module
 from repro.core.config import DELRecConfig
-from repro.core.distill import DistillationResult, PatternDistiller
+from repro.core.distill import DistillationResult, PatternDistiller, validate_lm_head
 from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
 from repro.core.prompts import PromptBuilder
 from repro.core.recommend import DELRecRecommender, FineTuningResult, LSRFineTuner
@@ -65,6 +65,7 @@ class DELRec:
         update_soft_prompt_in_stage2: bool = False,
         name: Optional[str] = None,
         store: Optional[ArtifactStore] = None,
+        lm_head: str = "restricted",
     ):
         self.config = config or DELRecConfig()
         self.conventional_model = conventional_model
@@ -79,6 +80,12 @@ class DELRec:
         self.untrained_soft_prompt = untrained_soft_prompt
         self.update_llm_in_stage1 = update_llm_in_stage1
         self.update_soft_prompt_in_stage2 = update_soft_prompt_in_stage2
+        #: LM-head implementation used by both training stages and scoring
+        #: (``"restricted"`` by default, ``"full"`` for the reference path).
+        #: The two are bitwise-identical end to end, so this flag is *not*
+        #: part of the fit fingerprint: artifacts trained either way are
+        #: interchangeable in the store.
+        self.lm_head = validate_lm_head(lm_head)
         self._name = name
         #: optional artifact store: when set, ``fit`` caches the trained
         #: backbone, the pre-trained LLM and the final recommender bundle, and
@@ -181,6 +188,11 @@ class DELRec:
             "update_soft_prompt_in_stage2": self.update_soft_prompt_in_stage2,
             "name": self.name,
         }
+        if self.lm_head == "blas":
+            # restricted and full train bitwise-identically and share
+            # fingerprints; the legacy fused-GEMM head rounds differently, so
+            # its artifacts must not collide with theirs in the store
+            flags["lm_head"] = "blas"
         return fingerprint(
             DELREC_KIND,
             dataset_fingerprint(dataset),
@@ -193,6 +205,7 @@ class DELRec:
 
     def _adopt_recommender(self, recommender: DELRecRecommender) -> None:
         """Install a reloaded recommender as this pipeline's fit() outcome."""
+        recommender.lm_head = self.lm_head
         self.llm = recommender.model
         self.soft_prompt = recommender.soft_prompt
         self.prompt_builder = recommender.prompt_builder
@@ -296,6 +309,7 @@ class DELRec:
                 self.soft_prompt,
                 config=config.stage1,
                 update_llm=self.update_llm_in_stage1,
+                lm_head=self.lm_head,
             )
             self.distillation_result = distiller.distill(ta_prompts, rps_prompts)
 
@@ -311,6 +325,7 @@ class DELRec:
                 update_soft_prompt=self.update_soft_prompt_in_stage2,
                 auxiliary=self.auxiliary,
                 sr_model_name=model.name,
+                lm_head=self.lm_head,
             )
             sampler = CandidateSampler(
                 dataset, num_candidates=config.num_candidates, seed=config.seed
@@ -330,6 +345,7 @@ class DELRec:
             sr_model_name=model.name,
             name=self.name,
             max_history=config.max_history,
+            lm_head=self.lm_head,
         )
         if self.store is not None and bundle_fp is not None:
             self.store.save(DELREC_KIND, bundle_fp, *self._recommender.serialize())

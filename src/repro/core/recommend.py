@@ -24,6 +24,7 @@ from repro.autograd.lora import (
     wrap_named_linear_with_adalora,
 )
 from repro.core.config import Stage2Config
+from repro.core.distill import validate_lm_head
 from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample
 from repro.data.candidates import CandidateSampler
 from repro.data.records import SequenceDataset
@@ -63,6 +64,7 @@ class DELRecRecommender:
         sr_model_name: Optional[str] = None,
         name: str = "DELRec",
         max_history: int = 9,
+        lm_head: str = "restricted",
     ):
         self.model = model
         self.prompt_builder = prompt_builder
@@ -72,6 +74,13 @@ class DELRecRecommender:
         self.sr_model_name = sr_model_name
         self.name = name
         self.max_history = max_history
+        #: Scoring head: ``"restricted"`` computes logits only for the
+        #: candidate tokens, ``"full"`` runs the full-vocabulary reference
+        #: (bitwise identical to restricted), ``"blas"`` the original fused
+        #: full-vocabulary scorer (legacy RQ5 baseline, different rounding).
+        #: Restricted/full scores are bitwise identical, so the choice is not
+        #: part of the serialised bundle or any artifact fingerprint.
+        self.lm_head = validate_lm_head(lm_head)
 
     # ------------------------------------------------------------------ #
     def build_prompt(
@@ -92,16 +101,60 @@ class DELRecRecommender:
             auxiliary=self.auxiliary,
         )
 
-    def _vocab_logits(self, batch: PromptBatch) -> np.ndarray:
+    def _spliced_embeddings(self, batch: PromptBatch):
         embeddings = self.model.embed_tokens(batch.tokens)
         if self.soft_prompt is not None and self.auxiliary == "soft":
             embeddings = self.soft_prompt.splice_into(
                 embeddings, batch.tokens, self.prompt_builder.tokenizer.soft_id
             )
-        logits = self.model.mask_logits(
-            batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
-        )
-        return logits.data
+        return embeddings
+
+    def _blas_scores(
+        self, batch: PromptBatch, candidate_sets: Sequence[Sequence[int]]
+    ) -> List[np.ndarray]:
+        """Legacy scorer: full-vocabulary logits via the fused BLAS head."""
+        vocab_logits = self.model.mask_logits(
+            batch.tokens,
+            input_embeddings=self._spliced_embeddings(batch),
+            valid_mask=batch.valid_mask,
+        ).data
+        return [
+            self.verbalizer.score_candidates(vocab_logits[row], candidates)
+            for row, candidates in enumerate(candidate_sets)
+        ]
+
+    def _restricted_scores(
+        self,
+        batch: PromptBatch,
+        candidate_sets: Sequence[Sequence[int]],
+        token_sets: Optional[Sequence[np.ndarray]] = None,
+    ) -> List[np.ndarray]:
+        """Candidate scores through the restricted LM head (one row per example).
+
+        Only the score-relevant token columns are projected (for the default
+        item-token verbalizer: one token per candidate), instead of the whole
+        vocabulary.  ``lm_head="full"`` routes the same request through the
+        kept full-vocabulary reference head; the scores are bitwise identical,
+        and both are bitwise identical to scoring each example on its own.
+        ``token_sets`` lets callers reuse already-computed restricted token
+        ids (one equally-sized array per candidate set).
+        """
+        if token_sets is None:
+            token_sets = [
+                self.verbalizer.restricted_token_ids(candidates) for candidates in candidate_sets
+            ]
+        token_ids = np.asarray(token_sets, dtype=np.int64)
+        token_logits = self.model.mask_candidate_logits(
+            batch.tokens,
+            token_ids,
+            input_embeddings=self._spliced_embeddings(batch),
+            valid_mask=batch.valid_mask,
+            full_vocab_reference=self.lm_head == "full",
+        ).data
+        return [
+            self.verbalizer.scores_from_restricted(token_logits[row], candidates)
+            for row, candidates in enumerate(candidate_sets)
+        ]
 
     def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
         """Scores aligned with ``candidates`` (higher is better)."""
@@ -110,9 +163,12 @@ class DELRecRecommender:
         with no_grad():
             was_training = self.model.training
             self.model.eval()
-            vocab_logits = self._vocab_logits(batch)[0]
+            if self.lm_head == "blas":
+                scores = self._blas_scores(batch, [candidates])[0]
+            else:
+                scores = self._restricted_scores(batch, [candidates])[0]
             self.model.train(was_training)
-        return self.verbalizer.score_candidates(vocab_logits, candidates)
+        return scores
 
     def score_candidates_batch(
         self,
@@ -149,10 +205,41 @@ class DELRecRecommender:
             self.model.eval()
             for indices in buckets.values():
                 batch = self.prompt_builder.batch([prompts[i] for i in indices])
-                vocab_logits = self._vocab_logits(batch)
-                row_scores = self.verbalizer.score_candidate_rows(
-                    vocab_logits, [candidate_sets[i] for i in indices]
-                )
+                bucket_candidates = [candidate_sets[i] for i in indices]
+                if self.lm_head == "blas":
+                    row_scores = self._blas_scores(batch, bucket_candidates)
+                    for row, index in enumerate(indices):
+                        scores[index] = row_scores[row]
+                    continue
+                token_sets = [
+                    self.verbalizer.restricted_token_ids(candidates)
+                    for candidates in bucket_candidates
+                ]
+                if len({len(tokens) for tokens in token_sets}) == 1:
+                    row_scores = self._restricted_scores(batch, bucket_candidates, token_sets)
+                else:
+                    # per-row restricted token sets of unequal size (possible
+                    # under the title-aggregation verbalizer ablations):
+                    # encode the bucket once, then run the per-element
+                    # (batch-invariant) head row by row — bitwise-identical
+                    # to scoring each prompt on its own
+                    mask_hidden = self.model.mask_hidden_states(
+                        batch.tokens,
+                        input_embeddings=self._spliced_embeddings(batch),
+                        valid_mask=batch.valid_mask,
+                    )
+                    reference = self.lm_head == "full"
+                    row_scores = []
+                    for row, (index, tokens) in enumerate(zip(indices, token_sets)):
+                        row_logits = self.model.candidate_logits_from_hidden(
+                            mask_hidden[row:row + 1], tokens[None, :],
+                            full_vocab_reference=reference,
+                        ).data[0]
+                        row_scores.append(
+                            self.verbalizer.scores_from_restricted(
+                                row_logits, candidate_sets[index]
+                            )
+                        )
                 for row, index in enumerate(indices):
                     scores[index] = row_scores[row]
             self.model.train(was_training)
@@ -290,6 +377,7 @@ class LSRFineTuner:
         update_soft_prompt: bool = False,
         auxiliary: str = "soft",
         sr_model_name: Optional[str] = None,
+        lm_head: str = "restricted",
     ):
         self.model = model
         self.prompt_builder = prompt_builder
@@ -299,6 +387,10 @@ class LSRFineTuner:
         self.update_soft_prompt = update_soft_prompt
         self.auxiliary = auxiliary
         self.sr_model_name = sr_model_name
+        #: Head implementation for the candidate-restricted loss (Eq. 8);
+        #: ``"restricted"`` and ``"full"`` train bitwise-identically, so the
+        #: flag is excluded from artifact fingerprints.
+        self.lm_head = validate_lm_head(lm_head)
         if self.config.optimizer not in _OPTIMIZERS:
             raise ValueError(f"unknown optimizer {self.config.optimizer!r}")
         self.adapters = []
@@ -398,17 +490,30 @@ class LSRFineTuner:
                 embeddings = self.model.embed_tokens(batch.tokens)
                 if self.soft_prompt is not None and self.auxiliary == "soft":
                     embeddings = self.soft_prompt.splice_into(embeddings, batch.tokens, soft_id)
-                vocab_logits = self.model.mask_logits(
-                    batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
-                )
                 if config.loss_over_full_vocab:
+                    vocab_logits = self.model.mask_logits(
+                        batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
+                    )
                     label_tokens = np.asarray(
                         self.prompt_builder.tokenizer.item_token_ids(batch.label_items.tolist())
                     )
                     loss = F.cross_entropy(vocab_logits, label_tokens)
                 else:
-                    rows = np.arange(len(batch))[:, None]
-                    candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
+                    if self.lm_head == "blas":
+                        vocab_logits = self.model.mask_logits(
+                            batch.tokens, input_embeddings=embeddings,
+                            valid_mask=batch.valid_mask,
+                        )
+                        rows = np.arange(len(batch))[:, None]
+                        candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
+                    else:
+                        candidate_logits = self.model.mask_candidate_logits(
+                            batch.tokens,
+                            batch.candidate_token_ids,
+                            input_embeddings=embeddings,
+                            valid_mask=batch.valid_mask,
+                            full_vocab_reference=self.lm_head == "full",
+                        )
                     loss = F.cross_entropy(candidate_logits, batch.label_indices)
                 loss.backward()
                 if config.grad_clip is not None:

@@ -8,6 +8,8 @@ from repro.eval.efficiency import (
     ColdWarmReport,
     EfficiencyProfile,
     ThroughputReport,
+    TrainingStepReport,
+    compare_training_runs,
     measure_cold_warm,
     measure_scoring_throughput,
     profile_model,
@@ -31,6 +33,8 @@ __all__ = [
     "ColdWarmReport",
     "EfficiencyProfile",
     "ThroughputReport",
+    "TrainingStepReport",
+    "compare_training_runs",
     "measure_cold_warm",
     "measure_scoring_throughput",
     "profile_model",

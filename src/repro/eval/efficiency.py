@@ -194,6 +194,121 @@ def measure_cold_warm(run_fn: Callable[[], object], store, name: str = "pipeline
     )
 
 
+@dataclass
+class TrainingStepReport:
+    """Full-vocabulary vs restricted-head throughput for one training stage.
+
+    Both runs execute the *same* training recipe from the same seed — one
+    through the kept full-vocabulary reference head, one through the
+    restricted head — and the report records wall-clock throughput alongside
+    the largest difference in per-epoch losses and in the final trained
+    parameters.  The restricted head's contract is that both difference
+    columns are exactly ``0.0``.
+    """
+
+    stage: str
+    steps: int
+    fullvocab_seconds: float
+    restricted_seconds: float
+    max_loss_difference: float
+    max_state_difference: float
+    #: wall-clock of the same recipe through the *legacy* fused-GEMM head
+    #: (the pre-restricted-head implementation) — the honest "what the code
+    #: used to cost" baseline, outside the bit-exactness contract.
+    blas_seconds: Optional[float] = None
+
+    @property
+    def fullvocab_steps_per_second(self) -> float:
+        return self.steps / self.fullvocab_seconds if self.fullvocab_seconds else 0.0
+
+    @property
+    def restricted_steps_per_second(self) -> float:
+        return self.steps / self.restricted_seconds if self.restricted_seconds else 0.0
+
+    @property
+    def blas_steps_per_second(self) -> float:
+        if not self.blas_seconds:
+            return 0.0
+        return self.steps / self.blas_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.fullvocab_seconds / self.restricted_seconds if self.restricted_seconds else 0.0
+
+    @property
+    def speedup_vs_blas(self) -> float:
+        if self.blas_seconds is None or not self.restricted_seconds:
+            return 0.0
+        return self.blas_seconds / self.restricted_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "steps": self.steps,
+            "blas_steps_per_s": round(self.blas_steps_per_second, 2),
+            "fullvocab_steps_per_s": round(self.fullvocab_steps_per_second, 2),
+            "restricted_steps_per_s": round(self.restricted_steps_per_second, 2),
+            "speedup": round(self.speedup, 2),
+            "speedup_vs_blas": round(self.speedup_vs_blas, 2),
+            "max_loss_diff": self.max_loss_difference,
+            "max_state_diff": self.max_state_difference,
+        }
+
+
+def compare_training_runs(
+    stage: str,
+    run_fullvocab: Callable[[], tuple],
+    run_restricted: Callable[[], tuple],
+    run_blas: Optional[Callable[[], tuple]] = None,
+) -> TrainingStepReport:
+    """Run one training recipe through the head implementations and compare.
+
+    Each callable must build its *own* fresh model (same seeds), run the
+    training loop, and return ``(seconds, steps, losses, state)`` where
+    ``seconds`` covers only the training loop, ``losses`` is a sequence of
+    floats and ``state`` a name-to-array dict of the trained parameters.
+    ``run_blas`` optionally times the legacy fused-GEMM head as well (timing
+    only — it rounds differently and takes no part in the bit-exactness
+    comparison).
+
+    The memoised attention-mask caches are dropped before each run: all runs
+    iterate identical batches, so later runs would otherwise inherit a warm
+    mask cache and the comparison would not be head-vs-head.
+    """
+    from repro.autograd.attention import reset_mask_caches
+
+    blas_seconds = None
+    if run_blas is not None:
+        reset_mask_caches()
+        blas_seconds = run_blas()[0]
+    reset_mask_caches()
+    full_seconds, full_steps, full_losses, full_state = run_fullvocab()
+    reset_mask_caches()
+    restricted_seconds, restricted_steps, restricted_losses, restricted_state = run_restricted()
+    if full_steps != restricted_steps:
+        raise ValueError(
+            f"training runs disagree on step count: {full_steps} vs {restricted_steps}"
+        )
+    if len(full_losses) != len(restricted_losses) or set(full_state) != set(restricted_state):
+        raise ValueError("training runs produced incomparable losses or states")
+    max_loss = max(
+        (abs(a - b) for a, b in zip(full_losses, restricted_losses)), default=0.0
+    )
+    max_state = max(
+        (float(np.max(np.abs(full_state[key] - restricted_state[key]))) for key in full_state),
+        default=0.0,
+    )
+    return TrainingStepReport(
+        stage=stage,
+        steps=full_steps,
+        fullvocab_seconds=full_seconds,
+        restricted_seconds=restricted_seconds,
+        max_loss_difference=float(max_loss),
+        max_state_difference=max_state,
+        blas_seconds=blas_seconds,
+    )
+
+
 def measure_scoring_throughput(
     recommender,
     histories: Sequence[Sequence[int]],

@@ -3,6 +3,15 @@
 This substitutes for "the LLM was pre-trained on vast data": after
 pre-training, SimLM knows item titles, genres, attribute words and the
 title-to-item-token association, none of which the conventional SR models see.
+
+The cloze objective only reads logits at the masked positions, so the default
+``head="masked"`` path computes the LM head (and the softmax / cross-entropy)
+for exactly those rows instead of materialising the full
+``(batch, length, vocab)`` logit cube.  ``head="full"`` is the kept
+full-cube reference implementation; both paths evaluate each position's
+logits as an independent rowwise product and reduce the loss through the same
+summation tree, so losses, gradients and the pre-trained weights are bitwise
+identical between them (asserted by ``tests/test_restricted_head.py``).
 """
 
 from __future__ import annotations
@@ -12,10 +21,16 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.autograd import Adam
+from repro.autograd import Adam, Tensor
 from repro.autograd import functional as F
+from repro.autograd import heads
 from repro.llm.simlm import SimLM
 from repro.llm.tokenizer import Tokenizer
+
+#: LM-head strategies for the MLM objective.  ``"masked"`` (default) and
+#: ``"full"`` are bitwise identical; ``"blas"`` is the original fused-GEMM
+#: all-position head, kept as the legacy RQ5 baseline (different rounding).
+PRETRAIN_HEADS = ("masked", "full", "blas")
 
 
 @dataclass
@@ -40,12 +55,50 @@ def encode_corpus(tokenizer: Tokenizer, corpus: Sequence[str], max_length: int) 
     return encoded
 
 
+def mlm_step_loss(model: SimLM, corrupted: np.ndarray, labels: np.ndarray,
+                  mask_positions: np.ndarray, head: str = "masked") -> Tensor:
+    """Cloze loss of one MLM batch, via the restricted or the reference head.
+
+    ``head="masked"`` projects only the ``mask_positions`` rows through the LM
+    head and scatters their losses back into the all-position loss layout
+    before summing, so the value (and every gradient) is bitwise identical to
+    the ``head="full"`` reference, which computes the whole logit cube and a
+    weighted cross-entropy over it.
+    """
+    if head not in PRETRAIN_HEADS:
+        raise ValueError(f"unknown pretrain head {head!r}; choose from {PRETRAIN_HEADS}")
+    valid_mask = corrupted != model.tokenizer.pad_id
+    hidden = model.encode_embeddings(model.embed_tokens(corrupted), valid_mask)
+    weights = mask_positions.astype(np.float64)
+    normaliser = max(float(weights.sum()), 1e-12)
+    if head == "blas":
+        return F.cross_entropy(model.lm_logits(hidden), labels, weights=weights)
+    if head == "full":
+        logits = heads.rowwise_lm_logits(
+            hidden, model.token_embedding.weight, model.output_bias
+        )
+        return F.cross_entropy(logits, labels, weights=weights)
+    logits = heads.masked_rows_lm_logits(
+        hidden, mask_positions, model.token_embedding.weight, model.output_bias
+    )
+    log_probs = F.log_softmax(logits)
+    picked = log_probs[np.arange(logits.shape[0]), labels[mask_positions]]
+    losses = -picked
+    spread = heads.scatter_rows(losses, mask_positions.reshape(-1), (mask_positions.size,))
+    return spread.sum() * (1.0 / normaliser)
+
+
 def pretrain_simlm(
     model: SimLM,
     corpus: Sequence[str],
     config: Optional[PretrainConfig] = None,
+    head: str = "masked",
 ) -> List[float]:
-    """Pre-train ``model`` with the BERT-style cloze objective; returns epoch losses."""
+    """Pre-train ``model`` with the BERT-style cloze objective; returns epoch losses.
+
+    ``head`` selects the LM-head implementation (see :func:`mlm_step_loss`);
+    the produced weights are bitwise independent of the choice.
+    """
     config = config or PretrainConfig()
     if not corpus:
         raise ValueError("pre-training corpus is empty")
@@ -70,9 +123,7 @@ def pretrain_simlm(
             corrupted = batch_ids.copy()
             corrupted[mask_positions] = tokenizer.mask_id
             optimizer.zero_grad()
-            logits = model.forward(corrupted)
-            weights = mask_positions.astype(np.float64)
-            loss = F.cross_entropy(logits, labels, weights=weights)
+            loss = mlm_step_loss(model, corrupted, labels, mask_positions, head=head)
             loss.backward()
             optimizer.step()
             epoch_loss += loss.item() * len(batch_ids)

@@ -27,7 +27,8 @@ from repro.autograd import (
     Tensor,
     TransformerEncoderLayer,
 )
-from repro.autograd import init
+from repro.autograd import heads, init
+from repro.autograd.attention import padded_self_attention_mask
 from repro.autograd.module import ModuleList
 from repro.llm.tokenizer import Tokenizer
 
@@ -128,7 +129,7 @@ class SimLM(Module):
         positions = np.broadcast_to(np.arange(length), (batch, length))
         hidden = embeddings + self.position_embedding(positions)
         hidden = self.dropout(hidden)
-        attention_mask = valid_mask[:, None, :] | np.eye(length, dtype=bool)[None, :, :]
+        attention_mask = padded_self_attention_mask(valid_mask)
         for layer in self.layers:
             hidden = layer(hidden, attention_mask=attention_mask)
         return self.final_norm(hidden)
@@ -153,13 +154,13 @@ class SimLM(Module):
             return hidden.rowwise_matmul(weight_t) + self.output_bias
         return hidden.matmul(weight_t) + self.output_bias
 
-    def mask_logits(
+    def mask_hidden_states(
         self,
         token_ids: np.ndarray,
         input_embeddings: Optional[Tensor] = None,
         valid_mask: Optional[np.ndarray] = None,
     ) -> Tensor:
-        """LM-head logits at the (single) ``[MASK]`` position of each sequence.
+        """Hidden states at the (single) ``[MASK]`` position: ``(batch, dim)``.
 
         ``input_embeddings`` overrides the token embeddings (used when soft
         prompts have been spliced in); ``token_ids`` is still required to
@@ -172,8 +173,58 @@ class SimLM(Module):
         hidden = self.encode_embeddings(embeddings, valid_mask)
         mask_positions = _single_mask_positions(token_ids, self.tokenizer.mask_id)
         batch_index = np.arange(token_ids.shape[0])
-        mask_hidden = hidden[batch_index, mask_positions, :]
-        return self.lm_logits(mask_hidden)
+        return hidden[batch_index, mask_positions, :]
+
+    def mask_logits(
+        self,
+        token_ids: np.ndarray,
+        input_embeddings: Optional[Tensor] = None,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """LM-head logits at the (single) ``[MASK]`` position of each sequence."""
+        return self.lm_logits(self.mask_hidden_states(token_ids, input_embeddings, valid_mask))
+
+    def candidate_logits_from_hidden(
+        self,
+        mask_hidden: Tensor,
+        candidate_token_ids: np.ndarray,
+        full_vocab_reference: bool = False,
+    ) -> Tensor:
+        """Candidate-token head logits ``(batch, C)`` from mask-position hidden states."""
+        candidate_token_ids = np.asarray(candidate_token_ids, dtype=np.int64)
+        if full_vocab_reference:
+            vocab_logits = heads.full_vocab_lm_logits(
+                mask_hidden, self.token_embedding.weight, self.output_bias
+            )
+            rows = np.arange(mask_hidden.shape[0])[:, None]
+            return vocab_logits[rows, candidate_token_ids]
+        return heads.candidate_lm_logits(
+            mask_hidden, self.token_embedding.weight, self.output_bias, candidate_token_ids
+        )
+
+    def mask_candidate_logits(
+        self,
+        token_ids: np.ndarray,
+        candidate_token_ids: np.ndarray,
+        input_embeddings: Optional[Tensor] = None,
+        valid_mask: Optional[np.ndarray] = None,
+        full_vocab_reference: bool = False,
+    ) -> Tensor:
+        """Head logits at the ``[MASK]`` position for each row's candidate tokens.
+
+        This is the restricted fast path: only the mask-position hidden vector
+        of each sequence is projected, and only onto the ``(batch, C)``
+        candidate token rows of the tied embedding — the ``(batch, vocab)``
+        logit matrix (and its backward) is never built.  Losses, gradients and
+        scores are **bitwise identical** to computing the full-vocabulary
+        logits and slicing the candidate columns; pass
+        ``full_vocab_reference=True`` to run exactly that reference full-cube
+        path (used by the bit-exactness tests and the RQ5 baseline).
+        """
+        mask_hidden = self.mask_hidden_states(token_ids, input_embeddings, valid_mask)
+        return self.candidate_logits_from_hidden(
+            mask_hidden, candidate_token_ids, full_vocab_reference
+        )
 
     # ------------------------------------------------------------------ #
     def adaptable_linear_filter(self, name: str) -> bool:

@@ -49,6 +49,49 @@ class Verbalizer:
         """Item-token id for each candidate (used for training losses)."""
         return np.asarray(self.tokenizer.item_token_ids(candidates), dtype=np.int64)
 
+    def restricted_token_ids(self, candidates: Sequence[int]) -> np.ndarray:
+        """The vocabulary columns scoring ``candidates`` actually reads.
+
+        This is what lets the restricted LM head skip the rest of the
+        vocabulary: the default item-token aggregation needs exactly one token
+        per candidate, and the title aggregations need the (distinct) union of
+        the candidates' title tokens.
+        """
+        if self.aggregation == "item-token":
+            return self.candidate_token_ids(candidates)
+        union: List[int] = []
+        seen = set()
+        for item_id in candidates:
+            for token_id in self._title_token_ids[item_id]:
+                if token_id not in seen:
+                    union.append(token_id)
+                    seen.add(token_id)
+        return np.asarray(union, dtype=np.int64)
+
+    def scores_from_restricted(
+        self, token_logits: np.ndarray, candidates: Sequence[int]
+    ) -> np.ndarray:
+        """Candidate scores from logits over :meth:`restricted_token_ids`.
+
+        ``token_logits`` holds one logit per restricted token (last axis),
+        optionally with leading batch axes.  Because each restricted logit is
+        bitwise identical to the corresponding full-vocabulary logit, the
+        scores equal :meth:`score_candidates` on full logits bit for bit.
+        """
+        token_logits = np.asarray(token_logits)
+        if self.aggregation == "item-token":
+            return token_logits.copy()
+        columns = {token_id: col for col, token_id in enumerate(self.restricted_token_ids(candidates))}
+        scores = np.zeros(token_logits.shape[:-1] + (len(candidates),))
+        for column, item_id in enumerate(candidates):
+            title_cols = [columns[t] for t in self._title_token_ids[item_id]]
+            title_scores = token_logits[..., title_cols]
+            if self.aggregation == "title-mean":
+                scores[..., column] = title_scores.mean(axis=-1)
+            else:  # title-first
+                scores[..., column] = title_scores[..., 0]
+        return scores
+
     def candidate_logits(self, vocab_logits: Tensor, candidates: Sequence[int]) -> Tensor:
         """Differentiable candidate scores ``(batch, num_candidates)`` from vocab logits."""
         if self.aggregation != "item-token":
@@ -75,34 +118,6 @@ class Verbalizer:
                 else:  # title-first
                     scores[:, column] = title_scores[:, 0]
         return scores[0] if squeeze else scores
-
-    def score_candidate_rows(
-        self, vocab_logits: np.ndarray, candidate_sets: Sequence[Sequence[int]]
-    ) -> List[np.ndarray]:
-        """Per-row candidate scores when every row has its own candidate set.
-
-        ``vocab_logits`` has shape ``(batch, vocab)`` and ``candidate_sets``
-        one candidate list per row.  The default item-token aggregation is a
-        single vectorised gather; the title aggregations fall back to the
-        per-row path.  Either way each row's scores are bitwise-identical to
-        ``score_candidates(vocab_logits[row], candidate_sets[row])``.
-        """
-        vocab_logits = np.asarray(vocab_logits)
-        if vocab_logits.ndim != 2 or len(candidate_sets) != vocab_logits.shape[0]:
-            raise ValueError("score_candidate_rows needs one candidate set per logit row")
-        if self.aggregation == "item-token" and candidate_sets:
-            sizes = {len(candidates) for candidates in candidate_sets}
-            if len(sizes) == 1:
-                token_ids = np.asarray(
-                    [self.tokenizer.item_token_ids(candidates) for candidates in candidate_sets],
-                    dtype=np.int64,
-                )
-                gathered = vocab_logits[np.arange(len(candidate_sets))[:, None], token_ids]
-                return list(gathered)
-        return [
-            self.score_candidates(vocab_logits[row], candidates)
-            for row, candidates in enumerate(candidate_sets)
-        ]
 
     def score_all_items(self, vocab_logits: np.ndarray) -> np.ndarray:
         """Scores over the full catalog (index = item id; index 0 = -inf)."""

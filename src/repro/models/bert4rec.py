@@ -14,6 +14,7 @@ import numpy as np
 from repro.autograd import Adam, Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer, no_grad
 from repro.autograd import functional as F
 from repro.autograd import init
+from repro.autograd.attention import padded_self_attention_mask
 from repro.autograd.module import ModuleList
 from repro.data.batching import pad_sequence
 from repro.data.splits import SequenceExample
@@ -95,7 +96,7 @@ class BERT4Rec(NeuralSequentialRecommender):
         hidden = self.item_embedding(tokens) + self.position_embedding(positions)
         hidden = self.dropout(hidden)
         valid = tokens != 0
-        attention_mask = valid[:, None, :] | np.eye(length, dtype=bool)[None, :, :]
+        attention_mask = padded_self_attention_mask(valid)
         for block in self.blocks:
             hidden = block(hidden, attention_mask=attention_mask)
         return self.final_norm(hidden)

@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.autograd import Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer
 from repro.autograd import init
-from repro.autograd.attention import causal_mask
+from repro.autograd.attention import causal_mask, identity_mask
 from repro.autograd.module import ModuleList
 from repro.models.base import NeuralSequentialRecommender
 
@@ -62,12 +62,12 @@ class SASRec(NeuralSequentialRecommender):
         positions = np.broadcast_to(np.arange(length), (batch, length))
         hidden = self.item_embedding(histories) + self.position_embedding(positions)
         hidden = self.dropout(hidden)
-        # causal mask combined with key-padding mask
+        # causal mask combined with key-padding mask (both memoised per length)
         causal = causal_mask(length)[None, :, :]
         key_valid = valid_mask[:, None, :]
         attention_mask = causal & key_valid
         # every query must be able to attend somewhere; allow self-attention on padding
-        attention_mask = attention_mask | np.eye(length, dtype=bool)[None, :, :]
+        attention_mask = attention_mask | identity_mask(length)[None, :, :]
         for block in self.blocks:
             hidden = block(hidden, attention_mask=attention_mask)
         hidden = self.final_norm(hidden)

@@ -38,7 +38,13 @@ DIGEST_CHARS = 20
 #: fingerprint, invalidating artifacts that the current code can no longer
 #: reproduce.  (FORMAT_VERSION in :mod:`repro.store.store` only guards the
 #: on-disk layout, not training behaviour.)
-TRAINING_CODE_VERSION = 1
+#:
+#: v2: the LM head moved to deterministic reduction orders (restricted /
+#: rowwise heads replacing the fused full-vocabulary GEMM), which shifts
+#: trained parameters by rounding differences relative to v1 artifacts.  The
+#: ``lm_head`` implementation flags are deliberately *not* fingerprinted:
+#: restricted and full-reference paths produce bitwise-identical artifacts.
+TRAINING_CODE_VERSION = 2
 
 
 def canonicalize(obj):

@@ -318,3 +318,148 @@ class TestLoRA:
         assert len(adapters) == 1
         assert isinstance(net.fc2, AdaLoRALinear)
         assert isinstance(net.fc1, Linear)
+
+
+class TestInPlaceOptimizerTrajectories:
+    """The in-place optimisers must follow the original update rules bit for bit."""
+
+    @staticmethod
+    def _reference_step(kind, params, grads, state, t, lr, wd):
+        """The pre-in-place update rules, one step, returning new parameter arrays."""
+        out = []
+        for i, (param, grad) in enumerate(zip(params, grads)):
+            if kind == "sgd":
+                grad = grad + wd * param
+                out.append(param - lr * grad)
+            elif kind == "sgd-momentum":
+                grad = grad + wd * param
+                velocity = state.setdefault(i, np.zeros_like(param))
+                velocity = 0.9 * velocity + grad
+                state[i] = velocity
+                out.append(param - lr * velocity)
+            elif kind == "adam":
+                beta1, beta2, eps = 0.9, 0.999, 1e-8
+                s = state.setdefault(i, {"m": np.zeros_like(param), "v": np.zeros_like(param)})
+                m = beta1 * s["m"] + (1 - beta1) * grad
+                v = beta2 * s["v"] + (1 - beta2) * grad * grad
+                s["m"], s["v"] = m, v
+                m_hat = m / (1 - beta1 ** t)
+                v_hat = v / (1 - beta2 ** t)
+                update = m_hat / (np.sqrt(v_hat) + eps)
+                if wd:
+                    update = update + wd * param
+                out.append(param - lr * update)
+            elif kind == "adagrad":
+                eps = 1e-10
+                grad = grad + wd * param
+                acc = state.setdefault(i, np.zeros_like(param))
+                acc = acc + grad * grad
+                state[i] = acc
+                out.append(param - lr * grad / (np.sqrt(acc) + eps))
+            elif kind == "lion":
+                beta1, beta2 = 0.9, 0.99
+                m = state.setdefault(i, np.zeros_like(param))
+                update = np.sign(beta1 * m + (1 - beta1) * grad)
+                if wd:
+                    update = update + wd * param
+                state[i] = beta2 * m + (1 - beta2) * grad
+                out.append(param - lr * update)
+        return out
+
+    @pytest.mark.parametrize(
+        "kind,factory,lr,wd",
+        [
+            ("sgd", lambda ps: SGD(ps, lr=0.05, weight_decay=0.01), 0.05, 0.01),
+            ("sgd-momentum", lambda ps: SGD(ps, lr=0.05, momentum=0.9, weight_decay=0.01), 0.05, 0.01),
+            ("adam", lambda ps: Adam(ps, lr=0.03, weight_decay=0.02), 0.03, 0.02),
+            ("adam", lambda ps: Adam(ps, lr=0.03), 0.03, 0.0),
+            ("adagrad", lambda ps: Adagrad(ps, lr=0.1, weight_decay=0.005), 0.1, 0.005),
+            ("lion", lambda ps: Lion(ps, lr=0.02, weight_decay=0.01), 0.02, 0.01),
+        ],
+    )
+    def test_bitwise_identical_to_reference_rule(self, kind, factory, lr, wd):
+        rng = np.random.default_rng(7)
+        shapes = [(5, 3), (4,), (2, 2, 2)]
+        params = [Parameter(rng.standard_normal(shape)) for shape in shapes]
+        reference = [p.data.copy() for p in params]
+        optimizer = factory(params)
+        ref_state = {}
+        for t in range(1, 26):
+            grads = [rng.standard_normal(shape) for shape in shapes]
+            for param, grad in zip(params, grads):
+                param.grad = grad.copy()
+            optimizer.step()
+            reference = self._reference_step(kind, reference, grads, ref_state, t, lr, wd)
+            for param, expected in zip(params, reference):
+                assert np.array_equal(param.data, expected), f"{kind} diverged at step {t}"
+
+    def test_step_updates_in_place_without_rebinding(self):
+        param = Parameter(np.ones(6))
+        other = Parameter(np.ones(6) * 2)  # same shape: shares scratch
+        data_before = param.data
+        optimizer = Adam([param, other], lr=0.1)
+        for _ in range(3):
+            param.grad = np.full(6, 0.5)
+            other.grad = np.full(6, 0.25)
+            optimizer.step()
+        assert param.data is data_before  # updated via out=, not rebound
+        assert set(optimizer.state[id(param)]) == {"m", "v"}
+        # stateless scratch is pooled per (shape, dtype, slot), not per param
+        assert len(optimizer._scratch_pool) == 2
+        pool_before = dict(optimizer._scratch_pool)
+        param.grad = np.full(6, 0.25)
+        other.grad = np.full(6, 0.5)
+        optimizer.step()
+        for key, buf in pool_before.items():
+            assert optimizer._scratch_pool[key] is buf  # buffers are reused
+
+
+class TestAttentionMaskCaching:
+    def test_causal_and_identity_masks_are_memoised_and_readonly(self):
+        from repro.autograd.attention import identity_mask
+
+        a, b = causal_mask(5), causal_mask(5)
+        assert a is b
+        assert not a.flags.writeable
+        assert np.array_equal(a, np.tril(np.ones((5, 5), dtype=bool)))
+        eye_a, eye_b = identity_mask(4), identity_mask(4)
+        assert eye_a is eye_b
+        assert np.array_equal(eye_a, np.eye(4, dtype=bool))
+
+    def test_padded_expansion_is_content_cached(self):
+        from repro.autograd.attention import padded_self_attention_mask
+
+        valid = np.array([[True, True, False], [True, False, False]])
+        first = padded_self_attention_mask(valid)
+        second = padded_self_attention_mask(valid.copy())
+        assert first is second  # same content, cached expansion
+        expected = valid[:, None, :] | np.eye(3, dtype=bool)[None, :, :]
+        assert np.array_equal(first, expected)
+        assert not first.flags.writeable
+        other = padded_self_attention_mask(np.array([[True, False, False]]))
+        assert other.shape == (1, 3, 3)
+        # fully-valid batches need no mask at all (un-padded scoring buckets)
+        assert padded_self_attention_mask(np.ones((2, 3), dtype=bool)) is None
+
+    def test_attention_skips_fill_for_all_valid_masks_bitwise(self, rng):
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2, dropout=0.0,
+                                           rng=np.random.default_rng(0))
+        x = Tensor(rng.standard_normal((2, 4, 8)))
+        allowed = np.ones((2, 4, 4), dtype=bool)
+        with_mask = attention(x, attention_mask=allowed)
+        without_mask = attention(x, attention_mask=None)
+        assert np.array_equal(with_mask.data, without_mask.data)
+
+    def test_masked_positions_are_ignored_with_broadcast_mask(self, rng):
+        attention = MultiHeadSelfAttention(dim=8, num_heads=2, dropout=0.0,
+                                           rng=np.random.default_rng(0))
+        x = rng.standard_normal((2, 4, 8))
+        mask = np.ones((2, 4, 4), dtype=bool)
+        mask[:, :, -1] = False  # last key masked out everywhere
+        out_masked = attention(Tensor(x), attention_mask=mask)
+        x_perturbed = x.copy()
+        x_perturbed[:, -1, :] += 100.0  # only visible through the masked key
+        out_perturbed = attention(Tensor(x_perturbed), attention_mask=mask)
+        np.testing.assert_allclose(
+            out_masked.data[:, :-1, :], out_perturbed.data[:, :-1, :], atol=1e-10
+        )

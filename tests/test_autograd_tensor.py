@@ -305,3 +305,59 @@ def test_property_matmul_matches_numpy(rows, inner, cols, seed):
     b = rng.normal(size=(inner, cols))
     out = Tensor(a).matmul(Tensor(b)).data
     np.testing.assert_allclose(out, a @ b, atol=1e-12)
+
+
+class TestDtypePreservation:
+    def test_wrapping_float64_never_copies(self):
+        data = np.arange(6, dtype=np.float64).reshape(2, 3)
+        tensor = Tensor(data)
+        assert tensor.data is data  # adopted, not copied
+
+    def test_wrapping_float32_preserves_dtype_without_copy(self):
+        data = np.arange(6, dtype=np.float32).reshape(2, 3)
+        tensor = Tensor(data)
+        assert tensor.data is data
+        assert tensor.dtype == np.float32
+
+    def test_explicit_dtype_casts_once(self):
+        data = np.arange(4, dtype=np.float32)
+        tensor = Tensor(data, dtype=np.float64)
+        assert tensor.dtype == np.float64
+        assert tensor.data is not data
+        same = Tensor(tensor.data, dtype=np.float64)
+        assert same.data is tensor.data  # matching dtype: no copy
+
+    def test_scalars_and_lists_default_to_float64(self):
+        assert Tensor(3).dtype == np.float64
+        assert Tensor([1, 2, 3]).dtype == np.float64
+
+
+class TestMaskedFillBroadcast:
+    def test_broadcast_mask_matches_full_mask(self):
+        rng = np.random.default_rng(5)
+        scores = rng.standard_normal((2, 3, 4, 4))
+        small = rng.random((2, 1, 4, 4)) < 0.4
+        full = np.broadcast_to(small, scores.shape)
+        a = F.masked_fill(Tensor(scores), small, -1e9)
+        b = F.masked_fill(Tensor(scores.copy()), full.copy(), -1e9)
+        assert np.array_equal(a.data, b.data)
+        assert (a.data[full] == -1e9).all()
+        assert np.array_equal(a.data[~full], scores[~full])
+
+    def test_gradients_blocked_at_filled_positions(self):
+        scores = Tensor(np.ones((2, 2, 3, 3)), requires_grad=True)
+        mask = np.zeros((2, 1, 3, 3), dtype=bool)
+        mask[:, :, :, -1] = True
+        out = F.masked_fill(scores, mask, -1e9)
+        out.sum().backward()
+        expanded = np.broadcast_to(mask, scores.shape)
+        assert (scores.grad[expanded] == 0).all()
+        assert (scores.grad[~expanded] == 1).all()
+
+    def test_where_skips_constant_branch_gradients(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        b = Tensor(np.zeros(4))  # constant branch: no gradient machinery
+        out = Tensor.where(np.array([True, False, True, False]), a, b)
+        out.sum().backward()
+        assert np.array_equal(a.grad, np.array([1.0, 0.0, 1.0, 0.0]))
+        assert b.grad is None

@@ -1,0 +1,283 @@
+"""Bit-exactness suite for the restricted LM head.
+
+The restricted head (``SimLM.mask_candidate_logits``, the masked-position MLM
+head, and the restricted scoring path) must be **bitwise identical** to the
+kept full-vocabulary reference path: same losses, same parameter gradients,
+same post-training weights, same candidate scores, same end-to-end evaluation
+results, and interchangeable artifact-store entries (the head choice is not
+fingerprinted).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, heads
+from repro.autograd import functional as F
+from repro.autograd.module import Parameter
+from repro.core.config import DELRecConfig, Stage1Config, Stage2Config
+from repro.core.distill import PatternDistiller
+from repro.core.pipeline import DELRec
+from repro.core.prompts import PromptBuilder
+from repro.core.recommend import DELRecRecommender, LSRFineTuner
+from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.data.candidates import CandidateSampler
+from repro.llm.corpus import corpus_for_dataset
+from repro.llm.pretrain import PretrainConfig, pretrain_simlm
+from repro.llm.registry import build_simlm
+from repro.llm.soft_prompt import SoftPrompt
+from repro.llm.verbalizer import Verbalizer
+
+
+def _state_equal(a, b):
+    assert set(a) == set(b)
+    for key in a:
+        assert np.array_equal(a[key], b[key]), key
+        assert float(np.max(np.abs(a[key] - b[key]))) == 0.0, key
+
+
+# --------------------------------------------------------------------------- #
+# op level
+# --------------------------------------------------------------------------- #
+class TestHeadOps:
+    def _head_inputs(self, rng, batch=5, dim=16, vocab=90, num_candidates=7):
+        hidden = Tensor(rng.standard_normal((batch, dim)), requires_grad=True)
+        weight = Parameter(rng.standard_normal((vocab, dim)))
+        bias = Parameter(rng.standard_normal(vocab))
+        candidate_ids = np.stack(
+            [rng.choice(vocab, num_candidates, replace=False) for _ in range(batch)]
+        )
+        return hidden, weight, bias, candidate_ids
+
+    def test_forward_matches_full_reference_per_element(self, rng):
+        hidden, weight, bias, candidate_ids = self._head_inputs(rng)
+        restricted = heads.candidate_lm_logits(hidden, weight, bias, candidate_ids)
+        full = heads.full_vocab_lm_logits(hidden, weight, bias)
+        gathered = np.take_along_axis(full.data, candidate_ids, axis=1)
+        assert np.array_equal(restricted.data, gathered)
+
+    def test_forward_batch_invariant(self, rng):
+        hidden, weight, bias, candidate_ids = self._head_inputs(rng)
+        batched = heads.candidate_lm_logits(hidden, weight, bias, candidate_ids)
+        for row in range(hidden.shape[0]):
+            single = heads.candidate_lm_logits(
+                Tensor(hidden.data[row][None, :]), weight, bias, candidate_ids[row][None, :]
+            )
+            assert np.array_equal(batched.data[row], single.data[0])
+
+    def test_gradients_match_full_cube_then_slice(self, rng):
+        values = self._head_inputs(rng)
+        results = []
+        for use_reference in (False, True):
+            hidden = Tensor(values[0].data.copy(), requires_grad=True)
+            weight = Parameter(values[1].data.copy())
+            bias = Parameter(values[2].data.copy())
+            candidate_ids = values[3]
+            if use_reference:
+                full = heads.full_vocab_lm_logits(hidden, weight, bias)
+                logits = full[np.arange(hidden.shape[0])[:, None], candidate_ids]
+            else:
+                logits = heads.candidate_lm_logits(hidden, weight, bias, candidate_ids)
+            loss = F.cross_entropy(logits, np.zeros(hidden.shape[0], dtype=np.int64))
+            loss.backward()
+            results.append((loss.item(), hidden.grad, weight.grad, bias.grad))
+        (loss_a, hidden_a, weight_a, bias_a), (loss_b, hidden_b, weight_b, bias_b) = results
+        assert loss_a == loss_b
+        assert np.array_equal(hidden_a, hidden_b)
+        assert np.array_equal(weight_a, weight_b)
+        assert np.array_equal(bias_a, bias_b)
+
+    def test_duplicate_candidates_rejected(self, rng):
+        hidden, weight, bias, candidate_ids = self._head_inputs(rng)
+        candidate_ids[0, 1] = candidate_ids[0, 0]
+        with pytest.raises(ValueError, match="distinct"):
+            heads.candidate_lm_logits(hidden, weight, bias, candidate_ids)
+
+    def test_masked_rows_match_all_rows(self, rng):
+        batch, length, dim, vocab = 3, 6, 8, 40
+        hidden_data = rng.standard_normal((batch, length, dim))
+        weight = Parameter(rng.standard_normal((vocab, dim)))
+        bias = Parameter(rng.standard_normal(vocab))
+        row_mask = rng.random((batch, length)) < 0.4
+        row_mask[0, 0] = True  # at least one selected row
+        hidden = Tensor(hidden_data, requires_grad=True)
+        restricted = heads.masked_rows_lm_logits(hidden, row_mask, weight, bias)
+        reference = heads.rowwise_lm_logits(Tensor(hidden_data), weight, bias)
+        assert np.array_equal(restricted.data, reference.data[row_mask])
+
+    def test_scatter_rows_roundtrip(self, rng):
+        mask = np.array([True, False, True, True, False])
+        values = Tensor(rng.standard_normal(3), requires_grad=True)
+        spread = heads.scatter_rows(values, mask, (5,))
+        assert np.array_equal(spread.data[mask], values.data)
+        assert spread.data[~mask].sum() == 0.0
+        spread.sum().backward()
+        assert np.array_equal(values.grad, np.ones(3))
+
+
+# --------------------------------------------------------------------------- #
+# training stages
+# --------------------------------------------------------------------------- #
+class TestTrainingBitExactness:
+    def _long_examples(self, split, count=16):
+        return [e for e in split.train if sum(1 for i in e.history if i) >= 6][:count]
+
+    def test_stage1_losses_grads_and_weights(self, tiny_dataset, tiny_split):
+        examples = self._long_examples(tiny_split)
+        outcomes = {}
+        for lm_head in ("restricted", "full"):
+            model = build_simlm(tiny_dataset, seed=0)
+            builder = PromptBuilder(model.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+            soft_prompt = SoftPrompt(num_tokens=3, dim=model.dim, rng=np.random.default_rng(0))
+            ta_builder = TemporalAnalysisTaskBuilder(
+                builder, tiny_dataset.catalog, num_candidates=6, icl_alpha=4, seed=0
+            )
+            prompts = ta_builder.build(examples)
+            distiller = PatternDistiller(
+                model, builder, soft_prompt,
+                config=Stage1Config(epochs=2, batch_size=8, seed=0),
+                lm_head=lm_head,
+            )
+            # single-batch gradient check before the full run
+            model.freeze()
+            loss = distiller._task_loss(builder.batch(prompts[:8]))
+            loss.backward()
+            grad = soft_prompt.weight.grad.copy()
+            soft_prompt.weight.grad = None
+            model.unfreeze()
+            result = distiller.distill(prompts, [])
+            outcomes[lm_head] = (loss.item(), grad, result.combined_losses,
+                                 soft_prompt.weight.data)
+        loss_r, grad_r, losses_r, weights_r = outcomes["restricted"]
+        loss_f, grad_f, losses_f, weights_f = outcomes["full"]
+        assert loss_r == loss_f
+        assert np.array_equal(grad_r, grad_f)
+        assert losses_r == losses_f
+        assert np.array_equal(weights_r, weights_f)
+        assert float(np.max(np.abs(weights_r - weights_f))) == 0.0
+
+    def test_stage2_losses_and_post_training_weights(self, tiny_dataset, tiny_split):
+        sampler = CandidateSampler(tiny_dataset, num_candidates=6, seed=0)
+        outcomes = {}
+        for lm_head in ("restricted", "full"):
+            model = build_simlm(tiny_dataset, seed=0)
+            builder = PromptBuilder(model.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+            soft_prompt = SoftPrompt(num_tokens=3, dim=model.dim, rng=np.random.default_rng(0))
+            finetuner = LSRFineTuner(
+                model, builder, soft_prompt,
+                config=Stage2Config(epochs=2, batch_size=8, seed=0),
+                lm_head=lm_head,
+            )
+            prompts = finetuner.build_training_prompts(tiny_split.train, sampler, limit=16)
+            result = finetuner.fine_tune(prompts)
+            outcomes[lm_head] = (result.losses, model.state_dict())
+        assert outcomes["restricted"][0] == outcomes["full"][0]
+        _state_equal(outcomes["restricted"][1], outcomes["full"][1])
+
+    def test_pretrain_masked_positions_match_full(self, tiny_dataset, tiny_split):
+        corpus = corpus_for_dataset(tiny_dataset, train_examples=tiny_split.train, seed=0)[:64]
+        outcomes = {}
+        for head in ("masked", "full"):
+            model = build_simlm(tiny_dataset, seed=0)
+            losses = pretrain_simlm(model, corpus, PretrainConfig(epochs=2, seed=0), head=head)
+            outcomes[head] = (losses, model.state_dict())
+        assert outcomes["masked"][0] == outcomes["full"][0]
+        _state_equal(outcomes["masked"][1], outcomes["full"][1])
+
+
+# --------------------------------------------------------------------------- #
+# scoring
+# --------------------------------------------------------------------------- #
+class TestScoringBitExactness:
+    @pytest.fixture(scope="class")
+    def scorers(self, tiny_dataset):
+        model = build_simlm(tiny_dataset, seed=3)
+        builder = PromptBuilder(model.tokenizer, tiny_dataset.catalog, soft_prompt_size=3)
+        return tiny_dataset, model, builder
+
+    def _examples(self, tiny_split, tiny_dataset, count=12):
+        sampler = CandidateSampler(tiny_dataset, num_candidates=6, seed=1)
+        examples = tiny_split.test[:count]
+        histories = [example.history for example in examples]
+        candidate_sets = [sampler.candidates_for(example) for example in examples]
+        return histories, candidate_sets
+
+    @pytest.mark.parametrize("aggregation", ["item-token", "title-mean", "title-first"])
+    def test_restricted_equals_full_and_loop(self, scorers, tiny_split, aggregation):
+        tiny_dataset, model, builder = scorers
+        verbalizer = Verbalizer(model.tokenizer, tiny_dataset.catalog, aggregation=aggregation)
+        histories, candidate_sets = self._examples(tiny_split, tiny_dataset)
+        restricted = DELRecRecommender(model, builder, verbalizer, None, auxiliary="none",
+                                       lm_head="restricted")
+        full = DELRecRecommender(model, builder, verbalizer, None, auxiliary="none",
+                                 lm_head="full")
+        batch_restricted = restricted.score_candidates_batch(histories, candidate_sets)
+        batch_full = full.score_candidates_batch(histories, candidate_sets)
+        looped = [restricted.score_candidates(h, c) for h, c in zip(histories, candidate_sets)]
+        for a, b, c in zip(batch_restricted, batch_full, looped):
+            assert np.array_equal(a, b)
+            assert np.array_equal(a, c)
+            assert float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) == 0.0
+
+    def test_verbalizer_restricted_token_ids_cover_scoring(self, scorers):
+        tiny_dataset, model, _ = scorers
+        verbalizer = Verbalizer(model.tokenizer, tiny_dataset.catalog, aggregation="title-mean")
+        candidates = [item.item_id for item in list(tiny_dataset.catalog)[:4]]
+        tokens = verbalizer.restricted_token_ids(candidates)
+        assert len(set(tokens.tolist())) == len(tokens)  # distinct, head-safe
+        vocab_logits = np.arange(model.tokenizer.vocab_size, dtype=np.float64)[None, :] * 0.25
+        expected = verbalizer.score_candidates(vocab_logits, candidates)
+        via_restricted = verbalizer.scores_from_restricted(vocab_logits[0][tokens], candidates)
+        assert np.array_equal(expected[0], via_restricted)
+
+
+# --------------------------------------------------------------------------- #
+# end to end: pipeline, evaluation, artifact store
+# --------------------------------------------------------------------------- #
+class TestEndToEnd:
+    def _fit(self, tiny_dataset, tiny_split, lm_head, store=None):
+        config = DELRecConfig.fast(
+            num_candidates=6,
+            max_stage1_examples=20,
+            max_stage2_examples=20,
+            stage1=Stage1Config(epochs=1, batch_size=8, seed=0),
+            stage2=Stage2Config(epochs=1, batch_size=8, seed=0),
+        )
+        pipeline = DELRec(config=config, lm_head=lm_head, store=store)
+        pipeline.fit(tiny_dataset, tiny_split, conventional_epochs=2)
+        return pipeline
+
+    def test_evaluation_results_identical(self, tiny_dataset, tiny_split):
+        from repro.eval import evaluate_recommender
+
+        results = {}
+        for lm_head in ("restricted", "full"):
+            pipeline = self._fit(tiny_dataset, tiny_split, lm_head)
+            result = evaluate_recommender(
+                pipeline.recommender(), tiny_dataset, tiny_split.test[:20],
+                num_candidates=6, seed=0,
+            )
+            results[lm_head] = result
+        restricted, full = results["restricted"], results["full"]
+        assert restricted.metrics == full.metrics
+        for name in restricted.per_example:
+            assert np.array_equal(restricted.per_example[name], full.per_example[name])
+
+    def test_fingerprints_and_warm_reload_unchanged(self, tiny_dataset, tiny_split, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        cold = self._fit(tiny_dataset, tiny_split, "restricted", store=store)
+        assert not cold.loaded_from_store
+        sampler = CandidateSampler(tiny_dataset, num_candidates=6, seed=2)
+        example = tiny_split.test[0]
+        candidates = sampler.candidates_for(example)
+        cold_scores = cold.recommender().score_candidates(example.history, candidates)
+
+        # a full-vocabulary pipeline over the same store must hit the same
+        # fingerprints (the head flag is an implementation detail) and serve
+        # bitwise-identical scores from the warm bundle
+        warm = self._fit(tiny_dataset, tiny_split, "full", store=store)
+        assert warm.loaded_from_store
+        warm_scores = warm.recommender().score_candidates(example.history, candidates)
+        assert np.array_equal(cold_scores, warm_scores)
+        assert float(np.max(np.abs(cold_scores - warm_scores))) == 0.0
