@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI gate: public-API docstring coverage must not rot.
+
+Walks the gated packages (``repro.serve``, ``repro.store``, ``repro.eval``)
+with :mod:`ast` — no imports, so the check is instant and dependency-free —
+and counts docstrings on every *public* API element:
+
+* module docstrings;
+* module-level classes and functions whose name has no leading underscore;
+* public methods (including properties) of public classes, excluding
+  dunders — ``__init__`` is expected to be documented by its class.
+
+The gate fails when coverage over all gated packages drops below the
+threshold (default 100%: every public API element in these packages is
+currently documented), listing every undocumented element so the fix is a
+copy-paste away.  Run locally with::
+
+    python scripts/check_docstrings.py [--threshold 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Packages whose public API the gate covers (relative to the repo root).
+GATED_PACKAGES = (
+    os.path.join("src", "repro", "serve"),
+    os.path.join("src", "repro", "store"),
+    os.path.join("src", "repro", "eval"),
+)
+
+
+def is_public(name: str) -> bool:
+    """Whether a definition name is part of the public API."""
+    return not name.startswith("_")
+
+
+def iter_api_elements(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(qualified name, has_docstring)`` for every public API element."""
+    yield (module, ast.get_docstring(tree) is not None)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and is_public(node.name):
+            yield (f"{module}.{node.name}", ast.get_docstring(node) is not None)
+        elif isinstance(node, ast.ClassDef) and is_public(node.name):
+            yield (f"{module}.{node.name}", ast.get_docstring(node) is not None)
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not is_public(member.name):
+                    continue
+                yield (
+                    f"{module}.{node.name}.{member.name}",
+                    ast.get_docstring(member) is not None,
+                )
+
+
+def collect(packages=GATED_PACKAGES) -> List[Tuple[str, bool]]:
+    """Docstring presence for every public API element of the gated packages."""
+    elements: List[Tuple[str, bool]] = []
+    for package in packages:
+        package_dir = os.path.join(REPO_ROOT, package)
+        for dirpath, _, filenames in sorted(os.walk(package_dir)):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                relative = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
+                module = relative[:-3].replace(os.sep, ".")
+                if module.endswith(".__init__"):
+                    module = module[: -len(".__init__")]
+                with open(path, encoding="utf-8") as handle:
+                    tree = ast.parse(handle.read(), filename=path)
+                elements.extend(iter_api_elements(tree, module))
+    return elements
+
+
+def main() -> int:
+    """Run the gate; exit non-zero when coverage is below the threshold."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--threshold", type=float, default=1.0,
+                        help="minimum public-API docstring coverage (0..1, default 1.0)")
+    args = parser.parse_args()
+
+    elements = collect()
+    documented = sum(1 for _, has_doc in elements if has_doc)
+    coverage = documented / len(elements) if elements else 1.0
+    missing = [name for name, has_doc in elements if not has_doc]
+
+    print(f"public API elements: {len(elements)}")
+    print(f"documented:          {documented}")
+    print(f"coverage:            {coverage:.1%} (threshold {args.threshold:.1%})")
+    if missing:
+        print("\nundocumented public API:")
+        for name in missing:
+            print(f"  - {name}")
+    if coverage < args.threshold:
+        print(f"\nFAIL: docstring coverage {coverage:.1%} < {args.threshold:.1%}",
+              file=sys.stderr)
+        return 1
+    print("\ndocstring coverage OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

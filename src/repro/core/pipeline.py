@@ -93,6 +93,11 @@ class DELRec:
         self.store = store
         #: True when the last ``fit`` reloaded the recommender instead of training.
         self.loaded_from_store = False
+        #: artifact fingerprint of the last fitted bundle (set by ``fit`` when a
+        #: store is attached); lets consumers — e.g.
+        #: ``RecommendationService.from_store`` — address the deployable bundle
+        #: without recomputing the fingerprint.
+        self.bundle_fingerprint: Optional[str] = None
         # populated by fit()
         self.soft_prompt: Optional[SoftPrompt] = None
         self.prompt_builder: Optional[PromptBuilder] = None
@@ -241,6 +246,7 @@ class DELRec:
         bundle_fp = None
         if self.store is not None:
             bundle_fp = self._fit_fingerprint(dataset, train_fp, model, llm)
+            self.bundle_fingerprint = bundle_fp
             cached = self.store.fetch(DELREC_KIND, bundle_fp) if bundle_fp is not None else None
             if cached is not None:
                 arrays, metadata = cached

@@ -34,6 +34,7 @@ from repro.llm.simlm import SimLM, SimLMConfig
 from repro.llm.soft_prompt import SoftPrompt
 from repro.llm.verbalizer import Verbalizer
 from repro.store.components import restore_soft_prompt, serialize_soft_prompt
+from repro.store.fingerprint import fingerprint, state_fingerprint
 from repro.store.store import ArtifactError, read_artifact, write_artifact
 
 _OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
@@ -246,9 +247,30 @@ class DELRecRecommender:
         return scores
 
     def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
+        """The ``k`` highest-scoring candidate ids (stable ties, like the evaluator)."""
         scores = self.score_candidates(history, candidates)
         order = np.argsort(-scores, kind="stable")
         return [int(candidates[i]) for i in order[:k]]
+
+    def scoring_fingerprint(self) -> str:
+        """Content identity of everything candidate scoring depends on.
+
+        Hashes the full deployable bundle (fine-tuned LLM state including
+        AdaLoRA adapters, soft prompt, prompt-builder/verbalizer config) plus
+        the one scoring knob outside the bundle that can change results: the
+        legacy ``lm_head="blas"`` scorer rounds differently, while
+        ``"restricted"`` and ``"full"`` are bitwise-identical and share an
+        identity.  The serving layer keys its result cache on this value, so
+        swapping in a differently trained (or differently rounding)
+        recommender structurally invalidates every cached score.
+        """
+        arrays, metadata = self.serialize()
+        return fingerprint(
+            "delrec_scoring",
+            state_fingerprint(arrays),
+            metadata,
+            {"lm_head": "blas" if self.lm_head == "blas" else "restricted"},
+        )
 
     # ------------------------------------------------------------------ #
     # persistence: the deployable bundle

@@ -74,3 +74,31 @@ class CandidateSampler:
     def batch_candidates(self, examples: Sequence[SequenceExample]) -> List[List[int]]:
         """Candidate sets for a batch of examples."""
         return [self.candidates_for(example) for example in examples]
+
+    def candidates_for_request(self, user_id: int, history: Sequence[int]) -> List[int]:
+        """A candidate set for an online request, where no ground truth exists.
+
+        Offline evaluation builds candidate sets around a known target item
+        (:meth:`candidates_for`); a live ``recommend(user_id, history)``
+        request has none, so the full ``num_candidates`` items are sampled
+        uniformly from the catalog (excluding the history when
+        ``exclude_history`` is set).  The draw is seeded on
+        ``(seed, user_id, history)``, so repeating a request — the cache-hit
+        path of the serving layer — yields the identical candidate set, while
+        any new interaction event changes it.
+
+        Unlike :meth:`candidates_for` (whose per-example cache is bounded by
+        the test-set size), nothing is memoised here: a serving process sees
+        an unbounded stream of distinct histories, and the seeded draw makes
+        recomputation deterministic and cheap.
+        """
+        history = tuple(int(item) for item in history)
+        rng = np.random.default_rng(
+            (self.seed, int(user_id), len(history), *history)
+        )
+        excluded = set(history) if self.exclude_history else set()
+        pool = self._all_items[~np.isin(self._all_items, list(excluded))]
+        if pool.size < self.num_candidates:
+            pool = self._all_items
+        candidates = rng.choice(pool, size=self.num_candidates, replace=False)
+        return [int(item) for item in candidates]

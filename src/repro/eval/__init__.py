@@ -7,11 +7,13 @@ from repro.eval.significance import paired_t_test, SignificanceResult, significa
 from repro.eval.efficiency import (
     ColdWarmReport,
     EfficiencyProfile,
+    ServingReport,
     ThroughputReport,
     TrainingStepReport,
     compare_training_runs,
     measure_cold_warm,
     measure_scoring_throughput,
+    measure_serving,
     profile_model,
     profile_inference,
 )
@@ -32,11 +34,13 @@ __all__ = [
     "significance_markers",
     "ColdWarmReport",
     "EfficiencyProfile",
+    "ServingReport",
     "ThroughputReport",
     "TrainingStepReport",
     "compare_training_runs",
     "measure_cold_warm",
     "measure_scoring_throughput",
+    "measure_serving",
     "profile_model",
     "profile_inference",
     "ColdStartReport",

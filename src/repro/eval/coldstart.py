@@ -26,9 +26,11 @@ class ColdStartReport:
     results: Dict[str, EvaluationResult] = field(default_factory=dict)
 
     def metric(self, method: str, metric: str) -> float:
+        """The named metric of one evaluated method (NaN when not computed)."""
         return self.results[method].metric(metric)
 
     def methods(self) -> List[str]:
+        """The evaluated method names, sorted."""
         return sorted(self.results)
 
 

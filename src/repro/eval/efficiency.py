@@ -18,6 +18,12 @@ bitwise-identical to the loop).
 the same artifact store — once cold (everything trains and is persisted) and
 once warm (everything reloads) — reporting the wall-clock of both runs and
 the store activity of the warm one, which must build nothing.
+
+:func:`measure_serving` drives the online serving layer
+(:mod:`repro.serve`) with the deterministic closed-loop load generator and
+reports request-latency percentiles, throughput, cache hit rate and the
+micro-batcher's batch-size histogram — plus the largest served-vs-offline
+score difference, which the serving layer guarantees to be exactly 0.0.
 """
 
 from __future__ import annotations
@@ -46,9 +52,11 @@ class EfficiencyProfile:
 
     @property
     def seconds_per_request(self) -> float:
+        """Mean wall-clock seconds per timed request."""
         return self.total_inference_seconds / self.requests if self.requests else 0.0
 
     def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
         return {
             "model": self.name,
             "parameters": self.total_parameters,
@@ -111,17 +119,21 @@ class ThroughputReport:
 
     @property
     def looped_examples_per_second(self) -> float:
+        """Throughput of the per-example ``score_candidates`` loop."""
         return self.num_examples / self.looped_seconds if self.looped_seconds else 0.0
 
     @property
     def batched_examples_per_second(self) -> float:
+        """Throughput of the ``score_candidates_batch`` engine."""
         return self.num_examples / self.batched_seconds if self.batched_seconds else 0.0
 
     @property
     def speedup(self) -> float:
+        """Batched-over-looped throughput ratio."""
         return self.looped_seconds / self.batched_seconds if self.batched_seconds else 0.0
 
     def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
         return {
             "model": self.name,
             "examples": self.num_examples,
@@ -150,9 +162,11 @@ class ColdWarmReport:
 
     @property
     def speedup(self) -> float:
+        """Cold-over-warm wall-clock ratio of the pipeline build."""
         return self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
 
     def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
         return {
             "pipeline": self.name,
             "cold_s": round(self.cold_seconds, 3),
@@ -219,29 +233,35 @@ class TrainingStepReport:
 
     @property
     def fullvocab_steps_per_second(self) -> float:
+        """Training throughput through the full-vocabulary reference head."""
         return self.steps / self.fullvocab_seconds if self.fullvocab_seconds else 0.0
 
     @property
     def restricted_steps_per_second(self) -> float:
+        """Training throughput through the restricted head."""
         return self.steps / self.restricted_seconds if self.restricted_seconds else 0.0
 
     @property
     def blas_steps_per_second(self) -> float:
+        """Training throughput through the legacy fused-GEMM head (0.0 if untimed)."""
         if not self.blas_seconds:
             return 0.0
         return self.steps / self.blas_seconds
 
     @property
     def speedup(self) -> float:
+        """Restricted-head speedup over the full-vocabulary reference."""
         return self.fullvocab_seconds / self.restricted_seconds if self.restricted_seconds else 0.0
 
     @property
     def speedup_vs_blas(self) -> float:
+        """Restricted-head speedup over the legacy fused-GEMM implementation."""
         if self.blas_seconds is None or not self.restricted_seconds:
             return 0.0
         return self.blas_seconds / self.restricted_seconds
 
     def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
         return {
             "stage": self.stage,
             "steps": self.steps,
@@ -306,6 +326,124 @@ def compare_training_runs(
         max_loss_difference=float(max_loss),
         max_state_difference=max_state,
         blas_seconds=blas_seconds,
+    )
+
+
+@dataclass
+class ServingReport:
+    """One row of the online-serving table (RQ5 extension).
+
+    Produced by :func:`measure_serving` from a load-generator run: request
+    latency percentiles, throughput, result-cache behaviour and how the
+    micro-batcher composed its flushes — for one (mode, phase) cell of the
+    batched-vs-unbatched × cold-vs-warm comparison.  ``max_score_diff``
+    compares every served score against the offline per-example loop and must
+    be exactly ``0.0`` (the serving layer inherits the batched engine's
+    bit-exactness contract).
+    """
+
+    mode: str
+    phase: str
+    requests: int
+    concurrency: int
+    wall_seconds: float
+    #: per-request wall-clock seconds, request order
+    latencies: np.ndarray
+    cache_hits: int
+    cache_misses: int
+    #: flush size -> number of flushes of that size, this run only
+    batch_histogram: Dict[int, int]
+    #: largest |served - offline| score difference over every request
+    max_score_diff: float
+
+    def latency_percentile_ms(self, q: float) -> float:
+        """The ``q``-th percentile of per-request latency, in milliseconds."""
+        if not len(self.latencies):
+            return 0.0
+        return float(np.percentile(self.latencies, q)) * 1000.0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests served per wall-clock second."""
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests answered from the result cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average flush size of the micro-batcher during this run."""
+        flushes = sum(self.batch_histogram.values())
+        scored = sum(size * count for size, count in self.batch_histogram.items())
+        return scored / flushes if flushes else 0.0
+
+    @property
+    def max_batch_size(self) -> int:
+        """Largest flush of the run (0 when everything was cached)."""
+        return max(self.batch_histogram) if self.batch_histogram else 0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
+        histogram = " ".join(
+            f"{size}x{count}" for size, count in sorted(self.batch_histogram.items())
+        )
+        return {
+            "mode": self.mode,
+            "phase": self.phase,
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "p50_ms": round(self.latency_percentile_ms(50), 3),
+            "p95_ms": round(self.latency_percentile_ms(95), 3),
+            "p99_ms": round(self.latency_percentile_ms(99), 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "mean_batch": round(self.mean_batch_size, 2),
+            "max_batch": self.max_batch_size,
+            "batch_hist": histogram or "-",
+            "max_score_diff": self.max_score_diff,
+        }
+
+
+def measure_serving(
+    service,
+    workload: Sequence,
+    concurrency: int = 8,
+    mode: str = "batched",
+    phase: str = "cold",
+    reference_scores: Optional[Sequence[np.ndarray]] = None,
+) -> ServingReport:
+    """Run the closed-loop load generator and fold the result into a report.
+
+    ``service`` is a :class:`~repro.serve.service.RecommendationService` and
+    ``workload`` a request stream from
+    :func:`~repro.serve.loadgen.build_workload`.  When ``reference_scores``
+    (the offline looped scores, :func:`~repro.serve.loadgen.replay_workload`)
+    are supplied, the report records the largest served-vs-offline score
+    difference — the serving layer guarantees exactly ``0.0``.
+    """
+    from repro.serve.loadgen import run_load
+
+    result = run_load(service, workload, concurrency=concurrency)
+    max_diff = 0.0
+    if reference_scores is not None:
+        max_diff = max(
+            float(np.max(np.abs(np.asarray(served) - np.asarray(reference))))
+            for served, reference in zip(result.scores(), reference_scores)
+        )
+    return ServingReport(
+        mode=mode,
+        phase=phase,
+        requests=len(workload),
+        concurrency=concurrency,
+        wall_seconds=result.wall_seconds,
+        latencies=result.latencies,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        batch_histogram=result.batch_histogram(),
+        max_score_diff=max_diff,
     )
 
 

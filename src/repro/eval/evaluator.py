@@ -33,9 +33,11 @@ class EvaluationResult:
     per_example: Dict[str, np.ndarray] = field(default_factory=dict)
 
     def metric(self, name: str) -> float:
+        """One metric by name (NaN when the evaluation did not compute it)."""
         return self.metrics.get(name, float("nan"))
 
     def paper_row(self) -> Dict[str, float]:
+        """The paper's metric columns (HR/NDCG/MRR) in table order."""
         return {name: self.metrics.get(name, float("nan")) for name in PAPER_METRICS}
 
     def __repr__(self) -> str:

@@ -72,6 +72,7 @@ class MetricAccumulator:
         self._samples: Dict[str, List[float]] = defaultdict(list)
 
     def update(self, ranked_items: Sequence[int], target: int) -> Dict[str, float]:
+        """Accumulate one example's ranking; returns its per-example metrics."""
         metrics = ranking_metrics(ranked_items, target, ks=self.ks)
         for name, value in metrics.items():
             self._samples[name].append(value)
@@ -83,10 +84,12 @@ class MetricAccumulator:
         return len(next(iter(self._samples.values())))
 
     def mean(self, metric: str) -> float:
+        """Mean of one metric over every accumulated example."""
         values = self._samples.get(metric, [])
         return float(np.mean(values)) if values else 0.0
 
     def samples(self, metric: str) -> np.ndarray:
+        """Per-example values of one metric (the paired-test inputs)."""
         return np.asarray(self._samples.get(metric, []), dtype=np.float64)
 
     def summary(self) -> Dict[str, float]:

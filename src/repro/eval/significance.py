@@ -40,6 +40,7 @@ class SignificanceResult:
 
     @property
     def significant(self) -> bool:
+        """Whether the difference cleared either significance level."""
         return self.marker != ""
 
 

@@ -27,7 +27,9 @@ from repro.experiments.tables import (
     run_table3_soft_prompt_ablation,
     run_table4_component_ablation,
     run_rq5_efficiency,
+    run_rq5_serving,
     run_rq5_training_throughput,
+    serving_table,
 )
 from repro.experiments.sparsity import run_table5_sparsity
 from repro.experiments.sweeps import run_fig7_soft_prompt_size, run_fig8_recommended_items
@@ -47,7 +49,9 @@ __all__ = [
     "run_table4_component_ablation",
     "run_table5_sparsity",
     "run_rq5_efficiency",
+    "run_rq5_serving",
     "run_rq5_training_throughput",
+    "serving_table",
     "run_fig7_soft_prompt_size",
     "run_fig8_recommended_items",
     "run_fig9_case_study",

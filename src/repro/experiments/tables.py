@@ -398,6 +398,121 @@ def run_rq5_training_throughput(
 
 
 # --------------------------------------------------------------------------- #
+# RQ5: online serving (micro-batching + request caching)
+# --------------------------------------------------------------------------- #
+#: serving-table grid: micro-batching on/off × result cache cold/warm.
+SERVING_MODES = ("unbatched", "batched")
+SERVING_PHASES = ("cold", "warm")
+
+
+def serving_table(
+    profile: ExperimentProfile,
+    context: ExperimentContext,
+    recommenders: Dict[str, object],
+    num_requests: Optional[int] = None,
+    concurrency: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> ResultTable:
+    """The online-serving table: latency percentiles, throughput, cache behaviour.
+
+    For every recommender, the deterministic closed-loop load generator
+    replays the context's test users (with the evaluator's own candidate
+    sets) through a :class:`~repro.serve.service.RecommendationService` in a
+    2×2 grid: micro-batching on/off (``max_batch_size`` vs 1) × result cache
+    cold/warm (first vs second replay of the same workload).  Every row also
+    records the largest served-vs-offline score difference, which must be
+    exactly 0.0 — serving composes only bitwise-identical primitives.
+    """
+    from repro.eval.efficiency import measure_serving
+    from repro.serve import RecommendationService, ServiceConfig, build_workload, replay_workload
+
+    if num_requests is None:
+        num_requests = 60 if profile.name == "smoke" else 150
+    if concurrency is None:
+        concurrency = 2 * profile.eval_batch_size if profile.name != "smoke" else 16
+    workload = build_workload(
+        context.test_examples,
+        context.evaluator.sampler,
+        num_requests=num_requests,
+        seed=profile.seed if seed is None else seed,
+    )
+    table = ResultTable(
+        title="RQ5: online serving — micro-batching and request caching",
+        columns=["model", "mode", "phase", "requests", "concurrency", "p50_ms", "p95_ms",
+                 "p99_ms", "throughput_rps", "cache_hit_rate", "mean_batch", "max_batch",
+                 "batch_hist", "max_score_diff"],
+    )
+    from repro.store.components import recommender_fingerprint
+
+    # batched flushes should trigger on size (arrival-order deterministic),
+    # not on the wall-clock deadline, so the batch size is capped at the
+    # closed-loop concurrency — more requests than that are never in flight
+    batched_size = max(2, min(profile.eval_batch_size, concurrency))
+    for model_name, recommender in recommenders.items():
+        reference = replay_workload(recommender, workload)
+        # computed once per model: the DELRec fingerprint serialises and
+        # hashes the whole bundle, too costly to redo per service
+        model_fp = recommender_fingerprint(recommender)
+        for mode in SERVING_MODES:
+            service = RecommendationService(
+                recommender,
+                model_fingerprint=model_fp,
+                config=ServiceConfig(
+                    max_batch_size=1 if mode == "unbatched" else batched_size,
+                    max_wait_ms=2.0,
+                ),
+            )
+            for phase in SERVING_PHASES:
+                report = measure_serving(
+                    service, workload, concurrency=concurrency, mode=mode, phase=phase,
+                    reference_scores=reference,
+                )
+                table.add_row(model=model_name, **report.as_row())
+    table.notes.append(
+        "closed-loop load generator replaying test users with the evaluator's candidate "
+        "sets; 'unbatched' serves every request as its own flush (max_batch_size=1), "
+        "'batched' micro-batches concurrent requests (flush on size or a 2ms deadline); "
+        "'warm' replays the identical workload against the populated LRU result cache. "
+        "max_score_diff compares every served score against the offline per-example "
+        "loop and must be exactly 0.0"
+    )
+    return table
+
+
+def run_rq5_serving(
+    profile: Optional[ExperimentProfile] = None,
+    dataset_name: str = "movielens-100k",
+    num_requests: Optional[int] = None,
+    concurrency: Optional[int] = None,
+    include_delrec: bool = True,
+    store: Optional[ArtifactStore] = None,
+) -> ResultTable:
+    """RQ5 extension: stand-alone online-serving benchmark.
+
+    Trains (or, with a populated ``store``, warm-reloads) a SASRec backbone
+    and — unless ``include_delrec=False`` — a full DELRec pipeline, then runs
+    :func:`serving_table` over both.  This is the entry point
+    ``scripts/serve_bench.py`` gates in CI.
+    """
+    profile = profile or get_profile()
+    context = ExperimentContext(dataset_name, profile, store=store)
+    recommenders: Dict[str, object] = {"SASRec": context.conventional_model("SASRec")}
+    if include_delrec:
+        pipeline = DELRec(
+            config=context.delrec_config(),
+            conventional_model=recommenders["SASRec"],
+            llm=context.fresh_llm(),
+            store=context.store,
+        )
+        pipeline.fit(context.dataset, context.split)
+        recommenders["DELRec"] = pipeline.recommender()
+    return serving_table(
+        profile, context, recommenders,
+        num_requests=num_requests, concurrency=concurrency,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # RQ5: efficiency, latency, cold start
 # --------------------------------------------------------------------------- #
 def run_rq5_efficiency(
@@ -440,6 +555,8 @@ def run_rq5_efficiency(
         tables = _rq5_tables(profile, dataset_name, num_requests, context, pipeline,
                              sasrec, delrec, cold_warm_report)
         tables["training"] = run_rq5_training_throughput(profile, dataset_name=dataset_name)
+        tables["serving"] = serving_table(profile, context,
+                                          {"SASRec": sasrec, "DELRec": delrec})
         return tables
     finally:
         if cleanup_store:

@@ -1,0 +1,63 @@
+"""Online serving: request-level recommendation on top of the offline stack.
+
+Everything built so far — the batched scoring engine (PR 1), the
+config-fingerprinted artifact store (PR 2) and the restricted LM head (PR 3)
+— runs inside offline experiment runners.  This package adds the missing
+request-serving path:
+
+* :class:`~repro.serve.service.RecommendationService` — loads any trained
+  recommender (DELRec or a conventional/LLM baseline) warm from the artifact
+  store and answers per-user ``recommend(user_id, history, k)`` requests;
+* :class:`~repro.serve.batcher.MicroBatcher` — an async micro-batching
+  scheduler that queues concurrent requests and dispatches one
+  ``score_candidates_batch`` call per flush (on ``max_batch_size`` or
+  ``max_wait_ms``);
+* :class:`~repro.serve.cache.ResultCache` — an LRU score cache keyed by
+  (model fingerprint, history hash, candidate-set hash);
+* :class:`~repro.serve.sessions.SessionStore` — per-user incremental
+  histories, so repeat users append events instead of resending everything;
+* :mod:`repro.serve.loadgen` — a deterministic closed-loop load generator
+  that replays synthetic-dataset users at configurable concurrency.
+
+Because the batched scoring engine is bitwise-identical to the per-example
+loop and the caches only ever store what scoring computed, every served score
+and top-k list is bitwise-identical to the offline
+:class:`~repro.eval.evaluator.RankingEvaluator` path for the same model and
+candidate sets.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import CacheStats, ResultCache, candidates_digest, history_digest
+from repro.serve.loadgen import (
+    LoadResult,
+    ServedRequest,
+    build_workload,
+    replay_workload,
+    run_load,
+)
+from repro.serve.service import (
+    RecommendationService,
+    RecommendResponse,
+    ServiceConfig,
+    ServiceStats,
+)
+from repro.serve.sessions import SessionStore
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "LoadResult",
+    "MicroBatcher",
+    "RecommendResponse",
+    "RecommendationService",
+    "ResultCache",
+    "ServedRequest",
+    "ServiceConfig",
+    "ServiceStats",
+    "SessionStore",
+    "build_workload",
+    "candidates_digest",
+    "history_digest",
+    "replay_workload",
+    "run_load",
+]

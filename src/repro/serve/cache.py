@@ -1,0 +1,114 @@
+"""LRU result cache for served candidate scores.
+
+The cache stores the *score arrays* that the scoring engine computed, keyed
+by everything that determines them: the serving model's content fingerprint,
+a digest of the (already truncated/padded-free) request history, and a digest
+of the candidate set.  Top-k lists are re-derived from the cached scores on
+every request, so one cache entry answers requests for any ``k``.
+
+Keying on the model fingerprint makes invalidation structural, exactly like
+the artifact store (see :mod:`repro.store.fingerprint`): swapping the
+service's recommender changes the fingerprint, so every entry cached for the
+old model simply stops being addressed and ages out of the LRU order — a
+stale score can never be served.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Cache keys are (model fingerprint, history digest, candidate-set digest).
+CacheKey = Tuple[str, str, str]
+
+
+def history_digest(history: Sequence[int]) -> str:
+    """Content digest of an interaction history (order-sensitive)."""
+    data = np.asarray(list(history), dtype=np.int64)
+    return hashlib.sha256(data.tobytes()).hexdigest()[:20]
+
+
+def candidates_digest(candidates: Sequence[int]) -> str:
+    """Content digest of a candidate set (order-sensitive: scores align with it)."""
+    data = np.asarray(list(candidates), dtype=np.int64)
+    return hashlib.sha256(b"candidates:" + data.tobytes()).hexdigest()[:20]
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> Tuple[int, int, int]:
+        """The current ``(hits, misses, evictions)`` triple."""
+        return (self.hits, self.misses, self.evictions)
+
+
+class ResultCache:
+    """A bounded LRU mapping of cache keys to score arrays.
+
+    Stored arrays are copied on the way in and out, so neither the scoring
+    engine nor a caller can mutate a cached entry — a cache hit returns the
+    same bits the original computation produced.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, np.ndarray]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(
+        self, model_fingerprint: str, history: Sequence[int], candidates: Sequence[int]
+    ) -> CacheKey:
+        """Build the cache key for a (model, history, candidate set) request."""
+        return (model_fingerprint, history_digest(history), candidates_digest(candidates))
+
+    def get(self, key: CacheKey) -> Optional[np.ndarray]:
+        """Return a copy of the cached scores, or ``None`` on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry.copy()
+
+    def put(self, key: CacheKey, scores: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used one."""
+        self._entries[key] = np.asarray(scores).copy()
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def contains(self, key: CacheKey) -> bool:
+        """Whether ``key`` is currently cached (does not touch LRU order or stats)."""
+        return key in self._entries
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped.  Stats are kept."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped

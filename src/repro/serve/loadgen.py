@@ -1,0 +1,221 @@
+"""Deterministic closed-loop load generator for the serving layer.
+
+The generator replays synthetic-dataset users against a
+:class:`~repro.serve.service.RecommendationService` the way the offline
+evaluator replays them against a model: each request carries a test user's
+history and the *same* candidate set the
+:class:`~repro.eval.evaluator.RankingEvaluator` would rank, so served scores
+can be compared bit for bit against offline scoring.
+
+Two layers of determinism:
+
+* the **workload** (:func:`build_workload`) is a pure function of the
+  examples, the candidate sampler and a seed — request order, repeat
+  pattern and candidate sets never vary between runs;
+* the **closed loop** (:func:`run_load`) drives a fixed number of in-flight
+  requests on one single-threaded asyncio loop, so micro-batch composition
+  is a function of request arrival order, not wall-clock jitter — cache hit
+  counts and the batch-size histogram are reproducible, and every score is
+  deterministic outright.
+
+Wall-clock latencies (the one genuinely non-deterministic output) are
+recorded per request for the percentile columns of the serving table.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.service import RecommendResponse, RecommendationService, ServiceStats
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One workload entry: a user request with its evaluator-aligned candidates."""
+
+    index: int
+    user_id: int
+    history: Tuple[int, ...]
+    candidates: Tuple[int, ...]
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run produced, in request order."""
+
+    requests: List[ServedRequest]
+    responses: List[RecommendResponse]
+    #: per-request wall-clock seconds (submission to response)
+    latencies: np.ndarray
+    #: wall-clock seconds of the whole run
+    wall_seconds: float
+    concurrency: int
+    #: service counters before and after the run (deltas describe this run)
+    stats_before: ServiceStats
+    stats_after: ServiceStats
+
+    @property
+    def cache_hits(self) -> int:
+        """Result-cache hits during this run."""
+        return self.stats_after.cache.hits - self.stats_before.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Result-cache misses during this run."""
+        return self.stats_after.cache.misses - self.stats_before.cache.misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of this run's requests answered from the result cache."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def coalesced(self) -> int:
+        """Requests that joined an identical in-flight computation during this run."""
+        return self.stats_after.coalesced - self.stats_before.coalesced
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests per second over the whole run."""
+        return len(self.requests) / self.wall_seconds if self.wall_seconds else 0.0
+
+    def batch_histogram(self) -> Dict[int, int]:
+        """Batch-size histogram of the flushes this run triggered."""
+        before = self.stats_before.batcher.batch_sizes
+        after = self.stats_after.batcher.batch_sizes
+        delta = {
+            size: after[size] - before.get(size, 0)
+            for size in sorted(after)
+            if after[size] - before.get(size, 0)
+        }
+        return delta
+
+    def scores(self) -> List[np.ndarray]:
+        """The served score arrays in request order."""
+        return [response.scores for response in self.responses]
+
+    def top_k_lists(self) -> List[List[int]]:
+        """The served ranked lists in request order."""
+        return [response.items for response in self.responses]
+
+
+def build_workload(
+    examples: Sequence,
+    sampler,
+    num_requests: int,
+    seed: int = 0,
+    repeat_fraction: float = 0.3,
+) -> List[ServedRequest]:
+    """A deterministic request stream over test examples.
+
+    Fresh requests cycle through ``examples`` in order, each carrying the
+    candidate set ``sampler.candidates_for(example)`` — exactly what the
+    offline evaluator ranks for that example, which is what makes served and
+    offline scores directly comparable.  With probability
+    ``repeat_fraction`` a step instead re-issues a previously issued request
+    (drawn uniformly from the issued prefix), modelling repeat users and
+    giving the result cache real hits to serve.  Everything is driven by
+    ``numpy.random.default_rng(seed)``: same inputs, same workload.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if not len(examples):
+        raise ValueError("workload needs at least one example")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    requests: List[ServedRequest] = []
+    fresh_cursor = 0
+    for index in range(num_requests):
+        if requests and rng.random() < repeat_fraction:
+            earlier = requests[int(rng.integers(len(requests)))]
+            requests.append(
+                ServedRequest(index, earlier.user_id, earlier.history, earlier.candidates)
+            )
+            continue
+        example = examples[fresh_cursor % len(examples)]
+        fresh_cursor += 1
+        candidates = sampler.candidates_for(example)
+        requests.append(
+            ServedRequest(
+                index,
+                int(example.user_id),
+                tuple(int(item) for item in example.history),
+                tuple(int(item) for item in candidates),
+            )
+        )
+    return requests
+
+
+def run_load(
+    service: RecommendationService,
+    workload: Sequence[ServedRequest],
+    concurrency: int = 8,
+    k: Optional[int] = None,
+) -> LoadResult:
+    """Drive the workload through the service, closed-loop, and collect results.
+
+    ``concurrency`` workers share one deterministic queue: each worker takes
+    the next request, awaits its response, records the latency, and takes
+    another — so exactly ``min(concurrency, remaining)`` requests are in
+    flight at any time and the micro-batcher sees a steady concurrent stream.
+    Responses and latencies come back indexed by request order regardless of
+    completion order.
+    """
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    stats_before = service.stats()
+    responses: List[Optional[RecommendResponse]] = [None] * len(workload)
+    latencies = np.zeros(len(workload), dtype=np.float64)
+    queue = deque(workload)
+
+    async def worker() -> None:
+        while queue:
+            request = queue.popleft()
+            started = time.perf_counter()
+            response = await service.recommend(
+                request.user_id,
+                history=list(request.history),
+                k=k,
+                candidates=list(request.candidates),
+            )
+            latencies[request.index] = time.perf_counter() - started
+            responses[request.index] = response
+
+    async def drive() -> None:
+        workers = [asyncio.ensure_future(worker()) for _ in range(concurrency)]
+        await asyncio.gather(*workers)
+
+    wall_start = time.perf_counter()
+    asyncio.run(drive())
+    wall_seconds = time.perf_counter() - wall_start
+    return LoadResult(
+        requests=list(workload),
+        responses=[response for response in responses if response is not None],
+        latencies=latencies,
+        wall_seconds=wall_seconds,
+        concurrency=concurrency,
+        stats_before=stats_before,
+        stats_after=service.stats(),
+    )
+
+
+def replay_workload(recommender, workload: Sequence[ServedRequest]) -> List[np.ndarray]:
+    """Score the workload through the offline per-example loop (the reference).
+
+    This is the PR 1 ``score_candidates`` path the serving layer's
+    bit-exactness is asserted against: for every request,
+    ``run_load(...).scores()[i]`` must equal ``replay_workload(...)[i]``
+    bitwise.
+    """
+    return [
+        np.asarray(recommender.score_candidates(list(request.history), list(request.candidates)))
+        for request in workload
+    ]

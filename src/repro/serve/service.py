@@ -1,0 +1,345 @@
+"""The online recommendation service.
+
+:class:`RecommendationService` composes the fast primitives the offline
+stack already has — warm artifact-store loading (PR 2), batched candidate
+scoring (PR 1) through the restricted LM head (PR 3) — behind a single
+per-user request API:
+
+>>> service = RecommendationService(recommender, candidates_fn=sampler.candidates_for_request)
+>>> response = service.recommend_sync(user_id=7, history=[3, 12, 9], k=5)
+>>> response.items          # ranked item ids
+>>> service.record_event(7, response.items[0])     # incremental session update
+>>> service.recommend_sync(user_id=7, k=5)         # history comes from the session store
+
+Requests flow through two cache tiers and a micro-batching scheduler:
+
+1. the per-user :class:`~repro.serve.sessions.SessionStore` resolves (and
+   incrementally updates) the request history;
+2. the LRU :class:`~repro.serve.cache.ResultCache` answers repeats without
+   touching the model (keyed by model fingerprint + history + candidates);
+3. misses are queued on the :class:`~repro.serve.batcher.MicroBatcher`,
+   which dispatches one ``score_candidates_batch`` call per flush.
+
+Every served score is bitwise-identical to the offline per-example
+``score_candidates`` loop for the same model and candidate set: batching is
+batch-invariant by construction and the cache stores exactly what scoring
+computed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.sessions import SessionStore
+from repro.store.components import load_recommender, recommender_fingerprint
+from repro.store.store import ArtifactStore
+
+#: Provides candidate item ids for a request: (user_id, history) -> candidates.
+CandidatesFn = Callable[[int, Sequence[int]], Sequence[int]]
+
+
+@dataclass
+class ServiceConfig:
+    """Batching / caching knobs of a :class:`RecommendationService`."""
+
+    #: flush a micro-batch as soon as it holds this many requests
+    max_batch_size: int = 16
+    #: ... or this many milliseconds after its oldest request arrived
+    max_wait_ms: float = 2.0
+    #: LRU capacity of the result cache (score arrays, one per distinct request)
+    cache_capacity: int = 4096
+    #: default length of the returned recommendation list
+    default_k: int = 10
+    #: per-user session history cap (None = unbounded)
+    max_session_events: Optional[int] = None
+
+
+@dataclass
+class RecommendResponse:
+    """One served recommendation: the ranked list and how it was produced."""
+
+    user_id: int
+    #: the top-k item ids, best first (stable ties — identical to the evaluator)
+    items: List[int]
+    #: scores aligned with :attr:`items`
+    item_scores: List[float]
+    #: the full candidate set that was ranked
+    candidates: List[int]
+    #: scores aligned with :attr:`candidates` (exactly what the model computed)
+    scores: np.ndarray
+    #: True when the scores came from the result cache
+    cached: bool
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of every serving-layer counter."""
+
+    requests: int
+    cache: CacheStats
+    batcher: BatcherStats
+    sessions: int
+    events_appended: int
+    coalesced: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten the snapshot into one reporting-friendly row."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": round(self.cache.hit_rate, 4),
+            "coalesced": self.coalesced,
+            "evictions": self.cache.evictions,
+            "flushes": self.batcher.flushes,
+            "mean_batch": round(self.batcher.mean_batch_size, 2),
+            "max_batch": self.batcher.max_batch_size,
+            "sessions": self.sessions,
+            "events": self.events_appended,
+        }
+
+
+class RecommendationService:
+    """Serve ``recommend(user_id, history, k)`` requests from a trained recommender.
+
+    Parameters
+    ----------
+    recommender:
+        Anything exposing ``score_candidates_batch(histories, candidate_sets)``
+        — a :class:`~repro.core.recommend.DELRecRecommender`, any conventional
+        backbone, or any LLM baseline (the base-class protocol from PR 1).
+    candidates_fn:
+        Candidate provider for requests that do not carry explicit candidates,
+        e.g. ``CandidateSampler(...).candidates_for_request``.  Optional when
+        every request supplies its own candidate set.
+    config:
+        Batching and caching knobs (:class:`ServiceConfig`).
+    model_fingerprint:
+        Override for the model's content identity; computed via
+        :func:`~repro.store.components.recommender_fingerprint` when omitted.
+    """
+
+    def __init__(
+        self,
+        recommender,
+        candidates_fn: Optional[CandidatesFn] = None,
+        config: Optional[ServiceConfig] = None,
+        model_fingerprint: Optional[str] = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.candidates_fn = candidates_fn
+        self.cache = ResultCache(capacity=self.config.cache_capacity)
+        self.sessions = SessionStore(max_events=self.config.max_session_events)
+        self.requests_served = 0
+        #: requests that joined an identical in-flight computation instead of
+        #: scoring again (concurrent duplicates the cache could not yet serve)
+        self.coalesced_requests = 0
+        self._inflight: Dict[Tuple[str, str, str], "asyncio.Task"] = {}
+        self.recommender = None
+        self.model_fingerprint: Optional[str] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self.set_recommender(recommender, model_fingerprint=model_fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # model management
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        store: ArtifactStore,
+        kind: str,
+        artifact_fingerprint: str,
+        dataset=None,
+        **kwargs,
+    ) -> "RecommendationService":
+        """Start a service warm: load the recommender from the artifact store.
+
+        ``kind`` / ``artifact_fingerprint`` address the trained component
+        (see :func:`~repro.store.components.load_recommender`); DELRec
+        bundles additionally need the ``dataset`` they were fitted on.  No
+        training can occur on this path — a missing artifact raises.
+        """
+        recommender = load_recommender(store, kind, artifact_fingerprint, dataset=dataset)
+        return cls(recommender, **kwargs)
+
+    def set_recommender(self, recommender, model_fingerprint: Optional[str] = None) -> str:
+        """Swap the serving model; returns its (new) content fingerprint.
+
+        The result cache is keyed by the model fingerprint, so entries cached
+        for the previous model stop being addressable the moment the swap
+        happens — structural invalidation, no explicit flush needed (stale
+        entries age out through the LRU order).
+        """
+        if getattr(recommender, "score_candidates_batch", None) is None:
+            raise TypeError(
+                f"{type(recommender).__name__} does not expose score_candidates_batch; "
+                "it cannot be served"
+            )
+        self.recommender = recommender
+        self.model_fingerprint = model_fingerprint or recommender_fingerprint(recommender)
+        self.batcher = MicroBatcher(
+            recommender.score_candidates_batch,
+            max_batch_size=self.config.max_batch_size,
+            max_wait_ms=self.config.max_wait_ms,
+        )
+        return self.model_fingerprint
+
+    # ------------------------------------------------------------------ #
+    # session events
+    # ------------------------------------------------------------------ #
+    def record_event(self, user_id: int, item_id: int) -> List[int]:
+        """Append one interaction event to the user's session history."""
+        return self.sessions.append(user_id, item_id)
+
+    def record_events(self, user_id: int, item_ids: Sequence[int]) -> List[int]:
+        """Append several interaction events in order."""
+        return self.sessions.extend(user_id, item_ids)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    async def recommend(
+        self,
+        user_id: int,
+        history: Optional[Sequence[int]] = None,
+        k: Optional[int] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> RecommendResponse:
+        """Serve one recommendation request (awaitable; batches across callers).
+
+        ``history=None`` reads the user's session history; an explicit
+        history is first synced into the session store (appending only the
+        new suffix for repeat users).  ``candidates=None`` asks the service's
+        ``candidates_fn``.  The returned scores are bitwise-identical to
+        ``recommender.score_candidates(history, candidates)``.
+        """
+        if k is None:
+            k = self.config.default_k
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if history is None:
+            resolved_history = self.sessions.history(user_id)
+        else:
+            resolved_history, _ = self.sessions.sync(user_id, history)
+        if candidates is None:
+            if self.candidates_fn is None:
+                raise ValueError(
+                    "request carries no candidates and the service has no candidates_fn"
+                )
+            candidates = self.candidates_fn(int(user_id), resolved_history)
+        candidates = [int(item) for item in candidates]
+
+        key = self.cache.key_for(self.model_fingerprint, resolved_history, candidates)
+        scores = self.cache.get(key)
+        cached = scores is not None
+        if not cached:
+            # coalesce concurrent duplicates: a request whose key is already
+            # being scored joins that computation instead of scoring again
+            task = self._inflight.get(key)
+            if task is not None and task.cancelled():
+                # orphaned by an event loop that died before the done
+                # callback could run; score afresh instead of inheriting
+                # the cancellation
+                self._inflight.pop(key, None)
+                task = None
+            if task is not None:
+                self.coalesced_requests += 1
+            else:
+                task = asyncio.ensure_future(
+                    self.batcher.submit(resolved_history, candidates)
+                )
+                self._inflight[key] = task
+                task.add_done_callback(lambda done, key=key: self._finish_inflight(key, done))
+            scores = np.asarray(await asyncio.shield(task))
+        self.requests_served += 1
+        return self._ranked_response(int(user_id), candidates, scores, k, cached)
+
+    def _finish_inflight(self, key: Tuple[str, str, str], task: "asyncio.Task") -> None:
+        """Publish a finished in-flight computation to the cache (or drop it)."""
+        self._inflight.pop(key, None)
+        if not task.cancelled() and task.exception() is None:
+            self.cache.put(key, task.result())
+
+    def recommend_sync(
+        self,
+        user_id: int,
+        history: Optional[Sequence[int]] = None,
+        k: Optional[int] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> RecommendResponse:
+        """Blocking convenience wrapper around :meth:`recommend` (one request)."""
+        return asyncio.run(self.recommend(user_id, history=history, k=k, candidates=candidates))
+
+    def recommend_many(
+        self,
+        requests: Sequence[Tuple],
+        k: Optional[int] = None,
+    ) -> List[RecommendResponse]:
+        """Serve many requests concurrently through the micro-batcher (blocking).
+
+        ``requests`` is a sequence of ``(user_id, history)`` or
+        ``(user_id, history, candidates)`` tuples; responses come back in
+        request order.  All requests join the same event loop, so they are
+        batched together up to ``max_batch_size`` per flush.
+        """
+
+        async def _run() -> List[RecommendResponse]:
+            tasks = []
+            for request in requests:
+                user_id, history = request[0], request[1]
+                candidates = request[2] if len(request) > 2 else None
+                tasks.append(
+                    asyncio.ensure_future(
+                        self.recommend(user_id, history=history, k=k, candidates=candidates)
+                    )
+                )
+            return list(await asyncio.gather(*tasks))
+
+        return asyncio.run(_run())
+
+    def _ranked_response(
+        self,
+        user_id: int,
+        candidates: List[int],
+        scores: np.ndarray,
+        k: int,
+        cached: bool,
+    ) -> RecommendResponse:
+        """Rank candidates by score exactly like the offline evaluator does."""
+        # same ordering as RankingEvaluator / top_k: descending score, stable ties
+        order = np.argsort(-np.asarray(scores, dtype=np.float64), kind="stable")
+        top = order[:k]
+        return RecommendResponse(
+            user_id=user_id,
+            items=[candidates[i] for i in top],
+            item_scores=[float(scores[i]) for i in top],
+            candidates=list(candidates),
+            scores=np.asarray(scores),
+            cached=cached,
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Snapshot of request, cache, batcher and session counters."""
+        return ServiceStats(
+            requests=self.requests_served,
+            cache=CacheStats(*self.cache.stats.snapshot()),
+            batcher=BatcherStats(
+                requests=self.batcher.stats.requests,
+                flushes=self.batcher.stats.flushes,
+                size_flushes=self.batcher.stats.size_flushes,
+                deadline_flushes=self.batcher.stats.deadline_flushes,
+                batch_sizes=dict(self.batcher.stats.batch_sizes),
+            ),
+            sessions=len(self.sessions),
+            events_appended=self.sessions.events_appended,
+            coalesced=self.coalesced_requests,
+        )

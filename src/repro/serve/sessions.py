@@ -1,0 +1,132 @@
+"""Per-user incremental history store.
+
+An online service cannot ask every client to resend its full interaction
+history on every request.  The :class:`SessionStore` keeps one append-only
+item sequence per user: clients push individual events
+(:meth:`SessionStore.append`) or sync a history snapshot
+(:meth:`SessionStore.sync`), and the service reads the current history back
+when a request arrives without one.
+
+``sync`` is suffix-aware: when a client resends a history whose prefix
+matches what the store already has, only the new suffix is appended — the
+normal repeat-user flow costs O(new events), not O(history).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class SessionStore:
+    """In-memory per-user interaction histories with incremental updates."""
+
+    def __init__(self, max_events: Optional[int] = None):
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive (or None for unbounded)")
+        #: optional per-user cap; histories are trimmed to their most recent
+        #: ``max_events`` items (recommenders only read a bounded suffix anyway)
+        self.max_events = max_events
+        self._histories: Dict[int, List[int]] = {}
+        #: total events appended across all users (syncs count their new suffix)
+        self.events_appended = 0
+
+    def __len__(self) -> int:
+        return len(self._histories)
+
+    def __contains__(self, user_id: int) -> bool:
+        return int(user_id) in self._histories
+
+    def users(self) -> List[int]:
+        """All user ids with a stored session."""
+        return list(self._histories)
+
+    def history(self, user_id: int) -> List[int]:
+        """A copy of the user's current history (empty list for unknown users)."""
+        return list(self._histories.get(int(user_id), ()))
+
+    def append(self, user_id: int, item_id: int) -> List[int]:
+        """Record one new interaction event; returns the updated history."""
+        history = self._histories.setdefault(int(user_id), [])
+        history.append(int(item_id))
+        self.events_appended += 1
+        self._trim(history)
+        return list(history)
+
+    def extend(self, user_id: int, item_ids: Sequence[int]) -> List[int]:
+        """Record several new interaction events in order."""
+        history = self._histories.setdefault(int(user_id), [])
+        for item_id in item_ids:
+            history.append(int(item_id))
+            self.events_appended += 1
+        self._trim(history)
+        return list(history)
+
+    def sync(self, user_id: int, full_history: Sequence[int]) -> Tuple[List[int], int]:
+        """Reconcile a client-sent history snapshot with the stored session.
+
+        Returns ``(history to use for this request, events newly appended)``.
+        The request always sees exactly the snapshot the client sent; what
+        happens to the *stored* session depends on how the two relate:
+
+        * snapshot **extends** the stored history (the common repeat-user
+          case) — only the new suffix is appended: O(new events);
+        * the stored history **continues** the snapshot (the client is behind
+          events recorded server-side via :meth:`append`) — the session is
+          left untouched, so server-side events are never lost to a stale
+          client resend;
+        * the stored history is a **trimmed suffix** of an earlier snapshot
+          (``max_events``) and reappears inside the new one — only the events
+          past that suffix are appended, keeping the counter honest;
+        * anything else is a genuine rewrite (events deleted/edited upstream)
+          and replaces the session wholesale, counting the full snapshot.
+        """
+        snapshot = [int(item) for item in full_history]
+        stored = self._histories.get(int(user_id))
+        if stored is not None:
+            if snapshot[: len(stored)] == stored:
+                new_suffix = snapshot[len(stored):]
+                stored.extend(new_suffix)
+                self.events_appended += len(new_suffix)
+                self._trim(stored)
+                return snapshot, len(new_suffix)
+            if stored[: len(snapshot)] == snapshot:
+                # stale client: the session already continues past the snapshot
+                return snapshot, 0
+            continuation = self._continuation_of(stored, snapshot)
+            if continuation is not None:
+                stored.extend(continuation)
+                self.events_appended += len(continuation)
+                self._trim(stored)
+                return snapshot, len(continuation)
+        self._histories[int(user_id)] = list(snapshot)
+        self.events_appended += len(snapshot)
+        self._trim(self._histories[int(user_id)])
+        return snapshot, len(snapshot)
+
+    @staticmethod
+    def _continuation_of(stored: List[int], snapshot: List[int]) -> Optional[List[int]]:
+        """Events in ``snapshot`` past the last occurrence of ``stored`` in it.
+
+        Detects the trimmed-session case: the stored history is a
+        ``max_events`` suffix of an earlier snapshot, so a full resend
+        contains it as a contiguous run somewhere before the new events.
+        Returns ``None`` when ``stored`` does not occur in ``snapshot``.
+        """
+        if not stored or len(stored) > len(snapshot):
+            return None
+        for start in range(len(snapshot) - len(stored), -1, -1):
+            if snapshot[start:start + len(stored)] == stored:
+                return snapshot[start + len(stored):]
+        return None
+
+    def forget(self, user_id: int) -> bool:
+        """Drop a user's session; returns whether one existed."""
+        return self._histories.pop(int(user_id), None) is not None
+
+    def clear(self) -> None:
+        """Drop every session (the append counter is kept)."""
+        self._histories.clear()
+
+    def _trim(self, history: List[int]) -> None:
+        if self.max_events is not None and len(history) > self.max_events:
+            del history[: len(history) - self.max_events]

@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.autograd.module import Module
 from repro.llm.soft_prompt import SoftPrompt
-from repro.store.fingerprint import fingerprint
-from repro.store.store import ArtifactError, read_artifact, write_artifact
+from repro.store.fingerprint import canonicalize, fingerprint, state_fingerprint
+from repro.store.store import ArtifactError, ArtifactStore, read_artifact, write_artifact
 
 #: Artifact kind names used by the store-backed training paths (the SimLM
 #: kind lives in :mod:`repro.llm.registry` next to its serialisers).
@@ -159,9 +159,84 @@ def backbone_fingerprint(dataset_fp: str, train_fp: str, model, training_config)
 
 
 # --------------------------------------------------------------------------- #
+# serving support: content identity and warm loading of whole recommenders
+# --------------------------------------------------------------------------- #
+#: monotonically increasing suffix for recommenders whose state cannot be
+#: hashed; each such instance gets a unique (never cache-shareable) identity.
+_UNHASHABLE_SEQUENCE = [0]
+
+
+def recommender_fingerprint(recommender) -> str:
+    """Content fingerprint of everything a recommender's scoring depends on.
+
+    The online serving layer keys its result cache on this value, so two
+    fingerprints may be equal **only** when the recommenders score
+    identically.  Identity is established, in order of preference, from:
+
+    * the recommender's own ``scoring_fingerprint()`` (the DELRec bundle
+      hashes its serialised arrays + metadata);
+    * a :class:`~repro.autograd.module.Module` state dict (neural backbones),
+      plus the class name and constructor arguments;
+    * the canonicalised attribute dict (classical models: hyper-parameters
+      and fitted arrays such as Markov transition counts).
+
+    A recommender whose attributes cannot be canonically hashed receives a
+    unique per-instance identity — it can never share cache entries, which
+    degrades hit rate but can never serve a wrong score.
+    """
+    scoring_fp = getattr(recommender, "scoring_fingerprint", None)
+    if callable(scoring_fp):
+        return scoring_fp()
+    if isinstance(recommender, Module):
+        return fingerprint(
+            "serving_recommender",
+            type(recommender).__name__,
+            getattr(recommender, "init_config", None),
+            {"state": state_fingerprint(recommender.state_dict())},
+        )
+    try:
+        payload = {key: canonicalize(value) for key, value in sorted(vars(recommender).items())}
+    except TypeError:
+        _UNHASHABLE_SEQUENCE[0] += 1
+        return f"unhashable-{type(recommender).__name__}-{_UNHASHABLE_SEQUENCE[0]}"
+    return fingerprint("serving_recommender", type(recommender).__name__, payload)
+
+
+def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str, dataset=None):
+    """Load a servable recommender warm from the artifact store.
+
+    Dispatches on the artifact ``kind``: conventional backbones
+    (:data:`BACKBONE_KIND`) rebuild through the model registry, DELRec
+    bundles (:data:`DELREC_KIND`) rebuild through
+    :meth:`~repro.core.recommend.DELRecRecommender.restore` and require the
+    ``dataset`` the bundle was fitted on (tokenizer and catalog are
+    reproduced from it).  Raises
+    :class:`~repro.store.store.ArtifactNotFoundError` when no artifact with
+    that fingerprint exists — a serving process would rather fail loudly than
+    train.
+    """
+    arrays, metadata = store.load(kind, artifact_fingerprint)
+    if kind == BACKBONE_KIND:
+        return restore_backbone(arrays, metadata)
+    if kind == DELREC_KIND:
+        if dataset is None:
+            raise ValueError(
+                "loading a DELRec bundle needs the dataset it was fitted on "
+                "(its tokenizer and catalog are rebuilt from the dataset)"
+            )
+        from repro.core.recommend import DELRecRecommender
+
+        return DELRecRecommender.restore(arrays, metadata, dataset)
+    raise ValueError(
+        f"artifact kind {kind!r} is not servable; expected {BACKBONE_KIND!r} or {DELREC_KIND!r}"
+    )
+
+
+# --------------------------------------------------------------------------- #
 # soft prompts
 # --------------------------------------------------------------------------- #
 def serialize_soft_prompt(soft_prompt: SoftPrompt) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Arrays + reconstruction metadata for a (distilled) soft prompt."""
     metadata = {
         "component": SOFT_PROMPT_KIND,
         "num_tokens": int(soft_prompt.num_tokens),
@@ -173,6 +248,7 @@ def serialize_soft_prompt(soft_prompt: SoftPrompt) -> Tuple[Dict[str, np.ndarray
 
 
 def restore_soft_prompt(arrays: Dict[str, np.ndarray], metadata: dict) -> SoftPrompt:
+    """Rebuild a soft prompt from :func:`serialize_soft_prompt` output."""
     if metadata.get("component") != SOFT_PROMPT_KIND:
         raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a soft prompt")
     soft_prompt = SoftPrompt(int(metadata["num_tokens"]), int(metadata["dim"]))
@@ -183,10 +259,12 @@ def restore_soft_prompt(arrays: Dict[str, np.ndarray], metadata: dict) -> SoftPr
 
 
 def save_soft_prompt(soft_prompt: SoftPrompt, path: str) -> str:
+    """Persist a soft prompt as an artifact directory at ``path``."""
     arrays, metadata = serialize_soft_prompt(soft_prompt)
     return write_artifact(path, arrays, metadata)
 
 
 def load_soft_prompt(path: str) -> SoftPrompt:
+    """Reconstruct a soft prompt saved by :func:`save_soft_prompt`."""
     arrays, metadata = read_artifact(path)
     return restore_soft_prompt(arrays, metadata)

@@ -127,11 +127,13 @@ class StoreStats:
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(self, event: str, kind: str) -> None:
+        """Count one ``hits``/``misses``/``saves`` event, totalled and per kind."""
         setattr(self, event, getattr(self, event) + 1)
         bucket = self.by_kind.setdefault(kind, {"hits": 0, "misses": 0, "saves": 0})
         bucket[event] += 1
 
     def snapshot(self) -> Tuple[int, int, int]:
+        """The current ``(hits, misses, saves)`` triple."""
         return (self.hits, self.misses, self.saves)
 
 
@@ -156,6 +158,7 @@ class ArtifactStore:
     # addressing
     # ------------------------------------------------------------------ #
     def path_for(self, kind: str, fingerprint: str) -> str:
+        """Directory that does (or would) hold the ``kind``/``fingerprint`` artifact."""
         if not kind or os.sep in kind:
             raise ValueError(f"invalid artifact kind {kind!r}")
         if not fingerprint or os.sep in fingerprint:
@@ -163,6 +166,7 @@ class ArtifactStore:
         return os.path.join(self.root, kind, fingerprint)
 
     def contains(self, kind: str, fingerprint: str) -> bool:
+        """Whether a complete artifact exists for ``kind``/``fingerprint``."""
         path = self.path_for(kind, fingerprint)
         return os.path.isfile(os.path.join(path, METADATA_FILE)) and os.path.isfile(
             os.path.join(path, PAYLOAD_FILE)
