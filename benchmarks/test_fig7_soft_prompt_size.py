@@ -6,7 +6,6 @@ smaller k values and checks that the largest k is not the unique optimum by a
 large margin (i.e. the curve flattens rather than growing without bound).
 """
 
-import numpy as np
 from _bench_utils import results_path
 
 from repro.experiments import get_profile, run_fig7_soft_prompt_size, save_results

@@ -12,7 +12,6 @@ Checks the *shape* of the paper's headline result rather than absolute values:
 import numpy as np
 from _bench_utils import results_path
 
-from repro.eval.metrics import PAPER_METRICS
 from repro.experiments import get_profile, run_table2_overall, save_results
 
 

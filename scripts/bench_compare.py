@@ -1,0 +1,285 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: fresh benchmark results vs committed baselines.
+
+``scripts/bench_smoke.py`` and ``scripts/serve_bench.py`` measure the smoke
+benchmarks and write their tables to ``benchmarks/results/``.  This script
+compares a freshly measured set of those tables against the *committed*
+baselines (snapshotted before the fresh run overwrites them) and fails the
+build when:
+
+* a **throughput** column regresses by more than the tolerance band
+  (default 25%, ``--tolerance`` / ``REPRO_BENCH_TOLERANCE``): any column
+  ending in ``_per_s``, ``throughput_rps``, and the ``speedup*`` ratio
+  columns — higher is better for all of them.  Absolute throughput columns
+  are first normalised by the median fresh/baseline ratio across the whole
+  file (when it has at least :data:`MIN_CELLS_FOR_NORMALIZATION` gated
+  cells): baselines are committed from one machine and CI runners are
+  another, so a *uniform* speed shift is hardware, while a single path
+  regressing against the rest of the file is a real regression.  The
+  ``speedup*`` ratio columns are machine-independent and gated unnormalised.
+  When the global shift itself exceeds the tolerance, a notice is printed —
+  a truly uniform regression of every path is indistinguishable from a
+  slower machine by this method, so it is reported rather than gated;
+* a **bit-exactness** column drifts: any ``max_*_diff`` column must be
+  exactly ``0.0`` in the fresh results — these record the largest difference
+  between an optimised path and its reference implementation, and any
+  non-zero value means the optimisation changed results;
+* the fresh results lose **coverage**: a table, row or gated column present
+  in the baseline but missing from the fresh run fails the gate (a benchmark
+  that silently stops measuring something is itself a regression).
+
+Latency percentile columns (``p50_ms``…) are deliberately not gated: they are
+dominated by machine noise on shared runners, and the throughput columns
+already move when latency genuinely regresses.  Cache-warm serving rows
+(``phase == "warm"``) are likewise not throughput-gated — their request path
+is a sub-millisecond cache hit whose measured rate is scheduler noise, and
+their real invariants (hit rate 1.0, zero score drift) are gated by
+``serve_bench.py`` itself and by the exactness columns here.
+
+Usage::
+
+    python scripts/bench_compare.py --baseline /tmp/bench-baseline \
+        --fresh benchmarks/results [bench_smoke.json serve_bench.json]
+
+Exit status 0 when every gate passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+#: Benchmark files gated by default (relative to the results directories).
+DEFAULT_FILES = ("bench_smoke.json", "serve_bench.json")
+
+#: Default allowed fractional throughput regression (25%).
+DEFAULT_TOLERANCE = 0.25
+
+#: Minimum gated absolute-throughput cells in a file before the median
+#: fresh/baseline ratio is trusted as a machine-speed normaliser.
+MIN_CELLS_FOR_NORMALIZATION = 4
+
+TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
+
+
+def is_ratio_column(name: str) -> bool:
+    """Whether a column is a machine-independent speed ratio (ungated shift)."""
+    return name.startswith("speedup")
+
+
+def is_absolute_throughput_column(name: str) -> bool:
+    """Whether a column is an absolute (machine-dependent) throughput."""
+    return name.endswith("_per_s") or name == "throughput_rps"
+
+
+def is_throughput_column(name: str) -> bool:
+    """Whether a column is a higher-is-better throughput/ratio column."""
+    return is_absolute_throughput_column(name) or is_ratio_column(name)
+
+
+def is_exactness_column(name: str) -> bool:
+    """Whether a column records a bit-exactness drift (must be exactly 0.0)."""
+    return name.startswith("max_") and name.endswith("_diff")
+
+
+def is_cache_warm_row(row: Dict[str, object]) -> bool:
+    """Whether a row measures the cache-hit serving path (throughput-ungated)."""
+    return row.get("phase") == "warm"
+
+
+def _row_identity(row: Dict[str, object], columns: Sequence[str]) -> tuple:
+    """A row's identity: its string-valued cells, in column order."""
+    return tuple(
+        (name, row[name]) for name in columns if isinstance(row.get(name), str)
+    )
+
+
+def _match_rows(baseline_table: dict, fresh_table: dict) -> List[tuple]:
+    """Pair baseline rows with fresh rows (by string identity, else by index).
+
+    Returns ``(identity label, baseline row, fresh row or None)`` triples —
+    a missing fresh row surfaces as ``None`` so the caller can fail coverage.
+    """
+    columns = baseline_table.get("columns", [])
+    fresh_rows = list(fresh_table.get("rows", []))
+    pairs = []
+    for index, baseline_row in enumerate(baseline_table.get("rows", [])):
+        identity = _row_identity(baseline_row, columns)
+        if identity:
+            label = "/".join(str(value) for _, value in identity)
+            match = next(
+                (row for row in fresh_rows if _row_identity(row, columns) == identity),
+                None,
+            )
+        else:
+            label = f"row[{index}]"
+            match = fresh_rows[index] if index < len(fresh_rows) else None
+        pairs.append((label, baseline_row, match))
+    return pairs
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def machine_speed_normalizer(baseline_tables: Sequence[dict],
+                             fresh_tables_by_title: Dict[str, dict]) -> float:
+    """Median fresh/baseline ratio over every gated absolute-throughput cell.
+
+    This is the file's apparent machine-speed shift: committed baselines come
+    from one machine, fresh measurements from another, and the shift common
+    to *all* paths is hardware, not a regression.  Returns ``1.0`` (no
+    normalisation) when the file has fewer than
+    :data:`MIN_CELLS_FOR_NORMALIZATION` usable cells — with too few cells the
+    median would just absorb the very regression the gate exists to catch.
+    """
+    ratios = []
+    for baseline_table in baseline_tables:
+        fresh_table = fresh_tables_by_title.get(baseline_table.get("title"))
+        if fresh_table is None:
+            continue
+        for _, baseline_row, fresh_row in _match_rows(baseline_table, fresh_table):
+            if fresh_row is None or is_cache_warm_row(baseline_row):
+                continue
+            for column, baseline_value in baseline_row.items():
+                if not is_absolute_throughput_column(column):
+                    continue
+                fresh_value = fresh_row.get(column)
+                if _is_number(baseline_value) and _is_number(fresh_value) and baseline_value > 0:
+                    ratios.append(fresh_value / baseline_value)
+    if len(ratios) < MIN_CELLS_FOR_NORMALIZATION:
+        return 1.0
+    ratios.sort()
+    middle = len(ratios) // 2
+    if len(ratios) % 2:
+        return ratios[middle]
+    return (ratios[middle - 1] + ratios[middle]) / 2.0
+
+
+def compare_tables(baseline_table: dict, fresh_table: dict, tolerance: float,
+                   context: str, normalizer: float = 1.0) -> List[str]:
+    """Gate one fresh table against its baseline; returns failure messages.
+
+    ``normalizer`` is the file-wide machine-speed shift divided out of
+    absolute throughput columns before the tolerance band is applied (see
+    :func:`machine_speed_normalizer`); ratio columns are gated as measured.
+    """
+    failures = []
+    title = baseline_table.get("title", "<untitled>")
+    for label, baseline_row, fresh_row in _match_rows(baseline_table, fresh_table):
+        where = f"{context}: {title} [{label}]"
+        if fresh_row is None:
+            failures.append(f"{where}: row missing from fresh results")
+            continue
+        for column, baseline_value in baseline_row.items():
+            gated = is_throughput_column(column) or is_exactness_column(column)
+            if not gated:
+                continue
+            if column not in fresh_row:
+                failures.append(f"{where}: gated column {column!r} missing from fresh results")
+                continue
+            fresh_value = fresh_row[column]
+            if is_exactness_column(column):
+                if fresh_value != 0.0:
+                    failures.append(
+                        f"{where}: bit-exactness drift — {column} = {fresh_value!r} != 0.0"
+                    )
+                continue
+            if not _is_number(baseline_value) or not _is_number(fresh_value):
+                continue
+            if is_cache_warm_row(baseline_row):
+                continue
+            scale = normalizer if is_absolute_throughput_column(column) else 1.0
+            adjusted = fresh_value / scale if scale > 0 else fresh_value
+            floor = baseline_value * (1.0 - tolerance)
+            if adjusted < floor:
+                drop = 100.0 * (1.0 - adjusted / baseline_value) if baseline_value else 0.0
+                normalized_note = (
+                    f" (measured {fresh_value}, machine-speed normaliser {scale:.3f})"
+                    if scale != 1.0 else ""
+                )
+                failures.append(
+                    f"{where}: throughput regression — {column} {round(adjusted, 2)} vs "
+                    f"baseline {baseline_value} ({drop:.1f}% drop > "
+                    f"{tolerance * 100:.0f}% tolerance){normalized_note}"
+                )
+    return failures
+
+
+def compare_files(baseline_path: str, fresh_path: str, tolerance: float) -> List[str]:
+    """Gate one fresh results file against its committed baseline."""
+    name = os.path.basename(baseline_path)
+    if not os.path.isfile(baseline_path):
+        # no baseline committed yet: nothing to gate against, report and pass
+        print(f"[bench-compare] {name}: no baseline, skipping")
+        return []
+    if not os.path.isfile(fresh_path):
+        return [f"{name}: fresh results missing at {fresh_path}"]
+    with open(baseline_path) as handle:
+        baseline_tables = json.load(handle)
+    with open(fresh_path) as handle:
+        fresh_tables = json.load(handle)
+    fresh_by_title = {table.get("title"): table for table in fresh_tables}
+    normalizer = machine_speed_normalizer(baseline_tables, fresh_by_title)
+    if normalizer != 1.0:
+        print(f"[bench-compare] {name}: machine-speed normaliser {normalizer:.3f} "
+              "(median fresh/baseline over absolute throughput cells)")
+        if normalizer < 1.0 - tolerance:
+            print(f"[bench-compare] {name}: NOTE — the global shift itself exceeds the "
+                  f"{tolerance * 100:.0f}% band; a uniform regression of every path is "
+                  "indistinguishable from a slower machine, inspect the uploaded tables")
+    failures = []
+    for baseline_table in baseline_tables:
+        title = baseline_table.get("title", "<untitled>")
+        fresh_table = fresh_by_title.get(title)
+        if fresh_table is None:
+            failures.append(f"{name}: table {title!r} missing from fresh results")
+            continue
+        failures.extend(
+            compare_tables(baseline_table, fresh_table, tolerance, name, normalizer)
+        )
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    default_results = os.path.join(repo_root, "benchmarks", "results")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", default=list(DEFAULT_FILES),
+                        help=f"result files to gate (default: {', '.join(DEFAULT_FILES)})")
+    parser.add_argument("--baseline", default=default_results,
+                        help="directory holding the committed baseline results")
+    parser.add_argument("--fresh", default=default_results,
+                        help="directory holding the freshly measured results")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE)),
+                        help="allowed fractional throughput regression (default 0.25)")
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+
+    failures = []
+    for name in args.files:
+        failures.extend(
+            compare_files(
+                os.path.join(args.baseline, name),
+                os.path.join(args.fresh, name),
+                args.tolerance,
+            )
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        print(f"bench-compare: {len(failures)} gate failure(s)", file=sys.stderr)
+        return 1
+    print(f"bench-compare OK: no throughput regression beyond "
+          f"{args.tolerance * 100:.0f}% and no bit-exactness drift")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

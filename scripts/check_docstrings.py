@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """CI gate: public-API docstring coverage must not rot.
 
-Walks the gated packages (``repro.serve``, ``repro.store``, ``repro.eval``)
+Walks the gated packages (``repro.serve``, ``repro.store``, ``repro.eval``,
+``repro.parallel``)
 with :mod:`ast` — no imports, so the check is instant and dependency-free —
 and counts docstrings on every *public* API element:
 
@@ -33,6 +34,7 @@ GATED_PACKAGES = (
     os.path.join("src", "repro", "serve"),
     os.path.join("src", "repro", "store"),
     os.path.join("src", "repro", "eval"),
+    os.path.join("src", "repro", "parallel"),
 )
 
 

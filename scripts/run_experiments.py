@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Run the paper's experiment surfaces from the command line, optionally sharded.
+
+Each surface maps to one runner from :mod:`repro.experiments`; the runners
+that decompose into work units (table2, table3, table4, table5, fig7, fig8)
+accept ``--workers`` and shard their method × dataset × config cells across
+a process pool coordinated through the artifact store — producing tables
+bitwise-identical to a serial run.
+
+Examples::
+
+    # Table II on the smoke profile, sharded over 4 workers
+    python scripts/run_experiments.py table2 --profile smoke --workers 4
+
+    # every sharded surface, reusing a persistent artifact store
+    REPRO_ARTIFACT_DIR=.artifacts python scripts/run_experiments.py all --workers 4
+
+Results are printed and written to ``benchmarks/results/<surface>.json`` (+
+``.txt``) unless ``--output`` names another directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments import (  # noqa: E402
+    get_profile,
+    run_fig7_soft_prompt_size,
+    run_fig8_recommended_items,
+    run_table1_dataset_stats,
+    run_table2_overall,
+    run_table3_soft_prompt_ablation,
+    run_table4_component_ablation,
+    run_table5_sparsity,
+    save_results,
+)
+
+#: surface name -> (runner, accepts num_workers)
+SURFACES = {
+    "table1": (run_table1_dataset_stats, False),
+    "table2": (run_table2_overall, True),
+    "table3": (run_table3_soft_prompt_ablation, True),
+    "table4": (run_table4_component_ablation, True),
+    "table5": (run_table5_sparsity, True),
+    "fig7": (run_fig7_soft_prompt_size, True),
+    "fig8": (run_fig8_recommended_items, True),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("surfaces", nargs="+",
+                        choices=sorted(SURFACES) + ["all"],
+                        help="experiment surfaces to run ('all' = every surface)")
+    parser.add_argument("--profile", default=None,
+                        help="budget profile (smoke/fast/standard; default: "
+                             "REPRO_BENCH_PROFILE or 'fast')")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sharded surfaces (default: "
+                             "REPRO_NUM_WORKERS or 1)")
+    parser.add_argument("--output", default=None,
+                        help="directory for result JSON/text (default: benchmarks/results)")
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    names = sorted(SURFACES) if "all" in args.surfaces else list(dict.fromkeys(args.surfaces))
+    output_dir = args.output or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "benchmarks", "results"
+    )
+    for name in names:
+        runner, sharded = SURFACES[name]
+        start = time.time()
+        if sharded:
+            table = runner(profile, num_workers=args.workers)
+        else:
+            table = runner(profile)
+        print(table)
+        print(f"[{name}] finished in {time.time() - start:.0f}s", flush=True)
+        save_results([table], os.path.join(output_dir, f"{name}.json"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,11 +18,10 @@ implementations of the original update rules.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
-from repro.autograd.module import Parameter
 from repro.autograd.tensor import Tensor
 
 

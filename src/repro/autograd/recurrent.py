@@ -7,7 +7,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.autograd import init
-from repro.autograd.layers import Linear
 from repro.autograd.module import Module, Parameter
 from repro.autograd.tensor import Tensor
 

@@ -20,7 +20,7 @@ and learns the mixing weights on the training data with a coarse grid search.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

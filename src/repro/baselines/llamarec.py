@@ -9,7 +9,7 @@ scores gate which candidates the (fine-tuned) LLM is allowed to rank highly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -24,7 +24,6 @@ from repro.core.prompts import PromptBatch, PromptExample
 from repro.data.records import SequenceDataset
 from repro.data.splits import ChronologicalSplit
 from repro.llm.simlm import SimLM
-from repro.llm.tokenizer import item_token
 from repro.models.base import SequentialRecommender
 
 

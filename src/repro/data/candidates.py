@@ -8,7 +8,7 @@ an experiment so that every model ranks exactly the same items.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 

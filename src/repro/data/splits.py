@@ -10,11 +10,11 @@ history of at most ``n - 1`` items and the target next item.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.records import Interaction, SequenceDataset
+from repro.data.records import SequenceDataset
 
 
 @dataclass(frozen=True)

@@ -18,8 +18,16 @@ from repro.eval.efficiency import (
     profile_inference,
 )
 from repro.eval.coldstart import ColdStartReport, cold_start_comparison
+from repro.eval.merge import (
+    IncompleteResultsError,
+    merge_evaluation_results,
+    merge_results,
+)
 
 __all__ = [
+    "IncompleteResultsError",
+    "merge_evaluation_results",
+    "merge_results",
     "hit_rate_at_k",
     "ndcg_at_k",
     "mrr",

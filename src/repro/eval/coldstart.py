@@ -9,7 +9,7 @@ depend on long user histories.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.data.records import SequenceDataset
 from repro.data.splits import SequenceExample, cold_start_examples

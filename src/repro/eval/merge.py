@@ -1,0 +1,68 @@
+"""Canonical-order merging of sharded evaluation results.
+
+The sharded experiment engine (:mod:`repro.parallel`) evaluates work units in
+whatever order the pool completes them; tables, however, must come out
+bitwise-identical to the serial run.  The guarantee lives here: the reducer
+re-orders the ``{unit key -> result}`` dict into the *declared* canonical
+order and verifies completeness, so row assembly downstream is a pure,
+order-independent function of the result set.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Mapping, Sequence
+
+from repro.eval.evaluator import EvaluationResult
+
+
+class IncompleteResultsError(KeyError):
+    """A canonical merge was asked for keys the result set does not contain."""
+
+    def __init__(self, missing: Sequence[str]):
+        super().__init__(f"results missing for work units: {sorted(missing)}")
+        self.missing = tuple(sorted(missing))
+
+
+def merge_results(
+    results: Mapping[str, object], order: Sequence[str]
+) -> "OrderedDict[str, object]":
+    """Reduce sharded results into the fixed canonical order.
+
+    ``order`` is the canonical key sequence a runner declared (typically the
+    unit keys of one table's rows, in row order); ``results`` is the
+    completion-ordered dict the scheduler returned.  The merge is total — a
+    missing key raises :class:`IncompleteResultsError` rather than silently
+    dropping a row — and duplicate keys in ``order`` raise, since a table row
+    must map to exactly one result.  Keys in ``results`` that ``order`` does
+    not name are ignored (prerequisite units report side effects, not rows).
+    """
+    seen: Dict[str, bool] = {}
+    for key in order:
+        if key in seen:
+            raise ValueError(f"duplicate key {key!r} in canonical merge order")
+        seen[key] = True
+    missing = [key for key in order if key not in results]
+    if missing:
+        raise IncompleteResultsError(missing)
+    return OrderedDict((key, results[key]) for key in order)
+
+
+def merge_evaluation_results(
+    results: Mapping[str, object], order: Sequence[str]
+) -> "OrderedDict[str, EvaluationResult]":
+    """Like :func:`merge_results`, additionally asserting every value is an
+    :class:`~repro.eval.evaluator.EvaluationResult`.
+
+    Table runners use this for their metric rows: a prerequisite unit key
+    accidentally listed in the row order fails loudly here instead of
+    producing a row of garbage.
+    """
+    merged = merge_results(results, order)
+    for key, value in merged.items():
+        if not isinstance(value, EvaluationResult):
+            raise TypeError(
+                f"work unit {key!r} returned {type(value).__name__}, "
+                "expected an EvaluationResult"
+            )
+    return merged

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.llm.simlm import SimLM
 from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig
 from repro.models.base import NeuralSequentialRecommender
 from repro.store import ArtifactStore, dataset_fingerprint, examples_fingerprint, default_store
+from repro.store import fingerprint as _store_fingerprint
 from repro.store.components import train_or_reload_backbone
 
 
@@ -155,6 +156,30 @@ def get_profile(name: Optional[str] = None) -> ExperimentProfile:
     return PROFILES[key]
 
 
+def profile_to_payload(profile: ExperimentProfile) -> dict:
+    """Render a profile as plain data that survives a process boundary.
+
+    Work-unit payloads carry the profile by value (not by name) so ad-hoc
+    profiles — e.g. a test's custom budget — shard exactly like the built-in
+    ones.
+    """
+    return dataclasses.asdict(profile)
+
+
+def profile_from_payload(payload: dict) -> ExperimentProfile:
+    """Inverse of :func:`profile_to_payload`."""
+    return ExperimentProfile(**payload)
+
+
+def profile_fingerprint(profile: ExperimentProfile) -> str:
+    """Content fingerprint of a profile (all budget fields, not just the name).
+
+    Used to key per-process context caches: two profiles that differ in any
+    field must never share trained components, even if they share a name.
+    """
+    return _store_fingerprint("experiment_profile", profile)
+
+
 class ExperimentContext:
     """Shared state for evaluating many methods on one dataset.
 
@@ -261,6 +286,14 @@ class ExperimentContext:
         LLM rows of Table II share one pre-training) and, when a store is
         attached, on disk under its config fingerprint (so a warm run skips
         MLM pre-training entirely).
+
+        Every call — including the one that triggered pre-training — returns
+        a model freshly rebuilt from the cached state, so all consumers get
+        bit-identical copies regardless of call order.  (The just-pre-trained
+        object differs from a rebuilt one in internal RNG state advanced
+        during pre-training; handing it to the first consumer would make
+        results depend on which consumer happened to come first — exactly the
+        order-dependence the sharded experiment engine must not have.)
         """
         key = f"{size}:{'behaviour' if include_behavior else 'metadata-only'}"
         if key not in self._llm_states:
@@ -279,7 +312,6 @@ class ExperimentContext:
             if self.store is None or self.store.stats.saves > saves_before:
                 self._record_training(f"simlm:{key}")
             self._llm_states[key] = model.state_dict()
-            return model
         model = build_simlm(self.dataset, size=size, seed=self.profile.seed)
         model.load_state_dict(self._llm_states[key])
         model.is_pretrained = True

@@ -4,23 +4,36 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.baselines import KDALRD
-from repro.core.pipeline import DELRec
+from repro.eval.merge import merge_evaluation_results
 from repro.eval.metrics import PAPER_METRICS
 from repro.experiments.reporting import ResultTable
-from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
+from repro.experiments.runner import ExperimentProfile, get_profile
+from repro.experiments.units import (
+    SPARSITY_ROWS,
+    plan_for_datasets,
+    sparsity_row_key,
+    sparsity_stat_key,
+    sparsity_units,
+)
+from repro.parallel import ExperimentScheduler
 
 
 def run_table5_sparsity(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
     verbose: bool = True,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Compare SASRec, KDALRD and DELRec across datasets of decreasing sparsity.
 
     The paper orders the columns Beauty (99.99%) -> MovieLens-100K (93.70%) ->
     KuaiRec (83.72%) and finds that every method improves as the data gets
     denser while DELRec stays on top throughout.
+
+    Each (dataset × method) cell is one work unit; ``num_workers`` (default:
+    ``REPRO_NUM_WORKERS``) shards the grid across processes with the rows
+    merged back in the paper's canonical order, bitwise-identical to the
+    serial run.
     """
     profile = profile or get_profile()
     datasets = datasets or profile.sparsity_datasets
@@ -28,26 +41,17 @@ def run_table5_sparsity(
         title="Table V: dataset sparsity impact (SASRec vs KDALRD vs DELRec)",
         columns=["dataset", "sparsity", "method"] + list(PAPER_METRICS),
     )
+    scheduler = ExperimentScheduler(profile, num_workers=num_workers)
+    results = scheduler.run(plan_for_datasets(sparsity_units, datasets))
     for dataset_name in datasets:
-        context = ExperimentContext(dataset_name, profile)
-        sparsity = round(context.dataset.sparsity, 4)
-        sasrec = context.conventional_model("SASRec")
-        table.add_row(dataset=dataset_name, sparsity=sparsity, method="SASRec",
-                      **{m: context.evaluate(sasrec, f"SASRec@{dataset_name}").metric(m)
-                         for m in PAPER_METRICS})
-
-        kdalrd = KDALRD(num_candidates=profile.num_candidates, seed=profile.seed)
-        kdalrd.fit(context.dataset, context.split, llm=context.fresh_llm())
-        table.add_row(dataset=dataset_name, sparsity=sparsity, method="KDALRD",
-                      **{m: context.evaluate(kdalrd, f"KDALRD@{dataset_name}").metric(m)
-                         for m in PAPER_METRICS})
-
-        pipeline = DELRec(config=context.delrec_config(), conventional_model=sasrec,
-                          llm=context.fresh_llm(), store=context.store)
-        pipeline.fit(context.dataset, context.split)
-        table.add_row(dataset=dataset_name, sparsity=sparsity, method="DELRec",
-                      **{m: context.evaluate(pipeline.recommender(), f"DELRec@{dataset_name}").metric(m)
-                         for m in PAPER_METRICS})
+        sparsity = results[sparsity_stat_key(dataset_name)]
+        merged = merge_evaluation_results(
+            results, [sparsity_row_key(dataset_name, method) for method in SPARSITY_ROWS]
+        )
+        for method in SPARSITY_ROWS:
+            result = merged[sparsity_row_key(dataset_name, method)]
+            table.add_row(dataset=dataset_name, sparsity=sparsity, method=method,
+                          **{m: result.metric(m) for m in PAPER_METRICS})
         if verbose:
             print(f"[table5] {dataset_name} (sparsity {sparsity}) done", flush=True)
     return table

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.pipeline import DELRec
+from repro.eval.merge import merge_evaluation_results
 from repro.experiments.reporting import ResultTable
-from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
+from repro.experiments.runner import ExperimentProfile, get_profile
+from repro.experiments.units import plan_for_datasets, sweep_row_key, sweep_units
+from repro.parallel import ExperimentScheduler
 
 
 def _sweep(
@@ -16,28 +18,27 @@ def _sweep(
     profile: Optional[ExperimentProfile],
     datasets: Optional[Sequence[str]],
     verbose: bool = True,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Run DELRec (SASRec backbone) for each value of ``parameter`` and record HR@1.
 
     The paper reports the sweeps with HR@1 because it most directly reflects
-    the model's ability to put the single relevant item first.
+    the model's ability to put the single relevant item first.  Every sweep
+    cell is an independent work unit behind shared backbone/SimLM
+    prerequisites, so ``num_workers`` (default: ``REPRO_NUM_WORKERS``)
+    shards the grid across processes with bitwise-identical cells.
     """
     profile = profile or get_profile()
     datasets = datasets or profile.sweep_datasets
     table = ResultTable(title=title, columns=["dataset", parameter, "HR@1", "HR@5", "NDCG@10"])
+    scheduler = ExperimentScheduler(profile, num_workers=num_workers)
+    results = scheduler.run(plan_for_datasets(sweep_units, datasets, parameter, values))
     for dataset_name in datasets:
-        context = ExperimentContext(dataset_name, profile)
-        sasrec = context.conventional_model("SASRec")
+        merged = merge_evaluation_results(
+            results, [sweep_row_key(dataset_name, parameter, value) for value in values]
+        )
         for value in values:
-            overrides = {parameter: value}
-            pipeline = DELRec(
-                config=context.delrec_config(**overrides),
-                conventional_model=sasrec,
-                llm=context.fresh_llm(),
-                store=context.store,
-            )
-            pipeline.fit(context.dataset, context.split)
-            result = context.evaluate(pipeline.recommender(), f"{parameter}={value}@{dataset_name}")
+            result = merged[sweep_row_key(dataset_name, parameter, value)]
             table.add_row(
                 dataset=dataset_name,
                 **{parameter: value},
@@ -54,6 +55,7 @@ def run_fig7_soft_prompt_size(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
     values: Optional[Sequence[int]] = None,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Figure 7: HR@1 as a function of the soft-prompt size ``k``.
 
@@ -68,6 +70,7 @@ def run_fig7_soft_prompt_size(
         title="Figure 7: HR@1 vs soft prompt size k",
         profile=profile,
         datasets=datasets,
+        num_workers=num_workers,
     )
 
 
@@ -75,6 +78,7 @@ def run_fig8_recommended_items(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
     values: Optional[Sequence[int]] = None,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Figure 8: HR@1 as a function of the number ``h`` of conventional-model items shown in RPS."""
     profile = profile or get_profile()
@@ -84,4 +88,5 @@ def run_fig8_recommended_items(
         title="Figure 8: HR@1 vs recommended items size h",
         profile=profile,
         datasets=datasets,
+        num_workers=num_workers,
     )

@@ -5,22 +5,11 @@ from __future__ import annotations
 import shutil
 import tempfile
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import (
-    KDALRD,
-    LLM2BERT4Rec,
-    LLMSeqPrompt,
-    LLMSeqSim,
-    LLMTRSR,
-    LLaRA,
-    LlamaRec,
-    RecRanker,
-    ZeroShotLLM,
-)
-from repro.core.ablation import build_ablation_variant
+from repro.baselines import KDALRD, ZeroShotLLM
 from repro.core.pipeline import DELRec
 from repro.data import available_datasets, compute_stats, load_dataset
 from repro.data.stats import PAPER_DATASET_STATS
@@ -43,24 +32,22 @@ from repro.llm.corpus import corpus_for_dataset
 from repro.llm.pretrain import PretrainConfig, pretrain_simlm
 from repro.llm.registry import build_simlm, build_tokenizer
 from repro.llm.soft_prompt import SoftPrompt
+from repro.eval.merge import merge_evaluation_results
 from repro.eval.metrics import PAPER_METRICS
 from repro.eval.significance import significance_markers
 from repro.experiments.reporting import ResultTable
 from repro.experiments.runner import ExperimentContext, ExperimentProfile, get_profile
-from repro.store import ArtifactStore
-
-#: Row order of Table II (raw LLM rows are created via ZeroShotLLM.for_paper_llm).
-RAW_LLM_ROWS = ("Bert-Large", "Flan-T5-Large", "Flan-T5-XL")
-LLM_BASELINE_ROWS = (
-    "LlamaRec",
-    "RecRanker",
-    "LLaRA",
-    "LLMSEQPROMPT",
-    "LLM2BERT4Rec",
-    "LLMSEQSIM",
-    "LLM-TRSR",
-    "KDALRD",
+from repro.experiments.units import (
+    LLM_BASELINE_ROWS,
+    RAW_LLM_ROWS,
+    ablation_row_key,
+    ablation_units,
+    plan_for_datasets,
+    table2_row_key,
+    table2_units,
 )
+from repro.parallel import ExperimentScheduler
+from repro.store import ArtifactStore
 
 
 def _metric_columns(result, markers: Optional[Dict[str, str]] = None) -> Dict[str, object]:
@@ -109,33 +96,23 @@ def run_table1_dataset_stats(profile: Optional[ExperimentProfile] = None) -> Res
 # --------------------------------------------------------------------------- #
 # Table II
 # --------------------------------------------------------------------------- #
-def _build_llm_baselines(context: ExperimentContext, sasrec) -> Dict[str, object]:
-    """Instantiate the eight LLM-based baselines (paradigms 1-3)."""
-    profile = context.profile
-    shared = dict(
-        max_train_examples=profile.max_stage2_examples,
-        stage2=profile.stage2_config(),
-        num_candidates=profile.num_candidates,
-        seed=profile.seed,
-    )
-    return {
-        "LlamaRec": LlamaRec(conventional_model=sasrec, **shared),
-        "RecRanker": RecRanker(conventional_model=sasrec, top_h=profile.top_h, **shared),
-        "LLaRA": LLaRA(conventional_model=sasrec, **shared),
-        "LLMSEQPROMPT": LLMSeqPrompt(**shared),
-        "LLM2BERT4Rec": LLM2BERT4Rec(embedding_dim=profile.conventional_embedding_dim, **shared),
-        "LLMSEQSIM": LLMSeqSim(**shared),
-        "LLM-TRSR": LLMTRSR(**shared),
-        "KDALRD": KDALRD(**shared),
-    }
-
-
 def run_table2_overall(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
     verbose: bool = True,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
-    """Table II: overall comparison of conventional models, raw LLMs, LLM-based baselines and DELRec."""
+    """Table II: overall comparison of conventional models, raw LLMs, LLM-based baselines and DELRec.
+
+    The table's ~17 method rows per dataset are declared as work units (with
+    prerequisite units for the shared backbones and SimLM pre-trainings) and
+    executed through the :class:`~repro.parallel.ExperimentScheduler`, so
+    ``num_workers`` (default: the ``REPRO_NUM_WORKERS`` environment variable,
+    serial when unset) shards them across processes.  Row values are
+    bitwise-identical for every worker count: results are merged in the fixed
+    canonical row order, and training either happens deterministically inside
+    one worker or is warm-reloaded from the coordinating artifact store.
+    """
     profile = profile or get_profile()
     datasets = datasets or profile.table2_datasets
     table = ResultTable(
@@ -143,54 +120,52 @@ def run_table2_overall(
         columns=["dataset", "group", "method"] + list(PAPER_METRICS) + ["significance"],
     )
 
+    start = time.time()
+    scheduler = ExperimentScheduler(profile, num_workers=num_workers)
+    results = scheduler.run(plan_for_datasets(table2_units, datasets))
+
     for dataset_name in datasets:
-        start = time.time()
-        context = ExperimentContext(dataset_name, profile)
+        row_keys = (
+            [table2_row_key(dataset_name, "conventional", b) for b in ExperimentContext.BACKBONES]
+            + [table2_row_key(dataset_name, "raw_llm", m) for m in RAW_LLM_ROWS]
+            + [table2_row_key(dataset_name, "llm_baseline", m) for m in LLM_BASELINE_ROWS]
+            + [table2_row_key(dataset_name, "delrec", b) for b in ExperimentContext.BACKBONES]
+        )
+        merged = merge_evaluation_results(results, row_keys)
 
         # conventional SR models
-        conventional_results = {}
-        for backbone in context.BACKBONES:
-            model = context.conventional_model(backbone)
-            conventional_results[backbone] = context.evaluate(model, backbone)
+        conventional_results = {
+            backbone: merged[table2_row_key(dataset_name, "conventional", backbone)]
+            for backbone in ExperimentContext.BACKBONES
+        }
+        for backbone in ExperimentContext.BACKBONES:
             table.add_row(dataset=dataset_name, group="Conventional", method=backbone,
                           **_metric_columns(conventional_results[backbone]))
 
         # raw (zero-shot) LLMs: world knowledge only, no exposure to interactions
         for paper_llm in RAW_LLM_ROWS:
-            baseline = ZeroShotLLM.for_paper_llm(
-                paper_llm, num_candidates=profile.num_candidates, seed=profile.seed
-            )
-            baseline.fit(context.dataset, context.split,
-                         llm=context.fresh_llm(baseline.llm_size, include_behavior=False))
-            result = context.evaluate(baseline, paper_llm)
+            result = merged[table2_row_key(dataset_name, "raw_llm", paper_llm)]
             table.add_row(dataset=dataset_name, group="Open-source LLM", method=paper_llm,
                           **_metric_columns(result))
 
         # LLM-based baselines (all share the SASRec backbone where one is needed)
-        sasrec = context.conventional_model("SASRec")
-        for method, baseline in _build_llm_baselines(context, sasrec).items():
-            baseline.fit(context.dataset, context.split, llm=context.fresh_llm())
-            result = context.evaluate(baseline, method)
+        for method in LLM_BASELINE_ROWS:
+            result = merged[table2_row_key(dataset_name, "llm_baseline", method)]
             table.add_row(dataset=dataset_name, group="LLMs-based", method=method,
                           **_metric_columns(result))
 
         # DELRec with each conventional backbone
-        for backbone in context.BACKBONES:
-            pipeline = DELRec(
-                config=context.delrec_config(),
-                conventional_model=context.conventional_model(backbone),
-                llm=context.fresh_llm(),
-                store=context.store,
-            )
-            pipeline.fit(context.dataset, context.split)
-            method = f"DELRec ({backbone})"
-            result = context.evaluate(pipeline.recommender(), method)
+        for backbone in ExperimentContext.BACKBONES:
+            result = merged[table2_row_key(dataset_name, "delrec", backbone)]
             markers = significance_markers(result, conventional_results[backbone],
                                            metrics=list(PAPER_METRICS))
-            table.add_row(dataset=dataset_name, group="Ours", method=method,
+            table.add_row(dataset=dataset_name, group="Ours", method=f"DELRec ({backbone})",
                           **_metric_columns(result, markers))
         if verbose:
-            print(f"[table2] {dataset_name} done in {time.time() - start:.0f}s", flush=True)
+            print(f"[table2] {dataset_name} assembled", flush=True)
+    if verbose:
+        print(f"[table2] {len(datasets)} dataset(s) in {time.time() - start:.0f}s "
+              f"({scheduler.num_workers} worker(s))", flush=True)
 
     table.notes.append("significance markers: '*' p<=0.01, '**' p<=0.05 vs the conventional backbone")
     return table
@@ -205,31 +180,33 @@ def _run_ablation(
     profile: Optional[ExperimentProfile],
     datasets: Optional[Sequence[str]],
     verbose: bool = True,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     profile = profile or get_profile()
     datasets = datasets or profile.ablation_datasets
     table = ResultTable(title=title, columns=["dataset", "variant"] + list(PAPER_METRICS))
+    start = time.time()
+    scheduler = ExperimentScheduler(profile, num_workers=num_workers)
+    results = scheduler.run(plan_for_datasets(ablation_units, datasets, variants))
     for dataset_name in datasets:
-        start = time.time()
-        context = ExperimentContext(dataset_name, profile)
-        sasrec = context.conventional_model("SASRec")
+        merged = merge_evaluation_results(
+            results, [ablation_row_key(dataset_name, variant) for variant in variants]
+        )
         for variant in variants:
-            llm = None if variant == "w Flan-T5-Large" else context.fresh_llm()
-            pipeline = build_ablation_variant(
-                variant, config=context.delrec_config(), conventional_model=sasrec, llm=llm,
-                store=context.store,
-            )
-            pipeline.fit(context.dataset, context.split)
-            result = context.evaluate(pipeline.recommender(), f"{variant}@{dataset_name}")
-            table.add_row(dataset=dataset_name, variant=variant, **_metric_columns(result))
+            table.add_row(dataset=dataset_name, variant=variant,
+                          **_metric_columns(merged[ablation_row_key(dataset_name, variant)]))
         if verbose:
-            print(f"[ablation] {dataset_name} done in {time.time() - start:.0f}s", flush=True)
+            print(f"[ablation] {dataset_name} assembled", flush=True)
+    if verbose:
+        print(f"[ablation] {len(datasets)} dataset(s) in {time.time() - start:.0f}s "
+              f"({scheduler.num_workers} worker(s))", flush=True)
     return table
 
 
 def run_table3_soft_prompt_ablation(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Table III: what the learned soft prompts contribute (w/o SP, w MCP, w USP, Default)."""
     return _run_ablation(
@@ -237,12 +214,14 @@ def run_table3_soft_prompt_ablation(
         title="Table III: ablation on learned soft prompts (SASRec backbone)",
         profile=profile,
         datasets=datasets,
+        num_workers=num_workers,
     )
 
 
 def run_table4_component_ablation(
     profile: Optional[ExperimentProfile] = None,
     datasets: Optional[Sequence[str]] = None,
+    num_workers: Optional[int] = None,
 ) -> ResultTable:
     """Table IV: component ablations (DPSM, LSR, TA, RPS, UDPSM, ULSR, smaller LLM)."""
     return _run_ablation(
@@ -251,6 +230,7 @@ def run_table4_component_ablation(
         title="Table IV: component ablations (SASRec backbone)",
         profile=profile,
         datasets=datasets,
+        num_workers=num_workers,
     )
 
 

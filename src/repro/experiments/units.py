@@ -1,0 +1,424 @@
+"""Built-in work-unit runners and plan enumerators for the experiment tables.
+
+This module is the bridge between the declarative experiment surfaces
+(Table II, the ablations, the sweeps, the sparsity study) and the sharded
+execution engine in :mod:`repro.parallel`:
+
+* the ``@register_runner`` functions are the *runners* — each executes one
+  work unit inside whichever process the scheduler placed it, against the
+  per-process shared :class:`~repro.experiments.runner.ExperimentContext`;
+* the ``*_units`` functions are the *enumerators* — each renders one
+  experiment surface as a plan of :class:`~repro.parallel.WorkUnit`\\ s with
+  explicit prerequisite units for the shared components (trained backbones,
+  MLM-pre-trained SimLM states), so a worker pool warms the artifact store
+  once instead of once per method row.
+
+Unit keys are canonical and stable (``<surface>:<dataset>:<kind>:<detail>``);
+the table runners in :mod:`repro.experiments.tables` re-derive them during
+row assembly, which is what pins every table's row order regardless of the
+order the pool completed the units in.
+
+The module is imported lazily by :func:`repro.parallel.worker.resolve_runner`,
+so worker processes self-register every builtin runner on first use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.baselines import (
+    KDALRD,
+    LLM2BERT4Rec,
+    LLMSeqPrompt,
+    LLMSeqSim,
+    LLMTRSR,
+    LLaRA,
+    LlamaRec,
+    RecRanker,
+    ZeroShotLLM,
+)
+from repro.baselines.zero_shot import RAW_LLM_SIZES
+from repro.core.ablation import build_ablation_variant
+from repro.core.pipeline import DELRec
+from repro.experiments.runner import ExperimentContext
+from repro.parallel import WorkUnit, register_runner
+
+#: Row order of Table II (raw LLM rows are created via ZeroShotLLM.for_paper_llm).
+RAW_LLM_ROWS = ("Bert-Large", "Flan-T5-Large", "Flan-T5-XL")
+LLM_BASELINE_ROWS = (
+    "LlamaRec",
+    "RecRanker",
+    "LLaRA",
+    "LLMSEQPROMPT",
+    "LLM2BERT4Rec",
+    "LLMSEQSIM",
+    "LLM-TRSR",
+    "KDALRD",
+)
+
+
+def build_llm_baseline(method: str, context: ExperimentContext, sasrec):
+    """Instantiate one of the eight LLM-based baselines (paradigms 1-3)."""
+    profile = context.profile
+    shared = dict(
+        max_train_examples=profile.max_stage2_examples,
+        stage2=profile.stage2_config(),
+        num_candidates=profile.num_candidates,
+        seed=profile.seed,
+    )
+    factories = {
+        "LlamaRec": lambda: LlamaRec(conventional_model=sasrec, **shared),
+        "RecRanker": lambda: RecRanker(conventional_model=sasrec, top_h=profile.top_h, **shared),
+        "LLaRA": lambda: LLaRA(conventional_model=sasrec, **shared),
+        "LLMSEQPROMPT": lambda: LLMSeqPrompt(**shared),
+        "LLM2BERT4Rec": lambda: LLM2BERT4Rec(
+            embedding_dim=profile.conventional_embedding_dim, **shared
+        ),
+        "LLMSEQSIM": lambda: LLMSeqSim(**shared),
+        "LLM-TRSR": lambda: LLMTRSR(**shared),
+        "KDALRD": lambda: KDALRD(**shared),
+    }
+    if method not in factories:
+        raise KeyError(f"unknown LLM baseline {method!r}; available: {sorted(factories)}")
+    return factories[method]()
+
+
+# --------------------------------------------------------------------------- #
+# prerequisite runners: warm the shared components (and the artifact store)
+# --------------------------------------------------------------------------- #
+@register_runner("prereq.backbone")
+def run_prereq_backbone(context: ExperimentContext, name: str) -> dict:
+    """Train (or warm-reload) one conventional backbone into the store."""
+    context.conventional_model(name)
+    return {"trained": context.training_events.get(f"backbone:{name}", 0)}
+
+
+@register_runner("prereq.simlm")
+def run_prereq_simlm(
+    context: ExperimentContext, size: str = "simlm-xl", include_behavior: bool = True
+) -> dict:
+    """MLM pre-train (or warm-reload) one SimLM flavour into the store."""
+    context.fresh_llm(size, include_behavior=include_behavior)
+    key = f"{size}:{'behaviour' if include_behavior else 'metadata-only'}"
+    return {"trained": context.training_events.get(f"simlm:{key}", 0)}
+
+
+# --------------------------------------------------------------------------- #
+# evaluation runners: one table row each
+# --------------------------------------------------------------------------- #
+@register_runner("eval.conventional")
+def run_eval_conventional(context: ExperimentContext, name: str):
+    """Evaluate one conventional backbone on the shared test examples."""
+    model = context.conventional_model(name)
+    return context.evaluate(model, name)
+
+
+@register_runner("eval.raw_llm")
+def run_eval_raw_llm(context: ExperimentContext, paper_llm: str):
+    """Evaluate one of the paper's raw (zero-shot) LLM rows."""
+    profile = context.profile
+    baseline = ZeroShotLLM.for_paper_llm(
+        paper_llm, num_candidates=profile.num_candidates, seed=profile.seed
+    )
+    baseline.fit(
+        context.dataset,
+        context.split,
+        llm=context.fresh_llm(baseline.llm_size, include_behavior=False),
+    )
+    return context.evaluate(baseline, paper_llm)
+
+
+@register_runner("eval.llm_baseline")
+def run_eval_llm_baseline(context: ExperimentContext, method: str):
+    """Fit and evaluate one LLM-based baseline (SASRec backbone where needed)."""
+    sasrec = context.conventional_model("SASRec")
+    baseline = build_llm_baseline(method, context, sasrec)
+    baseline.fit(context.dataset, context.split, llm=context.fresh_llm())
+    return context.evaluate(baseline, method)
+
+
+@register_runner("eval.kdalrd")
+def run_eval_kdalrd(context: ExperimentContext, method_name: str = "KDALRD"):
+    """Fit and evaluate the stand-alone KDALRD baseline (sparsity study)."""
+    profile = context.profile
+    kdalrd = KDALRD(num_candidates=profile.num_candidates, seed=profile.seed)
+    kdalrd.fit(context.dataset, context.split, llm=context.fresh_llm())
+    return context.evaluate(kdalrd, method_name)
+
+
+@register_runner("eval.delrec")
+def run_eval_delrec(
+    context: ExperimentContext,
+    backbone: str = "SASRec",
+    overrides: Optional[dict] = None,
+    method_name: Optional[str] = None,
+):
+    """Fit and evaluate a full DELRec pipeline on one backbone (+ config cell).
+
+    ``overrides`` are :class:`~repro.core.config.DELRecConfig` field
+    replacements — the hyper-parameter sweeps pass one swept field each.
+    """
+    pipeline = DELRec(
+        config=context.delrec_config(**(overrides or {})),
+        conventional_model=context.conventional_model(backbone),
+        llm=context.fresh_llm(),
+        store=context.store,
+    )
+    pipeline.fit(context.dataset, context.split)
+    return context.evaluate(pipeline.recommender(), method_name or f"DELRec ({backbone})")
+
+
+@register_runner("eval.ablation")
+def run_eval_ablation(context: ExperimentContext, variant: str):
+    """Fit and evaluate one DELRec ablation variant (Tables III / IV)."""
+    llm = None if variant == "w Flan-T5-Large" else context.fresh_llm()
+    pipeline = build_ablation_variant(
+        variant,
+        config=context.delrec_config(),
+        conventional_model=context.conventional_model("SASRec"),
+        llm=llm,
+        store=context.store,
+    )
+    pipeline.fit(context.dataset, context.split)
+    return context.evaluate(pipeline.recommender(), f"{variant}@{context.dataset_name}")
+
+
+@register_runner("stats.sparsity")
+def run_stats_sparsity(context: ExperimentContext) -> float:
+    """The dataset's sparsity (Table V's ordering column)."""
+    return round(context.dataset.sparsity, 4)
+
+
+# --------------------------------------------------------------------------- #
+# plan enumerators
+# --------------------------------------------------------------------------- #
+def backbone_unit_key(surface: str, dataset: str, name: str) -> str:
+    """Canonical key of the prerequisite unit training backbone ``name``."""
+    return f"{surface}:{dataset}:prereq:backbone:{name}"
+
+
+def simlm_unit_key(surface: str, dataset: str, size: str, include_behavior: bool) -> str:
+    """Canonical key of the prerequisite unit pre-training one SimLM flavour."""
+    flavour = "behaviour" if include_behavior else "metadata-only"
+    return f"{surface}:{dataset}:prereq:simlm:{size}:{flavour}"
+
+
+def _prereq_units(
+    surface: str,
+    dataset: str,
+    backbones: Sequence[str] = (),
+    simlm_flavours: Sequence[tuple] = (),
+) -> List[WorkUnit]:
+    units = [
+        WorkUnit(
+            key=backbone_unit_key(surface, dataset, name),
+            runner="prereq.backbone",
+            dataset=dataset,
+            params={"name": name},
+        )
+        for name in backbones
+    ]
+    units.extend(
+        WorkUnit(
+            key=simlm_unit_key(surface, dataset, size, include_behavior),
+            runner="prereq.simlm",
+            dataset=dataset,
+            params={"size": size, "include_behavior": include_behavior},
+        )
+        for size, include_behavior in simlm_flavours
+    )
+    return units
+
+
+def table2_units(dataset: str) -> List[WorkUnit]:
+    """The Table II plan for one dataset: 7 prerequisite + 17 row units."""
+    surface = "table2"
+    raw_flavours = [(RAW_LLM_SIZES[paper_llm], False) for paper_llm in RAW_LLM_ROWS]
+    units = _prereq_units(
+        surface,
+        dataset,
+        backbones=ExperimentContext.BACKBONES,
+        simlm_flavours=raw_flavours + [("simlm-xl", True)],
+    )
+    sasrec_key = backbone_unit_key(surface, dataset, "SASRec")
+    behaviour_key = simlm_unit_key(surface, dataset, "simlm-xl", True)
+    for backbone in ExperimentContext.BACKBONES:
+        units.append(
+            WorkUnit(
+                key=table2_row_key(dataset, "conventional", backbone),
+                runner="eval.conventional",
+                dataset=dataset,
+                params={"name": backbone},
+                requires=(backbone_unit_key(surface, dataset, backbone),),
+            )
+        )
+    for paper_llm in RAW_LLM_ROWS:
+        units.append(
+            WorkUnit(
+                key=table2_row_key(dataset, "raw_llm", paper_llm),
+                runner="eval.raw_llm",
+                dataset=dataset,
+                params={"paper_llm": paper_llm},
+                requires=(simlm_unit_key(surface, dataset, RAW_LLM_SIZES[paper_llm], False),),
+            )
+        )
+    for method in LLM_BASELINE_ROWS:
+        units.append(
+            WorkUnit(
+                key=table2_row_key(dataset, "llm_baseline", method),
+                runner="eval.llm_baseline",
+                dataset=dataset,
+                params={"method": method},
+                requires=(sasrec_key, behaviour_key),
+            )
+        )
+    for backbone in ExperimentContext.BACKBONES:
+        units.append(
+            WorkUnit(
+                key=table2_row_key(dataset, "delrec", backbone),
+                runner="eval.delrec",
+                dataset=dataset,
+                params={"backbone": backbone},
+                requires=(backbone_unit_key(surface, dataset, backbone), behaviour_key),
+            )
+        )
+    return units
+
+
+def table2_row_key(dataset: str, group: str, method: str) -> str:
+    """Canonical key of one Table II row unit."""
+    return f"table2:{dataset}:eval:{group}:{method}"
+
+
+def ablation_units(dataset: str, variants: Sequence[str]) -> List[WorkUnit]:
+    """The Tables III/IV plan for one dataset: shared prereqs + one unit per variant."""
+    surface = "ablation"
+    units = _prereq_units(
+        surface, dataset, backbones=("SASRec",), simlm_flavours=[("simlm-xl", True)]
+    )
+    requires = (
+        backbone_unit_key(surface, dataset, "SASRec"),
+        simlm_unit_key(surface, dataset, "simlm-xl", True),
+    )
+    for variant in variants:
+        # 'w Flan-T5-Large' pre-trains its own smaller LLM inside the
+        # pipeline (different pretrain budget than the shared prereq), so it
+        # deliberately gets no simlm prerequisite beyond the shared ones
+        units.append(
+            WorkUnit(
+                key=ablation_row_key(dataset, variant),
+                runner="eval.ablation",
+                dataset=dataset,
+                params={"variant": variant},
+                requires=requires,
+            )
+        )
+    return units
+
+
+def ablation_row_key(dataset: str, variant: str) -> str:
+    """Canonical key of one ablation row unit."""
+    return f"ablation:{dataset}:eval:{variant}"
+
+
+def sweep_units(dataset: str, parameter: str, values: Sequence[int]) -> List[WorkUnit]:
+    """The Figures 7/8 plan for one dataset: shared prereqs + one unit per value."""
+    surface = f"sweep:{parameter}"
+    units = _prereq_units(
+        surface, dataset, backbones=("SASRec",), simlm_flavours=[("simlm-xl", True)]
+    )
+    requires = (
+        backbone_unit_key(surface, dataset, "SASRec"),
+        simlm_unit_key(surface, dataset, "simlm-xl", True),
+    )
+    for value in values:
+        units.append(
+            WorkUnit(
+                key=sweep_row_key(dataset, parameter, value),
+                runner="eval.delrec",
+                dataset=dataset,
+                params={
+                    "backbone": "SASRec",
+                    "overrides": {parameter: int(value)},
+                    "method_name": f"{parameter}={value}@{dataset}",
+                },
+                requires=requires,
+            )
+        )
+    return units
+
+
+def sweep_row_key(dataset: str, parameter: str, value: int) -> str:
+    """Canonical key of one sweep cell unit."""
+    return f"sweep:{parameter}:{dataset}:eval:{value}"
+
+
+#: Method row order of Table V.
+SPARSITY_ROWS = ("SASRec", "KDALRD", "DELRec")
+
+
+def sparsity_units(dataset: str) -> List[WorkUnit]:
+    """The Table V plan for one dataset: prereqs + sparsity + 3 method rows."""
+    surface = "table5"
+    units = _prereq_units(
+        surface, dataset, backbones=("SASRec",), simlm_flavours=[("simlm-xl", True)]
+    )
+    sasrec_key = backbone_unit_key(surface, dataset, "SASRec")
+    behaviour_key = simlm_unit_key(surface, dataset, "simlm-xl", True)
+    units.append(
+        WorkUnit(
+            key=sparsity_stat_key(dataset),
+            runner="stats.sparsity",
+            dataset=dataset,
+        )
+    )
+    units.append(
+        WorkUnit(
+            key=sparsity_row_key(dataset, "SASRec"),
+            runner="eval.conventional",
+            dataset=dataset,
+            params={"name": "SASRec"},
+            requires=(sasrec_key,),
+        )
+    )
+    units.append(
+        WorkUnit(
+            key=sparsity_row_key(dataset, "KDALRD"),
+            runner="eval.kdalrd",
+            dataset=dataset,
+            params={"method_name": f"KDALRD@{dataset}"},
+            requires=(behaviour_key,),
+        )
+    )
+    units.append(
+        WorkUnit(
+            key=sparsity_row_key(dataset, "DELRec"),
+            runner="eval.delrec",
+            dataset=dataset,
+            params={"backbone": "SASRec", "method_name": f"DELRec@{dataset}"},
+            requires=(sasrec_key, behaviour_key),
+        )
+    )
+    return units
+
+
+def sparsity_row_key(dataset: str, method: str) -> str:
+    """Canonical key of one Table V method row unit."""
+    return f"table5:{dataset}:eval:{method}"
+
+
+def sparsity_stat_key(dataset: str) -> str:
+    """Canonical key of the Table V sparsity-statistic unit."""
+    return f"table5:{dataset}:stats:sparsity"
+
+
+def plan_for_datasets(enumerate_one, datasets: Sequence[str], *args) -> List[WorkUnit]:
+    """Concatenate one surface's per-dataset plans into a single pool plan.
+
+    Sharding the combined plan lets the pool parallelise *across* datasets —
+    the largest independent slices of every table — not just within one.
+    """
+    units: List[WorkUnit] = []
+    for dataset in datasets:
+        units.extend(enumerate_one(dataset, *args))
+    return units

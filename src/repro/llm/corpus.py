@@ -13,7 +13,7 @@ that pre-training cannot leak test-set transitions.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ ablation benchmark on verbalizer design.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

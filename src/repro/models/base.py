@@ -25,7 +25,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.autograd import Module, Tensor, no_grad
-from repro.data.records import SequenceDataset
 from repro.data.splits import SequenceExample
 
 NEG_INF = -1e12

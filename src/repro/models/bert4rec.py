@@ -7,11 +7,11 @@ language-model embeddings projected with PCA.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.autograd import Adam, Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer, no_grad
+from repro.autograd import Adam, Dropout, Embedding, LayerNorm, Parameter, Tensor, TransformerEncoderLayer
 from repro.autograd import functional as F
 from repro.autograd import init
 from repro.autograd.attention import padded_self_attention_mask

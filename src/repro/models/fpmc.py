@@ -8,13 +8,12 @@ possible backbone for DELRec's distillation stage.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.autograd import Adam, Embedding, Module, Parameter, Tensor, no_grad
+from repro.autograd import Adam, Embedding, Module, Tensor, no_grad
 from repro.autograd import functional as F
-from repro.autograd import init
 from repro.data.splits import SequenceExample
 from repro.models.base import NEG_INF, SequentialRecommender
 

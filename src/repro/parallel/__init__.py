@@ -1,0 +1,44 @@
+"""Sharded multi-process experiment engine.
+
+Every experiment surface in the reproduction decomposes into independent
+*work units* (one unit = one method × dataset × config cell, plus explicit
+prerequisite units for shared components such as trained backbones and the
+MLM-pre-trained SimLM).  The :class:`~repro.parallel.scheduler.ExperimentScheduler`
+shards those units across a process pool, using the content-addressed
+artifact store as the coordination layer: workers train and score
+independently, publish their trained components under config fingerprints
+(the store's atomic, no-overwrite writes make concurrent publishes safe),
+and the parent merges the returned :class:`~repro.eval.EvaluationResult`\\ s
+in a fixed canonical order — so every table is **bitwise-identical** to the
+serial run.
+
+``REPRO_NUM_WORKERS`` selects the pool size (default ``1`` = serial, which
+executes the exact same :func:`~repro.parallel.worker.execute_work_unit`
+code path in-process).
+"""
+
+from repro.parallel.units import WorkUnit
+from repro.parallel.worker import (
+    ContextCache,
+    execute_work_unit,
+    register_runner,
+    registered_runners,
+    resolve_runner,
+)
+from repro.parallel.scheduler import (
+    NUM_WORKERS_ENV,
+    ExperimentScheduler,
+    resolve_num_workers,
+)
+
+__all__ = [
+    "ContextCache",
+    "ExperimentScheduler",
+    "NUM_WORKERS_ENV",
+    "WorkUnit",
+    "execute_work_unit",
+    "register_runner",
+    "registered_runners",
+    "resolve_num_workers",
+    "resolve_runner",
+]

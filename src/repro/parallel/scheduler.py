@@ -1,0 +1,207 @@
+"""The store-coordinated, dependency-aware experiment scheduler.
+
+``ExperimentScheduler.run`` takes a plan of :class:`~repro.parallel.units.WorkUnit`\\ s
+and returns ``{unit key -> runner result}``:
+
+* ``num_workers == 1`` (the default, also selected by ``REPRO_NUM_WORKERS=1``
+  or leaving the variable unset) executes the plan in-process, in the
+  deterministic topological order, through the exact code path pool workers
+  use — the serial run *is* the parallel run with one worker;
+* ``num_workers > 1`` shards ready units across a ``ProcessPoolExecutor``.
+  Prerequisite units (trained backbones, MLM pre-training) publish their
+  components into the shared artifact store, so dependent units — wherever
+  they land — reload instead of retraining.  When no store is configured
+  anywhere (argument or ``REPRO_ARTIFACT_DIR``), the scheduler creates an
+  ephemeral store for the run so workers can still coordinate, and removes
+  it afterwards.
+
+Because every runner is deterministic given its config and seed, and because
+store reloads are bitwise-identical to the training they replace, the result
+dict — and therefore every table assembled from it — is bitwise-identical
+across any worker count and any completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import sys
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Optional, Sequence
+
+from repro.parallel.units import WorkUnit, plan_graph, topological_order
+from repro.parallel.worker import (
+    ContextCache,
+    execute_work_unit,
+    initialize_worker,
+    run_unit_payload,
+    runner_module,
+)
+
+#: Environment variable selecting the worker-pool size (default 1 = serial).
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+def resolve_num_workers(num_workers: Optional[int] = None) -> int:
+    """Resolve an explicit worker count, the env var, or the serial default."""
+    if num_workers is None:
+        raw = os.environ.get(NUM_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            num_workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{NUM_WORKERS_ENV}={raw!r} is not an integer worker count"
+            ) from None
+    num_workers = int(num_workers)
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return num_workers
+
+
+class WorkUnitError(RuntimeError):
+    """A work unit raised inside a worker; carries the failing unit's key."""
+
+    def __init__(self, key: str, message: str):
+        super().__init__(f"work unit {key!r} failed: {message}")
+        self.key = key
+
+
+class ExperimentScheduler:
+    """Shard a plan of work units across a (possibly single-member) pool."""
+
+    def __init__(self, profile=None, store=None, num_workers: Optional[int] = None):
+        if profile is None:
+            from repro.experiments.runner import get_profile
+
+            profile = get_profile()
+        self.profile = profile
+        #: The artifact store coordinating the pool; ``None`` defers to the
+        #: process default (``REPRO_ARTIFACT_DIR``) and, for parallel runs
+        #: with no default either, to an ephemeral per-run store.
+        self.store = store
+        self.num_workers = resolve_num_workers(num_workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExperimentScheduler(profile={getattr(self.profile, 'name', '?')!r}, "
+            f"num_workers={self.num_workers})"
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, units: Sequence[WorkUnit], verbose: bool = False) -> Dict[str, object]:
+        """Execute a plan and return ``{unit key -> result}``.
+
+        The plan is validated (unique keys, no dangling or cyclic
+        ``requires``) before anything runs.  A failing unit aborts the run:
+        outstanding units are cancelled and a :class:`WorkUnitError` naming
+        the unit is raised from the original exception.
+        """
+        ordered = topological_order(units)
+        if not ordered:
+            return {}
+        if self.num_workers == 1:
+            return self._run_serial(ordered, verbose)
+        return self._run_pool(ordered, verbose)
+
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, ordered: Sequence[WorkUnit], verbose: bool) -> Dict[str, object]:
+        cache = ContextCache()
+        results: Dict[str, object] = {}
+        for index, unit in enumerate(ordered):
+            try:
+                results[unit.key] = execute_work_unit(
+                    unit, self.profile, store=self.store, cache=cache
+                )
+            except Exception as exc:
+                raise WorkUnitError(unit.key, str(exc)) from exc
+            if verbose:
+                print(f"[scheduler] {unit.key} done ({index + 1}/{len(ordered)})", flush=True)
+        return results
+
+    # ------------------------------------------------------------------ #
+    def _coordination_store(self):
+        """The store parallel workers coordinate through (+ owned temp root)."""
+        from repro.store import default_store
+
+        store = self.store if self.store is not None else default_store()
+        if store is not None:
+            return store, None
+        from repro.store import ArtifactStore
+
+        temp_root = tempfile.mkdtemp(prefix="repro-scheduler-store-")
+        return ArtifactStore(temp_root), temp_root
+
+    @staticmethod
+    def _pool_context():
+        """The multiprocessing context for the worker pool.
+
+        ``fork`` on Linux: workers inherit the parent's imports (and runner
+        registrations), which matters on small CI runners where re-importing
+        numpy per worker would cost more than the work.  Everywhere else the
+        platform default is used — notably ``spawn`` on macOS, where forking
+        a Python process is unsafe; spawned workers resolve runners through
+        the ``runner_module`` carried in each unit payload.
+        """
+        if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _run_pool(self, ordered: Sequence[WorkUnit], verbose: bool) -> Dict[str, object]:
+        store, temp_root = self._coordination_store()
+        profile_payload = _profile_payload(self.profile)
+        by_key, remaining, children = plan_graph(ordered)
+        ready = [unit.key for unit in ordered if remaining[unit.key] == 0]
+        results: Dict[str, object] = {}
+        completed = 0
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.num_workers, len(ordered)),
+                mp_context=self._pool_context(),
+                initializer=initialize_worker,
+            ) as pool:
+                pending: Dict[object, str] = {}
+                while ready or pending:
+                    for key in ready:
+                        payload = {
+                            "unit": by_key[key].to_payload(),
+                            "runner_module": runner_module(by_key[key].runner),
+                            "profile": profile_payload,
+                            "store_root": store.root,
+                        }
+                        pending[pool.submit(run_unit_payload, payload)] = key
+                    ready = []
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = pending.pop(future)
+                        try:
+                            _, result = future.result()
+                        except Exception as exc:
+                            for outstanding in pending:
+                                outstanding.cancel()
+                            raise WorkUnitError(key, str(exc)) from exc
+                        results[key] = result
+                        completed += 1
+                        if verbose:
+                            print(
+                                f"[scheduler] {key} done ({completed}/{len(ordered)})",
+                                flush=True,
+                            )
+                        for child in children[key]:
+                            remaining[child] -= 1
+                            if remaining[child] == 0:
+                                ready.append(child)
+        finally:
+            if temp_root is not None:
+                shutil.rmtree(temp_root, ignore_errors=True)
+        return results
+
+
+def _profile_payload(profile) -> dict:
+    """Transportable rendering of the profile (see ``profile_from_payload``)."""
+    from repro.experiments.runner import profile_to_payload
+
+    return profile_to_payload(profile)

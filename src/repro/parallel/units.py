@@ -1,0 +1,140 @@
+"""The declarative unit of experiment work.
+
+A :class:`WorkUnit` names everything one shard of an experiment needs — the
+registered runner that executes it, the dataset it runs on, its
+JSON-canonicalizable parameters and the keys of the units that must complete
+first — without holding any live objects, so a unit can cross a process
+boundary as a tiny payload and be re-hydrated by a pool worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.store.fingerprint import fingerprint as _fingerprint
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of experiment work: a method × dataset × config cell.
+
+    ``key`` is the unit's canonical identity inside a plan (row assembly and
+    dependency edges refer to it); ``runner`` names a function registered via
+    :func:`repro.parallel.worker.register_runner`; ``params`` are the
+    runner's keyword arguments and must canonicalize to JSON (plain scalars,
+    lists, dicts); ``requires`` lists the keys of units that must complete
+    before this one starts — the scheduler never dispatches a unit whose
+    prerequisites are still running.
+    """
+
+    key: str
+    runner: str
+    dataset: str = ""
+    params: Mapping[str, object] = field(default_factory=dict)
+    requires: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.key:
+            raise ValueError("a WorkUnit needs a non-empty key")
+        if not self.runner:
+            raise ValueError(f"work unit {self.key!r} names no runner")
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "requires", tuple(self.requires))
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the unit's full declaration.
+
+        Two units share a fingerprint exactly when they would execute the same
+        runner with the same parameters on the same dataset behind the same
+        prerequisites — the identity under which a plan could memoise or
+        deduplicate shards.  The profile is deliberately *not* part of it
+        (units are declared profile-free; the scheduler owns the profile), so
+        callers that cache across profiles must combine this with
+        :func:`repro.experiments.runner.profile_fingerprint`.
+        """
+        return _fingerprint(
+            "workunit", self.runner, self.dataset, self.params, list(self.requires)
+        )
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """A plain-dict rendering that survives pickling across processes."""
+        return {
+            "key": self.key,
+            "runner": self.runner,
+            "dataset": self.dataset,
+            "params": dict(self.params),
+            "requires": list(self.requires),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "WorkUnit":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            key=str(payload["key"]),
+            runner=str(payload["runner"]),
+            dataset=str(payload.get("dataset", "")),
+            params=dict(payload.get("params", {})),
+            requires=tuple(payload.get("requires", ())),
+        )
+
+
+def validate_plan(units: Sequence[WorkUnit]) -> None:
+    """Reject plans with duplicate keys or dangling ``requires`` edges."""
+    seen: Dict[str, WorkUnit] = {}
+    for unit in units:
+        if unit.key in seen:
+            raise ValueError(f"duplicate work unit key {unit.key!r}")
+        seen[unit.key] = unit
+    for unit in units:
+        for dependency in unit.requires:
+            if dependency not in seen:
+                raise ValueError(
+                    f"work unit {unit.key!r} requires unknown unit {dependency!r}"
+                )
+
+
+def plan_graph(units: Sequence[WorkUnit]):
+    """The dependency bookkeeping of a validated plan, in declaration order.
+
+    Returns ``(by_key, remaining, children)``: the unit lookup, the count of
+    unfinished prerequisites per unit, and the dependents to release when a
+    unit completes.  This is the single construction both the topological
+    sort and the pool dispatcher consume, so the two can never disagree on
+    the graph.
+    """
+    validate_plan(units)
+    remaining = {unit.key: len(set(unit.requires)) for unit in units}
+    children: Dict[str, list] = {unit.key: [] for unit in units}
+    for unit in units:
+        for dependency in set(unit.requires):
+            children[dependency].append(unit.key)
+    by_key = {unit.key: unit for unit in units}
+    return by_key, remaining, children
+
+
+def topological_order(units: Sequence[WorkUnit]) -> Tuple[WorkUnit, ...]:
+    """Dependency-respecting execution order, stable in declaration order.
+
+    Kahn's algorithm with the ready set kept in declaration order, so two
+    plans that declare the same units in the same order always execute (and
+    therefore train, in the serial case) in the same order.  Raises on
+    cycles, duplicates and dangling edges.
+    """
+    by_key, remaining, children = plan_graph(units)
+    ready = [unit.key for unit in units if remaining[unit.key] == 0]
+    order = []
+    while ready:
+        key = ready.pop(0)
+        order.append(by_key[key])
+        for child in children[key]:
+            remaining[child] -= 1
+            if remaining[child] == 0:
+                ready.append(child)
+    if len(order) != len(units):
+        stuck = sorted(key for key, count in remaining.items() if count > 0)
+        raise ValueError(f"work unit dependency cycle involving {stuck}")
+    return tuple(order)

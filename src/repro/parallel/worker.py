@@ -1,0 +1,172 @@
+"""Work-unit execution: the code path shared by serial and pooled runs.
+
+A *runner* is a plain function ``fn(context, **params)`` registered under a
+name with :func:`register_runner`; the built-in experiment runners live in
+:mod:`repro.experiments.units` and are imported lazily on first lookup, so a
+freshly spawned worker process resolves them without the parent having to
+pre-import anything.
+
+:func:`execute_work_unit` is the single execution path: the serial scheduler
+calls it in-process and every pool worker calls it through
+:func:`run_unit_payload` — there is no parallel-only code that could drift
+from the serial semantics.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.store.store import WORKER_ID_ENV
+
+#: Registered runner functions, by name.
+_RUNNERS: Dict[str, Callable] = {}
+
+
+def register_runner(name: str):
+    """Decorator registering ``fn`` as the runner for work units named ``name``.
+
+    Re-registering the same function under the same name is a no-op (modules
+    may be re-imported); registering a *different* function under a taken
+    name raises — silently replacing a runner would change what every plan
+    referencing it computes.
+
+    The function's defining module is recorded alongside it: the scheduler
+    ships it in every unit payload so a worker under the ``spawn`` start
+    method (which inherits no parent state) can import the registrations it
+    needs.  Runners must therefore live in importable modules.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        existing = _RUNNERS.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"runner {name!r} is already registered")
+        _RUNNERS[name] = fn
+        return fn
+
+    return decorator
+
+
+def runner_module(name: str) -> str:
+    """The module that defines the runner ``name`` (resolving it if needed)."""
+    return resolve_runner(name).__module__
+
+
+def registered_runners() -> Tuple[str, ...]:
+    """The names of every currently registered runner, sorted."""
+    return tuple(sorted(_RUNNERS))
+
+
+def resolve_runner(name: str) -> Callable:
+    """Look up a runner by name, importing the built-in registrations on miss.
+
+    The built-in experiment runners register themselves when
+    :mod:`repro.experiments.units` is imported; doing that import lazily here
+    (rather than eagerly in the parent) keeps this package import-light and
+    makes worker processes self-sufficient under any multiprocessing start
+    method.
+    """
+    if name not in _RUNNERS:
+        import importlib
+
+        importlib.import_module("repro.experiments.units")
+    if name not in _RUNNERS:
+        raise KeyError(
+            f"unknown work unit runner {name!r}; registered: {list(registered_runners())}"
+        )
+    return _RUNNERS[name]
+
+
+class ContextCache:
+    """Per-process cache of :class:`~repro.experiments.runner.ExperimentContext`.
+
+    Work units of the same dataset executed in the same process share one
+    context — exactly the sharing the serial runners had before the refactor
+    (one context per dataset, backbones and SimLM states trained once and
+    reused).  The cache key includes the profile fingerprint and the store
+    root, so changing either builds a fresh context instead of silently
+    reusing components trained under different settings.
+    """
+
+    def __init__(self):
+        self._contexts: Dict[tuple, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def context(self, dataset_name: str, profile, store=None):
+        """The shared context for ``dataset_name`` under ``profile``/``store``."""
+        from repro.experiments.runner import ExperimentContext, profile_fingerprint
+
+        key = (
+            dataset_name,
+            profile_fingerprint(profile),
+            store.root if store is not None else None,
+        )
+        if key not in self._contexts:
+            self._contexts[key] = ExperimentContext(dataset_name, profile, store=store)
+        return self._contexts[key]
+
+
+def execute_work_unit(unit, profile, store=None, cache: Optional[ContextCache] = None):
+    """Execute one work unit and return the runner's result.
+
+    Dataset-bound units receive the (cached) experiment context as the
+    runner's first argument; dataset-free units receive ``None``.  This is
+    the single execution path shared by the serial scheduler and every pool
+    worker.
+    """
+    runner = resolve_runner(unit.runner)
+    context = None
+    if unit.dataset:
+        cache = cache if cache is not None else ContextCache()
+        context = cache.context(unit.dataset, profile, store)
+    return runner(context, **dict(unit.params))
+
+
+# --------------------------------------------------------------------------- #
+# pool-worker entry points
+# --------------------------------------------------------------------------- #
+#: The cache shared by every unit a single worker process executes.
+_PROCESS_CACHE = ContextCache()
+
+
+def initialize_worker() -> None:
+    """Pool initializer: stamp the process with a worker identity.
+
+    The artifact store reads :data:`WORKER_ID_ENV` when attributing
+    counter activity, so everything a worker trains or reloads is visible
+    per worker in ``counters.json``.
+    """
+    os.environ[WORKER_ID_ENV] = f"worker-{os.getpid()}"
+
+
+def run_unit_payload(payload: dict) -> Tuple[str, object]:
+    """Execute one transported work unit inside a pool worker.
+
+    ``payload`` carries the unit, its runner's defining module, the profile
+    and the store root as plain data (see
+    :meth:`~repro.parallel.units.WorkUnit.to_payload` and
+    :func:`~repro.experiments.runner.profile_from_payload`); the result is
+    returned with the unit key so the parent can reduce out of order.
+    """
+    from repro.experiments.runner import profile_from_payload
+    from repro.parallel.units import WorkUnit
+    from repro.store import ArtifactStore, default_store
+
+    module = payload.get("runner_module")
+    if module:
+        # under spawn, the worker starts with an empty registry; importing
+        # the runner's module re-registers it (no-op under fork)
+        import importlib
+
+        try:
+            importlib.import_module(module)
+        except ImportError:
+            pass  # resolve_runner raises the canonical error below
+    unit = WorkUnit.from_payload(payload["unit"])
+    profile = profile_from_payload(payload["profile"])
+    store_root = payload.get("store_root")
+    store = ArtifactStore(store_root) if store_root else default_store()
+    result = execute_work_unit(unit, profile, store=store, cache=_PROCESS_CACHE)
+    return unit.key, result

@@ -156,6 +156,7 @@ class RecommendationService:
         kind: str,
         artifact_fingerprint: str,
         dataset=None,
+        wait_timeout: Optional[float] = None,
         **kwargs,
     ) -> "RecommendationService":
         """Start a service warm: load the recommender from the artifact store.
@@ -164,8 +165,21 @@ class RecommendationService:
         (see :func:`~repro.store.components.load_recommender`); DELRec
         bundles additionally need the ``dataset`` they were fitted on.  No
         training can occur on this path — a missing artifact raises.
+
+        ``wait_timeout`` subscribes instead of failing fast: the service
+        blocks on :meth:`~repro.store.store.ArtifactStore.wait_for` for up to
+        that many seconds, so a serving process can be started while the
+        training run (or a sharded experiment worker) is still publishing the
+        bundle, and comes up the moment the artifact lands.
         """
-        recommender = load_recommender(store, kind, artifact_fingerprint, dataset=dataset)
+        if wait_timeout is not None:
+            from repro.store.components import restore_servable
+
+            arrays, metadata = store.wait_for(kind, artifact_fingerprint,
+                                              timeout=wait_timeout)
+            recommender = restore_servable(kind, arrays, metadata, dataset=dataset)
+        else:
+            recommender = load_recommender(store, kind, artifact_fingerprint, dataset=dataset)
         return cls(recommender, **kwargs)
 
     def set_recommender(self, recommender, model_fingerprint: Optional[str] = None) -> str:

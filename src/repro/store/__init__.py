@@ -31,6 +31,7 @@ from repro.store.store import (
     ArtifactStore,
     FORMAT_VERSION,
     StoreStats,
+    WORKER_ID_ENV,
     default_store,
     read_artifact,
     write_artifact,
@@ -38,6 +39,7 @@ from repro.store.store import (
 
 __all__ = [
     "ARTIFACT_DIR_ENV",
+    "WORKER_ID_ENV",
     "ArtifactError",
     "ArtifactNotFoundError",
     "ArtifactStore",

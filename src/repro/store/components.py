@@ -202,20 +202,18 @@ def recommender_fingerprint(recommender) -> str:
     return fingerprint("serving_recommender", type(recommender).__name__, payload)
 
 
-def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str, dataset=None):
-    """Load a servable recommender warm from the artifact store.
+def restore_servable(kind: str, arrays: Dict[str, np.ndarray], metadata: dict, dataset=None):
+    """Rebuild a servable recommender from already-loaded artifact content.
 
     Dispatches on the artifact ``kind``: conventional backbones
     (:data:`BACKBONE_KIND`) rebuild through the model registry, DELRec
     bundles (:data:`DELREC_KIND`) rebuild through
     :meth:`~repro.core.recommend.DELRecRecommender.restore` and require the
     ``dataset`` the bundle was fitted on (tokenizer and catalog are
-    reproduced from it).  Raises
-    :class:`~repro.store.store.ArtifactNotFoundError` when no artifact with
-    that fingerprint exists — a serving process would rather fail loudly than
-    train.
+    reproduced from it).  Callers that already hold the artifact — e.g. from
+    :meth:`~repro.store.store.ArtifactStore.wait_for` — restore through here
+    without a second store read.
     """
-    arrays, metadata = store.load(kind, artifact_fingerprint)
     if kind == BACKBONE_KIND:
         return restore_backbone(arrays, metadata)
     if kind == DELREC_KIND:
@@ -230,6 +228,18 @@ def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str,
     raise ValueError(
         f"artifact kind {kind!r} is not servable; expected {BACKBONE_KIND!r} or {DELREC_KIND!r}"
     )
+
+
+def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str, dataset=None):
+    """Load a servable recommender warm from the artifact store.
+
+    One store read plus :func:`restore_servable`.  Raises
+    :class:`~repro.store.store.ArtifactNotFoundError` when no artifact with
+    that fingerprint exists — a serving process would rather fail loudly than
+    train.
+    """
+    arrays, metadata = store.load(kind, artifact_fingerprint)
+    return restore_servable(kind, arrays, metadata, dataset=dataset)
 
 
 # --------------------------------------------------------------------------- #

@@ -23,7 +23,7 @@ import dataclasses
 import hashlib
 import json
 import weakref
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -21,8 +21,18 @@ component is rebuilt and stored alongside the old one.
 Writes are atomic (temp directory + ``os.replace``) so a crashed run never
 leaves a half-written artifact that a later run would try to load.  The store
 keeps per-process hit/miss/save statistics on the instance *and* cumulative
-counters in ``counters.json``, which is what the CI warm-cache job asserts on:
-a warm run over a populated store must perform zero saves.
+counters in ``counters.json`` (totals plus a per-worker attribution section,
+serialised by an advisory file lock), which is what the CI warm-cache job
+asserts on: a warm run over a populated store must perform zero saves.
+
+The store is also the coordination layer of the sharded experiment engine
+(:mod:`repro.parallel`): concurrent workers publish trained components under
+content-addressed fingerprints, and the atomic, no-overwrite rename makes
+duplicate publishes harmless.  The scheduler sequences dependent units after
+their prerequisites, so pool workers find their inputs already published;
+out-of-band subscribers — e.g. a serving process started before training
+finishes (``RecommendationService.from_store(wait_timeout=...)``) — block on
+:meth:`ArtifactStore.wait_for` until the fingerprint lands.
 """
 
 from __future__ import annotations
@@ -31,14 +41,25 @@ import json
 import os
 import shutil
 import tempfile
+import time
 import zipfile
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+try:  # POSIX only; counters fall back to best-effort elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on non-POSIX hosts
+    fcntl = None
+
 #: Environment variable naming the default artifact directory.
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+#: Environment variable carrying the worker identity used for per-worker
+#: counter attribution (set by the experiment scheduler's pool initializer).
+WORKER_ID_ENV = "REPRO_WORKER_ID"
 
 #: Bumped whenever the on-disk layout changes incompatibly.
 FORMAT_VERSION = 1
@@ -46,6 +67,7 @@ FORMAT_VERSION = 1
 METADATA_FILE = "metadata.json"
 PAYLOAD_FILE = "payload.npz"
 COUNTERS_FILE = "counters.json"
+COUNTERS_LOCK_FILE = ".counters.lock"
 
 
 class ArtifactError(RuntimeError):
@@ -138,12 +160,28 @@ class StoreStats:
 
 
 class ArtifactStore:
-    """A directory of fingerprint-addressed trained components."""
+    """A directory of fingerprint-addressed trained components.
 
-    def __init__(self, root: str):
+    ``worker_id`` labels this instance's activity in the per-worker section
+    of ``counters.json``; when omitted, the identity is read from the
+    ``REPRO_WORKER_ID`` environment variable (which the experiment
+    scheduler's pool initializer sets) or derived from the current process
+    id — resolved lazily at each counter update, so an instance inherited
+    through ``fork`` attributes its activity to the child, not the parent.
+    """
+
+    def __init__(self, root: str, worker_id: Optional[str] = None):
         self.root = os.path.abspath(str(root))
         os.makedirs(self.root, exist_ok=True)
         self.stats = StoreStats()
+        self._worker_id = worker_id
+
+    @property
+    def worker_id(self) -> str:
+        """The identity counter updates are attributed to (lazy, fork-safe)."""
+        if self._worker_id:
+            return self._worker_id
+        return os.environ.get(WORKER_ID_ENV, "").strip() or f"pid-{os.getpid()}"
 
     @classmethod
     def from_env(cls) -> Optional["ArtifactStore"]:
@@ -226,29 +264,86 @@ class ArtifactStore:
             return None
 
     # ------------------------------------------------------------------ #
+    # publish/subscribe
+    # ------------------------------------------------------------------ #
+    def wait_for(self, kind: str, fingerprint: str, timeout: Optional[float] = None,
+                 poll_interval: float = 0.05) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Block until the ``kind``/``fingerprint`` artifact is published, then load it.
+
+        The subscribe half of the store's publish/subscribe coordination: a
+        worker that depends on a component another worker is currently
+        training parks here and wakes up when the publisher's atomic rename
+        lands.  Because publishes are atomic and content-addressed, a
+        successful return is always a complete, correct artifact — a torn
+        read is impossible.  A corrupt artifact encountered mid-wait is
+        discarded (see :meth:`fetch`) and the wait continues, so a crashed
+        publisher's debris never wedges a subscriber.
+
+        ``timeout`` is in seconds (``None`` waits forever); on expiry a
+        :class:`TimeoutError` is raised.
+        """
+        if poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.contains(kind, fingerprint):
+                loaded = self.fetch(kind, fingerprint)
+                if loaded is not None:
+                    return loaded
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no {kind!r} artifact with fingerprint {fingerprint!r} was "
+                    f"published within {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------ #
     # cumulative counters (shared across processes via counters.json)
     # ------------------------------------------------------------------ #
-    def counters(self) -> Dict[str, int]:
+    def counters(self) -> Dict[str, object]:
         """Cumulative hit/miss/save counts over every process that used this root.
 
-        Updates are atomic (write + rename) but the read-modify-write cycle is
-        not locked, so truly concurrent writers may lose increments; the
-        counters are exact for sequential runs (the CI warm-cache job) and
-        best-effort otherwise.  Artifact content is never affected.
+        The top-level ``hits``/``misses``/``saves`` totals aggregate every
+        process; the ``workers`` section attributes the same events to the
+        worker identity that performed them (see :attr:`worker_id`).  Updates
+        hold an advisory ``flock`` around the read-modify-write cycle on
+        platforms that support it, so concurrent workers never lose
+        increments; without ``fcntl`` the counters degrade to best-effort.
+        Artifact content is never affected either way.
         """
         path = os.path.join(self.root, COUNTERS_FILE)
         if not os.path.isfile(path):
-            return {"hits": 0, "misses": 0, "saves": 0}
+            return {"hits": 0, "misses": 0, "saves": 0, "workers": {}}
         with open(path) as handle:
-            return json.load(handle)
+            counts = json.load(handle)
+        counts.setdefault("workers", {})
+        return counts
+
+    @contextmanager
+    def _counters_lock(self):
+        """Advisory cross-process lock serialising counter updates (POSIX)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(os.path.join(self.root, COUNTERS_LOCK_FILE), "a") as lock:
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock, fcntl.LOCK_UN)
 
     def _bump_counters(self, event: str) -> None:
-        counts = self.counters()
-        counts[event] = counts.get(event, 0) + 1
-        descriptor, staging = tempfile.mkstemp(dir=self.root, prefix=".counters-")
-        with os.fdopen(descriptor, "w") as handle:
-            json.dump(counts, handle)
-        os.replace(staging, os.path.join(self.root, COUNTERS_FILE))
+        with self._counters_lock():
+            counts = self.counters()
+            counts[event] = counts.get(event, 0) + 1
+            worker = counts["workers"].setdefault(
+                self.worker_id, {"hits": 0, "misses": 0, "saves": 0}
+            )
+            worker[event] = worker.get(event, 0) + 1
+            descriptor, staging = tempfile.mkstemp(dir=self.root, prefix=".counters-")
+            with os.fdopen(descriptor, "w") as handle:
+                json.dump(counts, handle)
+            os.replace(staging, os.path.join(self.root, COUNTERS_FILE))
 
 
 def default_store() -> Optional[ArtifactStore]:

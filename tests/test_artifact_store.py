@@ -15,7 +15,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.autograd import Linear, Module, Parameter
+from repro.autograd import Linear, Module
 from repro.autograd import serialization
 from repro.core import DELRec, DELRecConfig, DELRecRecommender, PatternDistiller, PromptBuilder
 from repro.core.config import Stage1Config, Stage2Config
@@ -28,7 +28,6 @@ from repro.llm.registry import (
     build_simlm,
     load_simlm,
     save_simlm,
-    simlm_fingerprint,
 )
 from repro.llm.pretrain import PretrainConfig
 from repro.models import Caser, GRU4Rec, MarkovChainRecommender, SASRec, TrainingConfig, train_recommender
@@ -112,7 +111,10 @@ class TestArtifactStore:
         second = ArtifactStore(tmp_path)
         second.load("demo", "k1")
         counts = ArtifactStore(tmp_path).counters()
-        assert counts == {"hits": 1, "misses": 0, "saves": 1}
+        assert (counts["hits"], counts["misses"], counts["saves"]) == (1, 0, 1)
+        # both instances ran in this process, so one worker owns all activity
+        assert list(counts["workers"]) == [first.worker_id]
+        assert counts["workers"][first.worker_id] == {"hits": 1, "misses": 0, "saves": 1}
 
     def test_fingerprint_mismatch_detected(self, tmp_path):
         store = ArtifactStore(tmp_path)

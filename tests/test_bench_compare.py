@@ -1,0 +1,262 @@
+"""Tests for the CI perf-regression gate (``scripts/bench_compare.py``).
+
+The gate compares freshly measured benchmark tables against committed
+baselines: throughput columns get a tolerance band, bit-exactness columns
+must stay exactly zero, and lost coverage (missing tables/rows/columns)
+fails.  The acceptance criterion — the script exits non-zero on an injected
+regression fixture — is asserted both through ``main`` and through a real
+subprocess invocation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+SCRIPTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "scripts")
+sys.path.insert(0, SCRIPTS_DIR)
+
+import bench_compare  # noqa: E402
+
+
+def _tables(throughput=100.0, speedup=2.0, diff=0.0, latency=5.0):
+    return [
+        {
+            "title": "demo throughput table",
+            "columns": ["model", "examples_per_s", "speedup", "p50_ms", "max_score_diff"],
+            "rows": [
+                {"model": "m", "examples_per_s": throughput, "speedup": speedup,
+                 "p50_ms": latency, "max_score_diff": diff},
+            ],
+            "notes": [],
+        }
+    ]
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    fresh = tmp_path / "fresh"
+    baseline.mkdir()
+    fresh.mkdir()
+    return baseline, fresh
+
+
+def _write(directory, tables, name="bench_smoke.json"):
+    path = directory / name
+    path.write_text(json.dumps(tables))
+    return path
+
+
+def _gate(baseline, fresh, *extra):
+    return bench_compare.main(
+        ["--baseline", str(baseline), "--fresh", str(fresh), "bench_smoke.json", *extra]
+    )
+
+
+class TestColumnClassification:
+    def test_throughput_columns(self):
+        assert bench_compare.is_throughput_column("examples_per_s")
+        assert bench_compare.is_throughput_column("throughput_rps")
+        assert bench_compare.is_throughput_column("speedup")
+        assert bench_compare.is_throughput_column("speedup_vs_blas")
+        assert not bench_compare.is_throughput_column("p50_ms")
+        assert not bench_compare.is_throughput_column("requests")
+
+    def test_exactness_columns(self):
+        assert bench_compare.is_exactness_column("max_score_diff")
+        assert bench_compare.is_exactness_column("max_state_diff")
+        assert not bench_compare.is_exactness_column("max_batch")
+        assert not bench_compare.is_exactness_column("mean_diff")
+
+
+class TestGate:
+    def test_identical_results_pass(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        _write(fresh, _tables())
+        assert _gate(baseline, fresh) == 0
+
+    def test_small_regression_within_tolerance_passes(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=80.0))  # 20% < 25% band
+        assert _gate(baseline, fresh) == 0
+
+    def test_injected_throughput_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=70.0))  # 30% > 25% band
+        assert _gate(baseline, fresh) == 1
+
+    def test_speedup_ratio_regression_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(speedup=2.0))
+        _write(fresh, _tables(speedup=1.0))
+        assert _gate(baseline, fresh) == 1
+
+    def test_tolerance_is_configurable(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=80.0))
+        assert _gate(baseline, fresh, "--tolerance", "0.1") == 1
+        assert _gate(baseline, fresh, "--tolerance", "0.3") == 0
+
+    def test_bit_exactness_drift_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        _write(fresh, _tables(diff=1e-12))  # any non-zero drift fails
+        assert _gate(baseline, fresh) == 1
+
+    def test_uniform_machine_speed_shift_passes(self, dirs):
+        """A slower machine shifts every absolute throughput cell alike; the
+        median normaliser absorbs it instead of failing the gate."""
+        baseline, fresh = dirs
+        tables = _tables()
+        tables[0]["rows"] = [
+            {"model": f"m{i}", "examples_per_s": 100.0 * (i + 1), "max_score_diff": 0.0}
+            for i in range(5)
+        ]
+        _write(baseline, tables)
+        halved = json.loads(json.dumps(tables))
+        for row in halved[0]["rows"]:
+            row["examples_per_s"] *= 0.5  # uniform 50% shift: hardware, not code
+        _write(fresh, halved)
+        assert _gate(baseline, fresh) == 0
+
+    def test_single_path_regression_not_masked_by_normalizer(self, dirs):
+        """One path regressing against an otherwise stable file still fails."""
+        baseline, fresh = dirs
+        tables = _tables()
+        tables[0]["rows"] = [
+            {"model": f"m{i}", "examples_per_s": 100.0, "max_score_diff": 0.0}
+            for i in range(5)
+        ]
+        _write(baseline, tables)
+        degraded = json.loads(json.dumps(tables))
+        degraded[0]["rows"][2]["examples_per_s"] = 50.0  # only m2 regresses
+        _write(fresh, degraded)
+        assert _gate(baseline, fresh) == 1
+
+    def test_small_files_are_not_normalized(self, dirs):
+        """Below the cell minimum the median would absorb the regression
+        itself, so small files gate raw values (the injected-fixture case)."""
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=50.0))  # 1 cell: gated unnormalised
+        assert _gate(baseline, fresh) == 1
+
+    def test_ratio_columns_not_normalized(self, dirs):
+        """speedup* ratios are machine-independent: a uniform absolute shift
+        must not excuse a ratio regression."""
+        baseline, fresh = dirs
+        tables = _tables()
+        tables[0]["rows"] = [
+            {"model": f"m{i}", "examples_per_s": 100.0, "speedup": 2.0,
+             "max_score_diff": 0.0}
+            for i in range(5)
+        ]
+        _write(baseline, tables)
+        shifted = json.loads(json.dumps(tables))
+        for row in shifted[0]["rows"]:
+            row["examples_per_s"] *= 0.5
+            row["speedup"] = 1.0  # genuine ratio regression
+        _write(fresh, shifted)
+        assert _gate(baseline, fresh) == 1
+
+    def test_cache_warm_rows_not_throughput_gated(self, dirs):
+        baseline, fresh = dirs
+        warm_tables = _tables(throughput=30000.0)
+        warm_tables[0]["columns"].insert(1, "phase")
+        warm_tables[0]["rows"][0]["phase"] = "warm"
+        _write(baseline, warm_tables)
+        degraded = json.loads(json.dumps(warm_tables))
+        degraded[0]["rows"][0]["examples_per_s"] = 15000.0  # cache-hit noise
+        _write(fresh, degraded)
+        assert _gate(baseline, fresh) == 0
+        # but exactness drift on a warm row still fails
+        degraded[0]["rows"][0]["max_score_diff"] = 1e-9
+        _write(fresh, degraded)
+        assert _gate(baseline, fresh) == 1
+
+    def test_latency_columns_not_gated(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(latency=5.0))
+        _write(fresh, _tables(latency=50.0))  # noisy on shared runners
+        assert _gate(baseline, fresh) == 0
+
+    def test_throughput_improvement_passes(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=500.0))
+        assert _gate(baseline, fresh) == 0
+
+    def test_missing_row_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        empty = _tables()
+        empty[0]["rows"] = []
+        _write(fresh, empty)
+        assert _gate(baseline, fresh) == 1
+
+    def test_missing_table_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        _write(fresh, [])
+        assert _gate(baseline, fresh) == 1
+
+    def test_missing_gated_column_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        tables = _tables()
+        del tables[0]["rows"][0]["examples_per_s"]
+        _write(fresh, tables)
+        assert _gate(baseline, fresh) == 1
+
+    def test_missing_fresh_file_fails(self, dirs):
+        baseline, fresh = dirs
+        _write(baseline, _tables())
+        assert _gate(baseline, fresh) == 1
+
+    def test_no_baseline_skips(self, dirs):
+        baseline, fresh = dirs
+        _write(fresh, _tables())
+        assert _gate(baseline, fresh) == 0  # nothing committed yet: nothing to gate
+
+    def test_rows_matched_by_string_identity_not_position(self, dirs):
+        baseline, fresh = dirs
+        two_rows = _tables()
+        two_rows[0]["rows"] = [
+            {"model": "a", "examples_per_s": 100.0, "max_score_diff": 0.0},
+            {"model": "b", "examples_per_s": 10.0, "max_score_diff": 0.0},
+        ]
+        _write(baseline, two_rows)
+        reordered = json.loads(json.dumps(two_rows))
+        reordered[0]["rows"].reverse()
+        _write(fresh, reordered)
+        assert _gate(baseline, fresh) == 0
+
+
+class TestSubprocessInvocation:
+    def test_injected_regression_exits_nonzero(self, dirs):
+        """Acceptance criterion: the script exits non-zero on an injected
+        regression fixture, invoked exactly as CI invokes it."""
+        baseline, fresh = dirs
+        _write(baseline, _tables(throughput=100.0))
+        _write(fresh, _tables(throughput=50.0))
+        process = subprocess.run(
+            [sys.executable, os.path.join(SCRIPTS_DIR, "bench_compare.py"),
+             "--baseline", str(baseline), "--fresh", str(fresh), "bench_smoke.json"],
+            capture_output=True, text=True,
+        )
+        assert process.returncode == 1
+        assert "throughput regression" in process.stderr
+
+    def test_committed_baselines_gate_themselves(self):
+        """The committed benchmark results must pass their own gate (the
+        zero-drift CI invariant on an unchanged tree)."""
+        results = os.path.join(os.path.dirname(SCRIPTS_DIR), "benchmarks", "results")
+        rc = bench_compare.main(["--baseline", results, "--fresh", results])
+        assert rc == 0

@@ -23,7 +23,7 @@ from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
 from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
 from repro.data.candidates import CandidateSampler
 from repro.eval import evaluate_recommender
-from repro.llm import SoftPrompt, Verbalizer
+from repro.llm import SoftPrompt
 from repro.llm.registry import build_simlm
 from repro.models import MarkovChainRecommender
 

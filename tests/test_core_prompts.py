@@ -1,6 +1,5 @@
 """Tests for prompt construction and the Stage-1 task builders."""
 
-import numpy as np
 import pytest
 
 from repro.core import DELRecConfig, PromptBuilder

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.data.splits import SequenceExample, cold_start_examples
+from repro.data.splits import cold_start_examples
 from repro.eval import (
     EvaluationResult,
     RankingEvaluator,

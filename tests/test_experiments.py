@@ -19,7 +19,6 @@ from repro.experiments import (
     run_table1_dataset_stats,
     save_results,
 )
-from repro.experiments.runner import ExperimentProfile
 from repro.experiments.sweeps import _sweep
 from repro.eval.metrics import PAPER_METRICS
 

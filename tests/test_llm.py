@@ -7,17 +7,14 @@ from hypothesis import strategies as st
 
 from repro.autograd import Adam, Tensor
 from repro.autograd import functional as F
-from repro.data import chronological_split
 from repro.llm import (
     CorpusBuilder,
     PretrainConfig,
-    SIMLM_CONFIGS,
     SimLM,
     SimLMConfig,
     SoftPrompt,
     Tokenizer,
     Verbalizer,
-    build_pretrained_simlm,
     build_simlm,
     pretrain_simlm,
 )

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data import chronological_split
 from repro.data.batching import make_batch
 from repro.data.splits import SequenceExample
 from repro.eval import evaluate_recommender

@@ -1,0 +1,391 @@
+"""Tests for the sharded multi-process experiment engine.
+
+Covers the declarative :class:`~repro.parallel.WorkUnit` layer (fingerprints,
+payload transport, plan validation, deterministic topological order), the
+:class:`~repro.parallel.ExperimentScheduler` in both its serial and pooled
+modes (shared per-process contexts, dependency ordering, failure
+propagation), the artifact store's coordination primitives (``wait_for``
+publish/subscribe, concurrent same-fingerprint publishes, per-worker counter
+attribution) and — the headline guarantee — that ``run_table2_overall`` under
+``REPRO_NUM_WORKERS=2`` produces **bitwise-identical** table JSON to the
+serial run.
+"""
+
+import json
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval import EvaluationResult, IncompleteResultsError, merge_evaluation_results, merge_results
+from repro.experiments import PROFILES
+from repro.experiments.runner import (
+    profile_fingerprint,
+    profile_from_payload,
+    profile_to_payload,
+)
+from repro.experiments.units import ablation_units, sparsity_units, sweep_units, table2_units
+from repro.parallel import (
+    ExperimentScheduler,
+    WorkUnit,
+    execute_work_unit,
+    register_runner,
+    resolve_num_workers,
+    resolve_runner,
+)
+from repro.parallel.scheduler import NUM_WORKERS_ENV, WorkUnitError
+from repro.parallel.units import topological_order, validate_plan
+from repro.parallel.worker import ContextCache
+from repro.store import ArtifactStore
+
+SMOKE = PROFILES["smoke"]
+
+
+# --------------------------------------------------------------------------- #
+# lightweight runners for engine tests (forked workers inherit these)
+# --------------------------------------------------------------------------- #
+@register_runner("test.echo")
+def _echo(context, value=None):
+    return value
+
+
+@register_runner("test.pid")
+def _pid(context):
+    return os.getpid()
+
+
+@register_runner("test.fail")
+def _fail(context):
+    raise RuntimeError("boom")
+
+
+@register_runner("test.context_token")
+def _context_token(context):
+    # identity of the per-process shared context; two units of one dataset
+    # executed in one process must see the same object
+    return (os.getpid(), id(context))
+
+
+def _unit(key, runner="test.echo", **kwargs):
+    return WorkUnit(key=key, runner=runner, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# WorkUnit declarations
+# --------------------------------------------------------------------------- #
+class TestWorkUnit:
+    def test_requires_key_and_runner(self):
+        with pytest.raises(ValueError):
+            WorkUnit(key="", runner="test.echo")
+        with pytest.raises(ValueError):
+            WorkUnit(key="k", runner="")
+
+    def test_fingerprint_tracks_declaration(self):
+        unit = _unit("k", params={"value": 1})
+        same = _unit("k", params={"value": 1})
+        assert unit.fingerprint() == same.fingerprint()
+        assert unit.fingerprint() != _unit("k", params={"value": 2}).fingerprint()
+        assert unit.fingerprint() != _unit("k", runner="test.pid").fingerprint()
+        assert (
+            unit.fingerprint()
+            != WorkUnit(key="k", runner="test.echo", params={"value": 1}, dataset="d").fingerprint()
+        )
+
+    def test_payload_roundtrip(self):
+        unit = WorkUnit(
+            key="k", runner="test.echo", dataset="movielens-100k",
+            params={"value": 3}, requires=("a", "b"),
+        )
+        assert WorkUnit.from_payload(unit.to_payload()) == unit
+
+    def test_validate_plan_rejects_duplicates_and_dangling(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_plan([_unit("k"), _unit("k")])
+        with pytest.raises(ValueError, match="unknown unit"):
+            validate_plan([_unit("k", requires=("missing",))])
+
+    def test_topological_order_is_stable_and_dependency_correct(self):
+        units = [
+            _unit("c", requires=("a", "b")),
+            _unit("a"),
+            _unit("b", requires=("a",)),
+            _unit("d"),
+        ]
+        ordered = [unit.key for unit in topological_order(units)]
+        assert ordered.index("a") < ordered.index("b") < ordered.index("c")
+        # declaration order is preserved among ready units
+        assert ordered == ["a", "d", "b", "c"]
+        with pytest.raises(ValueError, match="cycle"):
+            topological_order([_unit("x", requires=("y",)), _unit("y", requires=("x",))])
+
+    def test_resolve_runner_unknown_name(self):
+        with pytest.raises(KeyError):
+            resolve_runner("no.such.runner")
+        assert resolve_runner("eval.delrec") is not None  # lazily imported builtin
+
+
+# --------------------------------------------------------------------------- #
+# profile transport
+# --------------------------------------------------------------------------- #
+class TestProfileTransport:
+    def test_payload_roundtrip_builtin_and_custom(self):
+        import dataclasses
+
+        assert profile_from_payload(profile_to_payload(SMOKE)) == SMOKE
+        custom = dataclasses.replace(SMOKE, max_test_examples=7, name="custom")
+        assert profile_from_payload(profile_to_payload(custom)) == custom
+
+    def test_fingerprint_tracks_every_field(self):
+        import dataclasses
+
+        assert profile_fingerprint(SMOKE) == profile_fingerprint(PROFILES["smoke"])
+        tweaked = dataclasses.replace(SMOKE, stage2_epochs=SMOKE.stage2_epochs + 1)
+        assert profile_fingerprint(tweaked) != profile_fingerprint(SMOKE)
+
+
+# --------------------------------------------------------------------------- #
+# scheduler: worker-count resolution and serial execution
+# --------------------------------------------------------------------------- #
+class TestSchedulerSerial:
+    def test_resolve_num_workers(self, monkeypatch):
+        monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)
+        assert resolve_num_workers() == 1
+        assert resolve_num_workers(3) == 3
+        monkeypatch.setenv(NUM_WORKERS_ENV, "4")
+        assert resolve_num_workers() == 4
+        assert resolve_num_workers(2) == 2  # explicit beats env
+        monkeypatch.setenv(NUM_WORKERS_ENV, "zero")
+        with pytest.raises(ValueError):
+            resolve_num_workers()
+        with pytest.raises(ValueError):
+            resolve_num_workers(0)
+
+    def test_env_selects_pool_size(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "2")
+        assert ExperimentScheduler(SMOKE).num_workers == 2
+
+    def test_serial_run_returns_all_results(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=1)
+        units = [
+            _unit("one", params={"value": 1}),
+            _unit("two", params={"value": 2}, requires=("one",)),
+        ]
+        results = scheduler.run(units)
+        assert results == {"one": 1, "two": 2}
+        assert scheduler.run([]) == {}
+
+    def test_serial_failure_names_unit(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=1)
+        with pytest.raises(WorkUnitError, match="bad"):
+            scheduler.run([_unit("bad", runner="test.fail")])
+
+    def test_serial_units_share_one_context_per_dataset(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=1)
+        units = [
+            _unit("a", runner="test.context_token", dataset="movielens-100k"),
+            _unit("b", runner="test.context_token", dataset="movielens-100k"),
+        ]
+        results = scheduler.run(units)
+        assert results["a"] == results["b"]
+
+    def test_context_cache_keys_on_profile(self):
+        import dataclasses
+
+        cache = ContextCache()
+        first = cache.context("movielens-100k", SMOKE, None)
+        assert cache.context("movielens-100k", SMOKE, None) is first
+        other_profile = dataclasses.replace(SMOKE, max_test_examples=5)
+        assert cache.context("movielens-100k", other_profile, None) is not first
+        assert len(cache) == 2
+
+    def test_execute_work_unit_passes_params(self):
+        unit = _unit("k", params={"value": 17})
+        assert execute_work_unit(unit, SMOKE) == 17
+
+
+# --------------------------------------------------------------------------- #
+# scheduler: pooled execution
+# --------------------------------------------------------------------------- #
+class TestSchedulerPool:
+    def test_pool_runs_units_and_respects_dependencies(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=2)
+        units = [_unit(f"u{i}", params={"value": i}) for i in range(5)]
+        units.append(_unit("after", params={"value": 99}, requires=("u0", "u3")))
+        results = scheduler.run(units)
+        assert results == {**{f"u{i}": i for i in range(5)}, "after": 99}
+
+    def test_pool_failure_names_unit(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=2)
+        units = [_unit("ok", params={"value": 0}), _unit("bad", runner="test.fail")]
+        with pytest.raises(WorkUnitError, match="bad"):
+            scheduler.run(units)
+
+    def test_pool_workers_are_separate_processes(self):
+        scheduler = ExperimentScheduler(SMOKE, num_workers=2)
+        results = scheduler.run([_unit(f"p{i}", runner="test.pid") for i in range(4)])
+        assert all(pid != os.getpid() for pid in results.values())
+
+
+# --------------------------------------------------------------------------- #
+# canonical-order merging
+# --------------------------------------------------------------------------- #
+class TestMerge:
+    def test_merge_orders_and_ignores_extras(self):
+        results = {"b": 2, "a": 1, "prereq": {"trained": 1}}
+        merged = merge_results(results, ["a", "b"])
+        assert list(merged.items()) == [("a", 1), ("b", 2)]
+
+    def test_merge_missing_and_duplicates_raise(self):
+        with pytest.raises(IncompleteResultsError):
+            merge_results({"a": 1}, ["a", "b"])
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_results({"a": 1}, ["a", "a"])
+
+    def test_merge_evaluation_results_type_checked(self):
+        result = EvaluationResult(method="m", dataset="d", metrics={"HR@1": 0.5}, num_examples=1)
+        merged = merge_evaluation_results({"row": result}, ["row"])
+        assert merged["row"] is result
+        with pytest.raises(TypeError, match="prereq"):
+            merge_evaluation_results({"prereq": {"trained": 1}}, ["prereq"])
+
+
+# --------------------------------------------------------------------------- #
+# plan enumerators
+# --------------------------------------------------------------------------- #
+class TestPlanEnumerators:
+    def test_table2_plan_shape(self):
+        units = table2_units("movielens-100k")
+        validate_plan(units)
+        prereqs = [unit for unit in units if unit.runner.startswith("prereq.")]
+        rows = [unit for unit in units if not unit.runner.startswith("prereq.")]
+        assert len(prereqs) == 7  # 3 backbones + 3 metadata-only SimLMs + 1 behavioural
+        assert len(rows) == 17  # 3 conventional + 3 raw + 8 baselines + 3 DELRec
+        # every row unit waits on at least one prerequisite
+        assert all(unit.requires for unit in rows)
+        # and all requires resolve inside the plan (validate_plan already checked)
+        keys = {unit.key for unit in units}
+        assert all(set(unit.requires) <= keys for unit in units)
+
+    def test_other_plans_validate(self):
+        validate_plan(ablation_units("movielens-100k", ("default", "w/o SP")))
+        validate_plan(sweep_units("movielens-100k", "soft_prompt_size", (2, 4)))
+        validate_plan(sparsity_units("kuairec"))
+
+    def test_sweep_plan_one_unit_per_value(self):
+        units = sweep_units("movielens-100k", "top_h", (1, 3, 5))
+        cells = [unit for unit in units if unit.runner == "eval.delrec"]
+        assert [unit.params["overrides"] for unit in cells] == [
+            {"top_h": 1}, {"top_h": 3}, {"top_h": 5}
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# store coordination: wait_for and concurrent publishes
+# --------------------------------------------------------------------------- #
+def _publish_worker(root, worker_id, barrier, arrays_seed, result_queue):
+    """Subprocess body: publish the same fingerprint as everyone else."""
+    store = ArtifactStore(root, worker_id=worker_id)
+    rng = np.random.default_rng(arrays_seed)
+    arrays = {"w": rng.standard_normal((16, 16))}
+    barrier.wait(timeout=30)
+    try:
+        store.save("demo", "shared-fp", arrays, {"component": "demo"})
+        result_queue.put((worker_id, "ok"))
+    except Exception as exc:  # pragma: no cover - failure reporting path
+        result_queue.put((worker_id, f"error: {exc}"))
+
+
+def _subscribe_worker(root, barrier, result_queue):
+    """Subprocess body: wait for the artifact and verify it is complete."""
+    store = ArtifactStore(root, worker_id="subscriber")
+    barrier.wait(timeout=30)
+    try:
+        arrays, metadata = store.wait_for("demo", "shared-fp", timeout=30)
+        complete = arrays["w"].shape == (16, 16) and metadata["fingerprint"] == "shared-fp"
+        result_queue.put(("subscriber", "ok" if complete else "torn read"))
+    except Exception as exc:  # pragma: no cover - failure reporting path
+        result_queue.put(("subscriber", f"error: {exc}"))
+
+
+class TestStoreCoordination:
+    def test_wait_for_returns_published_artifact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save("demo", "fp", {"x": np.ones(3)}, {})
+        arrays, metadata = store.wait_for("demo", "fp", timeout=1.0)
+        np.testing.assert_array_equal(arrays["x"], np.ones(3))
+        assert metadata["fingerprint"] == "fp"
+
+    def test_wait_for_times_out(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(TimeoutError):
+            store.wait_for("demo", "never", timeout=0.2, poll_interval=0.01)
+        with pytest.raises(ValueError):
+            store.wait_for("demo", "never", poll_interval=0.0)
+
+    def test_concurrent_publishes_one_artifact_correct_counters(self, tmp_path):
+        """Two processes saving one fingerprint simultaneously: one artifact,
+        exact counters with per-worker attribution, and no torn reads for a
+        concurrent subscriber."""
+        root = str(tmp_path / "store")
+        os.makedirs(root, exist_ok=True)
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(3)
+        queue = ctx.Queue()
+        # identical content (same seed): fingerprints are content addresses
+        writers = [
+            ctx.Process(target=_publish_worker, args=(root, f"writer-{i}", barrier, 7, queue))
+            for i in range(2)
+        ]
+        reader = ctx.Process(target=_subscribe_worker, args=(root, barrier, queue))
+        for process in writers + [reader]:
+            process.start()
+        outcomes = dict(queue.get(timeout=60) for _ in range(3))
+        for process in writers + [reader]:
+            process.join(timeout=60)
+        assert outcomes == {"writer-0": "ok", "writer-1": "ok", "subscriber": "ok"}
+
+        store = ArtifactStore(root)
+        # exactly one complete artifact directory, loadable, no staging debris
+        kind_dir = os.path.join(root, "demo")
+        assert os.listdir(kind_dir) == ["shared-fp"]
+        arrays, metadata = store.load("demo", "shared-fp")
+        expected = np.random.default_rng(7).standard_normal((16, 16))
+        np.testing.assert_array_equal(arrays["w"], expected)
+        assert not [name for name in os.listdir(kind_dir) if name.startswith(".staging-")]
+
+        counts = store.counters()
+        assert counts["saves"] == 2  # both publish attempts counted, none lost
+        per_worker = counts["workers"]
+        assert per_worker["writer-0"]["saves"] == 1
+        assert per_worker["writer-1"]["saves"] == 1
+        assert sum(worker["saves"] for worker in per_worker.values()) == counts["saves"]
+        assert sum(worker["hits"] for worker in per_worker.values()) == counts["hits"]
+
+
+# --------------------------------------------------------------------------- #
+# the headline guarantee: sharded tables are bitwise-identical to serial
+# --------------------------------------------------------------------------- #
+class TestBitwiseIdenticalTables:
+    def test_table2_smoke_parallel_matches_serial_bitwise(self, tmp_path, monkeypatch):
+        """Acceptance criterion: run_table2 (smoke) with REPRO_NUM_WORKERS=2
+        produces bitwise-identical table JSON to the serial run."""
+        from repro.experiments.tables import run_table2_overall
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path / "store"))
+        monkeypatch.setenv(NUM_WORKERS_ENV, "2")
+        parallel = run_table2_overall(SMOKE, verbose=False)  # pool size from env
+        monkeypatch.delenv(NUM_WORKERS_ENV)
+        serial = run_table2_overall(SMOKE, verbose=False, num_workers=1)
+        parallel_json = json.dumps(parallel.to_dict(), sort_keys=True)
+        serial_json = json.dumps(serial.to_dict(), sort_keys=True)
+        assert parallel_json == serial_json
+
+        # the pooled cold run coordinated through the shared store: the
+        # serial warm run rebuilt nothing and was served from the cache
+        store = ArtifactStore(str(tmp_path / "store"))
+        counts = store.counters()
+        assert counts["saves"] > 0
+        assert counts["hits"] > 0
+        # pool workers attributed their publishes under their own identities
+        assert any(worker.startswith("worker-") for worker in counts["workers"])

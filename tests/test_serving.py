@@ -468,6 +468,32 @@ class TestServiceFromStore:
         with pytest.raises(ArtifactNotFoundError):
             RecommendationService.from_store(store, DELREC_KIND, "no-such-fp", dataset=None)
 
+    def test_wait_timeout_subscribes_to_late_publish(self, tmp_path, tiny_dataset,
+                                                     tiny_split, sampler, delrec):
+        """A service started before the bundle exists comes up via wait_for
+        the moment the trainer publishes it."""
+        import threading
+
+        store = ArtifactStore(str(tmp_path / "store"))
+        publish = threading.Timer(
+            0.2, lambda: store.save(DELREC_KIND, "late-fp", *delrec.serialize())
+        )
+        publish.start()
+        try:
+            service = RecommendationService.from_store(
+                store, DELREC_KIND, "late-fp", dataset=tiny_dataset, wait_timeout=30.0
+            )
+        finally:
+            publish.join()
+        assert service.model_fingerprint == delrec.scoring_fingerprint()
+
+    def test_wait_timeout_expires(self, tmp_path):
+        store = ArtifactStore(str(tmp_path / "store"))
+        with pytest.raises(TimeoutError):
+            RecommendationService.from_store(
+                store, DELREC_KIND, "never-published", dataset=None, wait_timeout=0.2
+            )
+
 
 # --------------------------------------------------------------------------- #
 # request coalescing
