@@ -13,7 +13,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
-from repro.baselines import KDALRD, LLMSeqPrompt, LLaRA
+from repro.baselines import KDALRD, LLaRA, LLMSeqPrompt
 from repro.core import DELRec, DELRecConfig
 from repro.core.config import Stage1Config, Stage2Config
 from repro.data import chronological_split, load_dataset

@@ -112,7 +112,7 @@ def main() -> None:
     # ------------------------------------------------------------------ #
     recommender = service.recommender
     max_diff = 0.0
-    for (user_id, history), response in zip(burst, responses):
+    for (_user_id, history), response in zip(burst, responses, strict=True):
         offline = recommender.score_candidates(history, response.candidates)
         max_diff = max(max_diff, float(np.max(np.abs(response.scores - offline))))
     print(f"\nmax served-vs-offline score difference: {max_diff} (exactly 0.0: "

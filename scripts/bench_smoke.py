@@ -56,7 +56,7 @@ def scoring_table(profile) -> ResultTable:
     restricted = scorer("restricted").score_candidates_batch(histories, candidate_sets)
     full = scorer("full").score_candidates_batch(histories, candidate_sets)
     max_diff = max(
-        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(restricted, full)
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(restricted, full, strict=True)
     )
     table = ResultTable(
         title="bench-smoke: restricted vs full-vocab scoring",

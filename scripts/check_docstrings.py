@@ -35,6 +35,7 @@ GATED_PACKAGES = (
     os.path.join("src", "repro", "store"),
     os.path.join("src", "repro", "eval"),
     os.path.join("src", "repro", "parallel"),
+    os.path.join("src", "repro", "analysis"),
 )
 
 

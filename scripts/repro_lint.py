@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""CI gate: the determinism house rules, mechanically enforced.
+
+Runs the :mod:`repro.analysis` rule battery (seeded-RNG plumbing, sorted
+iteration, pairwise float reductions, store-mediated writes, fingerprint
+completeness — ``--list-rules`` prints the catalogue) over the given paths
+and fails on any finding that is neither inline-suppressed
+(``# repro-lint: disable=<rule> -- <why>``) nor grandfathered in the
+committed baseline.  Typical invocations::
+
+    python scripts/repro_lint.py                          # src/ + scripts/
+    python scripts/repro_lint.py src/repro/serve          # one package
+    python scripts/repro_lint.py --rule unseeded-rng src  # one rule
+    python scripts/repro_lint.py --format json --output benchmarks/results/repro_lint.json
+    python scripts/repro_lint.py --write-baseline         # regenerate the baseline
+
+The baseline (``repro_lint_baseline.json`` at the repo root) exists so a new
+rule can land before every historical finding is fixed; the house rule is
+that it only ever shrinks.  Exit status: 0 when clean against the baseline,
+1 on any new finding, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis import (  # noqa: E402
+    AnalysisResult,
+    Baseline,
+    analyze_paths,
+    describe_rules,
+    get_rules,
+    render_json,
+    render_text,
+)
+
+#: Default committed baseline location (repo root, next to ruff.toml).
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "repro_lint_baseline.json")
+
+#: Default sweep surface: everything shipped, but not tests (fixtures there
+#: violate rules on purpose).
+DEFAULT_PATHS = ("src", "scripts")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro_lint.py", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to analyze (default: {' '.join(DEFAULT_PATHS)} "
+             "under the repo root)",
+    )
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="NAME",
+        help="run only this rule (repeatable); default: every registered rule",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+             "repro_lint_baseline.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the report to FILE (the CI artifact path)",
+    )
+    parser.add_argument(
+        "--severity", action="append", dest="severities", metavar="RULE=LEVEL",
+        help="override one rule's severity (warning|error); repeatable",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="text format: also list suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule with its rationale and exit",
+    )
+    return parser
+
+
+def run(argv=None) -> int:
+    """Execute the CLI; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+
+    try:
+        rules = get_rules(args.rules)
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        print(describe_rules(rules))
+        return 0
+
+    overrides = {}
+    for item in args.severities or ():
+        name, _, level = item.partition("=")
+        if not level:
+            print(f"repro-lint: bad --severity {item!r} (expected RULE=LEVEL)",
+                  file=sys.stderr)
+            return 2
+        overrides[name] = level
+
+    paths = list(args.paths) if args.paths else [
+        os.path.join(REPO_ROOT, path) for path in DEFAULT_PATHS
+    ]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        active, suppressed, files_scanned = analyze_paths(
+            paths, rules=rules, severity_overrides=overrides, relative_to=REPO_ROOT
+        )
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(active).save(args.baseline)
+        print(
+            f"repro-lint: wrote {len(active)} finding(s) to "
+            f"{os.path.relpath(args.baseline, REPO_ROOT)}"
+        )
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    new, baselined, stale = baseline.partition(active)
+    result = AnalysisResult(
+        new=new,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        files_scanned=files_scanned,
+        rules_run=tuple(rule.name for rule in rules),
+    )
+
+    report = render_json(result) if args.format == "json" else \
+        render_text(result, verbose=args.verbose) + "\n"
+    sys.stdout.write(report)
+    if args.output:
+        parent = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(parent, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(render_json(result))
+    return 1 if result.failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

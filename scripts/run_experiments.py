@@ -76,13 +76,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     for name in names:
         runner, sharded = SURFACES[name]
-        start = time.time()
+        start = time.perf_counter()
         if sharded:
             table = runner(profile, num_workers=args.workers)
         else:
             table = runner(profile)
         print(table)
-        print(f"[{name}] finished in {time.time() - start:.0f}s", flush=True)
+        print(f"[{name}] finished in {time.perf_counter() - start:.0f}s", flush=True)
         save_results([table], os.path.join(output_dir, f"{name}.json"))
     return 0
 

@@ -86,7 +86,7 @@ def main() -> int:
         trained_scores = replay_workload(trained_delrec, workload)
         warm_scores = replay_workload(warm_delrec, workload)
         reload_diff = max(
-            float(np.max(np.abs(a - b))) for a, b in zip(trained_scores, warm_scores)
+            float(np.max(np.abs(a - b))) for a, b in zip(trained_scores, warm_scores, strict=True)
         )
         if reload_diff != 0.0:
             failures.append(f"warm-loaded bundle scores differ from trained: {reload_diff}")

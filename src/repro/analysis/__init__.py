@@ -1,0 +1,51 @@
+"""``repro-lint``: AST-based enforcement of the determinism house rules.
+
+Every acceptance gate in this repo is a bitwise-identity claim — batched ==
+looped scoring, sharded == serial tables, served == offline results.  The
+rules that keep those claims true (seeded RNG plumbing, sorted iteration,
+fixed-order pairwise reductions, store-mediated cross-process writes) used to
+live only in reviewers' heads; this package turns them into machine-checked
+static analysis, the same way ``bench_compare.py`` turned performance
+promises into CI failures.
+
+Entry points:
+
+* ``scripts/repro_lint.py`` — the CLI (paths, ``--rule``, ``--baseline``,
+  ``--format json``), wired into the CI lint job;
+* :func:`analyze_paths` / :func:`analyze_source` — the library API;
+* :mod:`repro.analysis.rules` — the rule battery (see
+  ``docs/static-analysis.md`` for the catalogue).
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    RuleContext,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rules,
+    iter_python_files,
+    register_rule,
+    suppressions_by_line,
+)
+from repro.analysis.report import AnalysisResult, describe_rules, render_json, render_text
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "RuleContext",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "describe_rules",
+    "get_rules",
+    "iter_python_files",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "suppressions_by_line",
+]

@@ -1,0 +1,115 @@
+"""Baseline files: grandfathering pre-existing findings without hiding new ones.
+
+A baseline is a committed JSON file listing findings that existed when a rule
+was introduced.  The CLI subtracts baselined findings from a run, so enabling
+a new rule on a large tree does not require fixing every historical hit at
+once — but any *new* violation of the same rule still fails the gate.
+
+Entries are keyed by content — ``(path, rule, snippet)`` with a multiplicity
+count — not by line number, so unrelated edits that shift code around neither
+break the baseline nor let a fixed-and-reintroduced violation hide.  Stale
+entries (baselined findings that no longer occur) are reported so the file
+can be shrunk; the house rule is that the baseline only ever shrinks — new
+exemptions use inline ``# repro-lint: disable=`` suppressions with a written
+justification instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+#: Bumped if the baseline JSON layout ever changes incompatibly.
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding identities."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.isfile(path):
+            return cls()
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        version = document.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path!r} has version {version!r}; "
+                f"this code reads version {BASELINE_VERSION}"
+            )
+        entries: Counter = Counter()
+        for item in document.get("findings", []):
+            key = (item["path"], item["rule"], item["snippet"])
+            entries[key] += int(item.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly ``findings``."""
+        return cls(Counter(finding.key() for finding in findings))
+
+    def save(self, path: str) -> None:
+        """Write the baseline as deterministic, diff-friendly JSON."""
+        document = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"path": key[0], "rule": key[1], "snippet": key[2], "count": count}
+                for key, count in sorted(self.entries.items())
+            ],
+        }
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Key]]:
+        """Split ``findings`` into ``(new, baselined, stale_keys)``.
+
+        Multiplicity-aware: a baseline entry with ``count: 2`` absorbs at
+        most two findings with that identity — a third occurrence of the
+        same snippet is *new* and fails the gate.  ``stale_keys`` lists
+        baseline capacity that matched nothing (with one key repeated per
+        unused count), i.e. entries that can be deleted.
+        """
+        remaining = Counter(self.entries)
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        for finding in sorted(findings):
+            key = finding.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        stale: List[Key] = []
+        for key, count in sorted(remaining.items()):
+            stale.extend([key] * count)
+        return new, matched, stale
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serialisable rendering mirroring the on-disk layout."""
+        return {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"path": key[0], "rule": key[1], "snippet": key[2], "count": count}
+                for key, count in sorted(self.entries.items())
+            ],
+        }

@@ -1,0 +1,414 @@
+"""The ``repro-lint`` rule framework: findings, rule registry, suppressions.
+
+This package turns the repo's determinism house rules — the invariants every
+bitwise-reproducibility gate depends on (fixed-order reductions, seeded RNG
+plumbing, sorted iteration, store-mediated cross-process writes) — into
+machine-checked static analysis.  The moving parts:
+
+* :class:`Finding` — one rule violation at one source location, with a
+  content-based identity (``path``, ``rule``, source ``snippet``) that stays
+  stable when unrelated edits shift line numbers;
+* :class:`Rule` — base class for AST checks.  Concrete rules live in
+  :mod:`repro.analysis.rules` and self-register via :func:`register_rule`;
+* :class:`RuleContext` — everything one rule invocation sees: the parsed
+  tree, the raw source, the (repo-relative) path, a lazily built parent map
+  and a resolved import table;
+* inline suppressions — ``# repro-lint: disable=rule-a,rule-b`` on (or
+  immediately above) the offending line silences those rules there.  The
+  house style is to follow the directive with a one-line justification::
+
+      start = time.time()  # repro-lint: disable=wall-clock-entropy -- progress log only
+
+* :func:`analyze_source` / :func:`analyze_paths` — drive a battery of rules
+  over source text or a file tree and return active + suppressed findings.
+
+Grandfathered findings are handled by :mod:`repro.analysis.baseline`;
+rendering by :mod:`repro.analysis.report`; the CLI is
+``scripts/repro_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Severities a rule (or an override) may carry, mildest first.  Both fail
+#: the CLI gate by default — severity is triage information for the reader,
+#: not a pass/fail knob — but ``--fail-on error`` can relax warnings.
+SEVERITIES = ("warning", "error")
+
+#: Inline suppression directive.  The rule list is comma-separated and stops
+#: at the first token that is not a rule name, so everything after it (e.g. a
+#: ``--`` justification) is ignored by the parser — but required by house
+#: style: a suppression without a reason does not survive review.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+#: Rule name used for findings the framework itself emits on unparseable files.
+PARSE_ERROR_RULE = "parse-error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Identity for baselines and suppression accounting is content-based —
+    ``(path, rule, snippet)`` — so renumbering lines by editing elsewhere in
+    the file neither invalidates a baseline entry nor resurrects a fixed one.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+    snippet: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """The content-based identity used by baselines: path, rule, snippet."""
+        return (self.path, self.rule, self.snippet)
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serialisable rendering (stable key order via sort_keys)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+class RuleContext:
+    """Everything one rule invocation sees about one source file.
+
+    Built once per file and shared by every rule, so per-file work that
+    several rules need — the parent map linking each AST node to its
+    enclosing node, the import table resolving local aliases to dotted
+    module paths — is computed lazily and exactly once.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._parents: Optional[Dict[int, ast.AST]] = None
+        self._imports: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        """Map from ``id(node)`` to the node's direct parent (lazy)."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The direct parent of ``node``, or ``None`` for the module root."""
+        return self.parents.get(id(node))
+
+    @property
+    def imports(self) -> Dict[str, str]:
+        """Local name -> dotted origin for every import in the file.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from time import
+        time as now`` maps ``now -> time.time``.  Relative imports keep
+        their module part as written (level dots dropped) — good enough
+        for matching well-known stdlib/numpy origins, which is all the
+        rules need.
+        """
+        if self._imports is None:
+            table: Dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    # ------------------------------------------------------------------ #
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted name of a ``Name``/``Attribute`` chain, or ``None``.
+
+        ``np.random.default_rng`` on a file that did ``import numpy as np``
+        resolves to ``numpy.random.default_rng``; unresolvable bases (calls,
+        subscripts) return ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        parts.append(self.imports.get(base, base))
+        return ".".join(reversed(parts))
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` (empty if out of range)."""
+        if 0 < line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class for a repro-lint check.
+
+    Subclasses set :attr:`name` (kebab-case, the suppression token),
+    :attr:`severity`, a one-line :attr:`description` (what it catches) and a
+    :attr:`rationale` (why the pattern threatens bitwise reproducibility),
+    then implement :meth:`check`.  Register with :func:`register_rule`.
+    """
+
+    #: Kebab-case identifier; also the token used in ``disable=`` comments.
+    name: str = ""
+    #: Default severity, one of :data:`SEVERITIES`.
+    severity: str = "error"
+    #: One-line summary of the defect the rule catches.
+    description: str = ""
+    #: Why the pattern threatens bitwise reproducibility.
+    rationale: str = ""
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Yield findings for every violation in ``ctx`` (override me)."""
+        raise NotImplementedError
+
+    def finding(self, ctx: RuleContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` in ``ctx``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule=self.name,
+            severity=self.severity,
+            message=message,
+            snippet=ctx.snippet(line),
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator: instantiate ``cls`` and add it to the rule registry.
+
+    Rules are stateless; one shared instance serves every file.  Registering
+    two different rules under one name raises — a silently replaced rule
+    would change what the whole gate enforces.  Re-registering the same
+    class (module re-import) is a no-op.
+    """
+    instance = cls()
+    if not instance.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    if instance.severity not in SEVERITIES:
+        raise ValueError(
+            f"rule {instance.name!r} has severity {instance.severity!r}; "
+            f"expected one of {SEVERITIES}"
+        )
+    existing = _REGISTRY.get(instance.name)
+    if existing is not None and type(existing) is not cls:
+        raise ValueError(f"rule name {instance.name!r} is already registered")
+    _REGISTRY[instance.name] = instance
+    return cls
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule, sorted by name (importing the builtins on demand)."""
+    if not _REGISTRY:
+        import importlib
+
+        importlib.import_module("repro.analysis.rules")
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_rules(names: Optional[Sequence[str]] = None) -> Tuple[Rule, ...]:
+    """Resolve rule names to instances; ``None``/empty selects every rule."""
+    rules = all_rules()
+    if not names:
+        return rules
+    by_name = {rule.name: rule for rule in rules}
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        known = ", ".join(sorted(by_name))
+        raise KeyError(f"unknown rule(s) {unknown}; known rules: {known}")
+    return tuple(by_name[name] for name in sorted(set(names)))
+
+
+# --------------------------------------------------------------------------- #
+# suppressions
+# --------------------------------------------------------------------------- #
+def suppressions_by_line(source: str) -> Dict[int, frozenset]:
+    """Parse ``# repro-lint: disable=...`` directives into ``{line: rules}``.
+
+    A directive on a code line applies to that line.  A directive on a
+    comment-only line applies to the first code line after its comment
+    block, so the justification may continue on following comment lines::
+
+        # repro-lint: disable=raw-file-write -- this IS the atomic-write
+        # primitive; the write lands in a staging dir and publishes atomically.
+        with open(staging_path, "w") as handle:
+
+    ``disable=all`` suppresses every rule on the target line.
+    """
+    lines = source.splitlines()
+    table: Dict[int, set] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        names = {token.strip() for token in match.group(1).split(",") if token.strip()}
+        table.setdefault(index, set()).update(names)
+        if text.lstrip().startswith("#"):
+            target = index + 1
+            while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                target += 1
+            table.setdefault(target, set()).update(names)
+    return {line: frozenset(names) for line, names in table.items()}
+
+
+def _is_suppressed(finding: Finding, table: Dict[int, frozenset]) -> bool:
+    names = table.get(finding.line)
+    if not names:
+        return False
+    return finding.rule in names or "all" in names
+
+
+# --------------------------------------------------------------------------- #
+# drivers
+# --------------------------------------------------------------------------- #
+def analyze_source(
+    path: str,
+    source: str,
+    rules: Optional[Sequence[Rule]] = None,
+    severity_overrides: Optional[Dict[str, str]] = None,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run ``rules`` over one file's source; return ``(active, suppressed)``.
+
+    A file that does not parse yields a single :data:`PARSE_ERROR_RULE`
+    finding instead of raising, so one broken file cannot hide the rest of
+    the sweep.  ``severity_overrides`` maps rule name -> severity and
+    rewrites matching findings (the per-rule severity knob of the CLI).
+    """
+    path = path.replace(os.sep, "/")
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        lines = source.splitlines()
+        snippet = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+        finding = Finding(
+            path=path,
+            line=line,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            severity="error",
+            message=f"file does not parse: {exc.msg}",
+            snippet=snippet,
+        )
+        return [finding], []
+
+    ctx = RuleContext(path, source, tree)
+    collected: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        collected.extend(rule.check(ctx))
+    if severity_overrides:
+        for name, severity in severity_overrides.items():
+            if severity not in SEVERITIES:
+                raise ValueError(
+                    f"severity override {name}={severity!r}: expected one of {SEVERITIES}"
+                )
+        collected = [
+            Finding(
+                path=f.path, line=f.line, col=f.col, rule=f.rule,
+                severity=severity_overrides.get(f.rule, f.severity),
+                message=f.message, snippet=f.snippet,
+            )
+            for f in collected
+        ]
+
+    table = suppressions_by_line(source)
+    active = sorted(f for f in collected if not _is_suppressed(f, table))
+    suppressed = sorted(f for f in collected if _is_suppressed(f, table))
+    return active, suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield every ``.py`` file under ``paths`` in sorted, deterministic order.
+
+    Directories are walked with sorted dirnames/filenames (the tool practices
+    the unsorted-fs-enumeration rule it preaches); hidden directories and
+    ``__pycache__`` are skipped.  Explicit file arguments are yielded as
+    given, sorted.
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in sorted(os.walk(path)):
+            dirnames[:] = sorted(
+                d for d in dirnames if not d.startswith(".") and d != "__pycache__"
+            )
+            files.extend(
+                os.path.join(dirpath, name)
+                for name in sorted(filenames)
+                if name.endswith(".py")
+            )
+    seen = set()
+    for name in sorted(files):
+        if name not in seen:
+            seen.add(name)
+            yield name
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    severity_overrides: Optional[Dict[str, str]] = None,
+    relative_to: Optional[str] = None,
+) -> Tuple[List[Finding], List[Finding], int]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    Returns ``(active, suppressed, files_scanned)``.  Paths inside findings
+    are made relative to ``relative_to`` (default: the current directory)
+    and use ``/`` separators, so baselines are portable across checkouts.
+    """
+    base = os.path.abspath(relative_to or os.getcwd())
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    count = 0
+    for filename in iter_python_files(paths):
+        count += 1
+        absolute = os.path.abspath(filename)
+        display = absolute
+        if absolute.startswith(base + os.sep):
+            display = os.path.relpath(absolute, base)
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        file_active, file_suppressed = analyze_source(
+            display, source, rules=rules, severity_overrides=severity_overrides
+        )
+        active.extend(file_active)
+        suppressed.extend(file_suppressed)
+    return sorted(active), sorted(suppressed), count

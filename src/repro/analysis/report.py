@@ -1,0 +1,115 @@
+"""Reporters: render an analysis run for humans (text) and machines (JSON).
+
+Both formats render the same :class:`AnalysisResult`; the JSON document is
+what CI uploads as a workflow artifact next to the benchmark tables, so its
+layout is stable and deterministically ordered (sorted findings, sorted
+keys).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced, after baseline subtraction.
+
+    ``new`` are the findings that fail the gate; ``baselined`` matched a
+    committed baseline entry; ``suppressed`` carried an inline
+    ``repro-lint: disable`` directive; ``stale_baseline`` lists baseline
+    capacity that matched nothing and should be removed.
+    """
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: Tuple[str, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        """Whether the gate fails (any non-baselined, non-suppressed finding)."""
+        return bool(self.new)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts for the one-line summary and the JSON ``summary`` block."""
+        return {
+            "files_scanned": self.files_scanned,
+            "new": len(self.new),
+            "baselined": len(self.baselined),
+            "suppressed": len(self.suppressed),
+            "stale_baseline": len(self.stale_baseline),
+        }
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """Human-readable report: one line per finding plus a summary.
+
+    ``verbose`` additionally lists suppressed and baselined findings (marked
+    as such), which is how one audits that every exemption still deserves
+    its justification.
+    """
+    lines: List[str] = []
+    for finding in result.new:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if verbose:
+        for label, findings in (("suppressed", result.suppressed),
+                                ("baselined", result.baselined)):
+            for finding in findings:
+                lines.append(
+                    f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                    f"{finding.rule} [{label}] {finding.message}"
+                )
+    for path, rule, snippet in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {path} {rule} {snippet!r} no longer occurs "
+            "(remove it or regenerate with --write-baseline)"
+        )
+    counts = result.summary()
+    lines.append(
+        f"repro-lint: {counts['files_scanned']} file(s), "
+        f"{counts['new']} finding(s), {counts['baselined']} baselined, "
+        f"{counts['suppressed']} suppressed"
+        + (f", {counts['stale_baseline']} stale baseline entr(y/ies)"
+           if counts["stale_baseline"] else "")
+    )
+    lines.append("FAIL" if result.failed else "OK")
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (the CI artifact), deterministically ordered."""
+    document = {
+        "findings": [finding.to_json() for finding in result.new],
+        "baselined": [finding.to_json() for finding in result.baselined],
+        "suppressed": [finding.to_json() for finding in result.suppressed],
+        "stale_baseline": [
+            {"path": path, "rule": rule, "snippet": snippet}
+            for path, rule, snippet in result.stale_baseline
+        ],
+        "rules_run": list(result.rules_run),
+        "summary": result.summary(),
+        "failed": result.failed,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def describe_rules(rules: Sequence) -> str:
+    """A text table of every rule: name, severity, description, rationale."""
+    lines: List[str] = []
+    for rule in rules:
+        lines.append(f"{rule.name} [{rule.severity}]")
+        lines.append(f"    catches:  {rule.description}")
+        lines.append(f"    why:      {rule.rationale}")
+    return "\n".join(lines)

@@ -1,0 +1,775 @@
+"""The built-in repro-lint rule battery.
+
+Each rule targets one concrete way this repo's bitwise-reproducibility
+invariants have broken (or could break) in practice:
+
+* entropy sources — :class:`UnseededRngRule`, :class:`WallClockEntropyRule`,
+  :class:`IdentityHashEntropyRule`, :class:`UnsortedFsEnumerationRule`;
+* ordering — :class:`UnsortedSetIterationRule`;
+* floating-point discipline — :class:`FloatAccumulationRule` (the
+  pairwise-sum house rule of :mod:`repro.autograd.heads`);
+* concurrency — :class:`RunnerGlobalMutationRule`,
+  :class:`RawFileWriteRule`, :class:`PoolOutsideSchedulerRule`;
+* fingerprint completeness — :class:`FingerprintFieldSubsetRule`.
+
+All checks are purely syntactic (no imports of the analyzed code, no type
+inference): they over-approximate, and intentional exceptions carry an
+inline ``# repro-lint: disable=<rule> -- <why>`` suppression at the site.
+See ``docs/static-analysis.md`` for the full catalogue with examples.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Finding, Rule, RuleContext, register_rule
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def _call_name(ctx: RuleContext, node: ast.Call) -> Optional[str]:
+    """The resolved dotted name of a call's callee, or ``None``."""
+    return ctx.dotted_name(node.func)
+
+
+def _attribute_segments(node: ast.AST) -> Optional[List[str]]:
+    """``['base', 'mid', 'leaf']`` for a pure Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _wrapped_in(ctx: RuleContext, node: ast.AST, names: Set[str]) -> bool:
+    """Whether ``node`` is a direct argument of a call to one of ``names``."""
+    parent = ctx.parent(node)
+    if not isinstance(parent, ast.Call) or node not in parent.args:
+        return False
+    resolved = _call_name(ctx, parent)
+    return resolved in names
+
+
+def _function_defs(tree: ast.Module) -> Iterator[ast.AST]:
+    """Every function/async-function definition in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# --------------------------------------------------------------------------- #
+# entropy sources
+# --------------------------------------------------------------------------- #
+
+
+#: numpy.random constructors that are fine *when called with arguments*.
+_NP_SEEDED_OK = {
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64",
+}
+
+
+@register_rule
+class UnseededRngRule(Rule):
+    """Flags draws from implicitly seeded (global or default) RNG state."""
+
+    name = "unseeded-rng"
+    severity = "error"
+    description = (
+        "stdlib random.* global-state calls, legacy np.random.* module-level "
+        "draws, and np.random.default_rng() / random.Random() without a seed"
+    )
+    rationale = (
+        "global RNG state is invisible in fingerprints and differs per process; "
+        "a fork worker drawing from it diverges from the serial run. All "
+        "randomness must flow through an explicitly seeded Generator."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan every call for implicit-RNG use."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None:
+                continue
+            if name.startswith("random."):
+                leaf = name.split(".", 1)[1]
+                if leaf == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx, node,
+                            "random.Random() without a seed draws from OS entropy; "
+                            "pass an explicit seed",
+                        )
+                elif leaf == "SystemRandom":
+                    yield self.finding(
+                        ctx, node,
+                        "random.SystemRandom is OS entropy by construction and can "
+                        "never reproduce; use a seeded Generator",
+                    )
+                elif "." not in leaf and leaf == leaf.lower():
+                    yield self.finding(
+                        ctx, node,
+                        f"random.{leaf} uses the process-global RNG; thread a seeded "
+                        "np.random.default_rng(seed) (or random.Random(seed)) instead",
+                    )
+            elif name.startswith("numpy.random."):
+                leaf = name.split("numpy.random.", 1)[1]
+                if "." in leaf:
+                    continue
+                if leaf in _NP_SEEDED_OK:
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx, node,
+                            f"np.random.{leaf}() without a seed draws the seed from OS "
+                            "entropy; pass an explicit seed",
+                        )
+                else:
+                    yield self.finding(
+                        ctx, node,
+                        f"np.random.{leaf} draws from numpy's module-global RNG; use an "
+                        "explicitly seeded np.random.default_rng(seed)",
+                    )
+
+
+#: Calls whose return value is wall-clock (not monotonic) time.
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.ctime", "time.localtime", "time.gmtime",
+    "time.strftime",
+    "datetime.datetime.now", "datetime.datetime.utcnow", "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class WallClockEntropyRule(Rule):
+    """Flags wall-clock reads (``time.time``, ``datetime.now``, ...)."""
+
+    name = "wall-clock-entropy"
+    severity = "error"
+    description = "wall-clock reads: time.time/time_ns, datetime.now/utcnow, date.today"
+    rationale = (
+        "wall-clock values differ every run; one leaking into a fingerprint, a "
+        "cache key or serialized output breaks bitwise identity invisibly. "
+        "Duration measurement belongs to time.perf_counter/time.monotonic; "
+        "progress logging that keeps time.time carries a justified suppression."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan every call for wall-clock reads."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() is wall-clock entropy; use time.perf_counter/"
+                    "time.monotonic for durations, or pass timestamps in explicitly",
+                )
+
+
+#: Path fragments marking the fingerprint-adjacent packages where any bare
+#: ``id()``/``hash()`` is suspect (not just ones syntactically inside a
+#: fingerprint call).
+_IDENTITY_SENSITIVE_PATH = re.compile(r"(^|/)(store|serve)/")
+
+
+@register_rule
+class IdentityHashEntropyRule(Rule):
+    """Flags ``id()``/``hash()`` values feeding fingerprints or cache keys."""
+
+    name = "identity-hash-entropy"
+    severity = "error"
+    description = (
+        "id()/hash() inside fingerprint()/canonicalize() arguments, or anywhere "
+        "in repro/store and repro/serve"
+    )
+    rationale = (
+        "id() is a memory address and str/bytes hash() is salted per process "
+        "(PYTHONHASHSEED); either flowing into a fingerprint or cache key makes "
+        "it unique per run. Hash content instead (state_fingerprint, "
+        "canonical JSON)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan fingerprint-call arguments (and sensitive packages) for id/hash."""
+        sensitive_file = bool(_IDENTITY_SENSITIVE_PATH.search(ctx.path))
+        flagged: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None:
+                continue
+            leaf = name.split(".")[-1]
+            if "fingerprint" in leaf or leaf == "canonicalize":
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    for inner in ast.walk(arg):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Name)
+                            and inner.func.id in ("id", "hash")
+                            and id(inner) not in flagged
+                        ):
+                            flagged.add(id(inner))
+                            yield self.finding(
+                                ctx, inner,
+                                f"{inner.func.id}() inside a {leaf}() argument is "
+                                "per-process entropy; fingerprint content, not identity",
+                            )
+            elif sensitive_file and isinstance(node.func, ast.Name) and \
+                    node.func.id in ("id", "hash") and id(node) not in flagged:
+                flagged.add(id(node))
+                yield self.finding(
+                    ctx, node,
+                    f"{node.func.id}() in a store/serve module: addresses and salted "
+                    "hashes must never reach fingerprints or cache keys — hash content",
+                )
+
+
+#: Filesystem enumeration whose order is the directory's physical order.
+_FS_ENUM_CALLS = {"os.listdir", "os.scandir", "os.walk", "glob.glob", "glob.iglob"}
+#: Path-object methods with the same problem (matched by attribute name).
+_FS_ENUM_METHODS = {"glob", "rglob", "iterdir"}
+#: Wrappers that restore (or ignore) order.
+_FS_ORDER_FIXERS = {"sorted", "len"}
+
+
+@register_rule
+class UnsortedFsEnumerationRule(Rule):
+    """Flags directory/glob enumeration not wrapped in ``sorted(...)``."""
+
+    name = "unsorted-fs-enumeration"
+    severity = "error"
+    description = (
+        "os.listdir/os.scandir/os.walk, glob.glob/iglob and Path.glob/rglob/"
+        "iterdir results used without sorted(...)"
+    )
+    rationale = (
+        "directory order is filesystem-dependent (inode order on ext4, insertion "
+        "order elsewhere); any table, fingerprint or merge built from it differs "
+        "across machines. Wrap the enumeration in sorted(...)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan every enumeration call for a missing ``sorted`` wrapper."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            is_enum = name in _FS_ENUM_CALLS
+            if not is_enum and isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _FS_ENUM_METHODS and name is None:
+                # method call on a non-literal receiver (Path objects et al.)
+                is_enum = True
+            if not is_enum and isinstance(node.func, ast.Attribute) and \
+                    name is not None and name.split(".")[-1] in _FS_ENUM_METHODS:
+                is_enum = True
+            if is_enum and not _wrapped_in(ctx, node, _FS_ORDER_FIXERS):
+                label = name or node.func.attr  # type: ignore[union-attr]
+                yield self.finding(
+                    ctx, node,
+                    f"{label} enumerates the filesystem in physical order; wrap it in "
+                    "sorted(...) (and sort dirnames in-place when walking)",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# ordering
+# --------------------------------------------------------------------------- #
+
+
+#: Consumers for which element order changes the (float or serialized) result.
+_ORDER_SENSITIVE_REDUCERS = {
+    "sum", "list", "tuple", "enumerate", "map", "filter", "iter", "reversed",
+    "json.dumps", "json.dump",
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether ``node`` syntactically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and \
+            node.func.id in ("set", "frozenset"):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<expr>.keys()`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register_rule
+class UnsortedSetIterationRule(Rule):
+    """Flags iteration/reduction over sets (and ``.keys()``) without ``sorted``."""
+
+    name = "unsorted-set-iteration"
+    severity = "error"
+    description = (
+        "for-loops and comprehensions over set expressions, and sets or "
+        ".keys() views fed to order-sensitive consumers (sum, list, join, "
+        "json.dumps, ...) without sorted(...)"
+    )
+    rationale = (
+        "set iteration order depends on PYTHONHASHSEED and insertion history, so "
+        "it differs across processes — exactly what the fork-pool workers are. "
+        "Any reduction, table or serialization built from it loses bitwise "
+        "identity. sorted(...) restores a canonical order. (Order-free consumers "
+        "— len, min, max, membership — are exempt.)"
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan loops, comprehensions and reducer calls for unsorted set input."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+                yield self.finding(
+                    ctx, node.iter,
+                    "iterating a set directly; wrap it in sorted(...) so every "
+                    "process sees one canonical order",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(
+                            ctx, comp.iter,
+                            "comprehension over a set; wrap the iterable in "
+                            "sorted(...) so element order is canonical",
+                        )
+            elif isinstance(node, ast.Call):
+                name = _call_name(ctx, node)
+                is_join = isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "join"
+                if name in _ORDER_SENSITIVE_REDUCERS or is_join:
+                    consumer = name or "str.join"
+                    for arg in node.args:
+                        if _is_set_expr(arg):
+                            yield self.finding(
+                                ctx, arg,
+                                f"set passed to {consumer}; element order reaches the "
+                                "result — wrap the set in sorted(...)",
+                            )
+                        elif _is_keys_call(arg):
+                            yield self.finding(
+                                ctx, arg,
+                                f".keys() view passed to {consumer}; key order reaches "
+                                "the result — use sorted(...) for a canonical order",
+                            )
+
+
+# --------------------------------------------------------------------------- #
+# floating-point discipline
+# --------------------------------------------------------------------------- #
+
+
+#: Names that make a ``sum(...)`` argument smell like float data.
+_FLOATY_NAME = re.compile(
+    r"(loss|score|grad|logit|prob|weight|norm|latency|seconds|elapsed|diff)",
+    re.IGNORECASE,
+)
+
+
+def _floaty_subtree(node: ast.AST) -> Optional[str]:
+    """Why ``node``'s subtree looks like float data, or ``None`` if it doesn't."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, float):
+            return "a float literal"
+        if isinstance(inner, ast.Call):
+            if isinstance(inner.func, ast.Name) and inner.func.id == "float":
+                return "a float(...) conversion"
+            if isinstance(inner.func, ast.Attribute) and inner.func.attr in ("sum", "mean"):
+                return f"a .{inner.func.attr}() reduction"
+        if isinstance(inner, ast.Name) and _FLOATY_NAME.search(inner.id):
+            return f"the float-suggesting name {inner.id!r}"
+        if isinstance(inner, ast.Attribute) and _FLOATY_NAME.search(inner.attr):
+            return f"the float-suggesting name {inner.attr!r}"
+    return None
+
+
+@register_rule
+class FloatAccumulationRule(Rule):
+    """Flags sequential float accumulation (bare ``sum``/``+=`` loops)."""
+
+    name = "float-accumulation"
+    severity = "warning"
+    description = (
+        "builtin sum(...) over float-looking data, and `x = 0.0` accumulators "
+        "grown with += inside loops"
+    )
+    rationale = (
+        "sequential float addition fixes one association order; resharding the "
+        "same data (data-parallel training, batched scoring) produces different "
+        "rounding unless reductions go through the fixed-order pairwise helpers "
+        "in repro/autograd/heads.py (or np.sum, which is pairwise for "
+        "contiguous axes)."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan ``sum`` calls and ``+=`` accumulator loops for float data."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and \
+                    node.func.id == "sum" and node.args:
+                reasons = [
+                    reason
+                    for reason in (_floaty_subtree(arg) for arg in node.args)
+                    if reason
+                ]
+                if reasons:
+                    yield self.finding(
+                        ctx, node,
+                        f"builtin sum() over float data (saw {reasons[0]}) fixes a "
+                        "sequential association order; use np.sum or the pairwise "
+                        "helpers in repro/autograd/heads.py",
+                    )
+        for func in _function_defs(ctx.tree):
+            float_accumulators: Set[str] = set()
+            for stmt in ast.walk(func):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                        isinstance(stmt.targets[0], ast.Name):
+                    value = stmt.value
+                    if isinstance(value, ast.UnaryOp):
+                        value = value.operand
+                    if isinstance(value, ast.Constant) and isinstance(value.value, float):
+                        float_accumulators.add(stmt.targets[0].id)
+            if not float_accumulators:
+                continue
+            for loop in ast.walk(func):
+                if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                    continue
+                for stmt in ast.walk(loop):
+                    if isinstance(stmt, ast.AugAssign) and isinstance(stmt.op, ast.Add) \
+                            and isinstance(stmt.target, ast.Name) \
+                            and stmt.target.id in float_accumulators:
+                        float_accumulators.discard(stmt.target.id)
+                        yield self.finding(
+                            ctx, stmt,
+                            f"float accumulator {stmt.target.id!r} grown with += in a "
+                            "loop is a sequential reduction; batch the values and "
+                            "reduce pairwise (repro/autograd/heads.py) or np.sum them",
+                        )
+
+
+# --------------------------------------------------------------------------- #
+# concurrency
+# --------------------------------------------------------------------------- #
+
+
+#: Methods that mutate a container in place.
+_MUTATORS = {
+    "append", "extend", "add", "update", "setdefault", "insert",
+    "pop", "popitem", "clear", "remove", "discard",
+}
+
+
+def _is_runner_decorator(node: ast.AST) -> bool:
+    """Whether a decorator expression is ``register_runner`` (or a call of it)."""
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "register_runner"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "register_runner"
+    return False
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    """Names bound by plain assignment at module scope."""
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _local_names(func: ast.AST) -> Set[str]:
+    """Parameter and locally-assigned names that shadow module globals."""
+    names: Set[str] = set()
+    args = func.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+@register_rule
+class RunnerGlobalMutationRule(Rule):
+    """Flags ``@register_runner`` functions mutating module-level state."""
+
+    name = "runner-global-mutation"
+    severity = "error"
+    description = (
+        "global declarations, and in-place mutation of module-level names "
+        "(.append/.update/[...]=/attribute writes), inside @register_runner "
+        "functions"
+    )
+    rationale = (
+        "runners execute inside fork-pool workers: module-level mutations land "
+        "in a worker's copy-on-write page and silently vanish (or race between "
+        "workers when the state is shared through a file). Cross-process state "
+        "must flow through the artifact store's atomic publishes."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan registered runner bodies for module-state mutation."""
+        module_names = _module_level_names(ctx.tree)
+        for func in _function_defs(ctx.tree):
+            if not any(_is_runner_decorator(d) for d in func.decorator_list):
+                continue
+            shadowed = _local_names(func)
+            visible = module_names - shadowed
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        ctx, node,
+                        f"runner {func.name!r} declares global "
+                        f"{', '.join(node.names)}; cross-process results must go "
+                        "through the artifact store, not module globals",
+                    )
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute) \
+                        and node.func.attr in _MUTATORS \
+                        and isinstance(node.func.value, ast.Name) \
+                        and node.func.value.id in visible:
+                    yield self.finding(
+                        ctx, node,
+                        f"runner {func.name!r} mutates module-level "
+                        f"{node.func.value.id!r} via .{node.func.attr}(); the write "
+                        "stays in one fork worker — publish through the store instead",
+                    )
+                elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for target in targets:
+                        if isinstance(target, (ast.Subscript, ast.Attribute)) and \
+                                isinstance(target.value, ast.Name) and \
+                                target.value.id in visible:
+                            yield self.finding(
+                                ctx, node,
+                                f"runner {func.name!r} writes into module-level "
+                                f"{target.value.id!r}; the write stays in one fork "
+                                "worker — publish through the store instead",
+                            )
+
+
+#: Packages whose on-disk writes must go through the atomic helpers.
+_ATOMIC_WRITE_PATH = re.compile(r"(^|/)(store|parallel)/")
+#: Write-y modes for open()/os.fdopen().
+_WRITE_MODE = re.compile(r"[wax+]")
+
+
+def _mode_argument(node: ast.Call, position: int = 1) -> Optional[str]:
+    """The literal file-mode argument of an ``open``-style call, if any."""
+    for keyword in node.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant) and \
+                isinstance(keyword.value.value, str):
+            return keyword.value.value
+    if len(node.args) > position:
+        arg = node.args[position]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+    return None
+
+
+@register_rule
+class RawFileWriteRule(Rule):
+    """Flags direct file writes in the store/parallel packages."""
+
+    name = "raw-file-write"
+    severity = "error"
+    description = (
+        "write-mode open()/os.fdopen(), np.save*/Path.write_* in repro/store "
+        "and repro/parallel outside the blessed atomic-write helpers"
+    )
+    rationale = (
+        "concurrent pool workers share the store directory; a plain write is "
+        "visible half-finished and races with readers. Every on-disk mutation "
+        "must go through write_artifact (staging dir + atomic rename) or the "
+        "flock-serialised counter helper in repro/store/store.py."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan store/parallel modules for writes bypassing the atomic helpers."""
+        if not _ATOMIC_WRITE_PATH.search(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name == "open" or (name is None and isinstance(node.func, ast.Name)
+                                  and node.func.id == "open"):
+                mode = _mode_argument(node, position=1)
+                if mode and _WRITE_MODE.search(mode):
+                    yield self.finding(
+                        ctx, node,
+                        f"open(..., {mode!r}) writes in place; route the write "
+                        "through write_artifact / the flock'd counter helper so "
+                        "readers never observe a torn file",
+                    )
+            elif name == "os.fdopen":
+                mode = _mode_argument(node, position=1)
+                if mode and _WRITE_MODE.search(mode):
+                    yield self.finding(
+                        ctx, node,
+                        "os.fdopen(..., write mode) writes in place; use the "
+                        "atomic staging + os.replace idiom of write_artifact",
+                    )
+            elif name in ("numpy.save", "numpy.savez", "numpy.savez_compressed",
+                          "numpy.savetxt"):
+                yield self.finding(
+                    ctx, node,
+                    f"{name} writes in place; stage into a temp sibling and "
+                    "os.replace (see write_artifact)",
+                )
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in ("write_text", "write_bytes"):
+                yield self.finding(
+                    ctx, node,
+                    f"Path.{node.func.attr} writes in place; use the atomic "
+                    "staging + os.replace idiom of write_artifact",
+                )
+
+
+#: The one module allowed to construct worker pools.
+_SCHEDULER_PATH_SUFFIX = "parallel/scheduler.py"
+#: Dotted names of pool constructors.
+_POOL_NAMES = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+
+@register_rule
+class PoolOutsideSchedulerRule(Rule):
+    """Flags process-pool construction outside the experiment scheduler."""
+
+    name = "pool-outside-scheduler"
+    severity = "error"
+    description = (
+        "ProcessPoolExecutor / multiprocessing.Pool referenced anywhere but "
+        "repro/parallel/scheduler.py"
+    )
+    rationale = (
+        "the scheduler is the single place that makes multi-process execution "
+        "deterministic: store-coordinated publishes, worker-id stamping, "
+        "topological dispatch. A second ad-hoc pool bypasses all of it and "
+        "reintroduces completion-order nondeterminism."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan imports and name references for pool constructors."""
+        if ctx.path.endswith(_SCHEDULER_PATH_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    dotted = f"{node.module}.{alias.name}"
+                    if dotted in _POOL_NAMES:
+                        yield self.finding(
+                            ctx, node,
+                            f"import of {dotted} outside the scheduler; submit "
+                            "WorkUnits to ExperimentScheduler instead of building "
+                            "a private pool",
+                        )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                dotted = ctx.dotted_name(node)
+                if dotted in _POOL_NAMES:
+                    parent = ctx.parent(node)
+                    if isinstance(parent, ast.Attribute):
+                        continue  # inner part of a longer chain; flagged once
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted} used outside the scheduler; submit WorkUnits to "
+                        "ExperimentScheduler instead of building a private pool",
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint completeness
+# --------------------------------------------------------------------------- #
+
+
+#: Attribute segments that denote a configuration object.
+_CONFIG_SEGMENT = re.compile(r"^(config|cfg|profile|settings|options)$")
+
+
+@register_rule
+class FingerprintFieldSubsetRule(Rule):
+    """Flags fingerprint calls fed hand-picked config fields."""
+
+    name = "fingerprint-field-subset"
+    severity = "warning"
+    description = (
+        "fingerprint()/... calls passing individual fields of a config/profile "
+        "object (cfg.x) instead of the object itself"
+    )
+    rationale = (
+        "canonicalize() hashes every dataclass field automatically, so passing "
+        "the whole config keeps fingerprints complete forever; a hand-picked "
+        "field list silently omits the next field someone adds, and two "
+        "different configs start sharing one artifact."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan fingerprint call arguments for config-field selections."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(ctx, node)
+            if name is None or "fingerprint" not in name.split(".")[-1]:
+                continue
+            candidates: List[Tuple[ast.AST, Optional[str]]] = [
+                (arg, None) for arg in node.args
+            ] + [(kw.value, kw.arg) for kw in node.keywords]
+            expanded: List[ast.AST] = []
+            for value, _ in candidates:
+                if isinstance(value, ast.Dict):
+                    expanded.extend(v for v in value.values if v is not None)
+                else:
+                    expanded.append(value)
+            for value in expanded:
+                segments = _attribute_segments(value)
+                if not segments or len(segments) < 2:
+                    continue
+                for index, segment in enumerate(segments[:-1]):
+                    if _CONFIG_SEGMENT.match(segment):
+                        field = ".".join(segments[index:])
+                        yield self.finding(
+                            ctx, value,
+                            f"fingerprint input hand-picks {field}; pass the whole "
+                            f"{segment} object so new fields are fingerprinted "
+                            "automatically",
+                        )
+                        break

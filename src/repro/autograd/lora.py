@@ -174,7 +174,7 @@ class AdaLoRAController:
         if budget >= flat.size:
             return budget
         threshold = np.sort(flat)[::-1][budget - 1] if budget > 0 else np.inf
-        for adapter, score in zip(self.adapters, scores):
+        for adapter, score in zip(self.adapters, scores, strict=True):
             mask = (score >= threshold).astype(np.float64)
             if mask.sum() == 0:  # always keep at least one component per adapter
                 mask[int(np.argmax(score))] = 1.0

@@ -548,7 +548,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = np.asarray(grad)
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:], strict=True):
                 slicer = [slice(None)] * grad_arr.ndim
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad_arr[tuple(slicer)])

@@ -133,7 +133,7 @@ class LLMBaseline:
             )
         return [
             self.score_candidates(history, candidates)
-            for history, candidates in zip(histories, candidate_sets)
+            for history, candidates in zip(histories, candidate_sets, strict=True)
         ]
 
     def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:

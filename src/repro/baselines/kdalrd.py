@@ -98,9 +98,9 @@ class KDALRD(LLMBaseline):
         # tune the observed/latent mixing weight on (a slice of) the validation split
         validation = (split.validation or split.train)[:150]
         sampler = self._candidate_sampler(dataset)
-        best_alpha, best_hits = self.mixing_grid[0], -1.0
+        best_alpha, best_hits = self.mixing_grid[0], -1
         for alpha in self.mixing_grid:
-            hits = 0.0
+            hits = 0
             for example in validation:
                 history = self._clean_history(example.history)
                 if not history:
@@ -108,7 +108,7 @@ class KDALRD(LLMBaseline):
                 candidates = sampler.candidates_for(example)
                 scores = self._relation_scores(history, candidates, alpha)
                 ranked = [candidates[i] for i in np.argsort(-scores)[:5]]
-                hits += float(example.target in ranked)
+                hits += int(example.target in ranked)
             if hits > best_hits:
                 best_hits, best_alpha = hits, alpha
         self.alpha = best_alpha

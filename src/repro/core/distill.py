@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.autograd import Adam, Lion, SGD, Tensor
+from repro.autograd import SGD, Adam, Lion, Tensor
 from repro.autograd import functional as F
 from repro.core.config import Stage1Config
 from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample

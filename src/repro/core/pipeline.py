@@ -205,6 +205,8 @@ class DELRec:
             self.config,
             flags,
             {"backbone": model.name, "state": backbone_state},
+            # repro-lint: disable=fingerprint-field-subset -- .name is a label; the
+            # LLM's full content enters through state_fingerprint on the same line.
             {"llm": llm.config.name, "state": state_fingerprint(llm.state_dict())},
         )
 

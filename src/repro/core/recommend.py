@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd import Adam, Lion, SGD, no_grad
+from repro.autograd import SGD, Adam, Lion, no_grad
 from repro.autograd import functional as F
 from repro.autograd.lora import (
     AdaLoRAController,
@@ -194,7 +194,7 @@ class DELRecRecommender:
             return []
         prompts = [
             self.build_prompt(history, candidates)
-            for history, candidates in zip(histories, candidate_sets)
+            for history, candidates in zip(histories, candidate_sets, strict=True)
         ]
         buckets: Dict[Tuple[int, int], List[int]] = {}
         for index, prompt in enumerate(prompts):
@@ -231,7 +231,7 @@ class DELRecRecommender:
                     )
                     reference = self.lm_head == "full"
                     row_scores = []
-                    for row, (index, tokens) in enumerate(zip(indices, token_sets)):
+                    for row, (index, tokens) in enumerate(zip(indices, token_sets, strict=True)):
                         row_logits = self.model.candidate_logits_from_hidden(
                             mask_hidden[row:row + 1], tokens[None, :],
                             full_vocab_reference=reference,

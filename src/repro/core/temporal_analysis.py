@@ -15,9 +15,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.prompts import PromptBuilder, PromptExample
 from repro.data.records import ItemCatalog
 from repro.data.splits import SequenceExample
-from repro.core.prompts import PromptBuilder, PromptExample
 
 
 class TemporalAnalysisTaskBuilder:

@@ -312,7 +312,7 @@ def compare_training_runs(
     if len(full_losses) != len(restricted_losses) or set(full_state) != set(restricted_state):
         raise ValueError("training runs produced incomparable losses or states")
     max_loss = max(
-        (abs(a - b) for a, b in zip(full_losses, restricted_losses)), default=0.0
+        (abs(a - b) for a, b in zip(full_losses, restricted_losses, strict=True)), default=0.0
     )
     max_state = max(
         (float(np.max(np.abs(full_state[key] - restricted_state[key]))) for key in full_state),
@@ -431,7 +431,7 @@ def measure_serving(
     if reference_scores is not None:
         max_diff = max(
             float(np.max(np.abs(np.asarray(served) - np.asarray(reference))))
-            for served, reference in zip(result.scores(), reference_scores)
+            for served, reference in zip(result.scores(), reference_scores, strict=True)
         )
     return ServingReport(
         mode=mode,
@@ -474,7 +474,7 @@ def measure_scoring_throughput(
     start = time.perf_counter()
     looped = [
         recommender.score_candidates(history, candidates)
-        for history, candidates in zip(histories, candidate_sets)
+        for history, candidates in zip(histories, candidate_sets, strict=True)
     ]
     looped_seconds = time.perf_counter() - start
 
@@ -490,7 +490,7 @@ def measure_scoring_throughput(
     batched_seconds = time.perf_counter() - start
 
     max_difference = max(
-        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(looped, batched)
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) for a, b in zip(looped, batched, strict=True)
     )
     return ThroughputReport(
         name=name or getattr(recommender, "name", recommender.__class__.__name__),

@@ -10,7 +10,7 @@ import numpy as np
 from repro.data.candidates import CandidateSampler
 from repro.data.records import SequenceDataset
 from repro.data.splits import SequenceExample
-from repro.eval.metrics import MetricAccumulator, PAPER_METRICS
+from repro.eval.metrics import PAPER_METRICS, MetricAccumulator
 
 
 #: A scorer maps (example, candidate item ids) to a score per candidate.
@@ -107,9 +107,9 @@ class RankingEvaluator:
             else:
                 raw_scores = [
                     scorer(example, candidates)
-                    for example, candidates in zip(chunk, candidate_sets)
+                    for example, candidates in zip(chunk, candidate_sets, strict=True)
                 ]
-            for example, candidates, raw in zip(chunk, candidate_sets, raw_scores):
+            for example, candidates, raw in zip(chunk, candidate_sets, raw_scores, strict=True):
                 scores = np.asarray(raw, dtype=np.float64)
                 if scores.shape != (len(candidates),):
                     raise ValueError(

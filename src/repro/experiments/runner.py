@@ -33,7 +33,7 @@ from repro.llm.registry import build_pretrained_simlm, build_simlm
 from repro.llm.simlm import SimLM
 from repro.models import Caser, GRU4Rec, SASRec, TrainingConfig
 from repro.models.base import NeuralSequentialRecommender
-from repro.store import ArtifactStore, dataset_fingerprint, examples_fingerprint, default_store
+from repro.store import ArtifactStore, dataset_fingerprint, default_store, examples_fingerprint
 from repro.store import fingerprint as _store_fingerprint
 from repro.store.components import train_or_reload_backbone
 

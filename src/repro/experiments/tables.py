@@ -10,16 +10,16 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.baselines import KDALRD, ZeroShotLLM
-from repro.core.pipeline import DELRec
-from repro.data import available_datasets, compute_stats, load_dataset
-from repro.data.stats import PAPER_DATASET_STATS
 from repro.core.config import Stage1Config, Stage2Config
 from repro.core.distill import PatternDistiller
+from repro.core.pipeline import DELRec
 from repro.core.prompts import PromptBuilder
 from repro.core.recommend import DELRecRecommender, LSRFineTuner
 from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
+from repro.data import available_datasets, compute_stats, load_dataset
 from repro.data.candidates import CandidateSampler
 from repro.data.splits import chronological_split
+from repro.data.stats import PAPER_DATASET_STATS
 from repro.eval import (
     cold_start_comparison,
     compare_training_runs,
@@ -28,10 +28,6 @@ from repro.eval import (
     profile_inference,
     profile_model,
 )
-from repro.llm.corpus import corpus_for_dataset
-from repro.llm.pretrain import PretrainConfig, pretrain_simlm
-from repro.llm.registry import build_simlm, build_tokenizer
-from repro.llm.soft_prompt import SoftPrompt
 from repro.eval.merge import merge_evaluation_results
 from repro.eval.metrics import PAPER_METRICS
 from repro.eval.significance import significance_markers
@@ -46,6 +42,10 @@ from repro.experiments.units import (
     table2_row_key,
     table2_units,
 )
+from repro.llm.corpus import corpus_for_dataset
+from repro.llm.pretrain import PretrainConfig, pretrain_simlm
+from repro.llm.registry import build_simlm, build_tokenizer
+from repro.llm.soft_prompt import SoftPrompt
 from repro.parallel import ExperimentScheduler
 from repro.store import ArtifactStore
 
@@ -120,7 +120,7 @@ def run_table2_overall(
         columns=["dataset", "group", "method"] + list(PAPER_METRICS) + ["significance"],
     )
 
-    start = time.time()
+    start = time.perf_counter()
     scheduler = ExperimentScheduler(profile, num_workers=num_workers)
     results = scheduler.run(plan_for_datasets(table2_units, datasets))
 
@@ -164,7 +164,7 @@ def run_table2_overall(
         if verbose:
             print(f"[table2] {dataset_name} assembled", flush=True)
     if verbose:
-        print(f"[table2] {len(datasets)} dataset(s) in {time.time() - start:.0f}s "
+        print(f"[table2] {len(datasets)} dataset(s) in {time.perf_counter() - start:.0f}s "
               f"({scheduler.num_workers} worker(s))", flush=True)
 
     table.notes.append("significance markers: '*' p<=0.01, '**' p<=0.05 vs the conventional backbone")
@@ -185,7 +185,7 @@ def _run_ablation(
     profile = profile or get_profile()
     datasets = datasets or profile.ablation_datasets
     table = ResultTable(title=title, columns=["dataset", "variant"] + list(PAPER_METRICS))
-    start = time.time()
+    start = time.perf_counter()
     scheduler = ExperimentScheduler(profile, num_workers=num_workers)
     results = scheduler.run(plan_for_datasets(ablation_units, datasets, variants))
     for dataset_name in datasets:
@@ -198,7 +198,7 @@ def _run_ablation(
         if verbose:
             print(f"[ablation] {dataset_name} assembled", flush=True)
     if verbose:
-        print(f"[ablation] {len(datasets)} dataset(s) in {time.time() - start:.0f}s "
+        print(f"[ablation] {len(datasets)} dataset(s) in {time.perf_counter() - start:.0f}s "
               f"({scheduler.num_workers} worker(s))", flush=True)
     return table
 
@@ -641,7 +641,7 @@ def _rq5_tables(profile, dataset_name, num_requests, context, pipeline, sasrec, 
     restricted_seconds, restricted_scores = timed_scoring(delrec)
     scoring_diff = max(
         float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
-        for a, b in zip(full_scores, restricted_scores)
+        for a, b in zip(full_scores, restricted_scores, strict=True)
     )
     num_examples = len(throughput_histories)
     restricted_scoring.add_row(

@@ -28,12 +28,12 @@ from typing import List, Optional, Sequence
 
 from repro.baselines import (
     KDALRD,
+    LLMTRSR,
+    LlamaRec,
+    LLaRA,
     LLM2BERT4Rec,
     LLMSeqPrompt,
     LLMSeqSim,
-    LLMTRSR,
-    LLaRA,
-    LlamaRec,
     RecRanker,
     ZeroShotLLM,
 )

@@ -73,7 +73,7 @@ class CorpusBuilder:
         pair_counts: Counter = Counter()
         for example in examples:
             sequence = list(example.history) + [example.target]
-            for first, second in zip(sequence, sequence[1:]):
+            for first, second in zip(sequence, sequence[1:], strict=False):
                 pair_counts[(first, second)] += 1
         sentences: List[str] = []
         for (first, second), _count in pair_counts.most_common(max_sentences):

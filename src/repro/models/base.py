@@ -96,7 +96,7 @@ class SequentialRecommender:
             )
         return [
             self.score_candidates(history, candidates)
-            for history, candidates in zip(histories, candidate_sets)
+            for history, candidates in zip(histories, candidate_sets, strict=True)
         ]
 
     def top_k(

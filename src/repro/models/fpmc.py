@@ -85,6 +85,9 @@ class FPMCRecommender(SequentialRecommender, Module):
                 loss = F.bpr_loss(positive, negative)
                 loss.backward()
                 optimizer.step()
+                # repro-lint: disable=float-accumulation -- epoch-log scalar only;
+                # batch order is fixed by the seeded permutation and the value is
+                # never trained on, fingerprinted or reported in a table.
                 total_loss += loss.item() * len(index)
             if verbose:
                 print(f"[FPMC] epoch {epoch + 1}/{epochs} loss={total_loss / len(examples):.4f}")

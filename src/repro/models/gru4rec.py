@@ -6,7 +6,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.autograd import Dropout, Embedding, GRU, Linear, Parameter, Tensor
+from repro.autograd import GRU, Dropout, Embedding, Linear, Parameter, Tensor
 from repro.autograd import init
 from repro.models.base import NeuralSequentialRecommender
 

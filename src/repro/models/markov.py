@@ -34,7 +34,7 @@ class MarkovChainRecommender(SequentialRecommender):
             if example.history:
                 last = example.history[-1]
                 transitions[last, example.target] += 1.0
-            for previous, current in zip(example.history, example.history[1:]):
+            for previous, current in zip(example.history, example.history[1:], strict=False):
                 transitions[previous, current] += 1.0
                 popularity[current] += 1.0
         self._transitions = transitions

@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.autograd import Adagrad, Adam, Lion, SGD
+from repro.autograd import SGD, Adagrad, Adam, Lion
 from repro.autograd import functional as F
 from repro.data.batching import batch_examples
 from repro.data.splits import SequenceExample

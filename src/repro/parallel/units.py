@@ -110,7 +110,7 @@ def plan_graph(units: Sequence[WorkUnit]):
     remaining = {unit.key: len(set(unit.requires)) for unit in units}
     children: Dict[str, list] = {unit.key: [] for unit in units}
     for unit in units:
-        for dependency in set(unit.requires):
+        for dependency in sorted(set(unit.requires)):
             children[dependency].append(unit.key)
     by_key = {unit.key: unit for unit in units}
     return by_key, remaining, children

@@ -179,6 +179,6 @@ class MicroBatcher:
                 if not entry.future.done():
                     entry.future.set_exception(error)
             return
-        for entry, row in zip(batch, scores):
+        for entry, row in zip(batch, scores, strict=True):
             if not entry.future.done():
                 entry.future.set_result(np.asarray(row))

@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.serve.service import RecommendResponse, RecommendationService, ServiceStats
+from repro.serve.service import RecommendationService, RecommendResponse, ServiceStats
 
 
 @dataclass(frozen=True)

@@ -95,9 +95,12 @@ def write_artifact(path: str, arrays: Dict[str, np.ndarray], metadata: dict,
     os.makedirs(parent, exist_ok=True)
     staging = tempfile.mkdtemp(prefix=".staging-", dir=parent)
     try:
+        # repro-lint: disable=raw-file-write -- this IS the atomic-write primitive:
+        # both writes land in the private staging dir and publish via os.replace.
         np.savez(os.path.join(staging, PAYLOAD_FILE), **arrays)
         document = dict(metadata)
         document.setdefault("format_version", FORMAT_VERSION)
+        # repro-lint: disable=raw-file-write -- staged write inside write_artifact.
         with open(os.path.join(staging, METADATA_FILE), "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True, default=str)
         if os.path.isdir(path):
@@ -325,6 +328,8 @@ class ArtifactStore:
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
+        # repro-lint: disable=raw-file-write -- lock-file handle opened for flock
+        # only; nothing is ever written through it.
         with open(os.path.join(self.root, COUNTERS_LOCK_FILE), "a") as lock:
             fcntl.flock(lock, fcntl.LOCK_EX)
             try:
@@ -341,6 +346,8 @@ class ArtifactStore:
             )
             worker[event] = worker.get(event, 0) + 1
             descriptor, staging = tempfile.mkstemp(dir=self.root, prefix=".counters-")
+            # repro-lint: disable=raw-file-write -- this IS the flock-serialised
+            # counter helper: mkstemp staging + os.replace, under _counters_lock.
             with os.fdopen(descriptor, "w") as handle:
                 json.dump(counts, handle)
             os.replace(staging, os.path.join(self.root, COUNTERS_FILE))

@@ -23,13 +23,13 @@ from repro.core.pattern_simulating import PatternSimulatingTaskBuilder
 from repro.core.temporal_analysis import TemporalAnalysisTaskBuilder
 from repro.experiments import PROFILES, ExperimentContext
 from repro.llm import SoftPrompt
+from repro.llm.pretrain import PretrainConfig
 from repro.llm.registry import (
     build_pretrained_simlm,
     build_simlm,
     load_simlm,
     save_simlm,
 )
-from repro.llm.pretrain import PretrainConfig
 from repro.models import Caser, GRU4Rec, MarkovChainRecommender, SASRec, TrainingConfig, train_recommender
 from repro.store import (
     ArtifactError,
@@ -246,7 +246,7 @@ def scoring_probe(tiny_split):
 
 def _scores(recommender, probe):
     histories, candidate_sets = probe
-    return [recommender.score_candidates(h, c) for h, c in zip(histories, candidate_sets)]
+    return [recommender.score_candidates(h, c) for h, c in zip(histories, candidate_sets, strict=True)]
 
 
 class TestBackboneRoundTrip:
@@ -261,7 +261,7 @@ class TestBackboneRoundTrip:
         assert type(reloaded) is type(model)
         assert reloaded.is_fitted
         for original, restored in zip(_scores(model, scoring_probe),
-                                      _scores(reloaded, scoring_probe)):
+                                      _scores(reloaded, scoring_probe), strict=True):
             np.testing.assert_array_equal(original, restored)
 
     def test_classical_model_rejected(self, tiny_dataset, tiny_split, tmp_path):
@@ -357,7 +357,7 @@ class TestDELRecBundle:
         assert reloaded.name == recommender.name
         assert reloaded.soft_prompt is not None
         for original, restored in zip(_scores(recommender, scoring_probe),
-                                      _scores(reloaded, scoring_probe)):
+                                      _scores(reloaded, scoring_probe), strict=True):
             np.testing.assert_array_equal(original, restored)
 
     def test_batched_scoring_matches_after_reload(self, store_and_pipeline, tiny_dataset,
@@ -370,6 +370,7 @@ class TestDELRecBundle:
         for original, restored in zip(
             recommender.score_candidates_batch(histories, candidate_sets),
             reloaded.score_candidates_batch(histories, candidate_sets),
+            strict=True,
         ):
             np.testing.assert_array_equal(original, restored)
 
@@ -380,7 +381,7 @@ class TestDELRecBundle:
         warm.fit(tiny_dataset, tiny_split, conventional_epochs=1)
         assert warm.loaded_from_store
         for original, restored in zip(_scores(pipeline.recommender(), scoring_probe),
-                                      _scores(warm.recommender(), scoring_probe)):
+                                      _scores(warm.recommender(), scoring_probe), strict=True):
             np.testing.assert_array_equal(original, restored)
 
     def test_config_change_invalidates_bundle(self, store_and_pipeline, tiny_dataset,

@@ -4,13 +4,14 @@ import numpy as np
 import pytest
 
 from repro.autograd import (
+    GRU,
+    SGD,
     Adagrad,
-    Adam,
     AdaLoRAController,
     AdaLoRALinear,
+    Adam,
     Dropout,
     Embedding,
-    GRU,
     GRUCell,
     HorizontalConv,
     LayerNorm,
@@ -20,7 +21,6 @@ from repro.autograd import (
     Module,
     MultiHeadSelfAttention,
     Parameter,
-    SGD,
     Sequential,
     Tensor,
     TransformerEncoderLayer,
@@ -28,9 +28,9 @@ from repro.autograd import (
     load_state_dict,
     save_state_dict,
 )
+from repro.autograd import functional as F
 from repro.autograd.attention import causal_mask, padding_mask
 from repro.autograd.lora import wrap_linears_with_adalora
-from repro.autograd import functional as F
 
 
 class TinyNet(Module):
@@ -327,7 +327,7 @@ class TestInPlaceOptimizerTrajectories:
     def _reference_step(kind, params, grads, state, t, lr, wd):
         """The pre-in-place update rules, one step, returning new parameter arrays."""
         out = []
-        for i, (param, grad) in enumerate(zip(params, grads)):
+        for i, (param, grad) in enumerate(zip(params, grads, strict=True)):
             if kind == "sgd":
                 grad = grad + wd * param
                 out.append(param - lr * grad)
@@ -386,11 +386,11 @@ class TestInPlaceOptimizerTrajectories:
         ref_state = {}
         for t in range(1, 26):
             grads = [rng.standard_normal(shape) for shape in shapes]
-            for param, grad in zip(params, grads):
+            for param, grad in zip(params, grads, strict=True):
                 param.grad = grad.copy()
             optimizer.step()
             reference = self._reference_step(kind, reference, grads, ref_state, t, lr, wd)
-            for param, expected in zip(params, reference):
+            for param, expected in zip(params, reference, strict=True):
                 assert np.array_equal(param.data, expected), f"{kind} diverged at step {t}"
 
     def test_step_updates_in_place_without_rebinding(self):

@@ -9,12 +9,12 @@ import pytest
 
 from repro.baselines import (
     KDALRD,
+    LLMTRSR,
+    LlamaRec,
+    LLaRA,
     LLM2BERT4Rec,
     LLMSeqPrompt,
     LLMSeqSim,
-    LLMTRSR,
-    LLaRA,
-    LlamaRec,
     RecRanker,
     ZeroShotLLM,
 )
@@ -147,8 +147,8 @@ class TestParadigm3:
         recalled = set(markov_model.top_k(history, k=5))
         candidates = tiny_dataset.catalog.ids()[:10]
         scores = baseline.score_candidates(history, candidates)
-        outside = [s for c, s in zip(candidates, scores) if c not in recalled]
-        inside = [s for c, s in zip(candidates, scores) if c in recalled]
+        outside = [s for c, s in zip(candidates, scores, strict=True) if c not in recalled]
+        inside = [s for c, s in zip(candidates, scores, strict=True) if c in recalled]
         if inside and outside:
             assert max(outside) < min(inside)
 

@@ -13,18 +13,18 @@ Three guarantees are pinned down here:
 import numpy as np
 import pytest
 
+from repro.autograd import Tensor
+from repro.core.prompts import PromptBuilder
+from repro.core.recommend import DELRecRecommender
 from repro.data.batching import batch_examples
 from repro.data.candidates import CandidateSampler
 from repro.data.splits import SequenceExample
 from repro.eval import RankingEvaluator, measure_scoring_throughput
-from repro.eval.metrics import MetricAccumulator, PAPER_METRICS
+from repro.eval.metrics import PAPER_METRICS, MetricAccumulator
 from repro.llm import SoftPrompt, Verbalizer
 from repro.llm.registry import build_simlm
 from repro.llm.simlm import _single_mask_positions
-from repro.core.prompts import PromptBuilder
-from repro.core.recommend import DELRecRecommender
 from repro.models import GRU4Rec, PopularityRecommender, SASRec, TrainingConfig, train_recommender
-from repro.autograd import Tensor
 
 
 @pytest.fixture(scope="module")
@@ -71,11 +71,11 @@ class TestBatchedEqualsLooped:
         histories = [example.history for example in scoring_examples]
         looped = [
             recommender.score_candidates(history, candidates)
-            for history, candidates in zip(histories, candidate_sets)
+            for history, candidates in zip(histories, candidate_sets, strict=True)
         ]
         batched = recommender.score_candidates_batch(histories, candidate_sets)
         assert len(batched) == len(looped)
-        for row, (loop_scores, batch_scores) in enumerate(zip(looped, batched)):
+        for row, (loop_scores, batch_scores) in enumerate(zip(looped, batched, strict=True)):
             assert np.array_equal(loop_scores, batch_scores), (
                 f"row {row}: batched scores differ from the looped path"
             )

@@ -202,7 +202,7 @@ class TestTaskBuilders:
                                                     num_candidates=10, top_h=4, seed=0)
         prompts = task_builder.build(tiny_split.train, limit=20)
         assert prompts
-        for prompt, example in zip(prompts, tiny_split.train[:20]):
+        for prompt, example in zip(prompts, tiny_split.train[:20], strict=True):
             history = [i for i in example.history if i != 0]
             expected = model.top_k(history, k=4)[0]
             assert prompt.label_item == expected

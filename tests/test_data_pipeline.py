@@ -6,9 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import (
-    CandidateSampler,
     DATASET_CONFIGS,
     PAPER_DATASET_STATS,
+    CandidateSampler,
     SequenceExample,
     SyntheticDatasetConfig,
     SyntheticDatasetGenerator,
@@ -68,7 +68,7 @@ class TestSyntheticGenerator:
         counts = np.zeros((len(genres), len(genres)))
         for sequence in small_dataset.sequences():
             ids = sequence.item_ids
-            for a, b in zip(ids, ids[1:]):
+            for a, b in zip(ids, ids[1:], strict=False):
                 counts[index[genre_of[a]], index[genre_of[b]]] += 1
         row_sums = counts.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0] = 1
@@ -205,7 +205,7 @@ class TestBatching:
         assert len(batch) == 8
         assert np.all(batch.lengths >= 1)
         # padding only on the left
-        for row, mask in zip(batch.histories, batch.valid_mask):
+        for row, mask in zip(batch.histories, batch.valid_mask, strict=True):
             first_real = np.argmax(mask) if mask.any() else len(mask)
             assert np.all(row[:first_real] == 0)
             assert np.all(row[first_real:] != 0)

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.autograd import Linear
 from repro.data.splits import cold_start_examples
 from repro.eval import (
     EvaluationResult,
@@ -20,9 +21,8 @@ from repro.eval import (
     ranking_metrics,
     significance_markers,
 )
-from repro.eval.metrics import MetricAccumulator, PAPER_METRICS
-from repro.models import PopularityRecommender, MarkovChainRecommender
-from repro.autograd import Linear
+from repro.eval.metrics import PAPER_METRICS, MetricAccumulator
+from repro.models import MarkovChainRecommender, PopularityRecommender
 
 
 class TestMetrics:

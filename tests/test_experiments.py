@@ -9,9 +9,10 @@ import os
 import numpy as np
 import pytest
 
+from repro.eval.metrics import PAPER_METRICS
 from repro.experiments import (
-    ExperimentContext,
     PROFILES,
+    ExperimentContext,
     ResultTable,
     format_table,
     get_profile,
@@ -20,7 +21,6 @@ from repro.experiments import (
     save_results,
 )
 from repro.experiments.sweeps import _sweep
-from repro.eval.metrics import PAPER_METRICS
 
 SMOKE = PROFILES["smoke"]
 

@@ -1,0 +1,567 @@
+"""Tests for the ``repro-lint`` static analyzer (``repro.analysis``).
+
+Covers, per built-in rule, a positive fixture (the violation fires), a
+suppressed fixture (an inline ``# repro-lint: disable=`` silences it) and a
+clean fixture (the blessed idiom passes); the suppression-comment semantics;
+the baseline add/remove round-trip with multiplicity; the CLI's exit codes
+(clean -> 0, injected violation -> 1, usage errors -> 2); and the smoke
+guarantee the CI gate relies on: ``src/`` + ``scripts/`` are clean against
+the committed baseline.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rules,
+    render_json,
+    render_text,
+    suppressions_by_line,
+)
+from repro.analysis.framework import PARSE_ERROR_RULE
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _load_cli():
+    spec = importlib.util.spec_from_file_location(
+        "repro_lint_cli", os.path.join(REPO_ROOT, "scripts", "repro_lint.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def cli():
+    return _load_cli()
+
+
+def rules_fired(source, path="pkg/module.py", rule=None):
+    """Rule names of the active findings for ``source`` (one rule or all)."""
+    selected = get_rules([rule]) if rule else None
+    active, _ = analyze_source(path, source, rules=selected)
+    return [finding.rule for finding in active]
+
+
+def suppressed_rules(source, path="pkg/module.py", rule=None):
+    selected = get_rules([rule]) if rule else None
+    _, suppressed = analyze_source(path, source, rules=selected)
+    return [finding.rule for finding in suppressed]
+
+
+# --------------------------------------------------------------------------- #
+# fixtures per rule: positive / suppressed / clean
+# --------------------------------------------------------------------------- #
+class TestUnseededRng:
+    def test_global_stdlib_draw_fires(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_fired(src, rule="unseeded-rng") == ["unseeded-rng"]
+
+    def test_legacy_numpy_draw_fires(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_fired(src, rule="unseeded-rng") == ["unseeded-rng"]
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_fired(src, rule="unseeded-rng") == ["unseeded-rng"]
+
+    def test_seedless_random_instance_fires(self):
+        src = "import random\nrng = random.Random()\n"
+        assert rules_fired(src, rule="unseeded-rng") == ["unseeded-rng"]
+
+    def test_suppression_silences(self):
+        src = (
+            "import random\n"
+            "x = random.random()  # repro-lint: disable=unseeded-rng -- test shim\n"
+        )
+        assert rules_fired(src, rule="unseeded-rng") == []
+        assert suppressed_rules(src, rule="unseeded-rng") == ["unseeded-rng"]
+
+    def test_seeded_generators_clean(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "r2 = random.Random(7)\n"
+            "x = rng.normal(size=3)\n"
+        )
+        assert rules_fired(src, rule="unseeded-rng") == []
+
+
+class TestWallClockEntropy:
+    def test_time_time_fires(self):
+        src = "import time\nstart = time.time()\n"
+        assert rules_fired(src, rule="wall-clock-entropy") == ["wall-clock-entropy"]
+
+    def test_datetime_now_fires(self):
+        src = "import datetime\nstamp = datetime.datetime.now()\n"
+        assert rules_fired(src, rule="wall-clock-entropy") == ["wall-clock-entropy"]
+
+    def test_suppression_silences(self):
+        src = (
+            "import time\n"
+            "start = time.time()  # repro-lint: disable=wall-clock-entropy -- log only\n"
+        )
+        assert rules_fired(src, rule="wall-clock-entropy") == []
+
+    def test_monotonic_clocks_clean(self):
+        src = "import time\nstart = time.perf_counter()\nalso = time.monotonic()\n"
+        assert rules_fired(src, rule="wall-clock-entropy") == []
+
+
+class TestIdentityHashEntropy:
+    def test_id_inside_fingerprint_fires(self):
+        src = "key = fingerprint(id(model))\n"
+        assert rules_fired(src, rule="identity-hash-entropy") == ["identity-hash-entropy"]
+
+    def test_hash_in_store_package_fires(self):
+        src = "key = hash(name)\n"
+        assert rules_fired(
+            src, path="src/repro/store/cache.py", rule="identity-hash-entropy"
+        ) == ["identity-hash-entropy"]
+
+    def test_suppression_silences(self):
+        src = (
+            "# repro-lint: disable=identity-hash-entropy -- content hash, not object id\n"
+            "key = fingerprint(id(model))\n"
+        )
+        assert rules_fired(src, rule="identity-hash-entropy") == []
+
+    def test_hash_outside_sensitive_paths_clean(self):
+        src = "key = hash(name)\n"
+        assert rules_fired(src, path="src/repro/eval/metrics.py",
+                           rule="identity-hash-entropy") == []
+
+
+class TestUnsortedFsEnumeration:
+    def test_listdir_fires(self):
+        src = "import os\nnames = os.listdir(root)\n"
+        assert rules_fired(src, rule="unsorted-fs-enumeration") == [
+            "unsorted-fs-enumeration"
+        ]
+
+    def test_path_glob_fires(self):
+        src = "files = root.glob('*.json')\n"
+        assert rules_fired(src, rule="unsorted-fs-enumeration") == [
+            "unsorted-fs-enumeration"
+        ]
+
+    def test_suppression_silences(self):
+        src = (
+            "import os\n"
+            "names = os.listdir(root)  "
+            "# repro-lint: disable=unsorted-fs-enumeration -- order irrelevant\n"
+        )
+        assert rules_fired(src, rule="unsorted-fs-enumeration") == []
+
+    def test_sorted_wrapper_clean(self):
+        src = "import os\nnames = sorted(os.listdir(root))\ncount = len(os.listdir(root))\n"
+        assert rules_fired(src, rule="unsorted-fs-enumeration") == []
+
+
+class TestUnsortedSetIteration:
+    def test_for_over_set_fires(self):
+        src = "for item in {1, 2, 3}:\n    print(item)\n"
+        assert rules_fired(src, rule="unsorted-set-iteration") == ["unsorted-set-iteration"]
+
+    def test_set_into_reducer_fires(self):
+        src = "items = list(set(values))\n"
+        assert rules_fired(src, rule="unsorted-set-iteration") == ["unsorted-set-iteration"]
+
+    def test_keys_into_join_fires(self):
+        src = "label = ','.join(table.keys())\n"
+        assert rules_fired(src, rule="unsorted-set-iteration") == ["unsorted-set-iteration"]
+
+    def test_suppression_silences(self):
+        src = (
+            "items = list(set(values))  "
+            "# repro-lint: disable=unsorted-set-iteration -- dedupe only, re-sorted later\n"
+        )
+        assert rules_fired(src, rule="unsorted-set-iteration") == []
+
+    def test_sorted_set_clean(self):
+        src = (
+            "for item in sorted({1, 2, 3}):\n"
+            "    print(item)\n"
+            "items = list(sorted(set(values)))\n"
+            "count = len(set(values))\n"
+        )
+        assert rules_fired(src, rule="unsorted-set-iteration") == []
+
+
+class TestFloatAccumulation:
+    def test_sum_of_floats_fires(self):
+        src = "total = sum(losses)\n"
+        assert rules_fired(src, rule="float-accumulation") == ["float-accumulation"]
+
+    def test_loop_accumulator_fires(self):
+        src = (
+            "def run(values):\n"
+            "    total = 0.0\n"
+            "    for value in values:\n"
+            "        total += value\n"
+            "    return total\n"
+        )
+        assert rules_fired(src, rule="float-accumulation") == ["float-accumulation"]
+
+    def test_suppression_silences(self):
+        src = (
+            "total = sum(losses)  "
+            "# repro-lint: disable=float-accumulation -- fixed order, serial only\n"
+        )
+        assert rules_fired(src, rule="float-accumulation") == []
+
+    def test_integer_sum_clean(self):
+        src = "total = sum(counts)\nnp_total = np.sum(losses)\n"
+        assert rules_fired(src, rule="float-accumulation") == []
+
+
+class TestRunnerGlobalMutation:
+    def test_global_write_fires(self):
+        src = (
+            "CACHE = {}\n"
+            "@register_runner('thing')\n"
+            "def run_thing(unit, profile):\n"
+            "    CACHE[unit.name] = 1\n"
+        )
+        assert rules_fired(src, rule="runner-global-mutation") == ["runner-global-mutation"]
+
+    def test_global_declaration_fires(self):
+        src = (
+            "TOTAL = 0\n"
+            "@register_runner('thing')\n"
+            "def run_thing(unit, profile):\n"
+            "    global TOTAL\n"
+            "    TOTAL = 1\n"
+        )
+        assert rules_fired(src, rule="runner-global-mutation") == ["runner-global-mutation"]
+
+    def test_suppression_silences(self):
+        src = (
+            "CACHE = {}\n"
+            "@register_runner('thing')\n"
+            "def run_thing(unit, profile):\n"
+            "    # repro-lint: disable=runner-global-mutation -- warmed before fork\n"
+            "    CACHE[unit.name] = 1\n"
+        )
+        assert rules_fired(src, rule="runner-global-mutation") == []
+
+    def test_local_state_clean(self):
+        src = (
+            "CACHE = {}\n"
+            "@register_runner('thing')\n"
+            "def run_thing(unit, profile):\n"
+            "    local = {}\n"
+            "    local[unit.name] = 1\n"
+            "    return local\n"
+        )
+        assert rules_fired(src, rule="runner-global-mutation") == []
+
+
+class TestRawFileWrite:
+    def test_write_mode_open_in_store_fires(self):
+        src = "with open(path, 'w') as handle:\n    handle.write(data)\n"
+        assert rules_fired(src, path="src/repro/store/extra.py",
+                           rule="raw-file-write") == ["raw-file-write"]
+
+    def test_np_save_in_parallel_fires(self):
+        src = "import numpy as np\nnp.save(path, array)\n"
+        assert rules_fired(src, path="src/repro/parallel/extra.py",
+                           rule="raw-file-write") == ["raw-file-write"]
+
+    def test_suppression_silences(self):
+        src = (
+            "# repro-lint: disable=raw-file-write -- staging dir, published by os.replace\n"
+            "with open(path, 'w') as handle:\n"
+            "    handle.write(data)\n"
+        )
+        assert rules_fired(src, path="src/repro/store/extra.py",
+                           rule="raw-file-write") == []
+
+    def test_reads_and_other_packages_clean(self):
+        read_only = "with open(path) as handle:\n    data = handle.read()\n"
+        assert rules_fired(read_only, path="src/repro/store/extra.py",
+                           rule="raw-file-write") == []
+        write_elsewhere = "with open(path, 'w') as handle:\n    handle.write(data)\n"
+        assert rules_fired(write_elsewhere, path="src/repro/eval/extra.py",
+                           rule="raw-file-write") == []
+
+
+class TestPoolOutsideScheduler:
+    def test_import_fires(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert rules_fired(src, rule="pool-outside-scheduler") == ["pool-outside-scheduler"]
+
+    def test_attribute_reference_fires(self):
+        src = "import multiprocessing\npool = multiprocessing.Pool(4)\n"
+        assert rules_fired(src, rule="pool-outside-scheduler") == ["pool-outside-scheduler"]
+
+    def test_suppression_silences(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor  "
+            "# repro-lint: disable=pool-outside-scheduler -- type annotation only\n"
+        )
+        assert rules_fired(src, rule="pool-outside-scheduler") == []
+
+    def test_scheduler_module_exempt(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert rules_fired(src, path="src/repro/parallel/scheduler.py",
+                           rule="pool-outside-scheduler") == []
+
+
+class TestFingerprintFieldSubset:
+    def test_handpicked_field_fires(self):
+        src = "key = fingerprint(config.seed)\n"
+        assert rules_fired(src, rule="fingerprint-field-subset") == [
+            "fingerprint-field-subset"
+        ]
+
+    def test_dict_literal_values_fire(self):
+        src = "key = state_fingerprint({'seed': self.config.seed})\n"
+        assert rules_fired(src, rule="fingerprint-field-subset") == [
+            "fingerprint-field-subset"
+        ]
+
+    def test_suppression_silences(self):
+        src = (
+            "key = fingerprint(config.seed)  "
+            "# repro-lint: disable=fingerprint-field-subset -- display label only\n"
+        )
+        assert rules_fired(src, rule="fingerprint-field-subset") == []
+
+    def test_whole_config_clean(self):
+        src = "key = fingerprint(config)\nother = fingerprint(self.config)\n"
+        assert rules_fired(src, rule="fingerprint-field-subset") == []
+
+
+class TestParseError:
+    def test_syntax_error_becomes_finding(self):
+        active, suppressed = analyze_source("broken.py", "def nope(:\n")
+        assert [finding.rule for finding in active] == [PARSE_ERROR_RULE]
+        assert suppressed == []
+
+
+# --------------------------------------------------------------------------- #
+# suppression semantics
+# --------------------------------------------------------------------------- #
+class TestSuppressions:
+    def test_code_line_directive_targets_that_line(self):
+        table = suppressions_by_line("x = 1  # repro-lint: disable=rule-a\n")
+        assert table == {1: frozenset({"rule-a"})}
+
+    def test_comment_block_propagates_to_first_code_line(self):
+        src = (
+            "# repro-lint: disable=rule-a -- reason starts here\n"
+            "# and continues on a second comment line\n"
+            "x = 1\n"
+        )
+        table = suppressions_by_line(src)
+        assert table[3] == frozenset({"rule-a"})
+
+    def test_multiple_rules_and_all(self):
+        src = (
+            "x = 1  # repro-lint: disable=rule-a,rule-b\n"
+            "y = 2  # repro-lint: disable=all\n"
+        )
+        table = suppressions_by_line(src)
+        assert table[1] == frozenset({"rule-a", "rule-b"})
+        assert table[2] == frozenset({"all"})
+
+    def test_unrelated_rule_does_not_suppress(self):
+        src = (
+            "import time\n"
+            "start = time.time()  # repro-lint: disable=unseeded-rng -- wrong rule\n"
+        )
+        assert rules_fired(src, rule="wall-clock-entropy") == ["wall-clock-entropy"]
+
+    def test_disable_all_suppresses_everything(self):
+        src = (
+            "import time\n"
+            "start = time.time()  # repro-lint: disable=all -- fixture\n"
+        )
+        assert rules_fired(src) == []
+        assert "wall-clock-entropy" in suppressed_rules(src)
+
+
+# --------------------------------------------------------------------------- #
+# severity overrides and reporting
+# --------------------------------------------------------------------------- #
+class TestSeverityAndReport:
+    def test_override_rewrites_severity(self):
+        active, _ = analyze_source(
+            "m.py", "total = sum(losses)\n",
+            severity_overrides={"float-accumulation": "error"},
+        )
+        assert [finding.severity for finding in active] == ["error"]
+
+    def test_invalid_override_raises(self):
+        with pytest.raises(ValueError):
+            analyze_source("m.py", "x = 1\n",
+                           severity_overrides={"float-accumulation": "fatal"})
+
+    def test_render_text_and_json_agree(self, cli):
+        findings = [Finding("a.py", 3, 0, "unseeded-rng", "error", "msg", "x()")]
+        result = cli.AnalysisResult(
+            new=findings, baselined=[], suppressed=[], stale_baseline=[],
+            files_scanned=1, rules_run=("unseeded-rng",),
+        )
+        text = render_text(result, verbose=True)
+        assert "a.py:3:1" in text and "FAIL" in text
+        payload = json.loads(render_json(result))
+        assert payload["summary"]["new"] == 1
+        assert payload["failed"] is True
+        assert payload["findings"][0]["rule"] == "unseeded-rng"
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.name and rule.description and rule.rationale
+            assert rule.severity in ("warning", "error")
+
+
+# --------------------------------------------------------------------------- #
+# baseline round-trip
+# --------------------------------------------------------------------------- #
+def _finding(path="a.py", line=1, rule="unseeded-rng", snippet="x = random.random()"):
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   severity="error", message="m", snippet=snippet)
+
+
+class TestBaseline:
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        target = tmp_path / "baseline.json"
+        baseline.save(str(target))
+        reloaded = Baseline.load(str(target))
+        assert reloaded.entries == baseline.entries
+        assert len(reloaded) == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(str(tmp_path / "absent.json"))) == 0
+
+    def test_version_mismatch_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(target))
+
+    def test_partition_add_remove(self):
+        grandfathered = _finding()
+        baseline = Baseline.from_findings([grandfathered])
+        fresh = _finding(snippet="y = random.random()")
+        new, matched, stale = baseline.partition([grandfathered, fresh])
+        assert [f.snippet for f in new] == ["y = random.random()"]
+        assert [f.snippet for f in matched] == ["x = random.random()"]
+        assert stale == []
+        # removing the finding leaves a stale entry the report surfaces
+        new, matched, stale = baseline.partition([])
+        assert new == [] and matched == []
+        assert stale == [grandfathered.key()]
+
+    def test_partition_is_multiplicity_aware(self):
+        twice = [_finding(line=1), _finding(line=2)]
+        baseline = Baseline.from_findings(twice)
+        three = [_finding(line=1), _finding(line=2), _finding(line=3)]
+        new, matched, stale = baseline.partition(three)
+        assert len(new) == 1 and len(matched) == 2 and stale == []
+
+
+# --------------------------------------------------------------------------- #
+# CLI exit codes and the committed-baseline smoke gate
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_clean_tree_exits_zero(self, cli, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text(
+            "import numpy as np\nrng = np.random.default_rng(0)\n"
+        )
+        assert cli.run([str(tmp_path), "--no-baseline"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_injected_violation_exits_nonzero(self, cli, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("import random\nx = random.random()\n")
+        assert cli.run([str(tmp_path), "--no-baseline"]) == 1
+        assert "unseeded-rng" in capsys.readouterr().out
+
+    def test_baseline_write_then_clean(self, cli, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("import random\nx = random.random()\n")
+        baseline = tmp_path / "baseline.json"
+        assert cli.run([str(tmp_path), "--baseline", str(baseline),
+                        "--write-baseline"]) == 0
+        assert cli.run([str(tmp_path), "--baseline", str(baseline)]) == 0
+        # a second, new violation still fails against that baseline
+        (tmp_path / "dirty.py").write_text(
+            "import random\nx = random.random()\ny = random.random()\n"
+        )
+        capsys.readouterr()
+        assert cli.run([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_json_report_artifact(self, cli, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text("import random\nx = random.random()\n")
+        artifact = tmp_path / "report.json"
+        status = cli.run([str(tmp_path), "--no-baseline", "--format", "json",
+                          "--output", str(artifact)])
+        assert status == 1
+        payload = json.loads(artifact.read_text())
+        assert payload["summary"]["new"] == 1
+        assert payload["findings"][0]["rule"] == "unseeded-rng"
+        assert json.loads(capsys.readouterr().out) == payload
+
+    def test_usage_errors_exit_two(self, cli, tmp_path, capsys):
+        assert cli.run(["--rule", "no-such-rule", str(tmp_path)]) == 2
+        assert cli.run([str(tmp_path / "missing-dir")]) == 2
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert cli.run([str(tmp_path), "--severity", "bad"]) == 2
+        assert cli.run([str(tmp_path), "--severity",
+                        "float-accumulation=fatal"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, cli, capsys):
+        assert cli.run(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.name in out
+
+    def test_single_rule_selection(self, cli, tmp_path, capsys):
+        (tmp_path / "dirty.py").write_text(
+            "import random, time\nx = random.random()\nstart = time.time()\n"
+        )
+        assert cli.run([str(tmp_path), "--no-baseline",
+                        "--rule", "wall-clock-entropy"]) == 1
+        out = capsys.readouterr().out
+        assert "wall-clock-entropy" in out and "unseeded-rng" not in out
+
+
+class TestRepoIsClean:
+    def test_src_and_scripts_clean_against_committed_baseline(self, cli, capsys):
+        """The CI gate: the shipped tree has no non-baselined findings."""
+        status = cli.run([os.path.join(REPO_ROOT, "src"),
+                          os.path.join(REPO_ROOT, "scripts")])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_committed_baseline_loads_and_only_shrinks(self):
+        baseline = Baseline.load(os.path.join(REPO_ROOT, "repro_lint_baseline.json"))
+        # house rule: new exemptions are inline suppressions, so the committed
+        # baseline stays empty (it exists to stage future rule rollouts)
+        assert len(baseline) == 0
+
+    def test_analyzer_practices_sorted_enumeration(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        active, suppressed, count = analyze_paths([str(tmp_path)])
+        assert count == 3
+        assert active == [] and suppressed == []

@@ -212,8 +212,8 @@ class TestScoringBitExactness:
                                  lm_head="full")
         batch_restricted = restricted.score_candidates_batch(histories, candidate_sets)
         batch_full = full.score_candidates_batch(histories, candidate_sets)
-        looped = [restricted.score_candidates(h, c) for h, c in zip(histories, candidate_sets)]
-        for a, b, c in zip(batch_restricted, batch_full, looped):
+        looped = [restricted.score_candidates(h, c) for h, c in zip(histories, candidate_sets, strict=True)]
+        for a, b, c in zip(batch_restricted, batch_full, looped, strict=True):
             assert np.array_equal(a, b)
             assert np.array_equal(a, c)
             assert float(np.max(np.abs(np.asarray(a) - np.asarray(b)))) == 0.0

@@ -95,7 +95,7 @@ class TestMicroBatcher:
         assert batcher.stats.size_flushes == 2
         assert batcher.stats.deadline_flushes == 0
         assert batcher.stats.histogram() == {4: 2}
-        for (history, candidates), served in zip(requests, scores):
+        for (history, candidates), served in zip(requests, scores, strict=True):
             np.testing.assert_array_equal(served, sasrec.score_candidates(history, candidates))
 
     def test_flush_on_deadline(self, sasrec, sampler, tiny_split):
@@ -321,7 +321,7 @@ class TestServedBitExactness:
         )
         result = run_load(service, workload, concurrency=concurrency, k=5)
         offline = replay_workload(recommender, workload)
-        for request, served, reference in zip(workload, result.scores(), offline):
+        for request, served, reference in zip(workload, result.scores(), offline, strict=True):
             np.testing.assert_array_equal(served, reference)
             order = np.argsort(-reference, kind="stable")
             expected_top = [request.candidates[i] for i in order[:5]]
@@ -404,7 +404,7 @@ class TestLoadGeneratorDeterminism:
             return run_load(service, workload, concurrency=8, k=5)
 
         first, second = run_once(), run_once()
-        for a, b in zip(first.scores(), second.scores()):
+        for a, b in zip(first.scores(), second.scores(), strict=True):
             np.testing.assert_array_equal(a, b)
         assert first.top_k_lists() == second.top_k_lists()
         assert (first.cache_hits, first.cache_misses) == (second.cache_hits,
