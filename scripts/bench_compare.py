@@ -16,7 +16,11 @@ build when:
   cells): baselines are committed from one machine and CI runners are
   another, so a *uniform* speed shift is hardware, while a single path
   regressing against the rest of the file is a real regression.  The
-  ``speedup*`` ratio columns are machine-independent and gated unnormalised.
+  ``speedup*`` ratio columns are machine-independent and gated unnormalised;
+  the ratios named in :data:`RATIO_FLOORS` additionally carry a **hard
+  floor** on the fresh value as measured, independent of any baseline — the
+  DELRec no-tape fast path must stay at least that much faster than the
+  legacy tape encode on every runner.
   When the global shift itself exceeds the tolerance, a notice is printed —
   a truly uniform regression of every path is indistinguishable from a
   slower machine by this method, so it is reported rather than gated;
@@ -61,6 +65,13 @@ DEFAULT_TOLERANCE = 0.25
 #: Minimum gated absolute-throughput cells in a file before the median
 #: fresh/baseline ratio is trusted as a machine-speed normaliser.
 MIN_CELLS_FOR_NORMALIZATION = 4
+
+#: Hard floors for ratio columns, applied to the fresh value as measured —
+#: independent of the committed baseline and of the tolerance band.  Ratios
+#: compare two in-process arms of the same run, so they are
+#: machine-independent: falling below the floor means the optimised path
+#: itself degraded, however fast or slow the runner is.
+RATIO_FLOORS = {"speedup_vs_tape": 1.5}
 
 TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 
@@ -188,6 +199,12 @@ def compare_tables(baseline_table: dict, fresh_table: dict, tolerance: float,
                         f"{where}: bit-exactness drift — {column} = {fresh_value!r} != 0.0"
                     )
                 continue
+            floor_value = RATIO_FLOORS.get(column)
+            if floor_value is not None and _is_number(fresh_value) and fresh_value < floor_value:
+                failures.append(
+                    f"{where}: ratio floor breach — {column} {fresh_value} < "
+                    f"hard floor {floor_value} (machine-independent)"
+                )
             if not _is_number(baseline_value) or not _is_number(fresh_value):
                 continue
             if is_cache_warm_row(baseline_row):

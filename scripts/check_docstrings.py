@@ -38,6 +38,12 @@ GATED_PACKAGES = (
     os.path.join("src", "repro", "analysis"),
 )
 
+#: Individual modules gated outside the package list (hot-path code whose
+#: correctness argument lives in its docstrings).
+GATED_MODULES = (
+    os.path.join("src", "repro", "autograd", "inference.py"),
+)
+
 
 def is_public(name: str) -> bool:
     """Whether a definition name is part of the public API."""
@@ -63,7 +69,18 @@ def iter_api_elements(tree: ast.Module, module: str) -> Iterator[Tuple[str, bool
                 )
 
 
-def collect(packages=GATED_PACKAGES) -> List[Tuple[str, bool]]:
+def _elements_of(path: str) -> List[Tuple[str, bool]]:
+    """Docstring presence for every public API element of one source file."""
+    relative = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
+    module = relative[:-3].replace(os.sep, ".")
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    with open(path, encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    return list(iter_api_elements(tree, module))
+
+
+def collect(packages=GATED_PACKAGES, modules=GATED_MODULES) -> List[Tuple[str, bool]]:
     """Docstring presence for every public API element of the gated packages."""
     elements: List[Tuple[str, bool]] = []
     for package in packages:
@@ -72,14 +89,9 @@ def collect(packages=GATED_PACKAGES) -> List[Tuple[str, bool]]:
             for filename in sorted(filenames):
                 if not filename.endswith(".py"):
                     continue
-                path = os.path.join(dirpath, filename)
-                relative = os.path.relpath(path, os.path.join(REPO_ROOT, "src"))
-                module = relative[:-3].replace(os.sep, ".")
-                if module.endswith(".__init__"):
-                    module = module[: -len(".__init__")]
-                with open(path, encoding="utf-8") as handle:
-                    tree = ast.parse(handle.read(), filename=path)
-                elements.extend(iter_api_elements(tree, module))
+                elements.extend(_elements_of(os.path.join(dirpath, filename)))
+    for module_path in modules:
+        elements.extend(_elements_of(os.path.join(REPO_ROOT, module_path)))
     return elements
 
 

@@ -17,10 +17,17 @@ The build fails when any serving invariant regresses:
 * a warm replay misses the result cache (hit rate must be 1.0);
 * micro-batching stops forming batches (batched cold ``mean_batch`` <= 1)
   or the unbatched baseline starts batching (``mean_batch`` != 1);
-* the deterministic columns (cache behaviour, batch histogram, score diffs)
-  differ between two identical runs — the load generator must be
-  reproducible under a fixed seed (a one-off mismatch is re-measured once:
-  a CPU-starved runner can stall the event loop past a flush deadline).
+* the prompt prefix cache stops firing on DELRec cold rows
+  (``prefix_hit_rate`` must be > 0 — the workload's growing sessions
+  guarantee partial prefix hits) or starts claiming hits for the prompt-free
+  SASRec baseline;
+* the no-tape fast path loses its edge over the legacy full-tape encode
+  (DELRec cold ``speedup_vs_tape`` below the floor);
+* the deterministic columns (cache behaviour, batch histogram, prefix-cache
+  behaviour, score diffs) differ between two identical runs — the load
+  generator must be reproducible under a fixed seed (a one-off mismatch is
+  re-measured once: a CPU-starved runner can stall the event loop past a
+  flush deadline).
 
 The measured table is written to ``benchmarks/results/serve_bench.json`` (+
 ``.txt``) so the CI job can upload it as a workflow artifact.
@@ -45,9 +52,15 @@ from repro.store import ArtifactStore  # noqa: E402
 from repro.store.components import DELREC_KIND  # noqa: E402
 
 #: row fields that must be identical between two runs with the same seed
+#: (prefix-cache behaviour is deterministic because prompt rendering follows
+#: request submission order through the single-threaded closed loop)
 DETERMINISTIC_COLUMNS = ("model", "mode", "phase", "requests", "concurrency",
                          "cache_hit_rate", "mean_batch", "max_batch", "batch_hist",
-                         "max_score_diff")
+                         "prefix_hit_rate", "recompute_frac", "max_score_diff")
+#: minimum measured serial speedup of the no-tape mask-readout fast path over
+#: the legacy full-tape encode on DELRec cold rows (a within-run ratio, so
+#: machine-independent; the measured value sits well above this)
+SPEEDUP_VS_TAPE_FLOOR = 1.5
 DATASET = "movielens-100k"
 
 
@@ -128,6 +141,17 @@ def main() -> int:
         if row["mode"] == "batched" and row["phase"] == "cold" and row["mean_batch"] <= 1.0:
             failures.append(f"{cell}: micro-batcher formed no batches "
                             f"(mean {row['mean_batch']})")
+        if row["model"] == "DELRec" and row["phase"] == "cold":
+            if row["prefix_hit_rate"] <= 0.0:
+                failures.append(f"{cell}: prompt prefix cache never hit "
+                                f"(hit rate {row['prefix_hit_rate']})")
+            speedup = row["speedup_vs_tape"]
+            if not isinstance(speedup, (int, float)) or speedup < SPEEDUP_VS_TAPE_FLOOR:
+                failures.append(f"{cell}: fast path speedup vs tape {speedup} below "
+                                f"floor {SPEEDUP_VS_TAPE_FLOOR}")
+        if row["model"] == "SASRec" and row["prefix_hit_rate"] != 0.0:
+            failures.append(f"{cell}: prompt-free model reported prefix hits "
+                            f"({row['prefix_hit_rate']})")
 
     if failures:
         for failure in failures:

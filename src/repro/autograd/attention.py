@@ -153,6 +153,47 @@ class MultiHeadSelfAttention(Module):
         context = context.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
         return self.output_proj(context)
 
+    def mask_query_forward(
+        self,
+        x: Tensor,
+        query_positions: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Attention output for one query position per row: ``(batch, 1, dim)``.
+
+        Keys and values still cover every position of ``x`` — only the query
+        side is restricted to ``query_positions`` (one index per batch row),
+        so the result equals the corresponding row of :meth:`forward` in exact
+        arithmetic.  The query/score/context products run at ``M=1`` instead
+        of ``M=length``, which rounds differently under BLAS, so this is a
+        *readout semantics* of its own (the serving fast path), not a bitwise
+        slice of the full forward.
+        """
+        batch, length, _ = x.shape
+        keys = self._split_heads(self.key_proj(x), batch, length)
+        values = self._split_heads(self.value_proj(x), batch, length)
+        rows = np.arange(batch)
+        query_positions = np.asarray(query_positions, dtype=np.int64)
+        query_input = x[rows, query_positions, :].reshape(batch, 1, self.dim)
+        queries = self._split_heads(self.query_proj(query_input), batch, 1)
+
+        scores = queries.matmul(keys.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            if mask.ndim == 2:
+                mask = mask[query_positions, :]
+            elif mask.ndim == 3:
+                mask = mask[rows, query_positions, :]
+            mask = mask[:, None, None, :]  # broadcast over heads and the query axis
+            if not mask.all():
+                scores = F.masked_fill(scores, ~mask, _NEG_INF)
+
+        weights = F.softmax(scores, axis=-1)
+        weights = self.dropout(weights)
+        context = weights.matmul(values)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, 1, self.dim)
+        return self.output_proj(context)
+
 
 class TransformerEncoderLayer(Module):
     """Pre-norm transformer encoder block (attention + feed-forward)."""
@@ -180,3 +221,38 @@ class TransformerEncoderLayer(Module):
         x = x + self.dropout(attended)
         transformed = self.feed_forward(self.norm2(x))
         return x + self.dropout(transformed)
+
+    def inference_forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Full-width forward on the inference path (feed-forward via
+        :meth:`FeedForward.inference_forward`, i.e. the multiplication-based
+        gelu).  Used for all but the last layer of the mask-readout encode."""
+        attended = self.attention(self.norm1(x), attention_mask=attention_mask)
+        x = x + self.dropout(attended)
+        transformed = self.feed_forward.inference_forward(self.norm2(x))
+        return x + self.dropout(transformed)
+
+    def mask_readout_forward(
+        self,
+        x: Tensor,
+        readout_positions: np.ndarray,
+        attention_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Layer output restricted to one readout position per row: ``(batch, 1, dim)``.
+
+        Attention keys/values still see every position of ``x`` (required for
+        correctness — the readout token attends over the whole prompt), but the
+        query, both residual streams, ``norm2`` and the feed-forward all run
+        only at ``readout_positions``.  Exact in real arithmetic; rounds
+        differently from slicing :meth:`forward` (see
+        :meth:`MultiHeadSelfAttention.mask_query_forward`).
+        """
+        batch = x.shape[0]
+        readout_positions = np.asarray(readout_positions, dtype=np.int64)
+        attended = self.attention.mask_query_forward(
+            self.norm1(x), readout_positions, attention_mask=attention_mask
+        )
+        rows = np.arange(batch)
+        residual = x[rows, readout_positions, :].reshape(batch, 1, x.shape[2])
+        residual = residual + self.dropout(attended)
+        transformed = self.feed_forward.inference_forward(self.norm2(residual))
+        return residual + self.dropout(transformed)

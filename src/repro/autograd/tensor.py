@@ -400,6 +400,32 @@ class Tensor:
 
         return self._make_result(out_data, (self,), backward)
 
+    def gelu_inference(self) -> "Tensor":
+        """Inference-path gelu: the cube is evaluated by multiplication.
+
+        :meth:`gelu` computes ``x ** 3`` through ``np.power`` (libm ``pow``),
+        which costs ~50x more than two multiplies on CPUs without a SIMD
+        ``pow`` and dominates the whole scoring forward.  ``x * x * x``
+        evaluates the same real-valued polynomial with different rounding, so
+        this variant is *not* bitwise-interchangeable with :meth:`gelu`;
+        training keeps :meth:`gelu`, and the inference readout paths (tape and
+        arena, which must match each other bitwise) both use this one.
+        """
+        x = self.data
+        c = np.sqrt(2.0 / np.pi)
+        cube = x * x * x
+        inner = c * (x + 0.044715 * cube)
+        tanh_inner = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + tanh_inner)
+
+        def backward(grad: np.ndarray) -> None:
+            sech2 = 1.0 - tanh_inner * tanh_inner
+            d_inner = c * (1.0 + 3 * 0.044715 * (x * x))
+            local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+            self._accumulate(grad * local)
+
+        return self._make_result(out_data, (self,), backward)
+
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
 

@@ -61,6 +61,14 @@ class PromptExample:
     label_item: int
     label_index: int
     task: str = "recommendation"
+    #: Number of leading token ids covered by the stable prompt prefix
+    #: ([CLS] + history segment) when the prompt was rendered through a
+    #: :class:`repro.serve.prefix.PrefixCache`; 0 for monolithic renders.
+    prefix_length: int = 0
+    #: The prefix-cache key those leading ids were cached under (None for
+    #: monolithic renders).  Scoring uses it to reuse the prefix's embedding
+    #: block.
+    prefix_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.label_index < 0 or self.label_index >= len(self.candidate_items):
@@ -114,12 +122,21 @@ class PromptBuilder:
             tokens.append(item_token(item_id))
         return tokens
 
+    def history_item_words(self, item_id: int) -> List[str]:
+        """The word tokens one history item renders to (title + item token).
+
+        Public because the serving prefix cache renders history items one at a
+        time through this helper — sharing it with :meth:`_history_segment`
+        keeps the incremental render byte-identical to the monolithic one.
+        """
+        return self._item_tokens(item_id, with_title=True)
+
     def _history_segment(self, history: Sequence[int]) -> List[str]:
         tokens = ["history"]
         for item_id in history:
             if item_id == 0:
                 continue
-            tokens.extend(self._item_tokens(item_id, with_title=True))
+            tokens.extend(self.history_item_words(item_id))
         return tokens
 
     def _candidate_segment(self, candidates: Sequence[int]) -> List[str]:
@@ -144,14 +161,23 @@ class PromptBuilder:
             )
         raise ValueError(f"unknown auxiliary mode {mode!r}")
 
-    def _finalise(
+    def assemble(
         self,
-        word_tokens: List[str],
+        token_ids: List[int],
         candidates: Sequence[int],
         label_item: int,
-        task: str,
+        task: str = "recommendation",
+        prefix_length: int = 0,
+        prefix_key: Optional[str] = None,
     ) -> PromptExample:
-        token_ids = [self.tokenizer.cls_id] + self.tokenizer.encode_tokens(word_tokens)
+        """Build a :class:`PromptExample` from already-encoded token ids.
+
+        The prefix cache renders prompts segment-by-segment (encoding is
+        per-token, so segment-wise encoding is byte-identical to encoding the
+        whole word list at once) and enters here with the concatenated ids;
+        monolithic renders go through :meth:`_finalise`, which encodes and
+        then delegates to this method.
+        """
         candidates = tuple(int(c) for c in candidates)
         if label_item not in candidates:
             raise ValueError("label item must be part of the candidate set")
@@ -162,7 +188,19 @@ class PromptBuilder:
             label_item=int(label_item),
             label_index=candidates.index(label_item),
             task=task,
+            prefix_length=prefix_length,
+            prefix_key=prefix_key,
         )
+
+    def _finalise(
+        self,
+        word_tokens: List[str],
+        candidates: Sequence[int],
+        label_item: int,
+        task: str,
+    ) -> PromptExample:
+        token_ids = [self.tokenizer.cls_id] + self.tokenizer.encode_tokens(word_tokens)
+        return self.assemble(token_ids, candidates, label_item, task)
 
     # ------------------------------------------------------------------ #
     # the three prompt types
@@ -183,7 +221,31 @@ class PromptBuilder:
         description, the w-MCP ablation) or ``"none"`` (w/o SP ablation).
         """
         words: List[str] = self._history_segment(history)
-        words.append(self.tokenizer.special.sep)
+        words.extend(
+            self.recommendation_suffix_words(
+                candidates,
+                sr_model_name=sr_model_name,
+                sr_top_items=sr_top_items,
+                auxiliary=auxiliary,
+            )
+        )
+        return self._finalise(words, candidates, label_item, task="recommendation")
+
+    def recommendation_suffix_words(
+        self,
+        candidates: Sequence[int],
+        sr_model_name: Optional[str] = None,
+        sr_top_items: Optional[Sequence[int]] = None,
+        auxiliary: str = "soft",
+    ) -> List[str]:
+        """Everything after the history segment of the Stage-2 prompt.
+
+        Shared by :meth:`recommendation_prompt` and the serving prefix cache,
+        which renders the (history-independent) suffix separately from the
+        cached history prefix — sharing the word list keeps the two render
+        paths byte-identical by construction.
+        """
+        words: List[str] = [self.tokenizer.special.sep]
         words.extend(self._candidate_segment(candidates))
         if sr_top_items:
             words.append(self.tokenizer.special.sep)
@@ -197,7 +259,7 @@ class PromptBuilder:
         words.append(self.tokenizer.special.sep)
         words.extend(["predict", "which", "candidate", "item", "the", "user", "will",
                       "interact", "with", "next", self.tokenizer.special.mask])
-        return self._finalise(words, candidates, label_item, task="recommendation")
+        return words
 
     def temporal_analysis_prompt(
         self,

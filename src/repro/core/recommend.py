@@ -9,6 +9,7 @@ it can be evaluated by the shared harness.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -17,6 +18,7 @@ import numpy as np
 
 from repro.autograd import SGD, Adam, Lion, no_grad
 from repro.autograd import functional as F
+from repro.autograd import inference as fast_inference
 from repro.autograd.lora import (
     AdaLoRAController,
     AdaLoRALinear,
@@ -38,6 +40,20 @@ from repro.store.fingerprint import fingerprint, state_fingerprint
 from repro.store.store import ArtifactError, read_artifact, write_artifact
 
 _OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
+
+#: Inference readout semantics: ``"mask"`` evaluates the last encoder layer
+#: only at the [MASK] position (the serving fast path), ``"full"`` runs the
+#: full-width encoder (the pre-PR-7 scoring path, kept as the timing
+#: reference).  Both are exact; they round differently (see
+#: :meth:`repro.llm.SimLM.encode_mask_readout`).
+_READOUTS = ("mask", "full")
+
+
+def validate_readout(readout: str) -> str:
+    """Validate a readout mode name (one of :data:`_READOUTS`)."""
+    if readout not in _READOUTS:
+        raise ValueError(f"unknown readout {readout!r}; expected one of {_READOUTS}")
+    return readout
 
 
 @dataclass
@@ -66,6 +82,7 @@ class DELRecRecommender:
         name: str = "DELRec",
         max_history: int = 9,
         lm_head: str = "restricted",
+        readout: str = "mask",
     ):
         self.model = model
         self.prompt_builder = prompt_builder
@@ -82,6 +99,17 @@ class DELRecRecommender:
         #: Restricted/full scores are bitwise identical, so the choice is not
         #: part of the serialised bundle or any artifact fingerprint.
         self.lm_head = validate_lm_head(lm_head)
+        #: Encoder readout at inference: ``"mask"`` (default) restricts the
+        #: last layer to the [MASK] position and uses the inference-path gelu;
+        #: ``"full"`` keeps the pre-PR-7 full-width encode.  Exact either way,
+        #: rounded differently — the choice IS part of
+        #: :meth:`scoring_fingerprint` (unlike restricted-vs-full lm_head).
+        self.readout = validate_readout(readout)
+        #: Optional :class:`~repro.serve.prefix.PrefixCache` attached by the
+        #: serving layer; when set, :meth:`build_prompt` renders prompts
+        #: through it (byte-identical token ids, memoised prefix).
+        self.prefix_cache = None
+        self._inference_arena: Optional[fast_inference.InferenceArena] = None
 
     # ------------------------------------------------------------------ #
     def build_prompt(
@@ -94,6 +122,15 @@ class DELRecRecommender:
         """
         history = [i for i in history if i != 0][-self.max_history:]
         label = label_item if label_item is not None else candidates[0]
+        if self.prefix_cache is not None:
+            return self.prefix_cache.recommendation_prompt(
+                self.prompt_builder,
+                history=history,
+                candidates=candidates,
+                label_item=label,
+                sr_model_name=self.sr_model_name,
+                auxiliary=self.auxiliary,
+            )
         return self.prompt_builder.recommendation_prompt(
             history=history,
             candidates=candidates,
@@ -157,18 +194,147 @@ class DELRecRecommender:
             for row, candidates in enumerate(candidate_sets)
         ]
 
+    @contextlib.contextmanager
+    def using_readout(self, readout: str):
+        """Temporarily switch the inference readout (the RQ5 timing-reference arm).
+
+        ``with recommender.using_readout("full"): ...`` scores through the
+        pre-PR-7 full-width encoder; on exit the previous mode is restored.
+        Scores taken under different readouts round differently — never mix
+        them inside one comparison (the serving result cache is keyed on
+        :meth:`scoring_fingerprint`, which includes the readout, so it cannot).
+        """
+        previous = self.readout
+        self.readout = validate_readout(readout)
+        try:
+            yield self
+        finally:
+            self.readout = previous
+
+    def _embedding_input_array(
+        self,
+        batch: PromptBatch,
+        prompts: Optional[Sequence[PromptExample]],
+        arena: "fast_inference.InferenceArena",
+    ) -> np.ndarray:
+        """Input embeddings (token gather + soft-prompt splice) as a plain array.
+
+        Bitwise-identical to :meth:`_spliced_embeddings` ``.data`` — the same
+        gather, padding multiply and splice ops at the array level.  When a
+        prefix cache is attached and a prompt row carries a ``prefix_key``,
+        the gathered embedding block for the stable prefix is stored on first
+        sight and copied back on later sights (copies of table rows are
+        bitwise equal to re-gathering them), so repeat users with grown
+        histories skip most of the gather.
+        """
+        token_ids = np.asarray(batch.tokens, dtype=np.int64)
+        table = self.model.token_embedding.weight.data
+        dim = self.model.dim
+        out = arena.buffer("embed.tokens", token_ids.shape + (dim,))
+        cache = self.prefix_cache
+        for row in range(token_ids.shape[0]):
+            prompt = prompts[row] if prompts is not None else None
+            key = prompt.prefix_key if prompt is not None else None
+            plen = prompt.prefix_length if prompt is not None else 0
+            block = cache.embedding_block(key) if (cache is not None and key) else None
+            if block is not None and block.shape == (plen, dim):
+                out[row, :plen] = block
+                np.take(table, token_ids[row, plen:], axis=0, out=out[row, plen:])
+            else:
+                np.take(table, token_ids[row], axis=0, out=out[row])
+                if cache is not None and key and plen:
+                    cache.store_embedding_block(key, out[row, :plen].copy())
+        padding_idx = self.model.token_embedding.padding_idx
+        if padding_idx is not None:
+            keep = (token_ids != padding_idx).astype(np.float64)[..., None]
+            np.multiply(out, keep, out=out)
+        if self.soft_prompt is not None and self.auxiliary == "soft":
+            out = fast_inference.splice_soft_prompt_array(
+                self.soft_prompt, out, token_ids, self.prompt_builder.tokenizer.soft_id, arena
+            )
+        return out
+
+    def _mask_readout_scores(
+        self,
+        batch: PromptBatch,
+        candidate_sets: Sequence[Sequence[int]],
+        token_sets: Optional[Sequence[np.ndarray]] = None,
+        prompts: Optional[Sequence[PromptExample]] = None,
+    ) -> List[np.ndarray]:
+        """Candidate scores through the mask-readout encode (``readout="mask"``).
+
+        Runs the no-tape arena forward when the model's structure is
+        replicable (:func:`repro.autograd.inference.supports_model`) and falls
+        back to the tape twin :meth:`repro.llm.SimLM.encode_mask_readout`
+        otherwise — the two are bitwise identical, so the fallback only costs
+        speed.  The candidate head is the array-level restricted head either
+        way.  Callers must already hold ``no_grad`` with the model in eval
+        mode (both scoring entry points do).
+        """
+        if token_sets is None:
+            token_sets = [
+                self.verbalizer.restricted_token_ids(candidates) for candidates in candidate_sets
+            ]
+        mask_hidden: Optional[np.ndarray] = None
+        plain_soft = self.soft_prompt is None or type(self.soft_prompt) is SoftPrompt
+        if plain_soft and fast_inference.supports_model(self.model):
+            if self._inference_arena is None:
+                self._inference_arena = fast_inference.InferenceArena()
+            try:
+                embeddings = self._embedding_input_array(batch, prompts, self._inference_arena)
+                mask_hidden = fast_inference.mask_readout_hidden(
+                    self.model,
+                    batch.tokens,
+                    input_embeddings=embeddings,
+                    valid_mask=batch.valid_mask,
+                    arena=self._inference_arena,
+                )
+            except fast_inference.UnsupportedInferenceModule:
+                mask_hidden = None
+        if mask_hidden is None:
+            mask_hidden = self.model.encode_mask_readout(
+                batch.tokens,
+                input_embeddings=self._spliced_embeddings(batch),
+                valid_mask=batch.valid_mask,
+            ).data
+        if len({len(tokens) for tokens in token_sets}) == 1:
+            logits = fast_inference.candidate_scores_array(
+                self.model, mask_hidden, np.asarray(token_sets, dtype=np.int64)
+            )
+            return [
+                self.verbalizer.scores_from_restricted(logits[row], candidates)
+                for row, candidates in enumerate(candidate_sets)
+            ]
+        # unequal per-row token sets (title-aggregation ablations): the head is
+        # per-element, so per-row calls are bitwise-identical to a batched one
+        return [
+            self.verbalizer.scores_from_restricted(
+                fast_inference.candidate_scores_array(
+                    self.model, mask_hidden[row:row + 1], tokens[None, :]
+                )[0],
+                candidates,
+            )
+            for row, (tokens, candidates) in enumerate(
+                zip(token_sets, candidate_sets, strict=True)
+            )
+        ]
+
     def score_candidates(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
         """Scores aligned with ``candidates`` (higher is better)."""
         prompt = self.build_prompt(history, candidates)
         batch = self.prompt_builder.batch([prompt])
         with no_grad():
             was_training = self.model.training
-            self.model.eval()
+            if was_training:
+                self.model.eval()
             if self.lm_head == "blas":
                 scores = self._blas_scores(batch, [candidates])[0]
+            elif self.readout == "mask":
+                scores = self._mask_readout_scores(batch, [candidates], prompts=[prompt])[0]
             else:
                 scores = self._restricted_scores(batch, [candidates])[0]
-            self.model.train(was_training)
+            if was_training:
+                self.model.train()
         return scores
 
     def score_candidates_batch(
@@ -203,7 +369,8 @@ class DELRecRecommender:
         scores: List[Optional[np.ndarray]] = [None] * len(prompts)
         with no_grad():
             was_training = self.model.training
-            self.model.eval()
+            if was_training:
+                self.model.eval()
             for indices in buckets.values():
                 batch = self.prompt_builder.batch([prompts[i] for i in indices])
                 bucket_candidates = [candidate_sets[i] for i in indices]
@@ -216,7 +383,12 @@ class DELRecRecommender:
                     self.verbalizer.restricted_token_ids(candidates)
                     for candidates in bucket_candidates
                 ]
-                if len({len(tokens) for tokens in token_sets}) == 1:
+                if self.readout == "mask":
+                    row_scores = self._mask_readout_scores(
+                        batch, bucket_candidates, token_sets,
+                        prompts=[prompts[i] for i in indices],
+                    )
+                elif len({len(tokens) for tokens in token_sets}) == 1:
                     row_scores = self._restricted_scores(batch, bucket_candidates, token_sets)
                 else:
                     # per-row restricted token sets of unequal size (possible
@@ -243,7 +415,8 @@ class DELRecRecommender:
                         )
                 for row, index in enumerate(indices):
                     scores[index] = row_scores[row]
-            self.model.train(was_training)
+            if was_training:
+                self.model.train()
         return scores
 
     def top_k(self, history: Sequence[int], k: int, candidates: Sequence[int]) -> List[int]:
@@ -257,11 +430,14 @@ class DELRecRecommender:
 
         Hashes the full deployable bundle (fine-tuned LLM state including
         AdaLoRA adapters, soft prompt, prompt-builder/verbalizer config) plus
-        the one scoring knob outside the bundle that can change results: the
-        legacy ``lm_head="blas"`` scorer rounds differently, while
+        the scoring knobs outside the bundle that can change results: the
+        legacy ``lm_head="blas"`` scorer rounds differently (while
         ``"restricted"`` and ``"full"`` are bitwise-identical and share an
-        identity.  The serving layer keys its result cache on this value, so
-        swapping in a differently trained (or differently rounding)
+        identity), and the inference ``readout`` picks between the
+        differently-rounded mask-readout and full-width encodes (``"blas"``
+        always encodes full-width, so its identity pins ``readout="full"``).
+        The serving layer keys its result cache and prefix cache on this
+        value, so swapping in a differently trained (or differently rounding)
         recommender structurally invalidates every cached score.
         """
         arrays, metadata = self.serialize()
@@ -269,7 +445,10 @@ class DELRecRecommender:
             "delrec_scoring",
             state_fingerprint(arrays),
             metadata,
-            {"lm_head": "blas" if self.lm_head == "blas" else "restricted"},
+            {
+                "lm_head": "blas" if self.lm_head == "blas" else "restricted",
+                "readout": "full" if self.lm_head == "blas" else self.readout,
+            },
         )
 
     # ------------------------------------------------------------------ #

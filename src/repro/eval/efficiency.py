@@ -355,6 +355,15 @@ class ServingReport:
     batch_histogram: Dict[int, int]
     #: largest |served - offline| score difference over every request
     max_score_diff: float
+    #: prompt prefix-cache lookups during the run (0 for prompt-free models)
+    prefix_lookups: int = 0
+    #: prefix lookups answered (fully or partially) from the cache
+    prefix_hits: int = 0
+    #: fraction of prefix token positions that had to be re-rendered
+    prefix_recompute_fraction: float = 0.0
+    #: measured fast-path speedup over the full-width tape encode for the
+    #: same unique prompts (None when the comparison arm was not timed)
+    speedup_vs_tape: Optional[float] = None
 
     def latency_percentile_ms(self, q: float) -> float:
         """The ``q``-th percentile of per-request latency, in milliseconds."""
@@ -381,6 +390,11 @@ class ServingReport:
         return scored / flushes if flushes else 0.0
 
     @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix lookups that reused a cached prompt prefix."""
+        return self.prefix_hits / self.prefix_lookups if self.prefix_lookups else 0.0
+
+    @property
     def max_batch_size(self) -> int:
         """Largest flush of the run (0 when everything was cached)."""
         return max(self.batch_histogram) if self.batch_histogram else 0
@@ -403,6 +417,11 @@ class ServingReport:
             "mean_batch": round(self.mean_batch_size, 2),
             "max_batch": self.max_batch_size,
             "batch_hist": histogram or "-",
+            "prefix_hit_rate": round(self.prefix_hit_rate, 4),
+            "recompute_frac": round(self.prefix_recompute_fraction, 4),
+            "speedup_vs_tape": (
+                round(self.speedup_vs_tape, 2) if self.speedup_vs_tape is not None else "-"
+            ),
             "max_score_diff": self.max_score_diff,
         }
 
@@ -414,6 +433,7 @@ def measure_serving(
     mode: str = "batched",
     phase: str = "cold",
     reference_scores: Optional[Sequence[np.ndarray]] = None,
+    speedup_vs_tape: Optional[float] = None,
 ) -> ServingReport:
     """Run the closed-loop load generator and fold the result into a report.
 
@@ -422,7 +442,9 @@ def measure_serving(
     :func:`~repro.serve.loadgen.build_workload`.  When ``reference_scores``
     (the offline looped scores, :func:`~repro.serve.loadgen.replay_workload`)
     are supplied, the report records the largest served-vs-offline score
-    difference — the serving layer guarantees exactly ``0.0``.
+    difference — the serving layer guarantees exactly ``0.0``.  Prompt
+    prefix-cache deltas are read off the service stats; ``speedup_vs_tape``
+    (measured separately, see the serving table) is threaded through verbatim.
     """
     from repro.serve.loadgen import run_load
 
@@ -444,6 +466,10 @@ def measure_serving(
         cache_misses=result.cache_misses,
         batch_histogram=result.batch_histogram(),
         max_score_diff=max_diff,
+        prefix_lookups=result.prefix_lookups,
+        prefix_hits=result.prefix_hits,
+        prefix_recompute_fraction=result.prefix_recompute_fraction,
+        speedup_vs_tape=speedup_vs_tape,
     )
 
 

@@ -385,6 +385,37 @@ SERVING_MODES = ("unbatched", "batched")
 SERVING_PHASES = ("cold", "warm")
 
 
+def _measure_speedup_vs_tape(recommender, workload) -> Optional[float]:
+    """Serial fast-path vs legacy full-tape scoring time over unique prompts.
+
+    Only meaningful for recommenders that expose the ``readout`` switch
+    (DELRec): the same unique (history, candidates) pairs are scored once
+    through the legacy full-width tape encode (``readout='full'``, the PR 6
+    path) and once through the no-tape mask-readout fast path, serially, and
+    the wall-clock ratio is returned.  Both arms run in-process on the same
+    machine in the same run, so the ratio is comparable across machines even
+    though the absolute times are not.  Returns ``None`` for recommenders
+    without the switch (conventional baselines).
+    """
+    if getattr(recommender, "readout", None) != "mask":
+        return None
+    unique: Dict[tuple, object] = {}
+    for request in workload:
+        unique.setdefault((request.history, request.candidates), request)
+    requests = list(unique.values())
+
+    def _scoring_seconds() -> float:
+        started = time.perf_counter()
+        for request in requests:
+            recommender.score_candidates(list(request.history), list(request.candidates))
+        return time.perf_counter() - started
+
+    with recommender.using_readout("full"):
+        tape_seconds = _scoring_seconds()
+    fast_seconds = _scoring_seconds()
+    return tape_seconds / fast_seconds if fast_seconds > 0.0 else None
+
+
 def serving_table(
     profile: ExperimentProfile,
     context: ExperimentContext,
@@ -399,9 +430,16 @@ def serving_table(
     replays the context's test users (with the evaluator's own candidate
     sets) through a :class:`~repro.serve.service.RecommendationService` in a
     2×2 grid: micro-batching on/off (``max_batch_size`` vs 1) × result cache
-    cold/warm (first vs second replay of the same workload).  Every row also
-    records the largest served-vs-offline score difference, which must be
-    exactly 0.0 — serving composes only bitwise-identical primitives.
+    cold/warm (first vs second replay of the same workload).  The workload
+    mixes fresh users, verbatim repeats (result-cache hits) and growing
+    sessions (users replaying their history one event per request), so the
+    cold rows also exercise the prompt prefix cache's partial-hit path —
+    reported per row as ``prefix_hit_rate`` and ``recompute_frac``.  DELRec
+    cold rows additionally report ``speedup_vs_tape``, the measured serial
+    ratio of the legacy full-width tape encode to the no-tape mask-readout
+    fast path over the same unique prompts.  Every row also records the
+    largest served-vs-offline score difference, which must be exactly 0.0 —
+    serving composes only bitwise-identical primitives.
     """
     from repro.eval.efficiency import measure_serving
     from repro.serve import RecommendationService, ServiceConfig, build_workload, replay_workload
@@ -415,12 +453,14 @@ def serving_table(
         context.evaluator.sampler,
         num_requests=num_requests,
         seed=profile.seed if seed is None else seed,
+        grow_fraction=0.2,
     )
     table = ResultTable(
         title="RQ5: online serving — micro-batching and request caching",
         columns=["model", "mode", "phase", "requests", "concurrency", "p50_ms", "p95_ms",
                  "p99_ms", "throughput_rps", "cache_hit_rate", "mean_batch", "max_batch",
-                 "batch_hist", "max_score_diff"],
+                 "batch_hist", "prefix_hit_rate", "recompute_frac", "speedup_vs_tape",
+                 "max_score_diff"],
     )
     from repro.store.components import recommender_fingerprint
 
@@ -430,6 +470,9 @@ def serving_table(
     batched_size = max(2, min(profile.eval_batch_size, concurrency))
     for model_name, recommender in recommenders.items():
         reference = replay_workload(recommender, workload)
+        # timed after the reference pass so the inference arena is warm for
+        # both arms; runs before any service exists, so no prefix cache yet
+        speedup = _measure_speedup_vs_tape(recommender, workload)
         # computed once per model: the DELRec fingerprint serialises and
         # hashes the whole bundle, too costly to redo per service
         model_fp = recommender_fingerprint(recommender)
@@ -446,6 +489,7 @@ def serving_table(
                 report = measure_serving(
                     service, workload, concurrency=concurrency, mode=mode, phase=phase,
                     reference_scores=reference,
+                    speedup_vs_tape=speedup if phase == "cold" else None,
                 )
                 table.add_row(model=model_name, **report.as_row())
     table.notes.append(
@@ -453,8 +497,13 @@ def serving_table(
         "sets; 'unbatched' serves every request as its own flush (max_batch_size=1), "
         "'batched' micro-batches concurrent requests (flush on size or a 2ms deadline); "
         "'warm' replays the identical workload against the populated LRU result cache. "
-        "max_score_diff compares every served score against the offline per-example "
-        "loop and must be exactly 0.0"
+        "20% of requests advance growing sessions whose prompt prefixes strictly extend "
+        "earlier ones — prefix_hit_rate counts prompt-prefix cache reuse and "
+        "recompute_frac the fraction of prefix positions re-rendered (prompt models "
+        "only). speedup_vs_tape is the measured serial ratio of the legacy full-tape "
+        "encode to the no-tape mask-readout fast path over the same unique prompts "
+        "(DELRec cold rows). max_score_diff compares every served score against the "
+        "offline per-example loop and must be exactly 0.0"
     )
     return table
 

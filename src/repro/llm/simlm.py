@@ -184,6 +184,56 @@ class SimLM(Module):
         """LM-head logits at the (single) ``[MASK]`` position of each sequence."""
         return self.lm_logits(self.mask_hidden_states(token_ids, input_embeddings, valid_mask))
 
+    def encode_mask_readout(
+        self,
+        token_ids: np.ndarray,
+        input_embeddings: Optional[Tensor] = None,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Mask-position hidden states via the restricted readout path: ``(batch, dim)``.
+
+        The serving/inference counterpart of :meth:`mask_hidden_states`: all
+        layers run with the inference-path gelu, and the **last** layer is
+        evaluated only at the ``[MASK]`` position of each row (keys/values
+        still span the whole prompt — see
+        :meth:`~repro.autograd.attention.TransformerEncoderLayer.mask_readout_forward`).
+        Exact in real arithmetic but rounded differently from
+        :meth:`mask_hidden_states`, so the two paths are not interchangeable
+        mid-experiment; every inference consumer must pick one and stick to
+        it.  Training keeps :meth:`mask_hidden_states`.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if valid_mask is None:
+            valid_mask = token_ids != self.tokenizer.pad_id
+        embeddings = input_embeddings if input_embeddings is not None else self.embed_tokens(token_ids)
+        batch, length, _ = embeddings.shape
+        if length > self.config.max_position:
+            raise ValueError(
+                f"sequence length {length} exceeds max_position {self.config.max_position}"
+            )
+        positions = np.broadcast_to(np.arange(length), (batch, length))
+        hidden = embeddings + self.position_embedding(positions)
+        hidden = self.dropout(hidden)
+        attention_mask = padded_self_attention_mask(valid_mask)
+        mask_positions = _single_mask_positions(token_ids, self.tokenizer.mask_id)
+        for layer in self.layers[:-1]:
+            hidden = layer.inference_forward(hidden, attention_mask=attention_mask)
+        readout = self.layers[len(self.layers) - 1].mask_readout_forward(
+            hidden, mask_positions, attention_mask=attention_mask
+        )
+        return self.final_norm(readout).reshape(batch, self.dim)
+
+    def mask_readout_candidate_logits(
+        self,
+        token_ids: np.ndarray,
+        candidate_token_ids: np.ndarray,
+        input_embeddings: Optional[Tensor] = None,
+        valid_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Candidate head logits ``(batch, C)`` via :meth:`encode_mask_readout`."""
+        mask_hidden = self.encode_mask_readout(token_ids, input_embeddings, valid_mask)
+        return self.candidate_logits_from_hidden(mask_hidden, candidate_token_ids)
+
     def candidate_logits_from_hidden(
         self,
         mask_hidden: Tensor,

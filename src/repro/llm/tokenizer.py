@@ -58,6 +58,9 @@ class Tokenizer:
                 seen.add(token)
         self._token_to_id: Dict[str, int] = {token: idx for idx, token in enumerate(ordered)}
         self._id_to_token: List[str] = ordered
+        # the vocabulary is frozen after construction, so item-token lookups
+        # (hot in the serving prompt renderer) can be memoised by item id
+        self._item_token_id_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -131,7 +134,11 @@ class Tokenizer:
         return self._id_to_token[token_id]
 
     def item_token_id(self, item_id: int) -> int:
-        return self.token_to_id(item_token(item_id))
+        token_id = self._item_token_id_cache.get(item_id)
+        if token_id is None:
+            token_id = self.token_to_id(item_token(item_id))
+            self._item_token_id_cache[item_id] = token_id
+        return token_id
 
     def item_token_ids(self, item_ids: Sequence[int]) -> List[int]:
         return [self.item_token_id(item_id) for item_id in item_ids]

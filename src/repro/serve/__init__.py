@@ -14,6 +14,10 @@ request-serving path:
   ``max_wait_ms``);
 * :class:`~repro.serve.cache.ResultCache` — an LRU score cache keyed by
   (model fingerprint, history hash, candidate-set hash);
+* :class:`~repro.serve.prefix.PrefixCache` — a prompt prefix/embedding-block
+  cache for the DELRec hot path: repeat users with grown histories re-render
+  only the new suffix of their history segment and reuse the cached token
+  ids (and input-embedding rows) for everything before it, byte-identically;
 * :class:`~repro.serve.sessions.SessionStore` — per-user incremental
   histories, so repeat users append events instead of resending everything;
 * :mod:`repro.serve.loadgen` — a deterministic closed-loop load generator
@@ -35,6 +39,7 @@ from repro.serve.loadgen import (
     replay_workload,
     run_load,
 )
+from repro.serve.prefix import PrefixCache, PrefixStats, prefix_history, prefix_key
 from repro.serve.service import (
     RecommendationService,
     RecommendResponse,
@@ -48,6 +53,8 @@ __all__ = [
     "CacheStats",
     "LoadResult",
     "MicroBatcher",
+    "PrefixCache",
+    "PrefixStats",
     "RecommendResponse",
     "RecommendationService",
     "ResultCache",
@@ -58,6 +65,8 @@ __all__ = [
     "build_workload",
     "candidates_digest",
     "history_digest",
+    "prefix_history",
+    "prefix_key",
     "replay_workload",
     "run_load",
 ]

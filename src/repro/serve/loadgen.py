@@ -86,6 +86,32 @@ class LoadResult:
         """Requests per second over the whole run."""
         return len(self.requests) / self.wall_seconds if self.wall_seconds else 0.0
 
+    @property
+    def prefix_lookups(self) -> int:
+        """Prompt prefix-cache lookups during this run (0 for prompt-free models)."""
+        return self.stats_after.prefix.lookups - self.stats_before.prefix.lookups
+
+    @property
+    def prefix_hits(self) -> int:
+        """Prefix lookups answered fully or partially from the cache during this run."""
+        after, before = self.stats_after.prefix, self.stats_before.prefix
+        return (after.full_hits + after.partial_hits) - (before.full_hits + before.partial_hits)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of this run's prefix lookups that reused a cached prefix."""
+        lookups = self.prefix_lookups
+        return self.prefix_hits / lookups if lookups else 0.0
+
+    @property
+    def prefix_recompute_fraction(self) -> float:
+        """Fraction of this run's prefix positions that had to be re-rendered."""
+        after, before = self.stats_after.prefix, self.stats_before.prefix
+        rendered = after.rendered_positions - before.rendered_positions
+        reused = after.reused_positions - before.reused_positions
+        total = rendered + reused
+        return rendered / total if total else 0.0
+
     def batch_histogram(self) -> Dict[int, int]:
         """Batch-size histogram of the flushes this run triggered."""
         before = self.stats_before.batcher.batch_sizes
@@ -112,6 +138,7 @@ def build_workload(
     num_requests: int,
     seed: int = 0,
     repeat_fraction: float = 0.3,
+    grow_fraction: float = 0.0,
 ) -> List[ServedRequest]:
     """A deterministic request stream over test examples.
 
@@ -121,7 +148,16 @@ def build_workload(
     offline scores directly comparable.  With probability
     ``repeat_fraction`` a step instead re-issues a previously issued request
     (drawn uniformly from the issued prefix), modelling repeat users and
-    giving the result cache real hits to serve.  Everything is driven by
+    giving the result cache real hits to serve; with probability
+    ``grow_fraction`` it advances a **growing session**: a user replaying
+    their own example history one event per request, each step carrying the
+    grown history and a fresh ``sampler.candidates_for_request`` candidate
+    set.  Every growth step is a guaranteed result-cache miss whose prompt
+    prefix strictly extends the previous step's already-rendered prefix,
+    which is what exercises the serving prefix cache's partial-hit path
+    (histories longer than the recommender's ``max_history`` stop nesting —
+    the truncation window slides — so sessions grow from length 1 and
+    complete at the example's full history).  Everything is driven by
     ``numpy.random.default_rng(seed)``: same inputs, same workload.
     """
     if num_requests <= 0:
@@ -130,15 +166,37 @@ def build_workload(
         raise ValueError("workload needs at least one example")
     if not 0.0 <= repeat_fraction < 1.0:
         raise ValueError("repeat_fraction must be in [0, 1)")
+    if not 0.0 <= grow_fraction < 1.0 or repeat_fraction + grow_fraction >= 1.0:
+        raise ValueError("repeat_fraction + grow_fraction must stay below 1")
     rng = np.random.default_rng(seed)
     requests: List[ServedRequest] = []
     fresh_cursor = 0
+    # one growing session at a time: (user_id, full example history, next length)
+    session: Optional[List] = None
     for index in range(num_requests):
-        if requests and rng.random() < repeat_fraction:
+        draw = rng.random() if requests else 1.0
+        if draw < repeat_fraction:
             earlier = requests[int(rng.integers(len(requests)))]
             requests.append(
                 ServedRequest(index, earlier.user_id, earlier.history, earlier.candidates)
             )
+            continue
+        if draw < repeat_fraction + grow_fraction:
+            if session is None:
+                example = examples[fresh_cursor % len(examples)]
+                fresh_cursor += 1
+                session = [int(example.user_id),
+                           tuple(int(item) for item in example.history), 1]
+            user_id, full_history, length = session
+            history = full_history[:length]
+            candidates = sampler.candidates_for_request(user_id, list(history))
+            requests.append(
+                ServedRequest(index, user_id, history,
+                              tuple(int(item) for item in candidates))
+            )
+            session[2] += 1
+            if session[2] > len(full_history):
+                session = None
             continue
         example = examples[fresh_cursor % len(examples)]
         fresh_cursor += 1

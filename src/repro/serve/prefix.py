@@ -1,0 +1,285 @@
+"""Prefix cache for the DELRec serving prompt path.
+
+Rendering a Stage-2 prompt tokenises the user's history (item titles plus
+item tokens) on every request, even though a returning user's history only
+ever *grows at the end* — the rendered prefix for the old history is a byte
+prefix of the new one.  This cache memoises the rendered prompt prefix
+(``[CLS]`` + the history segment) keyed by the content of the filtered,
+truncated history, and reuses the longest cached ancestor when a grown
+history arrives, re-rendering only the appended items.  The
+history-independent suffix (candidates, auxiliary block, prediction
+instruction) is memoised per distinct candidate set.
+
+Byte-identity argument
+----------------------
+Tokenisation is *per-token* (``Tokenizer.encode_tokens`` maps each word
+independently), so encoding the history segment and the suffix separately and
+concatenating the ids is byte-identical to encoding the whole word list at
+once — both render paths also share the exact segment-word helpers of
+:class:`~repro.core.prompts.PromptBuilder`.  A cached prefix therefore never
+changes a single token id, and served scores stay bitwise-identical to the
+offline loop (pinned by ``tests/test_serving.py``).
+
+Each prefix entry can additionally carry the prefix's **token-embedding
+block** ``(prefix_length, dim)``, lazily stored by the first scoring pass
+over the prefix; reusing it replaces the embedding gather for the stable
+positions with a copy of the identical rows.  Deeper per-layer encoder state
+cannot be cached bitwise at all: SimLM's attention is bidirectional, so every
+hidden state of every layer depends on the *whole* prompt, including the
+request-specific candidates — growing the prompt changes all of them.  The
+embedding layer is the only position-local (and therefore prefix-stable)
+state; see ``docs/performance.md``.
+
+Invalidation and memory bounds
+------------------------------
+:meth:`PrefixCache.ensure` drops every memo when the recommender's scoring
+fingerprint changes (model swap), mirroring the result cache's structural
+invalidation.  Prefix entries and suffix memos live in bounded LRU maps; the
+per-item render memo is bounded by the catalog size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.prompts import PromptBuilder, PromptExample
+
+
+def prefix_history(history: Sequence[int], max_history: int) -> Tuple[int, ...]:
+    """The filtered, truncated history a prompt prefix is built from.
+
+    Mirrors ``DELRecRecommender.build_prompt``: drop padding zeros, keep the
+    last ``max_history`` items.  Session stores use this to predict which
+    prefix key a request will render under.
+    """
+    filtered = tuple(int(item) for item in history if item != 0)
+    return filtered[-max_history:] if max_history > 0 else filtered
+
+
+def prefix_key(history: Sequence[int]) -> str:
+    """Content key of a filtered/truncated history (sha-256 over int64 bytes)."""
+    data = np.asarray(tuple(history), dtype=np.int64).tobytes()
+    return hashlib.sha256(b"prefix:" + data).hexdigest()[:20]
+
+
+@dataclass
+class PrefixStats:
+    """Counters describing how much prompt rendering the cache absorbed."""
+
+    #: prefix lookups (one per rendered scoring prompt)
+    lookups: int = 0
+    #: the exact history's prefix was cached — zero positions re-rendered
+    full_hits: int = 0
+    #: a proper ancestor was cached — only the appended items re-rendered
+    partial_hits: int = 0
+    #: no ancestor cached — the whole prefix rendered from scratch
+    misses: int = 0
+    #: prefix token positions rendered (tokenised) across all lookups
+    rendered_positions: int = 0
+    #: prefix token positions reused from cached entries across all lookups
+    reused_positions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that reused a cached prefix (fully or partially)."""
+        return (self.full_hits + self.partial_hits) / self.lookups if self.lookups else 0.0
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Fraction of prefix positions that had to be re-rendered."""
+        total = self.rendered_positions + self.reused_positions
+        return self.rendered_positions / total if total else 0.0
+
+    def snapshot(self) -> Tuple[int, int, int, int, int, int]:
+        """An immutable copy of the counters (service stats deltas)."""
+        return (self.lookups, self.full_hits, self.partial_hits, self.misses,
+                self.rendered_positions, self.reused_positions)
+
+
+@dataclass
+class _PrefixEntry:
+    """One cached prompt prefix: its history, rendered ids, embedding block."""
+
+    history: Tuple[int, ...]
+    token_ids: Tuple[int, ...]
+    embedding_block: Optional[np.ndarray] = field(default=None)
+
+
+class PrefixCache:
+    """Memoise the stable prompt prefix (and suffix segments) across requests.
+
+    One instance is owned by each :class:`~repro.serve.service.RecommendationService`
+    and attached to its DELRec recommender; :meth:`ensure` must be called with
+    the recommender's scoring fingerprint so a model swap structurally drops
+    every memo.  All renders go through the owning
+    :class:`~repro.core.prompts.PromptBuilder`'s segment helpers, keeping the
+    cached path byte-identical to the monolithic one.
+    """
+
+    def __init__(self, capacity: int = 1024, suffix_capacity: int = 4096):
+        if capacity <= 0 or suffix_capacity <= 0:
+            raise ValueError("prefix cache capacities must be positive")
+        self.capacity = capacity
+        self.suffix_capacity = suffix_capacity
+        self.fingerprint: Optional[str] = None
+        self.stats = PrefixStats()
+        self._entries: "OrderedDict[str, _PrefixEntry]" = OrderedDict()
+        self._suffixes: "OrderedDict[tuple, Tuple[int, ...]]" = OrderedDict()
+        self._item_ids: Dict[int, Tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        """Number of cached prefix entries."""
+        return len(self._entries)
+
+    def nbytes(self) -> int:
+        """Bytes held by cached embedding blocks (the dominant memory term)."""
+        return sum(
+            entry.embedding_block.nbytes
+            for entry in self._entries.values()
+            if entry.embedding_block is not None
+        )
+
+    def clear(self) -> None:
+        """Drop every memo (entries, suffixes, item renders); stats are kept."""
+        self._entries.clear()
+        self._suffixes.clear()
+        self._item_ids.clear()
+
+    def ensure(self, fingerprint: str) -> None:
+        """Bind the cache to a scoring fingerprint, clearing it on change.
+
+        Token renders do not depend on model weights, but embedding blocks do,
+        and a swapped recommender may tokenise differently (another dataset /
+        prompt-builder config shares the same service) — wholesale clearing is
+        the only invalidation that is obviously correct.
+        """
+        if fingerprint != self.fingerprint:
+            self.clear()
+            self.fingerprint = fingerprint
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def _rendered_item_ids(self, builder: PromptBuilder, item_id: int) -> Tuple[int, ...]:
+        """Encoded ids of one history item (title words + item token), memoised."""
+        ids = self._item_ids.get(item_id)
+        if ids is None:
+            words = builder.history_item_words(item_id)
+            ids = tuple(builder.tokenizer.encode_tokens(words))
+            self._item_ids[item_id] = ids
+        return ids
+
+    def _prefix_ids(
+        self, builder: PromptBuilder, history: Tuple[int, ...]
+    ) -> Tuple[str, Tuple[int, ...]]:
+        """Cached ids of ``[CLS]`` + the history segment for ``history``.
+
+        On a miss, the longest cached ancestor (``history[:cut]`` for the
+        largest ``cut``) seeds the render and only ``history[cut:]`` is
+        tokenised; the finished prefix is stored under its own key, so a
+        session growing one event at a time re-renders one item per request.
+        """
+        key = prefix_key(history)
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is not None and entry.history == history:
+            self._entries.move_to_end(key)
+            self.stats.full_hits += 1
+            self.stats.reused_positions += len(entry.token_ids)
+            return key, entry.token_ids
+        base_len = 0
+        base_ids: Optional[Tuple[int, ...]] = None
+        for cut in range(len(history) - 1, 0, -1):
+            parent = self._entries.get(prefix_key(history[:cut]))
+            if parent is not None and parent.history == history[:cut]:
+                base_len, base_ids = cut, parent.token_ids
+                break
+        if base_ids is None:
+            self.stats.misses += 1
+            ids: List[int] = [builder.tokenizer.cls_id]
+            ids.extend(builder.tokenizer.encode_tokens(["history"]))
+        else:
+            self.stats.partial_hits += 1
+            self.stats.reused_positions += len(base_ids)
+            ids = list(base_ids)
+        reused = len(base_ids) if base_ids is not None else 0
+        for item_id in history[base_len:]:
+            ids.extend(self._rendered_item_ids(builder, item_id))
+        self.stats.rendered_positions += len(ids) - reused
+        rendered = tuple(ids)
+        self._entries[key] = _PrefixEntry(history=history, token_ids=rendered)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return key, rendered
+
+    def _suffix_ids(
+        self,
+        builder: PromptBuilder,
+        candidates: Tuple[int, ...],
+        sr_model_name: Optional[str],
+        auxiliary: str,
+    ) -> Tuple[int, ...]:
+        """Cached ids of everything after the history segment, per candidate set."""
+        key = (candidates, sr_model_name, auxiliary)
+        ids = self._suffixes.get(key)
+        if ids is not None:
+            self._suffixes.move_to_end(key)
+            return ids
+        words = builder.recommendation_suffix_words(
+            candidates, sr_model_name=sr_model_name, auxiliary=auxiliary
+        )
+        ids = tuple(builder.tokenizer.encode_tokens(words))
+        self._suffixes[key] = ids
+        if len(self._suffixes) > self.suffix_capacity:
+            self._suffixes.popitem(last=False)
+        return ids
+
+    def recommendation_prompt(
+        self,
+        builder: PromptBuilder,
+        history: Sequence[int],
+        candidates: Sequence[int],
+        label_item: int,
+        sr_model_name: Optional[str] = None,
+        auxiliary: str = "soft",
+    ) -> PromptExample:
+        """Render the Stage-2 scoring prompt through the cache.
+
+        Byte-identical to ``builder.recommendation_prompt`` with the same
+        arguments (scoring never passes ``sr_top_items``, so the suffix only
+        depends on the candidate set and the auxiliary mode).  The returned
+        example carries ``prefix_length``/``prefix_key`` so scoring can reuse
+        the prefix's embedding block.
+        """
+        history = tuple(int(item) for item in history if item != 0)
+        key, prefix_ids = self._prefix_ids(builder, history)
+        suffix_ids = self._suffix_ids(
+            builder, tuple(int(c) for c in candidates), sr_model_name, auxiliary
+        )
+        return builder.assemble(
+            list(prefix_ids) + list(suffix_ids),
+            candidates,
+            label_item,
+            task="recommendation",
+            prefix_length=len(prefix_ids),
+            prefix_key=key,
+        )
+
+    # ------------------------------------------------------------------ #
+    # embedding blocks
+    # ------------------------------------------------------------------ #
+    def embedding_block(self, key: str) -> Optional[np.ndarray]:
+        """The cached ``(prefix_length, dim)`` embedding block (None if absent)."""
+        entry = self._entries.get(key)
+        return entry.embedding_block if entry is not None else None
+
+    def store_embedding_block(self, key: str, block: np.ndarray) -> None:
+        """Attach the lazily-computed embedding block to an existing entry."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.embedding_block = block

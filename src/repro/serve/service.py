@@ -29,13 +29,14 @@ computed.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.prefix import PrefixCache, PrefixStats
 from repro.serve.sessions import SessionStore
 from repro.store.components import load_recommender, recommender_fingerprint
 from repro.store.store import ArtifactStore
@@ -58,6 +59,8 @@ class ServiceConfig:
     default_k: int = 10
     #: per-user session history cap (None = unbounded)
     max_session_events: Optional[int] = None
+    #: LRU capacity of the prompt prefix cache (rendered history prefixes)
+    prefix_capacity: int = 1024
 
 
 @dataclass
@@ -87,6 +90,9 @@ class ServiceStats:
     sessions: int
     events_appended: int
     coalesced: int = 0
+    #: prompt prefix-cache counters (all zeros for recommenders that do not
+    #: render prompts, e.g. the conventional backbones)
+    prefix: PrefixStats = field(default_factory=PrefixStats)
 
     def as_row(self) -> Dict[str, object]:
         """Flatten the snapshot into one reporting-friendly row."""
@@ -102,6 +108,8 @@ class ServiceStats:
             "max_batch": self.batcher.max_batch_size,
             "sessions": self.sessions,
             "events": self.events_appended,
+            "prefix_hit_rate": round(self.prefix.hit_rate, 4),
+            "prefix_recompute_frac": round(self.prefix.recompute_fraction, 4),
         }
 
 
@@ -135,6 +143,7 @@ class RecommendationService:
         self.config = config or ServiceConfig()
         self.candidates_fn = candidates_fn
         self.cache = ResultCache(capacity=self.config.cache_capacity)
+        self.prefix_cache = PrefixCache(capacity=self.config.prefix_capacity)
         self.sessions = SessionStore(max_events=self.config.max_session_events)
         self.requests_served = 0
         #: requests that joined an identical in-flight computation instead of
@@ -188,7 +197,11 @@ class RecommendationService:
         The result cache is keyed by the model fingerprint, so entries cached
         for the previous model stop being addressable the moment the swap
         happens — structural invalidation, no explicit flush needed (stale
-        entries age out through the LRU order).
+        entries age out through the LRU order).  The prompt prefix cache has
+        no per-entry fingerprint, so it is cleared outright on a fingerprint
+        change (:meth:`~repro.serve.prefix.PrefixCache.ensure`) and attached
+        to any recommender that renders prompts (DELRec exposes a
+        ``prefix_cache`` slot).
         """
         if getattr(recommender, "score_candidates_batch", None) is None:
             raise TypeError(
@@ -197,6 +210,9 @@ class RecommendationService:
             )
         self.recommender = recommender
         self.model_fingerprint = model_fingerprint or recommender_fingerprint(recommender)
+        self.prefix_cache.ensure(self.model_fingerprint)
+        if hasattr(recommender, "prefix_cache"):
+            recommender.prefix_cache = self.prefix_cache
         self.batcher = MicroBatcher(
             recommender.score_candidates_batch,
             max_batch_size=self.config.max_batch_size,
@@ -356,4 +372,5 @@ class RecommendationService:
             sessions=len(self.sessions),
             events_appended=self.sessions.events_appended,
             coalesced=self.coalesced_requests,
+            prefix=PrefixStats(*self.prefix_cache.stats.snapshot()),
         )

@@ -119,6 +119,19 @@ class SessionStore:
                 return snapshot[start + len(stored):]
         return None
 
+    def prompt_prefix_key(self, user_id: int, max_history: int) -> str:
+        """The prompt-prefix cache key the user's current history renders under.
+
+        How the history got here — event-by-event :meth:`append`, bulk
+        :meth:`extend`, or snapshot :meth:`sync` — never changes the key: it
+        hashes only the filtered, truncated content
+        (:func:`repro.serve.prefix.prefix_history`), which is exactly what
+        ``DELRecRecommender.build_prompt`` feeds the prefix cache.
+        """
+        from repro.serve.prefix import prefix_history, prefix_key
+
+        return prefix_key(prefix_history(self.history(user_id), max_history))
+
     def forget(self, user_id: int) -> bool:
         """Drop a user's session; returns whether one existed."""
         return self._histories.pop(int(user_id), None) is not None

@@ -277,6 +277,31 @@ class TestSessionStore:
         assert sessions.events_appended == appended_before + 2
         assert sessions.history(1) == [5, 6, 7]
 
+    def test_prompt_prefix_key_is_path_independent(self):
+        """Append, extend and sync all land on the same prompt-prefix key."""
+        from repro.serve.prefix import prefix_history, prefix_key
+
+        events = [4, 9, 2, 7, 5]
+        appended, extended, synced = SessionStore(), SessionStore(), SessionStore()
+        for item in events:
+            appended.append(1, item)
+        extended.extend(1, events[:2])
+        extended.extend(1, events[2:])
+        synced.sync(1, events[:3])
+        synced.sync(1, events)  # resend: suffix-aware, appends only the tail
+        keys = {store.prompt_prefix_key(1, max_history=9)
+                for store in (appended, extended, synced)}
+        assert keys == {prefix_key(prefix_history(events, 9))}
+        # growing the history changes the key; truncation keeps it content-only
+        appended.append(1, 8)
+        grown_key = appended.prompt_prefix_key(1, max_history=9)
+        assert grown_key != keys.pop()
+        assert grown_key == prefix_key(tuple(events) + (8,))
+        # past max_history the key hashes only the rendered window
+        window = SessionStore()
+        window.extend(2, list(range(1, 13)))
+        assert window.prompt_prefix_key(2, max_history=9) == prefix_key(tuple(range(4, 13)))
+
     def test_max_events_trims_oldest(self):
         sessions = SessionStore(max_events=3)
         sessions.extend(1, [1, 2, 3, 4, 5])
@@ -515,3 +540,92 @@ class TestCoalescing:
         assert stats.coalesced == 5
         for response in responses:
             np.testing.assert_array_equal(responses[0].scores, response.scores)
+
+
+# --------------------------------------------------------------------------- #
+# prompt prefix cache in the serving path
+# --------------------------------------------------------------------------- #
+class TestPrefixCacheServing:
+    def _grow_workload(self, sampler, tiny_split, num_requests=40, seed=13):
+        return build_workload(tiny_split.test[:8], sampler, num_requests=num_requests,
+                              seed=seed, repeat_fraction=0.2, grow_fraction=0.3)
+
+    def test_growing_workload_served_bitwise_with_partial_hits(self, delrec, sampler,
+                                                               tiny_split):
+        workload = self._grow_workload(sampler, tiny_split)
+        delrec.prefix_cache = None  # the reference replay renders monolithically
+        offline = replay_workload(delrec, workload)
+        service = RecommendationService(
+            delrec, config=ServiceConfig(max_batch_size=4, max_wait_ms=1.0)
+        )
+        try:
+            result = run_load(service, workload, concurrency=6)
+            for served, reference in zip(result.scores(), offline, strict=True):
+                np.testing.assert_array_equal(served, reference)
+            # the growing sessions hit the prefix cache partially by design
+            assert result.prefix_lookups > 0
+            assert service.prefix_cache.stats.partial_hits > 0
+            assert 0.0 < result.prefix_hit_rate <= 1.0
+            assert 0.0 < result.prefix_recompute_fraction < 1.0
+            assert service.prefix_cache.nbytes() > 0  # embedding blocks attached
+            row = service.stats().as_row()
+            assert row["prefix_hit_rate"] == round(service.prefix_cache.stats.hit_rate, 4)
+            assert "prefix_recompute_frac" in row
+        finally:
+            delrec.prefix_cache = None
+
+    def test_prefix_stats_are_deterministic_across_runs(self, delrec, sampler, tiny_split):
+        workload = self._grow_workload(sampler, tiny_split)
+
+        def run_once():
+            service = RecommendationService(
+                delrec, config=ServiceConfig(max_batch_size=4, max_wait_ms=200.0)
+            )
+            result = run_load(service, workload, concurrency=6)
+            return (result.prefix_lookups, result.prefix_hits,
+                    service.prefix_cache.stats.snapshot(), result.scores())
+
+        try:
+            first, second = run_once(), run_once()
+        finally:
+            delrec.prefix_cache = None
+        assert first[:3] == second[:3]
+        for a, b in zip(first[3], second[3], strict=True):
+            np.testing.assert_array_equal(a, b)
+
+    def test_model_swap_clears_prefix_cache(self, delrec, sasrec, sampler, tiny_split):
+        workload = self._grow_workload(sampler, tiny_split, num_requests=20)
+        service = RecommendationService(
+            delrec, config=ServiceConfig(max_batch_size=4, max_wait_ms=1.0)
+        )
+        try:
+            run_load(service, workload, concurrency=4)
+            assert len(service.prefix_cache) > 0
+            lookups_before = service.prefix_cache.stats.lookups
+            service.set_recommender(sasrec)
+            # entries and embedding blocks are gone; the counters survive
+            assert len(service.prefix_cache) == 0
+            assert service.prefix_cache.nbytes() == 0
+            assert service.prefix_cache.stats.lookups == lookups_before
+            assert service.prefix_cache.fingerprint == service.model_fingerprint
+        finally:
+            delrec.prefix_cache = None
+
+    def test_prompt_free_models_never_touch_the_prefix_cache(self, sasrec, sampler,
+                                                             tiny_split):
+        workload = self._grow_workload(sampler, tiny_split, num_requests=20)
+        service = RecommendationService(
+            sasrec, config=ServiceConfig(max_batch_size=4, max_wait_ms=1.0)
+        )
+        result = run_load(service, workload, concurrency=4)
+        assert result.prefix_lookups == 0
+        assert result.prefix_hit_rate == 0.0
+        assert result.prefix_recompute_fraction == 0.0
+
+    def test_workload_fraction_validation(self, sampler, tiny_split):
+        with pytest.raises(ValueError, match="below 1"):
+            build_workload(tiny_split.test[:4], sampler, num_requests=10,
+                           repeat_fraction=0.6, grow_fraction=0.5)
+        with pytest.raises(ValueError, match="grow_fraction|below 1"):
+            build_workload(tiny_split.test[:4], sampler, num_requests=10,
+                           grow_fraction=-0.1)
