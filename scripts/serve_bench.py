@@ -31,10 +31,22 @@ The build fails when any serving invariant regresses:
 
 The measured table is written to ``benchmarks/results/serve_bench.json`` (+
 ``.txt``) so the CI job can upload it as a workflow artifact.
+
+``--chaos`` runs the fault-injection gate instead (PR 8): a seeded
+``FaultPlan`` (transient scoring faults, poisoned requests, batch-flush
+failures, latency spikes, one store read error) drives the resilient
+service twice, and the build fails unless **zero requests dropped**, every
+response is bitwise-exact or ``degraded=True`` with a known fallback
+fingerprint whose offline scores match bitwise, both runs produce identical
+per-request outcomes, the injected store read error was absorbed by the
+bounded IO retry, and the breaker cell tripped/short-circuited/recovered as
+planned.  Chaos results go to ``benchmarks/results/serve_chaos.json`` — a
+separate file, so the faults-off gates above stay byte-for-byte unchanged.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 import tempfile
@@ -85,8 +97,88 @@ def build_serving_stack(profile, store):
     return context, sasrec, pipeline.recommender(), service.recommender
 
 
+#: chaos-row fields that must be identical between the two runs of one cell
+#: (everything except the run number; wall-clock never enters these columns)
+CHAOS_DETERMINISTIC_COLUMNS = ("model", "cell", "requests", "concurrency", "seed",
+                               "planned", "dropped", "degraded", "exact",
+                               "max_exact_diff", "max_degraded_diff", "unattributed",
+                               "retries", "scoring_failures", "deadline_exceeded",
+                               "breaker_opens", "short_circuits", "store_io_retries",
+                               "outcome_digest")
+
+
+def run_chaos(profile) -> int:
+    """The chaos gate: seeded fault injection must degrade, never drop or lie."""
+    from repro.experiments.tables import run_chaos_bench
+
+    failures = []
+    table = run_chaos_bench(profile, dataset_name=DATASET)
+    print(table)
+
+    results_dir = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                               "benchmarks", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    save_results([table], os.path.join(results_dir, "serve_chaos.json"))
+
+    by_cell = {}
+    for row in table.rows:
+        by_cell.setdefault(row["cell"], []).append(row)
+    for cell, rows in by_cell.items():
+        outcomes = [
+            {key: row[key] for key in CHAOS_DETERMINISTIC_COLUMNS} for row in rows
+        ]
+        if any(outcome != outcomes[0] for outcome in outcomes[1:]):
+            failures.append(f"{cell}: chaos outcomes differ between runs over one "
+                            "fault plan — chaos is not deterministic")
+    for row in table.rows:
+        cell = f"{row['cell']}/run{row['run']}"
+        if row["dropped"] != 0:
+            failures.append(f"{cell}: {row['dropped']} requests dropped "
+                            "(every request must get a response)")
+        if row["max_exact_diff"] != 0.0:
+            failures.append(f"{cell}: non-degraded responses differ from the offline "
+                            f"primary ({row['max_exact_diff']})")
+        if row["max_degraded_diff"] != 0.0:
+            failures.append(f"{cell}: degraded responses differ from their fallback's "
+                            f"offline scores ({row['max_degraded_diff']})")
+        if row["unattributed"] != 0:
+            failures.append(f"{cell}: {row['unattributed']} degraded responses carry "
+                            "an unknown fallback fingerprint")
+        if row["cell"] == "mixed":
+            if row["degraded"] == 0:
+                failures.append(f"{cell}: the fault plan degraded nothing — "
+                                "the chaos run exercised no fallback")
+            if row["retries"] == 0:
+                failures.append(f"{cell}: no retries recorded — transient scoring "
+                                "faults were not absorbed by the retry loop")
+            if row["store_io_retries"] < 1:
+                failures.append(f"{cell}: the injected store read error was not "
+                                "absorbed by the bounded IO retry")
+        if row["cell"] == "breaker":
+            if row["breaker_opens"] < 1:
+                failures.append(f"{cell}: the poisoned run never tripped the breaker")
+            if row["short_circuits"] < 1:
+                failures.append(f"{cell}: the open breaker never short-circuited "
+                                "a request to the fallback")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve-chaos OK: zero dropped requests, every response bitwise-exact or "
+          "degraded with an attributable fallback fingerprint, deterministic "
+          "across runs")
+    return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the fault-injection gate instead of the serving table")
+    args = parser.parse_args()
     profile = get_profile()
+    if args.chaos:
+        return run_chaos(profile)
     failures = []
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as store_root:

@@ -10,7 +10,10 @@ invariants have broken (or could break) in practice:
   pairwise-sum house rule of :mod:`repro.autograd.heads`);
 * concurrency — :class:`RunnerGlobalMutationRule`,
   :class:`RawFileWriteRule`, :class:`PoolOutsideSchedulerRule`;
-* fingerprint completeness — :class:`FingerprintFieldSubsetRule`.
+* fingerprint completeness — :class:`FingerprintFieldSubsetRule`;
+* failure-path honesty — :class:`SilentExceptionSwallowRule` (the serving
+  resilience layer of PR 8 is allowed to *degrade* on failure, never to
+  silently discard one).
 
 All checks are purely syntactic (no imports of the analyzed code, no type
 inference): they over-approximate, and intentional exceptions carry an
@@ -714,6 +717,89 @@ class PoolOutsideSchedulerRule(Rule):
                         f"{dotted} used outside the scheduler; submit WorkUnits to "
                         "ExperimentScheduler instead of building a private pool",
                     )
+
+
+# --------------------------------------------------------------------------- #
+# fingerprint completeness
+# --------------------------------------------------------------------------- #
+
+
+# --------------------------------------------------------------------------- #
+# failure-path honesty
+# --------------------------------------------------------------------------- #
+
+
+#: Exception types so broad that catching them demands visible handling.
+_BROAD_EXCEPTION_NAMES = {"Exception", "BaseException"}
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> List[str]:
+    """The leaf type names a handler catches (empty for a bare ``except:``)."""
+    node = handler.type
+    if node is None:
+        return []
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: List[str] = []
+    for entry in types:
+        if isinstance(entry, ast.Name):
+            names.append(entry.id)
+        elif isinstance(entry, ast.Attribute):
+            names.append(entry.attr)
+    return names
+
+
+def _handler_engages_exception(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or actually uses the caught exception."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if handler.name and isinstance(node, ast.Name) and node.id == handler.name:
+            return True
+    return False
+
+
+@register_rule
+class SilentExceptionSwallowRule(Rule):
+    """Flags bare/over-broad ``except`` handlers that discard the exception."""
+
+    name = "silent-exception-swallow"
+    severity = "error"
+    description = (
+        "bare `except:` clauses, and `except Exception/BaseException` handlers "
+        "that neither re-raise nor reference the caught exception"
+    )
+    rationale = (
+        "a swallowed exception turns a hard failure into silent wrong behaviour "
+        "— the exact failure mode the serving resilience layer exists to "
+        "prevent: failures must surface (re-raise), degrade visibly (fallback + "
+        "degraded=True) or at minimum be recorded through the caught object. A "
+        "handler that catches everything and uses nothing hides poisoned "
+        "requests, corrupt artifacts and broken invariants alike."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan every except handler for bare or discarding broad catches."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare `except:` catches everything (including KeyboardInterrupt) "
+                    "and hides the failure; catch a specific type, or re-raise",
+                )
+                continue
+            broad = [
+                name for name in _handler_type_names(node)
+                if name in _BROAD_EXCEPTION_NAMES
+            ]
+            if broad and not _handler_engages_exception(node):
+                yield self.finding(
+                    ctx, node,
+                    f"`except {broad[0]}` neither re-raises nor uses the caught "
+                    "exception — the failure vanishes silently; re-raise, record "
+                    "the exception object, or degrade visibly",
+                )
 
 
 # --------------------------------------------------------------------------- #

@@ -473,6 +473,153 @@ def measure_serving(
     )
 
 
+@dataclass
+class ChaosReport:
+    """One chaos-cell row: what a seeded fault run did to the serving layer.
+
+    Produced by :func:`measure_chaos_serving`.  The availability contract it
+    captures: ``dropped`` must be 0 (every request got a response),
+    ``max_exact_diff`` must be exactly ``0.0`` (every non-degraded response
+    is bitwise-identical to the offline primary), ``max_degraded_diff`` must
+    be exactly ``0.0`` (every degraded response is bitwise-identical to the
+    offline scores of the fallback link its ``served_by`` fingerprint
+    names), and ``unattributed_degraded`` must be 0 (no degraded response
+    carries an unknown fingerprint).  ``outcome_digest`` hashes every
+    per-request outcome (degraded flag, reason, serving fingerprint, score
+    bytes) in request order — two runs over the same plan must produce the
+    same digest, which is the determinism half of the chaos gate.
+    """
+
+    cell: str
+    requests: int
+    concurrency: int
+    seed: int
+    #: planned faults per kind (from the :class:`~repro.serve.faults.FaultPlan`)
+    planned: Dict[str, int]
+    dropped: int
+    degraded: int
+    exact: int
+    max_exact_diff: float
+    max_degraded_diff: float
+    #: degraded responses whose fingerprint matched no known fallback link
+    unattributed_degraded: int
+    #: sha256 over every per-request outcome, request order
+    outcome_digest: str
+    retries: int = 0
+    scoring_failures: int = 0
+    deadline_exceeded: int = 0
+    breaker_opens: int = 0
+    breaker_short_circuits: int = 0
+    store_io_retries: int = 0
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten into a :class:`~repro.experiments.reporting.ResultTable` row."""
+        planned = " ".join(
+            f"{kind}:{count}" for kind, count in self.planned.items() if count
+        )
+        return {
+            "cell": self.cell,
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "seed": self.seed,
+            "planned": planned or "-",
+            "dropped": self.dropped,
+            "degraded": self.degraded,
+            "exact": self.exact,
+            "max_exact_diff": self.max_exact_diff,
+            "max_degraded_diff": self.max_degraded_diff,
+            "unattributed": self.unattributed_degraded,
+            "retries": self.retries,
+            "scoring_failures": self.scoring_failures,
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker_opens": self.breaker_opens,
+            "short_circuits": self.breaker_short_circuits,
+            "store_io_retries": self.store_io_retries,
+            "outcome_digest": self.outcome_digest[:16],
+        }
+
+
+def measure_chaos_serving(
+    service,
+    workload: Sequence,
+    primary_reference: Sequence[np.ndarray],
+    fallback_references: Dict[str, Sequence[np.ndarray]],
+    concurrency: int = 8,
+    cell: str = "mixed",
+    seed: int = 0,
+    planned: Optional[Dict[str, int]] = None,
+    store_io_retries: int = 0,
+) -> ChaosReport:
+    """Run a chaos load and audit every response against its offline reference.
+
+    ``primary_reference`` is the offline per-example scoring of the workload
+    through the primary model
+    (:func:`~repro.serve.loadgen.replay_workload`); ``fallback_references``
+    maps each fallback link's *fingerprint* to the same workload scored
+    through that link.  Every non-degraded response is checked bitwise
+    against the primary reference; every degraded response against the
+    reference of the link its ``served_by`` fingerprint names — so a
+    degraded response is not merely labeled, it is *attributable and exact*.
+    ``store_io_retries`` is the store's measured retry delta for this cell's
+    injected read faults (the caller arms and probes the store), reported so
+    the gate can assert an injected read error was absorbed, not ignored.
+    """
+    import hashlib
+
+    from repro.serve.loadgen import run_load
+
+    result = run_load(service, workload, concurrency=concurrency)
+
+    max_exact = 0.0
+    max_degraded = 0.0
+    unattributed = 0
+    digest = hashlib.sha256()
+    if result.dropped == 0:
+        for index, response in enumerate(result.responses):
+            scores = np.asarray(response.scores, dtype=np.float64)
+            digest.update(
+                f"{index}|{int(response.degraded)}|{response.degraded_reason}|"
+                f"{response.served_by}|".encode()
+            )
+            digest.update(scores.tobytes())
+            if not response.degraded:
+                reference = np.asarray(primary_reference[index], dtype=np.float64)
+                max_exact = max(max_exact, float(np.max(np.abs(scores - reference))))
+                continue
+            link_reference = fallback_references.get(response.served_by)
+            if link_reference is None:
+                unattributed += 1
+                continue
+            reference = np.asarray(link_reference[index], dtype=np.float64)
+            max_degraded = max(max_degraded, float(np.max(np.abs(scores - reference))))
+    else:
+        # responses no longer align with the workload; the gate fails on
+        # dropped > 0 before ever reading the diff columns
+        digest.update(f"dropped:{result.dropped}".encode())
+
+    before, after = result.stats_before.resilience, result.stats_after.resilience
+    return ChaosReport(
+        cell=cell,
+        requests=len(workload),
+        concurrency=concurrency,
+        seed=seed,
+        planned=dict(planned or {}),
+        dropped=result.dropped,
+        degraded=result.degraded_count,
+        exact=len(result.responses) - result.degraded_count,
+        max_exact_diff=max_exact,
+        max_degraded_diff=max_degraded,
+        unattributed_degraded=unattributed,
+        outcome_digest=digest.hexdigest(),
+        retries=after.retries - before.retries,
+        scoring_failures=after.scoring_failures - before.scoring_failures,
+        deadline_exceeded=after.deadline_exceeded - before.deadline_exceeded,
+        breaker_opens=after.breaker_opens - before.breaker_opens,
+        breaker_short_circuits=after.breaker_short_circuits - before.breaker_short_circuits,
+        store_io_retries=store_io_retries,
+    )
+
+
 def measure_scoring_throughput(
     recommender,
     histories: Sequence[Sequence[int]],

@@ -541,6 +541,215 @@ def run_rq5_serving(
     )
 
 
+def _unique_chaos_workload(context, profile, num_requests: int, seed: int):
+    """A chaos workload of strictly distinct (history, candidates) keys.
+
+    The chaos gate compares per-request outcomes across two runs, so no two
+    requests may share a result-cache key: a duplicate's outcome would
+    depend on whether its twin finished first (cache hit), was still in
+    flight (coalesced — inheriting the twin's fault), or had not started —
+    all scheduling-dependent.  Fresh-only workload, deduplicated and
+    re-indexed contiguously (``run_load`` and the fault plan both key on
+    ``request.index``).
+    """
+    from repro.serve import build_workload
+    from repro.serve.loadgen import ServedRequest
+
+    workload = build_workload(
+        context.test_examples,
+        context.evaluator.sampler,
+        num_requests=num_requests,
+        seed=seed,
+        repeat_fraction=0.0,
+        grow_fraction=0.0,
+    )
+    seen = set()
+    unique = []
+    for request in workload:
+        key = (request.history, request.candidates)
+        if key not in seen:
+            seen.add(key)
+            unique.append(request)
+    return [
+        ServedRequest(index, request.user_id, request.history, request.candidates)
+        for index, request in enumerate(unique)
+    ]
+
+
+def chaos_table(
+    profile: ExperimentProfile,
+    context: ExperimentContext,
+    recommender,
+    model_name: str = "SASRec",
+    num_requests: Optional[int] = None,
+    concurrency: int = 8,
+    seed: Optional[int] = None,
+    runs: int = 2,
+) -> ResultTable:
+    """The chaos table: seeded fault injection against the resilient service.
+
+    Two cells, each executed ``runs`` times over the *same* fault plan with a
+    fresh service and injector per run (the determinism gate compares the
+    per-run ``outcome_digest`` columns):
+
+    * ``mixed`` — the :data:`~repro.serve.loadgen.CHAOS_PROFILES` ``mixed``
+      profile at full concurrency: transient scoring faults (absorbed by
+      retries), poisoned requests (isolated by batch bisection, degraded
+      through the popularity fallback), batch-flush failures (recovered by
+      bisection), latency spikes (deadline → degraded) and one injected
+      store read error (absorbed by the store's bounded IO retry, probed
+      against a real artifact before the load runs).  The breaker threshold
+      is set far above the workload size: under concurrency the breaker's
+      trajectory would depend on completion order, so the mixed cell keeps
+      it out of play.
+    * ``breaker`` — a serial (``concurrency=1``) cell with a contiguous run
+      of poisoned requests that trips the breaker, short-circuits the
+      cooldown window straight to the fallback, then recovers through the
+      half-open probe.  Serial execution makes the breaker trajectory a pure
+      function of the request order.
+
+    Every response is audited bitwise: non-degraded against the primary's
+    offline scores, degraded against the offline scores of the fallback link
+    its fingerprint names (see
+    :func:`~repro.eval.efficiency.measure_chaos_serving`).
+    """
+    from repro.eval.efficiency import measure_chaos_serving
+    from repro.models.popularity import PopularityRecommender
+    from repro.serve import RecommendationService, ServiceConfig, replay_workload
+    from repro.serve.faults import POISON, FaultInjector, FaultPlan, FaultSpec
+    from repro.serve.loadgen import CHAOS_PROFILES
+    from repro.serve.resilience import FallbackChain, ResiliencePolicy
+    from repro.store.components import recommender_fingerprint
+
+    if num_requests is None:
+        num_requests = 80 if profile.name == "smoke" else 200
+    seed = profile.seed if seed is None else seed
+    workload = _unique_chaos_workload(context, profile, num_requests, seed)
+
+    # max_history=9 matches the context's chronological split window
+    fallback_model = PopularityRecommender(
+        num_items=context.dataset.num_items, max_history=9
+    ).fit(context.split.train)
+    fallback_fp = recommender_fingerprint(fallback_model)
+    model_fp = recommender_fingerprint(recommender)
+    primary_reference = replay_workload(recommender, workload)
+    fallback_reference = {fallback_fp: replay_workload(fallback_model, workload)}
+
+    table = ResultTable(
+        title="Chaos: seeded fault injection against the resilient serving layer",
+        columns=["model", "run", "cell", "requests", "concurrency", "seed", "planned",
+                 "dropped", "degraded", "exact", "max_exact_diff", "max_degraded_diff",
+                 "unattributed", "retries", "scoring_failures", "deadline_exceeded",
+                 "breaker_opens", "short_circuits", "store_io_retries", "outcome_digest"],
+    )
+
+    mixed_plan = CHAOS_PROFILES["mixed"].plan_for(len(workload), seed)
+    batched_size = max(2, min(profile.eval_batch_size, concurrency))
+    for run in range(runs):
+        injector = FaultInjector(mixed_plan)
+        store_io_retries = _probe_store_read_fault(injector, mixed_plan)
+        service = RecommendationService(
+            recommender,
+            model_fingerprint=model_fp,
+            config=ServiceConfig(max_batch_size=batched_size, max_wait_ms=2.0),
+            # breaker kept out of play: its trajectory under concurrency>1
+            # depends on completion order (the dedicated cell covers it)
+            resilience=ResiliencePolicy(deadline_ms=50.0, max_retries=2,
+                                        breaker_threshold=10 ** 6),
+            fallback=FallbackChain.from_recommenders([("popularity", fallback_model)]),
+            fault_injector=injector,
+        )
+        report = measure_chaos_serving(
+            service, workload, primary_reference, fallback_reference,
+            concurrency=concurrency, cell="mixed", seed=seed,
+            planned=mixed_plan.counts(), store_io_retries=store_io_retries,
+        )
+        table.add_row(model=model_name, run=run, **report.as_row())
+
+    breaker_len = min(24, len(workload))
+    breaker_workload = workload[:breaker_len]
+    breaker_plan = FaultPlan(
+        {index: FaultSpec(POISON, failures=None) for index in range(3)}
+    )
+    breaker_reference = primary_reference[:breaker_len]
+    for run in range(runs):
+        injector = FaultInjector(breaker_plan)
+        service = RecommendationService(
+            recommender,
+            model_fingerprint=model_fp,
+            config=ServiceConfig(max_batch_size=1, max_wait_ms=2.0),
+            resilience=ResiliencePolicy(deadline_ms=1000.0, max_retries=0,
+                                        breaker_threshold=3,
+                                        breaker_cooldown_requests=4),
+            fallback=FallbackChain.from_recommenders([("popularity", fallback_model)]),
+            fault_injector=injector,
+        )
+        report = measure_chaos_serving(
+            service, breaker_workload, breaker_reference, fallback_reference,
+            concurrency=1, cell="breaker", seed=seed,
+            planned=breaker_plan.counts(),
+        )
+        table.add_row(model=model_name, run=run, **report.as_row())
+
+    table.notes.append(
+        "each cell runs twice over one seeded FaultPlan with a fresh service and "
+        "injector per run; the gate requires zero dropped requests, max_exact_diff "
+        "and max_degraded_diff exactly 0.0, zero unattributed degraded responses, "
+        "identical outcome_digest across runs, and the injected store read error "
+        "absorbed by the bounded IO retry (store_io_retries >= 1 in the mixed cell). "
+        "The breaker cell is serial (concurrency=1): three poisoned requests trip the "
+        "breaker, the cooldown window short-circuits to the fallback, and the "
+        "half-open probe recovers"
+    )
+    return table
+
+
+def _probe_store_read_fault(injector, plan) -> int:
+    """Exercise the store's bounded IO retry against the plan's read faults.
+
+    Saves a tiny probe artifact into a throwaway store, arms the injector's
+    read-fault hook, and loads the artifact back: the injected ``OSError``(s)
+    must be absorbed by the store's retry loop.  Returns the store's
+    ``io_retries`` delta (0 when the plan injects no store faults).
+    """
+    if plan.store_read_failures <= 0:
+        return 0
+    root = tempfile.mkdtemp(prefix="repro-chaos-store-")
+    try:
+        store = ArtifactStore(root, io_retries=max(2, plan.store_read_failures))
+        store.save("chaos-probe", "probe0", {"x": np.arange(4.0)}, {})
+        injector.arm_store_faults(store)
+        before = store.stats.io_retries
+        store.load("chaos-probe", "probe0")
+        return store.stats.io_retries - before
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_chaos_bench(
+    profile: Optional[ExperimentProfile] = None,
+    dataset_name: str = "movielens-100k",
+    num_requests: Optional[int] = None,
+    concurrency: int = 8,
+    store: Optional[ArtifactStore] = None,
+) -> ResultTable:
+    """Stand-alone chaos benchmark: SASRec primary + popularity fallback.
+
+    Trains (or warm-reloads) the SASRec backbone and runs
+    :func:`chaos_table` against it.  This is the entry point
+    ``scripts/serve_bench.py --chaos`` gates in CI — the cheap conventional
+    backbone keeps the chaos job fast while exercising every layer of the
+    resilience stack (the layers are model-agnostic).
+    """
+    profile = profile or get_profile()
+    context = ExperimentContext(dataset_name, profile, store=store)
+    recommender = context.conventional_model("SASRec")
+    return chaos_table(
+        profile, context, recommender, model_name="SASRec",
+        num_requests=num_requests, concurrency=concurrency,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # RQ5: efficiency, latency, cold start
 # --------------------------------------------------------------------------- #

@@ -21,7 +21,12 @@ request-serving path:
 * :class:`~repro.serve.sessions.SessionStore` — per-user incremental
   histories, so repeat users append events instead of resending everything;
 * :mod:`repro.serve.loadgen` — a deterministic closed-loop load generator
-  that replays synthetic-dataset users at configurable concurrency.
+  that replays synthetic-dataset users at configurable concurrency;
+* :mod:`repro.serve.resilience` — the failure model (PR 8): per-request
+  deadline budgets, bounded deterministic retries, a request-counted circuit
+  breaker and the degraded-mode fallback chain;
+* :mod:`repro.serve.faults` — seeded, bitwise-reproducible fault injection
+  (the chaos harness the resilience layer is gated against in CI).
 
 Because the batched scoring engine is bitwise-identical to the per-example
 loop and the caches only ever store what scoring computed, every served score
@@ -32,7 +37,16 @@ candidate sets.
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
 from repro.serve.cache import CacheStats, ResultCache, candidates_digest, history_digest
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedScoringError,
+    InjectedStoreReadError,
+)
 from repro.serve.loadgen import (
+    CHAOS_PROFILES,
+    FaultProfile,
     LoadResult,
     ServedRequest,
     build_workload,
@@ -40,6 +54,18 @@ from repro.serve.loadgen import (
     run_load,
 )
 from repro.serve.prefix import PrefixCache, PrefixStats, prefix_history, prefix_key
+from repro.serve.resilience import (
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    FallbackChain,
+    FallbackExhausted,
+    FallbackLink,
+    ResiliencePolicy,
+    ResilienceStats,
+    ScoringUnavailable,
+    TransientScoringError,
+)
 from repro.serve.service import (
     RecommendationService,
     RecommendResponse,
@@ -50,18 +76,35 @@ from repro.serve.sessions import SessionStore
 
 __all__ = [
     "BatcherStats",
+    "CHAOS_PROFILES",
     "CacheStats",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "FallbackChain",
+    "FallbackExhausted",
+    "FallbackLink",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultProfile",
+    "FaultSpec",
+    "InjectedScoringError",
+    "InjectedStoreReadError",
     "LoadResult",
     "MicroBatcher",
     "PrefixCache",
     "PrefixStats",
     "RecommendResponse",
     "RecommendationService",
+    "ResiliencePolicy",
+    "ResilienceStats",
     "ResultCache",
+    "ScoringUnavailable",
     "ServedRequest",
     "ServiceConfig",
     "ServiceStats",
     "SessionStore",
+    "TransientScoringError",
     "build_workload",
     "candidates_digest",
     "history_digest",

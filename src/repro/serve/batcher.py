@@ -41,6 +41,13 @@ class BatcherStats:
     deadline_flushes: int = 0
     #: batch-size histogram: flush size -> number of flushes of that size
     batch_sizes: Dict[int, int] = field(default_factory=dict)
+    #: scoring calls that raised (including bisection sub-calls)
+    batch_errors: int = 0
+    #: times a failed multi-request scoring call was split in half and retried
+    bisections: int = 0
+    #: requests that received an exception instead of scores (with isolation
+    #: on, always narrowed down to the genuinely failing request)
+    failed_requests: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -68,15 +75,17 @@ class BatcherStats:
 
 
 class _Pending:
-    """One queued request: its inputs and the future its caller awaits."""
+    """One queued request: its inputs, its caller's future, its planned fault."""
 
-    __slots__ = ("history", "candidates", "future")
+    __slots__ = ("history", "candidates", "future", "fault")
 
     def __init__(self, history: Sequence[int], candidates: Sequence[int],
-                 future: "asyncio.Future[np.ndarray]"):
+                 future: "asyncio.Future[np.ndarray]", fault=None):
         self.history = history
         self.candidates = candidates
         self.future = future
+        #: optional :class:`~repro.serve.faults.ActiveFault` fired on scoring
+        self.fault = fault
 
 
 class MicroBatcher:
@@ -93,10 +102,19 @@ class MicroBatcher:
         Flush whatever is queued this many milliseconds after the oldest
         unflushed request arrived, so low-traffic requests are never stuck
         waiting for a full batch.
+    isolate_failures:
+        When a scoring call over several requests raises, bisect the batch
+        and re-score each half instead of failing every batchmate: the
+        recursion narrows the failure down to the genuinely faulty
+        request(s), which alone receive the exception, while everyone else
+        still gets exact scores (batch composition can never change a score,
+        so the re-scored halves are bitwise-identical to what the full flush
+        would have produced).  On by default; ``False`` restores the legacy
+        all-fail flush.
     """
 
     def __init__(self, score_fn: BatchScoreFn, max_batch_size: int = 16,
-                 max_wait_ms: float = 2.0):
+                 max_wait_ms: float = 2.0, isolate_failures: bool = True):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if max_wait_ms < 0:
@@ -104,6 +122,7 @@ class MicroBatcher:
         self.score_fn = score_fn
         self.max_batch_size = max_batch_size
         self.max_wait_ms = max_wait_ms
+        self.isolate_failures = isolate_failures
         self.stats = BatcherStats()
         self._pending: List[_Pending] = []
         self._deadline_handle: Optional[asyncio.TimerHandle] = None
@@ -114,12 +133,16 @@ class MicroBatcher:
         """How many requests are queued and not yet flushed."""
         return len(self._pending)
 
-    async def submit(self, history: Sequence[int], candidates: Sequence[int]) -> np.ndarray:
+    async def submit(self, history: Sequence[int], candidates: Sequence[int],
+                     fault=None) -> np.ndarray:
         """Queue one request and await its scores.
 
         The request either completes as part of a size-triggered flush (when
         it fills the batch), a later request's size-triggered flush, or the
-        deadline flush armed when it joined an empty queue.
+        deadline flush armed when it joined an empty queue.  ``fault`` is an
+        optional batch-level :class:`~repro.serve.faults.ActiveFault` fired
+        by scoring calls that cover this request (deterministic chaos
+        testing, see :mod:`repro.serve.faults`).
         """
         loop = asyncio.get_running_loop()
         if self._loop is not loop:
@@ -137,7 +160,7 @@ class MicroBatcher:
             self._pending = []
             self._loop = loop
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
-        self._pending.append(_Pending(history, candidates, future))
+        self._pending.append(_Pending(history, candidates, future, fault=fault))
         if len(self._pending) >= self.max_batch_size:
             self._flush(on_deadline=False)
         elif self._deadline_handle is None:
@@ -165,20 +188,48 @@ class MicroBatcher:
             return
         batch, self._pending = self._pending, []
         self.stats.record_flush(len(batch), on_deadline)
+        self._deliver(batch)
+
+    def _score_entries(self, entries: List[_Pending]) -> List[np.ndarray]:
+        """One scoring call over ``entries`` (fires their batch-level faults)."""
+        for entry in entries:
+            if entry.fault is not None:
+                entry.fault.on_flush(len(entries))
+        scores = list(self.score_fn(
+            [entry.history for entry in entries],
+            [entry.candidates for entry in entries],
+        ))
+        if len(scores) != len(entries):
+            raise RuntimeError(
+                f"batched scorer returned {len(scores)} rows for {len(entries)} requests"
+            )
+        return scores
+
+    def _deliver(self, entries: List[_Pending]) -> None:
+        """Score ``entries``, bisecting on failure so batchmates are rescued.
+
+        A failed multi-request scoring call is split in half and each half
+        re-scored independently (recursively), so only the genuinely faulty
+        request(s) receive the exception — everyone else gets scores that
+        are bitwise-identical to what the original flush would have produced
+        (batch invariance, PR 1's contract).  With ``isolate_failures`` off,
+        the legacy behaviour applies: the whole batch shares the exception.
+        """
         try:
-            scores = list(self.score_fn(
-                [entry.history for entry in batch],
-                [entry.candidates for entry in batch],
-            ))
-            if len(scores) != len(batch):
-                raise RuntimeError(
-                    f"batched scorer returned {len(scores)} rows for {len(batch)} requests"
-                )
-        except BaseException as error:  # propagate scoring failures to every waiter
-            for entry in batch:
+            scores = self._score_entries(entries)
+        except BaseException as error:
+            self.stats.batch_errors += 1
+            if self.isolate_failures and len(entries) > 1:
+                mid = len(entries) // 2
+                self.stats.bisections += 1
+                self._deliver(entries[:mid])
+                self._deliver(entries[mid:])
+                return
+            for entry in entries:
                 if not entry.future.done():
                     entry.future.set_exception(error)
+                self.stats.failed_requests += 1
             return
-        for entry, row in zip(batch, scores, strict=True):
+        for entry, row in zip(entries, scores, strict=True):
             if not entry.future.done():
                 entry.future.set_result(np.asarray(row))

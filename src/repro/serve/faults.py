@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the serving stack (seeded chaos).
+
+Chaos testing here follows the same discipline as everything else in the
+repo: it must be **bitwise-reproducible**.  A :class:`FaultPlan` is a pure
+function of its seed — it decides, *before the run starts*, which request
+indices experience which faults — and the faults themselves are logical
+(raised exceptions, charged latency), not wall-clock races.  A failing chaos
+run therefore replays exactly: same degraded requests, same fallback
+fingerprints, same scores.
+
+Fault kinds
+-----------
+* ``scoring`` — a **transient** primary-scoring failure: the request's first
+  ``failures`` scoring attempts raise :class:`InjectedScoringError` before
+  reaching the micro-batcher; the retry loop of the resilience layer absorbs
+  it (response stays bitwise-exact when ``failures <= max_retries``).
+* ``poison`` — a **permanent** per-request failure: every scoring call whose
+  batch contains the request raises, exactly like a genuinely poisoned
+  input.  The micro-batcher's bisection isolates it so batchmates still get
+  exact scores; the poisoned request exhausts its retries and degrades
+  through the fallback chain.
+* ``flush`` — a transient **batch-flush** failure: a scoring call covering
+  more than one request raises while the fault's budget lasts.  Bisection
+  re-scores the halves, so every request still gets exact scores.
+* ``latency`` — ``added_ms`` of logical latency charged against the
+  request's :class:`~repro.serve.resilience.DeadlineBudget`; a charge past
+  the budget deterministically triggers the deadline path (fallback,
+  ``degraded=True``) without any real sleeping.
+
+Store faults are separate (they are not tied to request indices): the
+injector can arm a bounded number of read errors on an
+:class:`~repro.store.store.ArtifactStore` via :meth:`FaultInjector.arm_store_faults`,
+exercising the store's bounded-retry hardening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.resilience import TransientScoringError
+
+#: Fault kind: transient service-level scoring failure (absorbed by retries).
+SCORING = "scoring"
+#: Fault kind: permanent per-request poison (isolated by batch bisection).
+POISON = "poison"
+#: Fault kind: transient batch-flush failure (recovered by bisection).
+FLUSH = "flush"
+#: Fault kind: logical latency charged against the request's deadline budget.
+LATENCY = "latency"
+
+#: Every fault kind a :class:`FaultSpec` may carry.
+FAULT_KINDS = (SCORING, POISON, FLUSH, LATENCY)
+
+#: Kinds the micro-batcher (rather than the service) fires.
+BATCH_LEVEL_KINDS = frozenset({POISON, FLUSH})
+
+
+class InjectedScoringError(TransientScoringError):
+    """A planned scoring failure raised by the fault injector."""
+
+
+class InjectedStoreReadError(OSError):
+    """A planned transient artifact-store read error (an ``OSError``)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The planned fault for one request index.
+
+    ``failures`` bounds how many times the fault fires (``None`` =
+    unbounded, the :data:`POISON` semantics); ``added_ms`` is the logical
+    latency of a :data:`LATENCY` fault.
+    """
+
+    kind: str
+    failures: Optional[int] = 1
+    added_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.failures is not None and self.failures <= 0:
+            raise ValueError("failures must be positive (or None for unbounded)")
+        if self.added_ms < 0:
+            raise ValueError("added_ms must be non-negative")
+
+
+class ActiveFault:
+    """One request's live fault: a :class:`FaultSpec` with a consumable budget.
+
+    Created by :meth:`FaultInjector.activate` when the faulted request
+    arrives and carried through that request's retry attempts, so a
+    transient fault's budget drains across attempts exactly once per run.
+    """
+
+    __slots__ = ("index", "spec", "remaining")
+
+    def __init__(self, index: int, spec: FaultSpec):
+        self.index = index
+        self.spec = spec
+        self.remaining = spec.failures
+
+    @property
+    def kind(self) -> str:
+        """The planned fault kind (see :data:`FAULT_KINDS`)."""
+        return self.spec.kind
+
+    @property
+    def added_ms(self) -> float:
+        """Logical latency of a :data:`LATENCY` fault (0 otherwise)."""
+        return self.spec.added_ms
+
+    @property
+    def batch_level(self) -> bool:
+        """Whether the micro-batcher (not the service) fires this fault."""
+        return self.spec.kind in BATCH_LEVEL_KINDS
+
+    def _consume(self) -> bool:
+        if self.remaining is None:
+            return True
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+    def before_attempt(self) -> None:
+        """Fire a :data:`SCORING` fault for one service-level scoring attempt."""
+        if self.spec.kind == SCORING and self._consume():
+            raise InjectedScoringError(
+                f"injected transient scoring fault (request {self.index})"
+            )
+
+    def on_flush(self, batch_size: int) -> None:
+        """Fire a batch-level fault for one scoring call over ``batch_size`` requests.
+
+        :data:`POISON` fires on every call containing the request;
+        :data:`FLUSH` fires only on multi-request calls while its budget
+        lasts, so bisection always recovers the batch.
+        """
+        if self.spec.kind == POISON:
+            raise InjectedScoringError(
+                f"injected poisoned request (request {self.index})"
+            )
+        if self.spec.kind == FLUSH and batch_size > 1 and self._consume():
+            raise InjectedScoringError(
+                f"injected batch-flush failure (request {self.index}, "
+                f"batch of {batch_size})"
+            )
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic request-index → fault assignment (plus store faults).
+
+    Build one directly (``FaultPlan({3: FaultSpec(POISON)})``) for targeted
+    scenarios, or :meth:`sample` one from rates and a seed.  The plan is
+    immutable state shared by every run; per-run firing state lives in the
+    :class:`FaultInjector` so two runs over one plan are independent.
+    """
+
+    faults: Dict[int, FaultSpec] = field(default_factory=dict)
+    #: transient read errors to arm on the artifact store (not index-tied)
+    store_read_failures: int = 0
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def fault_for(self, index: int) -> Optional[FaultSpec]:
+        """The planned fault at ``index``, or ``None``."""
+        return self.faults.get(index)
+
+    def counts(self) -> Dict[str, int]:
+        """Planned faults per kind (stable kind order)."""
+        counts = {kind: 0 for kind in FAULT_KINDS}
+        for spec in self.faults.values():
+            counts[spec.kind] += 1
+        return counts
+
+    @classmethod
+    def sample(
+        cls,
+        num_requests: int,
+        seed: int,
+        scoring_rate: float = 0.0,
+        poison_rate: float = 0.0,
+        flush_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        scoring_failures: int = 1,
+        flush_failures: int = 1,
+        latency_ms: Tuple[float, float] = (10.0, 100.0),
+        store_read_failures: int = 0,
+    ) -> "FaultPlan":
+        """Draw a plan from per-request fault rates under a fixed seed.
+
+        Each request index independently draws one fault (or none) with the
+        given probabilities; :data:`LATENCY` faults draw their ``added_ms``
+        uniformly from the ``latency_ms`` range.  Everything flows through
+        ``numpy.random.default_rng(seed)``, so the same arguments always
+        produce the same plan — the chaos gate relies on replaying one plan
+        through two independent runs.
+        """
+        rates = (scoring_rate, poison_rate, flush_rate, latency_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1.0:
+            raise ValueError("fault rates must be non-negative and sum to at most 1")
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        low, high = latency_ms
+        if low < 0 or high < low:
+            raise ValueError("latency_ms must be a non-negative (low, high) range")
+        rng = np.random.default_rng(seed)
+        faults: Dict[int, FaultSpec] = {}
+        for index in range(num_requests):
+            draw = float(rng.random())
+            if draw < scoring_rate:
+                faults[index] = FaultSpec(SCORING, failures=scoring_failures)
+            elif draw < scoring_rate + poison_rate:
+                faults[index] = FaultSpec(POISON, failures=None)
+            elif draw < scoring_rate + poison_rate + flush_rate:
+                faults[index] = FaultSpec(FLUSH, failures=flush_failures)
+            elif draw < sum(rates):
+                added = float(rng.uniform(low, high))
+                faults[index] = FaultSpec(LATENCY, added_ms=added)
+        return cls(faults=faults, store_read_failures=store_read_failures)
+
+
+@dataclass
+class InjectionStats:
+    """What one :class:`FaultInjector` actually injected during a run."""
+
+    #: faults activated per kind (requests that arrived with a planned fault)
+    activated: Dict[str, int] = field(default_factory=dict)
+    #: total logical latency injected, milliseconds
+    latency_ms_injected: float = 0.0
+    #: store read errors fired by the armed hook
+    store_reads_injected: int = 0
+
+    def record_activation(self, spec: FaultSpec) -> None:
+        """Count one activated fault (and its latency, if any)."""
+        self.activated[spec.kind] = self.activated.get(spec.kind, 0) + 1
+        self.latency_ms_injected += spec.added_ms
+
+
+class FaultInjector:
+    """Per-run firing state over a :class:`FaultPlan`.
+
+    The serving layer asks :meth:`activate` once per request (keyed by the
+    request's workload index) and carries the returned :class:`ActiveFault`
+    through the request's lifetime.  Use a fresh injector per run — the plan
+    holds no mutable state, so runs never contaminate each other.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = InjectionStats()
+
+    def activate(self, index: Optional[int]) -> Optional[ActiveFault]:
+        """The live fault for request ``index`` (``None`` when unplanned)."""
+        if index is None:
+            return None
+        spec = self.plan.fault_for(int(index))
+        if spec is None:
+            return None
+        self.stats.record_activation(spec)
+        return ActiveFault(int(index), spec)
+
+    def arm_store_faults(self, store, failures: Optional[int] = None) -> int:
+        """Install a bounded read-fault hook on ``store``; returns the count armed.
+
+        The next ``failures`` (default: the plan's ``store_read_failures``)
+        artifact reads raise :class:`InjectedStoreReadError`; the store's
+        bounded IO retry must absorb them.  Arming zero faults clears the
+        hook.
+        """
+        count = self.plan.store_read_failures if failures is None else int(failures)
+        if count < 0:
+            raise ValueError("failures must be non-negative")
+        if count == 0:
+            store.read_fault_hook = None
+            return 0
+        remaining = [count]
+
+        def hook(kind: str, fingerprint: str) -> None:
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                self.stats.store_reads_injected += 1
+                raise InjectedStoreReadError(
+                    f"injected store read error ({kind}/{fingerprint})"
+                )
+
+        store.read_fault_hook = hook
+        return count

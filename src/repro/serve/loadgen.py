@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.serve.faults import FaultPlan
 from repro.serve.service import RecommendationService, RecommendResponse, ServiceStats
 
 
@@ -43,6 +44,70 @@ class ServedRequest:
     user_id: int
     history: Tuple[int, ...]
     candidates: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named chaos intensity: per-request fault rates plus store read errors.
+
+    A profile is pure configuration — :meth:`plan_for` turns it into the
+    seeded :class:`~repro.serve.faults.FaultPlan` for a concrete workload
+    size, so the same profile + seed + size always produces the same plan.
+    Rates are per-request probabilities of each fault kind (see
+    :mod:`repro.serve.faults` for their semantics).
+    """
+
+    name: str
+    scoring_rate: float = 0.0
+    poison_rate: float = 0.0
+    flush_rate: float = 0.0
+    latency_rate: float = 0.0
+    scoring_failures: int = 1
+    flush_failures: int = 1
+    latency_ms: Tuple[float, float] = (10.0, 100.0)
+    store_read_failures: int = 0
+
+    def plan_for(self, num_requests: int, seed: int) -> FaultPlan:
+        """The profile's deterministic fault plan for ``num_requests`` requests."""
+        return FaultPlan.sample(
+            num_requests,
+            seed,
+            scoring_rate=self.scoring_rate,
+            poison_rate=self.poison_rate,
+            flush_rate=self.flush_rate,
+            latency_rate=self.latency_rate,
+            scoring_failures=self.scoring_failures,
+            flush_failures=self.flush_failures,
+            latency_ms=self.latency_ms,
+            store_read_failures=self.store_read_failures,
+        )
+
+
+#: The chaos intensities the serve-bench gate and tests draw from.  ``mixed``
+#: is the gate's profile: transient scoring faults (absorbed by retries),
+#: poisoned requests (isolated + degraded), batch-flush failures (recovered by
+#: bisection), latency spikes (deadline -> degraded) and one transient store
+#: read error (absorbed by the store's bounded IO retry).
+CHAOS_PROFILES: Dict[str, FaultProfile] = {
+    "mixed": FaultProfile(
+        "mixed",
+        scoring_rate=0.08,
+        poison_rate=0.04,
+        flush_rate=0.05,
+        latency_rate=0.06,
+        latency_ms=(10.0, 120.0),
+        store_read_failures=1,
+    ),
+    "heavy": FaultProfile(
+        "heavy",
+        scoring_rate=0.15,
+        poison_rate=0.10,
+        flush_rate=0.10,
+        latency_rate=0.12,
+        latency_ms=(30.0, 200.0),
+        store_read_failures=2,
+    ),
+}
 
 
 @dataclass
@@ -59,6 +124,14 @@ class LoadResult:
     #: service counters before and after the run (deltas describe this run)
     stats_before: ServiceStats
     stats_after: ServiceStats
+    #: requests that got an exception instead of a response, as
+    #: ``(request index, exception)`` pairs in request order — the chaos gate
+    #: asserts this stays empty ("zero dropped requests")
+    failures: List[Tuple[int, BaseException]] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.failures is None:
+            self.failures = []
 
     @property
     def cache_hits(self) -> int:
@@ -122,6 +195,18 @@ class LoadResult:
             if after[size] - before.get(size, 0)
         }
         return delta
+
+    @property
+    def dropped(self) -> int:
+        """Requests that received no response at all (primary and fallback failed)."""
+        return len(self.failures)
+
+    @property
+    def degraded_count(self) -> int:
+        """Responses served by a fallback link (``degraded=True``)."""
+        return sum(  # repro-lint: disable=float-accumulation -- integer count, not floats
+            1 for response in self.responses if response.degraded
+        )
 
     def scores(self) -> List[np.ndarray]:
         """The served score arrays in request order."""
@@ -226,6 +311,14 @@ def run_load(
     flight at any time and the micro-batcher sees a steady concurrent stream.
     Responses and latencies come back indexed by request order regardless of
     completion order.
+
+    Each request passes its stable workload index to the service
+    (``request_index``) so a chaos run's :class:`~repro.serve.faults.FaultPlan`
+    is keyed by workload position, never by scheduling order.  A request
+    whose exception escapes the service (primary *and* fallback failed, or
+    no fallback is attached) is recorded in :attr:`LoadResult.failures`
+    instead of killing its worker — the remaining queue still drains, so one
+    poisoned request can never starve the rest of the workload.
     """
     if concurrency <= 0:
         raise ValueError("concurrency must be positive")
@@ -233,17 +326,26 @@ def run_load(
     responses: List[Optional[RecommendResponse]] = [None] * len(workload)
     latencies = np.zeros(len(workload), dtype=np.float64)
     queue = deque(workload)
+    failures: List[Tuple[int, BaseException]] = []
 
     async def worker() -> None:
         while queue:
             request = queue.popleft()
             started = time.perf_counter()
-            response = await service.recommend(
-                request.user_id,
-                history=list(request.history),
-                k=k,
-                candidates=list(request.candidates),
-            )
+            try:
+                response = await service.recommend(
+                    request.user_id,
+                    history=list(request.history),
+                    k=k,
+                    candidates=list(request.candidates),
+                    request_index=request.index,
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                latencies[request.index] = time.perf_counter() - started
+                failures.append((request.index, error))
+                continue
             latencies[request.index] = time.perf_counter() - started
             responses[request.index] = response
 
@@ -254,6 +356,7 @@ def run_load(
     wall_start = time.perf_counter()
     asyncio.run(drive())
     wall_seconds = time.perf_counter() - wall_start
+    failures.sort(key=lambda pair: pair[0])
     return LoadResult(
         requests=list(workload),
         responses=[response for response in responses if response is not None],
@@ -262,6 +365,7 @@ def run_load(
         concurrency=concurrency,
         stats_before=stats_before,
         stats_after=service.stats(),
+        failures=failures,
     )
 
 

@@ -1,0 +1,351 @@
+"""The serving failure model: deadlines, retries, breaker, fallback chain.
+
+The serving stack's availability contract is *answer every request — exactly
+when it can, degraded and labeled when it cannot*.  This module defines the
+policy objects that implement it around
+:class:`~repro.serve.service.RecommendationService`:
+
+* :class:`ResiliencePolicy` — the per-request knobs: a latency budget
+  (:class:`DeadlineBudget`), a bounded retry schedule with deterministic
+  exponential backoff, and circuit-breaker thresholds;
+* :class:`CircuitBreaker` — trips open after ``breaker_threshold``
+  consecutive primary-scoring failures; while open, requests skip the
+  primary entirely and go straight to the fallback chain.  The cooldown is
+  counted in **requests**, not wall-clock seconds, so breaker behaviour is a
+  pure function of the request stream and replays exactly;
+* :class:`FallbackChain` — an ordered list of cheap recommenders (a
+  conventional backbone, a popularity scorer — typically loaded from the
+  same artifact store as the primary).  When primary scoring fails, exceeds
+  its deadline, or is short-circuited by an open breaker, the request
+  re-scores through the first healthy link and the response is returned with
+  ``degraded=True`` and the *fallback's* fingerprint, never silently.
+
+Determinism
+-----------
+Everything here is deliberately wall-clock-free: the deadline budget is a
+*logical* latency account (charged by injected fault latency and by the
+retry backoff schedule, see :meth:`DeadlineBudget.charge`), the breaker
+cooldown is request-counted, and the backoff schedule is a fixed geometric
+series.  Under the deterministic closed-loop load generator and a seeded
+:class:`~repro.serve.faults.FaultPlan`, a chaos run is therefore
+bitwise-reproducible end to end: the same requests degrade, through the same
+fallback, with the same scores — a failing chaos run replays exactly.
+Operators who want real wall-clock deadline enforcement can opt in per
+request by charging measured time into the budget; the repo's own gates keep
+it logical so they never flake on a slow CI runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class ScoringUnavailable(RuntimeError):
+    """Primary scoring failed for a request (after isolation, before retries)."""
+
+
+class TransientScoringError(ScoringUnavailable):
+    """A scoring failure that is expected to succeed on retry."""
+
+
+class DeadlineExceeded(ScoringUnavailable):
+    """A request's latency budget was exhausted before primary scoring finished."""
+
+
+class FallbackExhausted(RuntimeError):
+    """Every link of the fallback chain failed; the request cannot be answered."""
+
+
+@dataclass
+class ResiliencePolicy:
+    """Per-request failure-handling knobs of a resilient service.
+
+    ``deadline_ms`` is the request's logical latency budget (see
+    :class:`DeadlineBudget`); ``max_retries`` bounds how many times a failed
+    primary scoring attempt is retried before the request falls back;
+    ``backoff_ms`` / ``backoff_multiplier`` define the deterministic
+    geometric backoff charged against the budget between attempts
+    (``backoff_ms * multiplier**attempt``); ``breaker_threshold``
+    consecutive primary failures trip the circuit breaker open, and
+    ``breaker_cooldown_requests`` requests must pass before it half-opens
+    and probes the primary again.
+    """
+
+    #: logical per-request latency budget in milliseconds
+    deadline_ms: float = 50.0
+    #: retries of a failed primary scoring attempt (0 = fail straight to fallback)
+    max_retries: int = 2
+    #: backoff charged against the deadline budget before the first retry
+    backoff_ms: float = 1.0
+    #: geometric growth factor of the backoff schedule
+    backoff_multiplier: float = 2.0
+    #: consecutive primary failures that trip the breaker open
+    breaker_threshold: int = 5
+    #: requests that must pass while open before the primary is probed again
+    breaker_cooldown_requests: int = 8
+
+    def __post_init__(self):
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_ms < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_ms must be >= 0 and backoff_multiplier >= 1")
+        if self.breaker_threshold <= 0 or self.breaker_cooldown_requests <= 0:
+            raise ValueError("breaker thresholds must be positive")
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Milliseconds charged before retry number ``attempt`` (0-based)."""
+        return self.backoff_ms * (self.backoff_multiplier ** attempt)
+
+
+class DeadlineBudget:
+    """A logical latency account for one request.
+
+    The budget starts at the policy's ``deadline_ms`` and is *charged* —
+    by injected fault latency (:class:`~repro.serve.faults.LatencyFault`),
+    by the retry backoff schedule, and optionally by measured wall time if
+    an operator opts into real-time enforcement.  Once the account is
+    overdrawn the request must stop waiting on the primary and fall back;
+    charging is explicit, so the same request stream always exhausts the
+    same budgets in the same places.
+    """
+
+    __slots__ = ("budget_ms", "charged_ms")
+
+    def __init__(self, budget_ms: float):
+        if budget_ms <= 0:
+            raise ValueError("budget_ms must be positive")
+        self.budget_ms = float(budget_ms)
+        self.charged_ms = 0.0
+
+    def charge(self, amount_ms: float) -> None:
+        """Consume ``amount_ms`` of the budget (negative amounts are invalid)."""
+        if amount_ms < 0:
+            raise ValueError("cannot charge a negative latency")
+        self.charged_ms += float(amount_ms)
+
+    @property
+    def remaining_ms(self) -> float:
+        """Milliseconds left before the deadline (may be negative)."""
+        return self.budget_ms - self.charged_ms
+
+    @property
+    def exceeded(self) -> bool:
+        """Whether the budget is overdrawn."""
+        return self.charged_ms > self.budget_ms
+
+    def ensure(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is overdrawn."""
+        if self.exceeded:
+            raise DeadlineExceeded(
+                f"latency budget exhausted: charged {self.charged_ms:.3f}ms "
+                f"of {self.budget_ms:.3f}ms"
+            )
+
+
+class CircuitBreaker:
+    """A request-counted circuit breaker over consecutive primary failures.
+
+    States: **closed** (primary scoring runs normally), **open** (primary is
+    skipped and requests go straight to the fallback chain), **half-open**
+    (after ``cooldown_requests`` short-circuited requests, the next request
+    probes the primary: success closes the breaker, failure re-opens it).
+    Cooldown is counted in requests rather than seconds so the breaker's
+    trajectory is a deterministic function of the request stream.
+    """
+
+    def __init__(self, threshold: int, cooldown_requests: int):
+        if threshold <= 0 or cooldown_requests <= 0:
+            raise ValueError("threshold and cooldown_requests must be positive")
+        self.threshold = threshold
+        self.cooldown_requests = cooldown_requests
+        self.consecutive_failures = 0
+        self.opens = 0
+        self.short_circuits = 0
+        self._open = False
+        self._cooldown_left = 0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (probe in flight)."""
+        if not self._open:
+            return "closed"
+        return "half-open" if (self._cooldown_left <= 0 or self._probing) else "open"
+
+    def allows_primary(self) -> bool:
+        """Whether this request may attempt primary scoring.
+
+        While open, each call consumes one cooldown tick; the call that
+        drains the cooldown becomes the half-open probe and is allowed
+        through.  Requests denied here are counted as short circuits.
+        """
+        if not self._open:
+            return True
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            self.short_circuits += 1
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        """Primary scoring succeeded: reset failures and close the breaker."""
+        self.consecutive_failures = 0
+        self._open = False
+        self._probing = False
+
+    def record_failure(self) -> None:
+        """Primary scoring failed (after retries): count it and maybe trip open."""
+        self.consecutive_failures += 1
+        if self._open:
+            # the half-open probe failed: re-open for another full cooldown
+            self._cooldown_left = self.cooldown_requests
+            self._probing = False
+            return
+        if self.consecutive_failures >= self.threshold:
+            self._open = True
+            self._probing = False
+            self._cooldown_left = self.cooldown_requests
+            self.opens += 1
+
+
+@dataclass
+class FallbackLink:
+    """One link of the fallback chain: a cheap recommender and its identity."""
+
+    #: human-readable label reported in responses and health snapshots
+    name: str
+    #: anything exposing ``score_candidates(history, candidates)``
+    recommender: object
+    #: content fingerprint of the link's recommender (stamped on degraded
+    #: responses so a degraded score is always attributable)
+    fingerprint: str
+
+
+class FallbackChain:
+    """An ordered list of fallback recommenders tried until one answers.
+
+    Links are cheap models — a conventional backbone, a popularity scorer —
+    typically restored from the same artifact store as the primary
+    (:meth:`from_store`).  :meth:`score` walks the chain in order and
+    returns the first link's scores together with that link's name and
+    fingerprint; a link that raises is skipped (and counted).  When every
+    link fails, :class:`FallbackExhausted` is raised — the caller drops the
+    request only then, and the chaos gate asserts that never happens under
+    the planned fault load.
+    """
+
+    def __init__(self, links: Sequence[FallbackLink]):
+        if not links:
+            raise ValueError("a fallback chain needs at least one link")
+        self.links = list(links)
+        #: per-link serve counts, keyed by link name (insertion-ordered)
+        self.served_by: Dict[str, int] = {link.name: 0 for link in self.links}
+        #: per-link failure counts
+        self.link_failures: Dict[str, int] = {link.name: 0 for link in self.links}
+
+    @classmethod
+    def from_recommenders(cls, named: Sequence[Tuple[str, object]]) -> "FallbackChain":
+        """Build a chain from ``(name, recommender)`` pairs, fingerprinting each."""
+        from repro.store.components import recommender_fingerprint
+
+        return cls([
+            FallbackLink(name, recommender, recommender_fingerprint(recommender))
+            for name, recommender in named
+        ])
+
+    @classmethod
+    def from_store(cls, store, specs: Sequence[Tuple[str, str, str]],
+                   dataset=None) -> "FallbackChain":
+        """Load a chain from the artifact store.
+
+        ``specs`` is a sequence of ``(name, kind, artifact_fingerprint)``
+        triples addressing stored components (the same addressing
+        :meth:`~repro.serve.service.RecommendationService.from_store` uses).
+        Store reads go through :meth:`~repro.store.store.ArtifactStore.load`
+        — the hardened path with bounded IO retries — so a transient read
+        error while building the chain recovers instead of starting the
+        service fallback-less.
+        """
+        from repro.store.components import load_recommender, recommender_fingerprint
+
+        links = []
+        for name, kind, artifact_fp in specs:
+            recommender = load_recommender(store, kind, artifact_fp, dataset=dataset)
+            links.append(FallbackLink(name, recommender,
+                                      recommender_fingerprint(recommender)))
+        return cls(links)
+
+    def score(self, history: Sequence[int],
+              candidates: Sequence[int]) -> Tuple[np.ndarray, FallbackLink]:
+        """Score through the first healthy link; returns ``(scores, link)``."""
+        last_error: Optional[BaseException] = None
+        for link in self.links:
+            try:
+                scores = np.asarray(
+                    link.recommender.score_candidates(list(history), list(candidates))
+                )
+            except Exception as error:
+                self.link_failures[link.name] += 1
+                last_error = error
+                continue
+            self.served_by[link.name] += 1
+            return scores, link
+        raise FallbackExhausted(
+            f"all {len(self.links)} fallback links failed for this request"
+        ) from last_error
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One dict per link: name, fingerprint, serve/failure counts."""
+        return [
+            {
+                "name": link.name,
+                "fingerprint": link.fingerprint,
+                "served": self.served_by[link.name],
+                "failures": self.link_failures[link.name],
+            }
+            for link in self.links
+        ]
+
+
+@dataclass
+class ResilienceStats:
+    """Counters of the resilience layer, snapshot into ``ServiceStats``."""
+
+    #: primary scoring attempts that raised (before retry accounting)
+    scoring_failures: int = 0
+    #: retries performed after a failed primary attempt
+    retries: int = 0
+    #: requests whose latency budget was exhausted
+    deadline_exceeded: int = 0
+    #: times the circuit breaker tripped open
+    breaker_opens: int = 0
+    #: requests short-circuited past the primary by an open breaker
+    breaker_short_circuits: int = 0
+    #: responses served degraded through the fallback chain
+    degraded: int = 0
+    #: individual fallback-link failures while serving degraded requests
+    fallback_failures: int = 0
+    #: requests dropped outright (primary and every fallback link failed)
+    dropped: int = 0
+    #: per-fallback-link serve counts (insertion-ordered by chain position)
+    fallback_served: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "ResilienceStats":
+        """A detached copy of the current counters."""
+        return ResilienceStats(
+            scoring_failures=self.scoring_failures,
+            retries=self.retries,
+            deadline_exceeded=self.deadline_exceeded,
+            breaker_opens=self.breaker_opens,
+            breaker_short_circuits=self.breaker_short_circuits,
+            degraded=self.degraded,
+            fallback_failures=self.fallback_failures,
+            dropped=self.dropped,
+            fallback_served=dict(self.fallback_served),
+        )

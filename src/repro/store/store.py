@@ -68,6 +68,7 @@ METADATA_FILE = "metadata.json"
 PAYLOAD_FILE = "payload.npz"
 COUNTERS_FILE = "counters.json"
 COUNTERS_LOCK_FILE = ".counters.lock"
+QUARANTINE_DIR = ".quarantine"
 
 
 class ArtifactError(RuntimeError):
@@ -76,6 +77,17 @@ class ArtifactError(RuntimeError):
 
 class ArtifactNotFoundError(ArtifactError):
     """No artifact exists for the requested kind/fingerprint."""
+
+
+class ArtifactQuarantinedError(ArtifactError):
+    """The artifact was corrupt on repeated reads and has been quarantined.
+
+    A key lands here after ``quarantine_after`` corrupt fetches: instead of
+    silently discarding and re-fetching forever, the store moves the broken
+    directory into ``<root>/.quarantine/`` for post-mortem inspection and
+    fails that key fast — callers must rebuild under a new fingerprint or
+    fix the publisher, not retry.
+    """
 
 
 def write_artifact(path: str, arrays: Dict[str, np.ndarray], metadata: dict,
@@ -150,6 +162,12 @@ class StoreStats:
     misses: int = 0
     saves: int = 0
     by_kind: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: transient read errors absorbed by the bounded IO retry
+    io_retries: int = 0
+    #: corrupt artifacts discarded for rebuild (below the quarantine bar)
+    corrupt_discarded: int = 0
+    #: repeatedly-corrupt artifacts moved to ``<root>/.quarantine/``
+    quarantined: int = 0
 
     def record(self, event: str, kind: str) -> None:
         """Count one ``hits``/``misses``/``saves`` event, totalled and per kind."""
@@ -171,13 +189,35 @@ class ArtifactStore:
     scheduler's pool initializer sets) or derived from the current process
     id — resolved lazily at each counter update, so an instance inherited
     through ``fork`` attributes its activity to the child, not the parent.
+
+    Reads are hardened against transient IO (PR 8): ``io_retries`` bounds
+    how many times a read that raised ``OSError`` is retried before the
+    error propagates, and a key whose artifact is corrupt on
+    ``quarantine_after`` separate fetches is *quarantined* — the broken
+    directory moves to ``<root>/.quarantine/`` and the key fails fast with
+    :class:`ArtifactQuarantinedError` instead of entering a silent
+    discard/re-fetch loop.  ``read_fault_hook`` is the seam the chaos
+    harness uses to inject bounded read errors
+    (:meth:`~repro.serve.faults.FaultInjector.arm_store_faults`).
     """
 
-    def __init__(self, root: str, worker_id: Optional[str] = None):
+    def __init__(self, root: str, worker_id: Optional[str] = None,
+                 io_retries: int = 2, quarantine_after: int = 3):
+        if io_retries < 0:
+            raise ValueError("io_retries must be non-negative")
+        if quarantine_after <= 0:
+            raise ValueError("quarantine_after must be positive")
         self.root = os.path.abspath(str(root))
         os.makedirs(self.root, exist_ok=True)
         self.stats = StoreStats()
         self._worker_id = worker_id
+        self.io_retries = io_retries
+        self.quarantine_after = quarantine_after
+        #: optional ``(kind, fingerprint) -> None`` callable fired before every
+        #: physical read; raising from it simulates a transient IO error
+        self.read_fault_hook = None
+        self._corrupt_counts: Dict[Tuple[str, str], int] = {}
+        self._quarantined: set = set()
 
     @property
     def worker_id(self) -> str:
@@ -230,22 +270,91 @@ class ArtifactStore:
         self._bump_counters("saves")
         return path
 
+    def _read_with_retry(self, path: str, kind: str,
+                         fingerprint: str) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Read an artifact, absorbing up to ``io_retries`` transient ``OSError``s.
+
+        Transient IO errors (NFS blips, the chaos harness's injected read
+        faults) are retried immediately — the artifact is content-addressed
+        and immutable, so a retry reads the same bytes; only an error that
+        persists through every attempt propagates.  Corruption errors
+        (:class:`ArtifactError`, bad zip, value errors) are *not* retried:
+        re-reading a corrupt artifact cannot fix it.
+        """
+        last_error: Optional[OSError] = None
+        for attempt in range(1 + self.io_retries):
+            try:
+                if self.read_fault_hook is not None:
+                    self.read_fault_hook(kind, fingerprint)
+                return read_artifact(path)
+            except ArtifactNotFoundError:
+                raise
+            except OSError as error:
+                last_error = error
+                if attempt < self.io_retries:
+                    self.stats.io_retries += 1
+        assert last_error is not None
+        raise last_error
+
     def load(self, kind: str, fingerprint: str) -> Tuple[Dict[str, np.ndarray], dict]:
-        """Load an artifact; raises :class:`ArtifactNotFoundError` on a miss."""
+        """Load an artifact; raises :class:`ArtifactNotFoundError` on a miss.
+
+        Quarantined keys (see :class:`ArtifactQuarantinedError`) fail fast;
+        transient IO errors are absorbed by the bounded retry
+        (:meth:`_read_with_retry`); a successful load clears the key's
+        corruption marks.
+        """
+        if (kind, fingerprint) in self._quarantined:
+            raise ArtifactQuarantinedError(
+                f"{kind!r} artifact {fingerprint!r} is quarantined after "
+                f"{self.quarantine_after} corrupt reads; see "
+                f"{os.path.join(self.root, QUARANTINE_DIR)}"
+            )
         path = self.path_for(kind, fingerprint)
         if not self.contains(kind, fingerprint):
             self.stats.record("misses", kind)
             self._bump_counters("misses")
             raise ArtifactNotFoundError(f"no {kind!r} artifact with fingerprint {fingerprint!r}")
-        arrays, metadata = read_artifact(path)
+        arrays, metadata = self._read_with_retry(path, kind, fingerprint)
         stored = metadata.get("fingerprint")
         if stored != fingerprint:
             raise ArtifactError(
                 f"artifact at {path!r} records fingerprint {stored!r}, expected {fingerprint!r}"
             )
+        self._corrupt_counts.pop((kind, fingerprint), None)
         self.stats.record("hits", kind)
         self._bump_counters("hits")
         return arrays, metadata
+
+    def _note_corruption(self, kind: str, fingerprint: str) -> None:
+        """Account one corrupt read: discard the debris, or quarantine the key.
+
+        Below ``quarantine_after`` corruptions the broken directory is
+        removed so the caller rebuilds it (PR 2's self-healing).  At the bar,
+        the directory is *moved* to ``<root>/.quarantine/`` (preserved for
+        post-mortem) and the key fails fast from then on — a publisher that
+        keeps re-publishing garbage must not trap every consumer in a
+        discard/re-fetch loop.
+        """
+        key = (kind, fingerprint)
+        count = self._corrupt_counts.get(key, 0) + 1
+        self._corrupt_counts[key] = count
+        path = self.path_for(kind, fingerprint)
+        if count >= self.quarantine_after:
+            self._quarantined.add(key)
+            self.stats.quarantined += 1
+            quarantine_root = os.path.join(self.root, QUARANTINE_DIR)
+            os.makedirs(quarantine_root, exist_ok=True)
+            destination = os.path.join(quarantine_root, f"{kind}-{fingerprint}")
+            if os.path.isdir(path):
+                shutil.rmtree(destination, ignore_errors=True)
+                try:
+                    os.replace(path, destination)
+                except OSError:
+                    shutil.rmtree(path, ignore_errors=True)
+        else:
+            self.stats.corrupt_discarded += 1
+            shutil.rmtree(path, ignore_errors=True)
 
     def fetch(self, kind: str, fingerprint: str) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
         """Like :meth:`load` but returns ``None`` on a miss.
@@ -253,17 +362,30 @@ class ArtifactStore:
         A corrupt or format-incompatible artifact (truncated payload, stale
         format version, tampered metadata) is treated as a miss too: the
         broken directory is discarded so the caller rebuilds and re-publishes
-        it, instead of every future run crashing on the same entry.  Use
+        it, instead of every future run crashing on the same entry — unless
+        the same key has been corrupt ``quarantine_after`` times, in which
+        case it is quarantined and :class:`ArtifactQuarantinedError`
+        propagates (a re-fetch loop over persistent garbage helps nobody).
+        Transient IO errors are absorbed by the bounded retry before any of
+        this; only a persistent IO failure counts as corruption here.  Use
         :meth:`load` directly when corruption should be surfaced.
         """
         try:
             return self.load(kind, fingerprint)
+        except ArtifactQuarantinedError:
+            raise
         except ArtifactNotFoundError:
             return None
         except (ArtifactError, OSError, ValueError, zipfile.BadZipFile):
-            shutil.rmtree(self.path_for(kind, fingerprint), ignore_errors=True)
+            self._note_corruption(kind, fingerprint)
             self.stats.record("misses", kind)
             self._bump_counters("misses")
+            if (kind, fingerprint) in self._quarantined:
+                raise ArtifactQuarantinedError(
+                    f"{kind!r} artifact {fingerprint!r} is quarantined after "
+                    f"{self.quarantine_after} corrupt reads; see "
+                    f"{os.path.join(self.root, QUARANTINE_DIR)}"
+                )
             return None
 
     # ------------------------------------------------------------------ #
@@ -283,12 +405,19 @@ class ArtifactStore:
         publisher's debris never wedges a subscriber.
 
         ``timeout`` is in seconds (``None`` waits forever); on expiry a
-        :class:`TimeoutError` is raised.
+        :class:`TimeoutError` is raised.  A key quarantined mid-wait raises
+        :class:`ArtifactQuarantinedError` instead of spinning until timeout —
+        the publisher is producing garbage and waiting longer cannot help.
         """
         if poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
+            if (kind, fingerprint) in self._quarantined:
+                raise ArtifactQuarantinedError(
+                    f"{kind!r} artifact {fingerprint!r} was quarantined while "
+                    "waiting for it; the publisher is producing corrupt artifacts"
+                )
             if self.contains(kind, fingerprint):
                 loaded = self.fetch(kind, fingerprint)
                 if loaded is not None:

@@ -169,6 +169,109 @@ class TestArtifactStore:
 
 
 # --------------------------------------------------------------------------- #
+# hardened reads: bounded IO retry and quarantine (PR 8)
+# --------------------------------------------------------------------------- #
+class TestStoreHardening:
+    def _store(self, tmp_path, **kwargs):
+        store = ArtifactStore(tmp_path / "store", **kwargs)
+        store.save("demo", "k1", {"x": np.arange(4.0)}, {})
+        return store
+
+    def _corrupt(self, store, kind="demo", fingerprint="k1"):
+        payload = os.path.join(store.path_for(kind, fingerprint), "payload.npz")
+        with open(payload, "wb") as handle:
+            handle.write(b"definitely not a zip archive")
+
+    def test_bounded_retry_absorbs_transient_io_errors(self, tmp_path):
+        store = self._store(tmp_path, io_retries=2)
+        failures = [2]
+
+        def hook(kind, fingerprint):
+            if failures[0] > 0:
+                failures[0] -= 1
+                raise OSError("transient blip")
+
+        store.read_fault_hook = hook
+        arrays, _ = store.load("demo", "k1")
+        np.testing.assert_array_equal(arrays["x"], np.arange(4.0))
+        assert store.stats.io_retries == 2
+        assert store.stats.corrupt_discarded == 0
+
+    def test_persistent_io_error_propagates(self, tmp_path):
+        store = self._store(tmp_path, io_retries=2)
+
+        def hook(kind, fingerprint):
+            raise OSError("the disk is gone")
+
+        store.read_fault_hook = hook
+        with pytest.raises(OSError, match="the disk is gone"):
+            store.load("demo", "k1")
+        assert store.stats.io_retries == 2  # every retry was spent first
+
+    def test_corruption_is_not_retried(self, tmp_path):
+        """Re-reading a corrupt artifact cannot fix it — no retry is wasted."""
+        store = self._store(tmp_path, io_retries=2)
+        self._corrupt(store)
+        assert store.fetch("demo", "k1") is None
+        assert store.stats.io_retries == 0
+        assert store.stats.corrupt_discarded == 1
+
+    def test_repeatedly_corrupt_key_is_quarantined(self, tmp_path):
+        from repro.store.store import ArtifactQuarantinedError
+
+        store = self._store(tmp_path, quarantine_after=2)
+        self._corrupt(store)
+        assert store.fetch("demo", "k1") is None  # first corruption: discarded
+        store.save("demo", "k1", {"x": np.arange(4.0)}, {})
+        self._corrupt(store)
+        # second corruption reaches the bar: quarantined, and the fetch says so
+        with pytest.raises(ArtifactQuarantinedError):
+            store.fetch("demo", "k1")
+        assert store.stats.corrupt_discarded == 1
+        assert store.stats.quarantined == 1
+        # from now on the key fails fast everywhere
+        with pytest.raises(ArtifactQuarantinedError):
+            store.load("demo", "k1")
+        with pytest.raises(ArtifactQuarantinedError):
+            store.wait_for("demo", "k1", timeout=5.0)
+        # the broken directory is preserved for post-mortem, not deleted
+        quarantined = os.path.join(store.root, ".quarantine", "demo-k1")
+        assert os.path.isfile(os.path.join(quarantined, "payload.npz"))
+
+    def test_successful_load_clears_corruption_marks(self, tmp_path):
+        store = self._store(tmp_path, quarantine_after=2)
+        self._corrupt(store)
+        assert store.fetch("demo", "k1") is None
+        store.save("demo", "k1", {"x": np.arange(4.0)}, {})
+        store.load("demo", "k1")  # healthy read resets the corruption count
+        self._corrupt(store)
+        assert store.fetch("demo", "k1") is None  # count restarted: no quarantine
+        assert store.stats.corrupt_discarded == 2
+        assert store.stats.quarantined == 0
+
+    def test_fault_injector_arms_bounded_read_errors(self, tmp_path):
+        from repro.serve import FaultInjector, FaultPlan
+
+        store = self._store(tmp_path, io_retries=2)
+        injector = FaultInjector(FaultPlan(store_read_failures=2))
+        assert injector.arm_store_faults(store) == 2
+        arrays, _ = store.load("demo", "k1")  # both injected errors absorbed
+        np.testing.assert_array_equal(arrays["x"], np.arange(4.0))
+        assert store.stats.io_retries == 2
+        assert injector.stats.store_reads_injected == 2
+        # the drained hook is inert; arming zero clears it entirely
+        store.load("demo", "k1")
+        assert injector.arm_store_faults(store, failures=0) == 0
+        assert store.read_fault_hook is None
+
+    def test_hardening_knobs_are_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="io_retries"):
+            ArtifactStore(tmp_path, io_retries=-1)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            ArtifactStore(tmp_path, quarantine_after=0)
+
+
+# --------------------------------------------------------------------------- #
 # strict state-dict loading
 # --------------------------------------------------------------------------- #
 class _TwoLayer(Module):

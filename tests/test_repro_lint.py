@@ -344,6 +344,58 @@ class TestFingerprintFieldSubset:
         assert rules_fired(src, rule="fingerprint-field-subset") == []
 
 
+class TestSilentExceptionSwallow:
+    RULE = "silent-exception-swallow"
+
+    def test_bare_except_fires(self):
+        src = "try:\n    work()\nexcept:\n    pass\n"
+        assert rules_fired(src, rule=self.RULE) == [self.RULE]
+
+    def test_broad_discard_fires(self):
+        src = "try:\n    work()\nexcept Exception:\n    cleanup()\n"
+        assert rules_fired(src, rule=self.RULE) == [self.RULE]
+
+    def test_bound_but_unused_name_fires(self):
+        src = "try:\n    work()\nexcept BaseException as error:\n    cleanup()\n"
+        assert rules_fired(src, rule=self.RULE) == [self.RULE]
+
+    def test_broad_member_of_tuple_fires(self):
+        src = "try:\n    work()\nexcept (ValueError, Exception):\n    pass\n"
+        assert rules_fired(src, rule=self.RULE) == [self.RULE]
+
+    def test_reraise_is_clean(self):
+        src = "try:\n    work()\nexcept Exception:\n    cleanup()\n    raise\n"
+        assert rules_fired(src, rule=self.RULE) == []
+
+    def test_using_the_exception_is_clean(self):
+        src = (
+            "try:\n    work()\nexcept Exception as error:\n"
+            "    failures.append(error)\n"
+        )
+        assert rules_fired(src, rule=self.RULE) == []
+
+    def test_specific_type_is_clean(self):
+        src = "try:\n    work()\nexcept ValueError:\n    pass\n"
+        assert rules_fired(src, rule=self.RULE) == []
+
+    def test_raise_from_counts_as_engaging(self):
+        src = (
+            "try:\n    work()\nexcept Exception:\n"
+            "    raise RuntimeError('wrapped')\n"
+        )
+        assert rules_fired(src, rule=self.RULE) == []
+
+    def test_suppression_silences(self):
+        src = (
+            "try:\n    work()\n"
+            "except Exception:  "
+            "# repro-lint: disable=silent-exception-swallow -- best-effort cleanup\n"
+            "    pass\n"
+        )
+        assert rules_fired(src, rule=self.RULE) == []
+        assert suppressed_rules(src, rule=self.RULE) == [self.RULE]
+
+
 class TestParseError:
     def test_syntax_error_becomes_finding(self):
         active, suppressed = analyze_source("broken.py", "def nope(:\n")

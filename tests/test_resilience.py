@@ -1,0 +1,622 @@
+"""Fault-tolerant serving: faults, deadlines, retries, breaker, fallback.
+
+PR 8's availability contract — *answer every request: exactly when possible,
+degraded and labeled when not* — exercised at every layer:
+
+* the deterministic fault primitives (``FaultPlan``/``ActiveFault``) are pure
+  functions of their seed and consume their budgets exactly as planned;
+* the resilience primitives (``DeadlineBudget``, ``CircuitBreaker``,
+  ``FallbackChain``) are wall-clock-free state machines;
+* the micro-batcher's bisection rescues the batchmates of a poisoned request
+  with bitwise-exact scores;
+* the service composes all of it: transient faults are absorbed exactly,
+  permanent ones degrade through the fallback (never silently, never cached),
+  the breaker trips/short-circuits/recovers as a function of the request
+  stream alone;
+* regression coverage for the coalescing error path, ``recommend_many``
+  sibling isolation, and hot model swap under load.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    DeadlineBudget,
+    DeadlineExceeded,
+    FallbackChain,
+    FallbackExhausted,
+    FallbackLink,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedScoringError,
+    MicroBatcher,
+    RecommendationService,
+    ResiliencePolicy,
+    ServiceConfig,
+)
+from repro.serve.faults import FLUSH, LATENCY, POISON, SCORING
+
+
+# --------------------------------------------------------------------------- #
+# deterministic toy recommenders
+# --------------------------------------------------------------------------- #
+class StubRecommender:
+    """A deterministic toy recommender: scores are a pure function of inputs."""
+
+    def __init__(self, offset: float = 0.0, name: str = "stub"):
+        self.offset = offset
+        self.name = name
+
+    def scoring_fingerprint(self) -> str:
+        return f"stub:{self.name}:{self.offset}"
+
+    def score_candidates(self, history, candidates):
+        base = 0.001 * float(sum(history))
+        return np.array([self.offset + base + 0.5 * item for item in candidates],
+                        dtype=np.float64)
+
+    def score_candidates_batch(self, histories, candidate_sets):
+        return [self.score_candidates(history, candidates)
+                for history, candidates in zip(histories, candidate_sets)]
+
+
+class FlakyRecommender(StubRecommender):
+    """A stub whose first ``fail_times`` batched scoring calls raise."""
+
+    def __init__(self, fail_times: int = 1, **kwargs):
+        super().__init__(**kwargs)
+        self.remaining_failures = fail_times
+
+    def score_candidates_batch(self, histories, candidate_sets):
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise RuntimeError("flaky backend")
+        return super().score_candidates_batch(histories, candidate_sets)
+
+
+class BrokenRecommender(StubRecommender):
+    """A stub that always fails — an unhealthy fallback link."""
+
+    def score_candidates(self, history, candidates):
+        raise RuntimeError("permanently broken")
+
+    def score_candidates_batch(self, histories, candidate_sets):
+        raise RuntimeError("permanently broken")
+
+
+def _serve_concurrently(service, requests, k=3):
+    """Run indexed requests through one event loop; returns responses in order."""
+
+    async def run():
+        tasks = [
+            asyncio.ensure_future(
+                service.recommend(user_id, history=history, k=k,
+                                  candidates=candidates, request_index=index)
+            )
+            for index, (user_id, history, candidates) in enumerate(requests)
+        ]
+        return await asyncio.gather(*tasks)
+
+    return asyncio.run(run())
+
+
+# --------------------------------------------------------------------------- #
+# fault plans and active faults
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_sample_is_a_pure_function_of_its_seed(self):
+        kwargs = dict(scoring_rate=0.2, poison_rate=0.1, flush_rate=0.1,
+                      latency_rate=0.2, store_read_failures=1)
+        plan_a = FaultPlan.sample(200, seed=7, **kwargs)
+        plan_b = FaultPlan.sample(200, seed=7, **kwargs)
+        assert plan_a.faults == plan_b.faults
+        assert plan_a.store_read_failures == plan_b.store_read_failures
+        assert FaultPlan.sample(200, seed=8, **kwargs).faults != plan_a.faults
+        # the rates actually materialise every kind at this scale
+        counts = plan_a.counts()
+        assert all(counts[kind] > 0 for kind in (SCORING, POISON, FLUSH, LATENCY))
+
+    def test_sample_validates_rates(self):
+        with pytest.raises(ValueError, match="sum to at most 1"):
+            FaultPlan.sample(10, seed=0, scoring_rate=0.7, poison_rate=0.6)
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.sample(10, seed=0, scoring_rate=-0.1)
+        with pytest.raises(ValueError, match="num_requests"):
+            FaultPlan.sample(0, seed=0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor-strike")
+        with pytest.raises(ValueError, match="failures must be positive"):
+            FaultSpec(SCORING, failures=0)
+        with pytest.raises(ValueError, match="added_ms"):
+            FaultSpec(LATENCY, added_ms=-1.0)
+
+    def test_injector_runs_are_independent(self):
+        """The plan is shared, immutable state; firing budgets are per-run."""
+        plan = FaultPlan({0: FaultSpec(SCORING, failures=1)})
+        for _ in range(2):  # a second run over the same plan fires again
+            fault = FaultInjector(plan).activate(0)
+            with pytest.raises(InjectedScoringError):
+                fault.before_attempt()
+            fault.before_attempt()  # budget drained: second attempt is clean
+        assert FaultInjector(plan).activate(None) is None
+        assert FaultInjector(plan).activate(3) is None
+
+
+class TestActiveFault:
+    def test_poison_fires_on_every_flush(self):
+        fault = FaultInjector(FaultPlan({0: FaultSpec(POISON, failures=None)})).activate(0)
+        assert fault.batch_level
+        for size in (4, 2, 1, 1):  # survives bisection all the way down
+            with pytest.raises(InjectedScoringError):
+                fault.on_flush(size)
+
+    def test_flush_fault_spares_single_request_calls(self):
+        """Bisection always recovers: the fault never fires on a batch of 1."""
+        fault = FaultInjector(FaultPlan({0: FaultSpec(FLUSH, failures=2)})).activate(0)
+        with pytest.raises(InjectedScoringError):
+            fault.on_flush(4)
+        fault.on_flush(1)  # bisected down to the request alone: clean
+        with pytest.raises(InjectedScoringError):
+            fault.on_flush(2)
+        fault.on_flush(8)  # budget of 2 drained: multi-request calls are clean
+
+    def test_latency_fault_is_service_level(self):
+        fault = FaultInjector(FaultPlan({0: FaultSpec(LATENCY, added_ms=30.0)})).activate(0)
+        assert not fault.batch_level
+        assert fault.added_ms == 30.0
+        fault.before_attempt()  # latency never raises
+        fault.on_flush(5)
+
+
+# --------------------------------------------------------------------------- #
+# resilience primitives
+# --------------------------------------------------------------------------- #
+class TestDeadlineBudget:
+    def test_charge_and_ensure(self):
+        budget = DeadlineBudget(10.0)
+        budget.charge(4.0)
+        assert budget.remaining_ms == 6.0 and not budget.exceeded
+        budget.ensure()
+        budget.charge(7.0)
+        assert budget.exceeded
+        with pytest.raises(DeadlineExceeded):
+            budget.ensure()
+        with pytest.raises(ValueError):
+            budget.charge(-1.0)
+
+    def test_backoff_schedule_is_geometric(self):
+        policy = ResiliencePolicy(backoff_ms=2.0, backoff_multiplier=3.0)
+        assert [policy.backoff_for_attempt(i) for i in range(3)] == [2.0, 6.0, 18.0]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(deadline_ms=0.0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(breaker_threshold=0)
+
+
+class TestCircuitBreaker:
+    def test_trip_short_circuit_probe_and_recovery(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_requests=2)
+        assert breaker.state == "closed" and breaker.allows_primary()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()  # second consecutive failure trips it
+        assert breaker.state == "open" and breaker.opens == 1
+        # two requests burn the cooldown without reaching the primary
+        assert not breaker.allows_primary()
+        assert not breaker.allows_primary()
+        assert breaker.short_circuits == 2
+        # cooldown drained: the next request is the half-open probe
+        assert breaker.state == "half-open"
+        assert breaker.allows_primary()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.consecutive_failures == 0
+
+    def test_failed_probe_reopens_for_a_full_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_requests=2)
+        breaker.record_failure()
+        assert breaker.opens == 1
+        for _ in range(2):
+            assert not breaker.allows_primary()
+        assert breaker.allows_primary()  # the probe
+        breaker.record_failure()         # probe failed: full cooldown again
+        assert breaker.state == "open"
+        for _ in range(2):
+            assert not breaker.allows_primary()
+        assert breaker.allows_primary()
+        assert breaker.opens == 1  # a failed probe re-arms, it is not a new open
+
+
+class TestFallbackChain:
+    def test_skips_failing_links_and_counts(self):
+        healthy = StubRecommender(offset=5.0, name="healthy")
+        chain = FallbackChain([
+            FallbackLink("broken", BrokenRecommender(name="broken"), "fp-broken"),
+            FallbackLink("healthy", healthy, "fp-healthy"),
+        ])
+        scores, link = chain.score([1, 2], [3, 4])
+        assert link.name == "healthy" and link.fingerprint == "fp-healthy"
+        np.testing.assert_array_equal(scores, healthy.score_candidates([1, 2], [3, 4]))
+        assert chain.link_failures == {"broken": 1, "healthy": 0}
+        assert chain.served_by == {"broken": 0, "healthy": 1}
+        assert [entry["name"] for entry in chain.describe()] == ["broken", "healthy"]
+
+    def test_exhausted_chain_raises(self):
+        chain = FallbackChain([
+            FallbackLink("a", BrokenRecommender(name="a"), "fp-a"),
+            FallbackLink("b", BrokenRecommender(name="b"), "fp-b"),
+        ])
+        with pytest.raises(FallbackExhausted):
+            chain.score([1], [2, 3])
+        assert chain.link_failures == {"a": 1, "b": 1}
+        with pytest.raises(ValueError, match="at least one link"):
+            FallbackChain([])
+
+    def test_from_recommenders_fingerprints_each_link(self):
+        chain = FallbackChain.from_recommenders([
+            ("a", StubRecommender(offset=1.0, name="a")),
+            ("b", StubRecommender(offset=2.0, name="b")),
+        ])
+        fingerprints = [link.fingerprint for link in chain.links]
+        assert fingerprints == ["stub:a:1.0", "stub:b:2.0"]
+
+
+# --------------------------------------------------------------------------- #
+# micro-batch bisection
+# --------------------------------------------------------------------------- #
+class TestBatchBisection:
+    def _poisoned_batch(self, isolate):
+        primary = StubRecommender(name="primary")
+        batcher = MicroBatcher(primary.score_candidates_batch, max_batch_size=4,
+                               max_wait_ms=10_000.0, isolate_failures=isolate)
+        injector = FaultInjector(FaultPlan({2: FaultSpec(POISON, failures=None)}))
+        requests = [([10 + i], [1, 2, 3]) for i in range(4)]
+
+        async def run():
+            tasks = [
+                asyncio.ensure_future(
+                    batcher.submit(history, candidates, fault=injector.activate(index))
+                )
+                for index, (history, candidates) in enumerate(requests)
+            ]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        return primary, batcher, requests, asyncio.run(run())
+
+    def test_bisection_rescues_batchmates_bitwise(self):
+        primary, batcher, requests, outcomes = self._poisoned_batch(isolate=True)
+        for index, outcome in enumerate(outcomes):
+            history, candidates = requests[index]
+            if index == 2:
+                assert isinstance(outcome, InjectedScoringError)
+            else:
+                np.testing.assert_array_equal(
+                    outcome, primary.score_candidates(history, candidates)
+                )
+        assert batcher.stats.failed_requests == 1
+        assert batcher.stats.bisections >= 1
+        assert batcher.stats.batch_errors >= batcher.stats.bisections
+
+    def test_legacy_all_fail_without_isolation(self):
+        _, batcher, _, outcomes = self._poisoned_batch(isolate=False)
+        assert all(isinstance(outcome, InjectedScoringError) for outcome in outcomes)
+        assert batcher.stats.failed_requests == 4
+        assert batcher.stats.bisections == 0
+
+
+# --------------------------------------------------------------------------- #
+# the resilient service, end to end
+# --------------------------------------------------------------------------- #
+def _resilient_service(plan, primary=None, fallback_offset=100.0, **policy_kwargs):
+    """A service over stub recommenders with a fault plan and one fallback link."""
+    primary = primary or StubRecommender(name="primary")
+    fallback_model = StubRecommender(offset=fallback_offset, name="fallback")
+    defaults = dict(deadline_ms=50.0, max_retries=2, breaker_threshold=10 ** 6)
+    defaults.update(policy_kwargs)
+    service = RecommendationService(
+        primary,
+        config=ServiceConfig(max_batch_size=2, max_wait_ms=1.0),
+        resilience=ResiliencePolicy(**defaults),
+        fallback=FallbackChain.from_recommenders([("fallback", fallback_model)]),
+        fault_injector=FaultInjector(plan),
+    )
+    return service, primary, fallback_model
+
+
+class TestResilientService:
+    def test_transient_scoring_fault_is_absorbed_exactly(self):
+        plan = FaultPlan({0: FaultSpec(SCORING, failures=2)})
+        service, primary, _ = _resilient_service(plan)
+        response = asyncio.run(
+            service.recommend(1, history=[1, 2], candidates=[3, 4], request_index=0)
+        )
+        assert not response.degraded and response.degraded_reason is None
+        assert response.served_by == service.model_fingerprint
+        np.testing.assert_array_equal(
+            response.scores, primary.score_candidates([1, 2], [3, 4])
+        )
+        stats = service.stats()
+        assert stats.resilience.retries == 2
+        assert stats.resilience.scoring_failures == 2
+        assert stats.resilience.degraded == 0
+
+    def test_poisoned_request_degrades_with_fallback_fingerprint(self):
+        plan = FaultPlan({0: FaultSpec(POISON, failures=None)})
+        service, _, fallback_model = _resilient_service(plan)
+        response = asyncio.run(
+            service.recommend(1, history=[1, 2], candidates=[3, 4], request_index=0)
+        )
+        assert response.degraded and response.degraded_reason == "error"
+        assert response.served_by == "stub:fallback:100.0"
+        np.testing.assert_array_equal(
+            response.scores, fallback_model.score_candidates([1, 2], [3, 4])
+        )
+        stats = service.stats()
+        assert stats.resilience.degraded == 1
+        assert stats.resilience.fallback_served == {"fallback": 1}
+
+    def test_flush_fault_recovered_by_bisection_for_everyone(self):
+        plan = FaultPlan({0: FaultSpec(FLUSH, failures=1)})
+        service, primary, _ = _resilient_service(plan)
+        requests = [(1, [1, 2], [3, 4]), (2, [5, 6], [3, 4])]
+        responses = _serve_concurrently(service, requests)
+        for (_, history, candidates), response in zip(requests, responses, strict=True):
+            assert not response.degraded
+            np.testing.assert_array_equal(
+                response.scores, primary.score_candidates(history, candidates)
+            )
+        stats = service.stats()
+        assert stats.batcher.bisections >= 1
+        assert stats.resilience.degraded == 0
+
+    def test_latency_fault_exhausts_the_deadline(self):
+        plan = FaultPlan({0: FaultSpec(LATENCY, added_ms=80.0)})  # budget is 50ms
+        service, _, fallback_model = _resilient_service(plan)
+        response = asyncio.run(
+            service.recommend(1, history=[1, 2], candidates=[3, 4], request_index=0)
+        )
+        assert response.degraded and response.degraded_reason == "deadline"
+        np.testing.assert_array_equal(
+            response.scores, fallback_model.score_candidates([1, 2], [3, 4])
+        )
+        assert service.stats().resilience.deadline_exceeded == 1
+
+    def test_degraded_scores_are_never_cached(self):
+        plan = FaultPlan({0: FaultSpec(POISON, failures=None)})
+        service, primary, _ = _resilient_service(plan)
+        degraded = asyncio.run(
+            service.recommend(1, history=[1, 2], candidates=[3, 4], request_index=0)
+        )
+        assert degraded.degraded
+        # the identical request (no planned fault) must miss the cache and be
+        # scored exactly by the primary — a cache hit is always primary-exact
+        repeat = asyncio.run(service.recommend(1, history=[1, 2], candidates=[3, 4]))
+        assert not repeat.cached and not repeat.degraded
+        np.testing.assert_array_equal(
+            repeat.scores, primary.score_candidates([1, 2], [3, 4])
+        )
+
+    def test_breaker_trips_short_circuits_and_recovers(self):
+        plan = FaultPlan({
+            0: FaultSpec(POISON, failures=None),
+            1: FaultSpec(POISON, failures=None),
+        })
+        service, primary, _ = _resilient_service(
+            plan, max_retries=0, breaker_threshold=2, breaker_cooldown_requests=2,
+        )
+        reasons = []
+        for index in range(5):
+            response = asyncio.run(
+                service.recommend(index, history=[index + 1], candidates=[3, 4],
+                                  request_index=index)
+            )
+            reasons.append(response.degraded_reason)
+        # two poisoned requests trip it, two short-circuit, the probe recovers
+        assert reasons == ["error", "error", "breaker", "breaker", None]
+        np.testing.assert_array_equal(
+            asyncio.run(service.recommend(9, history=[9], candidates=[3, 4])).scores,
+            primary.score_candidates([9], [3, 4]),
+        )
+        assert service.breaker.state == "closed"
+        stats = service.stats()
+        assert stats.resilience.breaker_opens == 1
+        assert stats.resilience.breaker_short_circuits == 2
+
+    def test_health_tracks_breaker_and_fallback(self):
+        plan = FaultPlan({0: FaultSpec(POISON, failures=None)})
+        service, _, _ = _resilient_service(
+            plan, max_retries=0, breaker_threshold=1, breaker_cooldown_requests=4,
+        )
+        assert service.health()["status"] == "ok"
+        asyncio.run(service.recommend(1, history=[1], candidates=[3, 4], request_index=0))
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["breaker"]["state"] == "open"
+        assert health["breaker"]["opens"] == 1
+        assert health["degraded_served"] == 1 and health["dropped"] == 0
+        assert health["fallback"][0]["name"] == "fallback"
+        # no fallback chain: an open breaker means the service is down
+        service.fallback = None
+        assert service.health()["status"] == "down"
+
+    def test_stats_row_exposes_the_resilience_counters(self):
+        service, _, _ = _resilient_service(FaultPlan())
+        row = service.stats().as_row()
+        for key in ("scoring_failures", "retries", "deadline_exceeded",
+                    "breaker_opens", "breaker_short_circuits", "degraded",
+                    "dropped", "batch_errors", "bisections"):
+            assert row[key] == 0
+
+    def test_no_fallback_means_the_failure_surfaces(self):
+        plan = FaultPlan({0: FaultSpec(POISON, failures=None)})
+        service = RecommendationService(
+            StubRecommender(name="primary"),
+            config=ServiceConfig(max_batch_size=1),
+            resilience=ResiliencePolicy(max_retries=0, breaker_threshold=10 ** 6),
+            fault_injector=FaultInjector(plan),
+        )
+        with pytest.raises(InjectedScoringError):
+            asyncio.run(service.recommend(1, history=[1], candidates=[3, 4],
+                                          request_index=0))
+        assert service.stats().resilience.dropped == 1
+
+
+# --------------------------------------------------------------------------- #
+# regression: the coalescing error path
+# --------------------------------------------------------------------------- #
+class TestInflightErrorPath:
+    def test_failed_coalesced_task_surfaces_to_every_waiter(self):
+        """One failing pipeline must fail all coalesced waiters — and never
+        publish anything to the result cache."""
+        primary = FlakyRecommender(fail_times=1, name="flaky")
+        service = RecommendationService(
+            primary, config=ServiceConfig(max_batch_size=8, max_wait_ms=1.0)
+        )
+
+        async def run():
+            tasks = [
+                asyncio.ensure_future(
+                    service.recommend(1, history=[1, 2], candidates=[3, 4])
+                )
+                for _ in range(3)
+            ]
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = asyncio.run(run())
+        assert all(isinstance(outcome, RuntimeError) for outcome in outcomes)
+        assert service.coalesced_requests == 2
+        assert len(service.cache) == 0      # the failure was never published
+        assert len(service._inflight) == 0  # and the in-flight slot was cleared
+        # the next identical request scores afresh (and only then is cached)
+        response = service.recommend_sync(1, history=[1, 2], candidates=[3, 4])
+        assert not response.cached
+        np.testing.assert_array_equal(
+            response.scores, primary.score_candidates([1, 2], [3, 4])
+        )
+        assert len(service.cache) == 1
+
+
+# --------------------------------------------------------------------------- #
+# regression: recommend_many sibling isolation
+# --------------------------------------------------------------------------- #
+class TestRecommendManyIsolation:
+    def _service(self):
+        return RecommendationService(  # no candidates_fn: request 1 must fail
+            StubRecommender(name="primary"),
+            config=ServiceConfig(max_batch_size=4, max_wait_ms=1.0),
+        )
+
+    REQUESTS = [
+        (1, [1, 2], [3, 4]),
+        (2, [5, 6]),          # no candidates and no candidates_fn -> ValueError
+        (3, [7, 8], [3, 4]),
+    ]
+
+    def test_return_exceptions_keeps_siblings_and_order(self):
+        service = self._service()
+        outcomes = service.recommend_many(self.REQUESTS, return_exceptions=True)
+        assert isinstance(outcomes[1], ValueError)
+        assert [outcomes[0].user_id, outcomes[2].user_id] == [1, 3]
+        primary = service.recommender
+        np.testing.assert_array_equal(
+            outcomes[2].scores, primary.score_candidates([7, 8], [3, 4])
+        )
+
+    def test_reraise_happens_only_after_every_sibling_finished(self):
+        service = self._service()
+        with pytest.raises(ValueError, match="no candidates_fn"):
+            service.recommend_many(self.REQUESTS)
+        # the siblings ran to completion: their scores are already cached
+        for user_id, history in ((1, [1, 2]), (3, [7, 8])):
+            response = service.recommend_sync(user_id, history=history,
+                                              candidates=[3, 4])
+            assert response.cached
+
+
+# --------------------------------------------------------------------------- #
+# hot model swap under load
+# --------------------------------------------------------------------------- #
+class TestHotSwapUnderLoad:
+    def test_swap_mid_stream_drops_nothing_and_rekeys_the_cache(self):
+        model_a = StubRecommender(offset=0.0, name="model-a")
+        model_b = StubRecommender(offset=9.0, name="model-b")
+        wave_1 = [(i, [i + 1, i + 2], [3, 4, 5]) for i in range(4)]
+        wave_2 = [(i + 10, [i + 20], [3, 4, 5]) for i in range(4)]
+        service = RecommendationService(
+            model_a, config=ServiceConfig(max_batch_size=len(wave_1), max_wait_ms=1.0)
+        )
+        fingerprint_a = service.model_fingerprint
+
+        async def run():
+            old_batcher = service.batcher
+            first = [
+                asyncio.ensure_future(service.recommend(u, history=h, candidates=c))
+                for u, h, c in wave_1
+            ]
+            # swap once every first-wave request is queued on the old batcher
+            while old_batcher.stats.requests < len(wave_1):
+                await asyncio.sleep(0)
+            fingerprint_b = service.set_recommender(model_b)
+            second = [
+                asyncio.ensure_future(service.recommend(u, history=h, candidates=c))
+                for u, h, c in wave_2
+            ]
+            return fingerprint_b, await asyncio.gather(*first), await asyncio.gather(*second)
+
+        fingerprint_b, first, second = asyncio.run(run())
+        assert fingerprint_b != fingerprint_a
+        # zero drops; in-flight requests finish on the model they started on
+        for (_, history, candidates), response in zip(wave_1, first, strict=True):
+            assert response.served_by == fingerprint_a
+            np.testing.assert_array_equal(
+                response.scores, model_a.score_candidates(history, candidates)
+            )
+        for (_, history, candidates), response in zip(wave_2, second, strict=True):
+            assert response.served_by == fingerprint_b
+            np.testing.assert_array_equal(
+                response.scores, model_b.score_candidates(history, candidates)
+            )
+        # pre-swap cache entries are unreachable under the new fingerprint:
+        # a wave-1 repeat misses and is scored by the new model
+        user, history, candidates = wave_1[0]
+        repeat = service.recommend_sync(user, history=history, candidates=candidates)
+        assert not repeat.cached
+        np.testing.assert_array_equal(
+            repeat.scores, model_b.score_candidates(history, candidates)
+        )
+        # swapping back re-addresses the original entries without rescoring
+        service.set_recommender(model_a)
+        back = service.recommend_sync(user, history=history, candidates=candidates)
+        assert back.cached
+        np.testing.assert_array_equal(
+            back.scores, model_a.score_candidates(history, candidates)
+        )
+
+    def test_swap_closes_a_tripped_breaker(self):
+        """The failing primary is gone with the swap; the breaker resets."""
+        service = RecommendationService(
+            BrokenRecommender(name="broken"),
+            config=ServiceConfig(max_batch_size=1),
+            resilience=ResiliencePolicy(max_retries=0, breaker_threshold=1,
+                                        breaker_cooldown_requests=4),
+            fallback=FallbackChain.from_recommenders(
+                [("fallback", StubRecommender(offset=50.0, name="fallback"))]
+            ),
+        )
+        asyncio.run(service.recommend(1, history=[1], candidates=[3, 4]))
+        assert service.breaker.state == "open"
+        service.set_recommender(StubRecommender(name="healthy"))
+        assert service.breaker.state == "closed"
+        response = asyncio.run(service.recommend(2, history=[2], candidates=[3, 4]))
+        assert not response.degraded
