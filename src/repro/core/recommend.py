@@ -35,11 +35,16 @@ from repro.llm.registry import build_tokenizer
 from repro.llm.simlm import SimLM, SimLMConfig
 from repro.llm.soft_prompt import SoftPrompt
 from repro.llm.verbalizer import Verbalizer
+from repro.parallel.data import DataParallelEngine, ShardProgram, reseed_dropouts, tree_sum
 from repro.store.components import restore_soft_prompt, serialize_soft_prompt
 from repro.store.fingerprint import fingerprint, state_fingerprint
 from repro.store.store import ArtifactError, read_artifact, write_artifact
 
 _OPTIMIZERS = {"lion": Lion, "adam": Adam, "sgd": SGD}
+
+#: Dropout-entropy domain tag for Stage-2 shard evaluations (disjoint from
+#: the Stage-1 and neural-trainer domains, so shard seeds never collide).
+_STAGE2_DOMAIN = 2
 
 #: Inference readout semantics: ``"mask"`` evaluates the last encoder layer
 #: only at the [MASK] position (the serving fast path), ``"full"`` runs the
@@ -579,11 +584,16 @@ class LSRFineTuner:
         auxiliary: str = "soft",
         sr_model_name: Optional[str] = None,
         lm_head: str = "restricted",
+        num_data_workers: Optional[int] = None,
     ):
         self.model = model
         self.prompt_builder = prompt_builder
         self.soft_prompt = soft_prompt
         self.config = config or Stage2Config()
+        #: Data-parallel worker count for the fine-tuning loop (``None``
+        #: defers to ``REPRO_DATA_WORKERS``).  Never fingerprinted: the
+        #: trained adapters are bitwise-identical at any worker count.
+        self.num_data_workers = num_data_workers
         #: ``update_soft_prompt=True`` reproduces the "w ULSR" ablation (Table IV).
         self.update_soft_prompt = update_soft_prompt
         self.auxiliary = auxiliary
@@ -666,8 +676,53 @@ class LSRFineTuner:
         return prompts
 
     # ------------------------------------------------------------------ #
+    def _prompt_loss(self, batch: PromptBatch, reduction: str = "mean"):
+        """The LSR loss (Eq. 8) of one prompt batch.
+
+        ``reduction="sum"`` is the data-parallel microshard form: per-row
+        losses without the mean normaliser, rescaled by the shard program to
+        the full batch size.
+        """
+        config = self.config
+        embeddings = self.model.embed_tokens(batch.tokens)
+        if self.soft_prompt is not None and self.auxiliary == "soft":
+            embeddings = self.soft_prompt.splice_into(
+                embeddings, batch.tokens, self.prompt_builder.tokenizer.soft_id
+            )
+        if config.loss_over_full_vocab:
+            vocab_logits = self.model.mask_logits(
+                batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
+            )
+            label_tokens = np.asarray(
+                self.prompt_builder.tokenizer.item_token_ids(batch.label_items.tolist())
+            )
+            return F.cross_entropy(vocab_logits, label_tokens, reduction=reduction)
+        if self.lm_head == "blas":
+            vocab_logits = self.model.mask_logits(
+                batch.tokens, input_embeddings=embeddings,
+                valid_mask=batch.valid_mask,
+            )
+            rows = np.arange(len(batch))[:, None]
+            candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
+        else:
+            candidate_logits = self.model.mask_candidate_logits(
+                batch.tokens,
+                batch.candidate_token_ids,
+                input_embeddings=embeddings,
+                valid_mask=batch.valid_mask,
+                full_vocab_reference=self.lm_head == "full",
+            )
+        return F.cross_entropy(candidate_logits, batch.label_indices, reduction=reduction)
+
     def fine_tune(self, prompts: Sequence[PromptExample]) -> FineTuningResult:
-        """Run the LSR objective (Eq. 8) over the prepared prompts."""
+        """Run the LSR objective (Eq. 8) over the prepared prompts.
+
+        Every batch decomposes into canonical microshards evaluated through
+        the data-parallel engine; the AdaLoRA controller steps on the
+        tree-combined gradients in the parent, and the updated rank masks are
+        broadcast to workers with the next step's parameters — so training is
+        bitwise-identical at any ``num_data_workers``.
+        """
         if not prompts:
             raise ValueError("fine-tuning needs at least one prompt")
         config = self.config
@@ -676,59 +731,70 @@ class LSRFineTuner:
             trainable, lr=config.lr, weight_decay=config.weight_decay
         )
         rng = np.random.default_rng(config.seed)
-        soft_id = self.prompt_builder.tokenizer.soft_id
         result = FineTuningResult()
 
         self.model.train()
-        for epoch in range(config.epochs):
-            order = rng.permutation(len(prompts))
-            epoch_loss, seen = 0.0, 0
-            for start in range(0, len(order), config.batch_size):
-                batch = self.prompt_builder.batch(
-                    [prompts[i] for i in order[start:start + config.batch_size]]
-                )
-                optimizer.zero_grad()
-                embeddings = self.model.embed_tokens(batch.tokens)
-                if self.soft_prompt is not None and self.auxiliary == "soft":
-                    embeddings = self.soft_prompt.splice_into(embeddings, batch.tokens, soft_id)
-                if config.loss_over_full_vocab:
-                    vocab_logits = self.model.mask_logits(
-                        batch.tokens, input_embeddings=embeddings, valid_mask=batch.valid_mask
-                    )
-                    label_tokens = np.asarray(
-                        self.prompt_builder.tokenizer.item_token_ids(batch.label_items.tolist())
-                    )
-                    loss = F.cross_entropy(vocab_logits, label_tokens)
-                else:
-                    if self.lm_head == "blas":
-                        vocab_logits = self.model.mask_logits(
-                            batch.tokens, input_embeddings=embeddings,
-                            valid_mask=batch.valid_mask,
-                        )
-                        rows = np.arange(len(batch))[:, None]
-                        candidate_logits = vocab_logits[rows, batch.candidate_token_ids]
-                    else:
-                        candidate_logits = self.model.mask_candidate_logits(
-                            batch.tokens,
-                            batch.candidate_token_ids,
-                            input_embeddings=embeddings,
-                            valid_mask=batch.valid_mask,
-                            full_vocab_reference=self.lm_head == "full",
-                        )
-                    loss = F.cross_entropy(candidate_logits, batch.label_indices)
-                loss.backward()
-                if config.grad_clip is not None:
-                    F.clip_grad_norm(trainable, config.grad_clip)
-                optimizer.step()
+        program = _Stage2Program(self, prompts, trainable)
+        with DataParallelEngine(program, num_workers=self.num_data_workers) as engine:
+            for epoch in range(config.epochs):
+                order = rng.permutation(len(prompts))
+                epoch_loss, seen = 0.0, 0
+                for step, start in enumerate(range(0, len(order), config.batch_size)):
+                    indices = order[start:start + config.batch_size]
+                    shards = [
+                        (epoch, step, len(indices), span_start, indices[span_start:span_stop])
+                        for span_start, span_stop in engine.spans(len(indices))
+                    ]
+                    optimizer.zero_grad()
+                    values = engine.gradient_step(shards)
+                    if config.grad_clip is not None:
+                        F.clip_grad_norm(trainable, config.grad_clip)
+                    optimizer.step()
+                    if self.controller is not None:
+                        self.controller.step()
+                    epoch_loss += tree_sum(values) * len(indices)
+                    seen += len(indices)
+                result.losses.append(epoch_loss / max(seen, 1))
                 if self.controller is not None:
-                    self.controller.step()
-                epoch_loss += loss.item() * len(batch)
-                seen += len(batch)
-            result.losses.append(epoch_loss / max(seen, 1))
-            if self.controller is not None:
-                result.active_ranks.append(self.controller.total_active_rank())
-            if config.verbose:
-                print(f"[LSR] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.4f}")
+                    result.active_ranks.append(self.controller.total_active_rank())
+                if config.verbose:
+                    print(f"[LSR] epoch {epoch + 1}/{config.epochs} loss={result.losses[-1]:.4f}")
 
         self.model.eval()
         return result
+
+
+class _Stage2Program(ShardProgram):
+    """Microshard evaluation of the Stage-2 LSR loss.
+
+    Shard descriptors are ``(epoch, step, batch_rows, span_start,
+    prompt_indices)``.  The AdaLoRA rank masks are declared as sync buffers:
+    the parent-side controller mutates them between steps and the engine
+    broadcasts them to workers alongside the trainable parameters.
+    """
+
+    def __init__(self, finetuner: "LSRFineTuner",
+                 prompts: Sequence[PromptExample], trainable: list):
+        self.finetuner = finetuner
+        self.prompts = list(prompts)
+        self.trainable = trainable
+
+    def sync_parameters(self) -> list:
+        """The trainable set chosen by :meth:`LSRFineTuner._prepare_parameters`."""
+        return self.trainable
+
+    def sync_buffers(self) -> list:
+        """The adapters' rank masks (mutated by the AdaLoRA controller)."""
+        return [adapter.rank_mask for adapter in self.finetuner.adapters]
+
+    def shard_loss(self, shard):
+        """Sum-scaled LSR loss of one microshard (see :meth:`LSRFineTuner._prompt_loss`)."""
+        epoch, step, batch_rows, span_start, indices = shard
+        batch = self.finetuner.prompt_builder.batch(
+            [self.prompts[i] for i in indices]
+        )
+        reseed_dropouts(
+            self.finetuner.model,
+            (_STAGE2_DOMAIN, self.finetuner.config.seed, epoch, step, span_start),
+        )
+        return self.finetuner._prompt_loss(batch, reduction="sum") * (1.0 / batch_rows)

@@ -26,6 +26,10 @@ from repro.autograd import functional as F
 from repro.autograd import heads
 from repro.llm.simlm import SimLM
 from repro.llm.tokenizer import Tokenizer
+from repro.parallel.data import DataParallelEngine, ShardProgram, reseed_dropouts, tree_sum
+
+#: Dropout-entropy domain tag for MLM pre-training shard evaluations.
+_PRETRAIN_DOMAIN = 4
 
 #: LM-head strategies for the MLM objective.  ``"masked"`` (default) and
 #: ``"full"`` are bitwise identical; ``"blas"`` is the original fused-GEMM
@@ -56,7 +60,8 @@ def encode_corpus(tokenizer: Tokenizer, corpus: Sequence[str], max_length: int) 
 
 
 def mlm_step_loss(model: SimLM, corrupted: np.ndarray, labels: np.ndarray,
-                  mask_positions: np.ndarray, head: str = "masked") -> Tensor:
+                  mask_positions: np.ndarray, head: str = "masked",
+                  normaliser: Optional[float] = None) -> Tensor:
     """Cloze loss of one MLM batch, via the restricted or the reference head.
 
     ``head="masked"`` projects only the ``mask_positions`` rows through the LM
@@ -64,20 +69,29 @@ def mlm_step_loss(model: SimLM, corrupted: np.ndarray, labels: np.ndarray,
     before summing, so the value (and every gradient) is bitwise identical to
     the ``head="full"`` reference, which computes the whole logit cube and a
     weighted cross-entropy over it.
+
+    ``normaliser`` overrides the loss denominator (default: this batch's
+    masked-position count).  The data-parallel microshard path passes the
+    *full* batch's count, so a shard's loss is the exact subset of the
+    full-batch mean's per-position contributions.
     """
     if head not in PRETRAIN_HEADS:
         raise ValueError(f"unknown pretrain head {head!r}; choose from {PRETRAIN_HEADS}")
     valid_mask = corrupted != model.tokenizer.pad_id
     hidden = model.encode_embeddings(model.embed_tokens(corrupted), valid_mask)
     weights = mask_positions.astype(np.float64)
-    normaliser = max(float(weights.sum()), 1e-12)
+    if normaliser is None:
+        normaliser = max(float(weights.sum()), 1e-12)
     if head == "blas":
-        return F.cross_entropy(model.lm_logits(hidden), labels, weights=weights)
+        losses = F.cross_entropy(model.lm_logits(hidden), labels,
+                                 weights=weights, reduction="sum")
+        return losses * (1.0 / normaliser)
     if head == "full":
         logits = heads.rowwise_lm_logits(
             hidden, model.token_embedding.weight, model.output_bias
         )
-        return F.cross_entropy(logits, labels, weights=weights)
+        losses = F.cross_entropy(logits, labels, weights=weights, reduction="sum")
+        return losses * (1.0 / normaliser)
     logits = heads.masked_rows_lm_logits(
         hidden, mask_positions, model.token_embedding.weight, model.output_bias
     )
@@ -93,11 +107,16 @@ def pretrain_simlm(
     corpus: Sequence[str],
     config: Optional[PretrainConfig] = None,
     head: str = "masked",
+    num_data_workers: Optional[int] = None,
 ) -> List[float]:
     """Pre-train ``model`` with the BERT-style cloze objective; returns epoch losses.
 
     ``head`` selects the LM-head implementation (see :func:`mlm_step_loss`);
-    the produced weights are bitwise independent of the choice.
+    the produced weights are bitwise independent of the choice.  Batches run
+    through the data-parallel engine as canonical microshards, so the
+    pre-trained weights are also bitwise independent of ``num_data_workers``
+    (``None`` defers to ``REPRO_DATA_WORKERS``); masking randomness is drawn
+    in the parent before sharding and travels inside the shard descriptors.
     """
     config = config or PretrainConfig()
     if not corpus:
@@ -109,30 +128,69 @@ def pretrain_simlm(
     losses: List[float] = []
 
     model.train()
-    for epoch in range(config.epochs):
-        order = rng.permutation(len(token_matrix))
-        epoch_loss, seen = 0.0, 0
-        for start in range(0, len(order), config.batch_size):
-            batch_ids = token_matrix[order[start:start + config.batch_size]].copy()
-            labels = batch_ids.copy()
-            can_mask = batch_ids != tokenizer.pad_id
-            can_mask &= batch_ids != tokenizer.cls_id
-            mask_positions = (rng.random(batch_ids.shape) < config.mask_probability) & can_mask
-            if not mask_positions.any():
-                continue
-            corrupted = batch_ids.copy()
-            corrupted[mask_positions] = tokenizer.mask_id
-            optimizer.zero_grad()
-            loss = mlm_step_loss(model, corrupted, labels, mask_positions, head=head)
-            loss.backward()
-            optimizer.step()
-            epoch_loss += loss.item() * len(batch_ids)
-            seen += len(batch_ids)
-        mean_loss = epoch_loss / max(seen, 1)
-        losses.append(mean_loss)
-        if config.verbose:
-            print(f"[SimLM pretrain] epoch {epoch + 1}/{config.epochs} loss={mean_loss:.4f}")
+    program = _PretrainProgram(model, head, config.seed)
+    with DataParallelEngine(program, num_workers=num_data_workers) as engine:
+        for epoch in range(config.epochs):
+            order = rng.permutation(len(token_matrix))
+            epoch_loss, seen = 0.0, 0
+            for step, start in enumerate(range(0, len(order), config.batch_size)):
+                batch_ids = token_matrix[order[start:start + config.batch_size]].copy()
+                labels = batch_ids.copy()
+                can_mask = batch_ids != tokenizer.pad_id
+                can_mask &= batch_ids != tokenizer.cls_id
+                mask_positions = (rng.random(batch_ids.shape) < config.mask_probability) & can_mask
+                if not mask_positions.any():
+                    continue
+                corrupted = batch_ids.copy()
+                corrupted[mask_positions] = tokenizer.mask_id
+                normaliser = max(float(mask_positions.astype(np.float64).sum()), 1e-12)
+                shards = [
+                    (epoch, step, normaliser, span_start,
+                     corrupted[span_start:span_stop],
+                     labels[span_start:span_stop],
+                     mask_positions[span_start:span_stop])
+                    for span_start, span_stop in engine.spans(len(batch_ids))
+                ]
+                optimizer.zero_grad()
+                values = engine.gradient_step(shards)
+                optimizer.step()
+                epoch_loss += tree_sum(values) * len(batch_ids)
+                seen += len(batch_ids)
+            mean_loss = epoch_loss / max(seen, 1)
+            losses.append(mean_loss)
+            if config.verbose:
+                print(f"[SimLM pretrain] epoch {epoch + 1}/{config.epochs} loss={mean_loss:.4f}")
 
     model.eval()
     model.is_pretrained = True
     return losses
+
+
+class _PretrainProgram(ShardProgram):
+    """Microshard evaluation of the MLM cloze objective.
+
+    Shard descriptors are ``(epoch, step, batch_normaliser, span_start,
+    corrupted_rows, label_rows, mask_rows)`` — the corruption pattern is
+    drawn once in the parent (exactly the legacy stream) and shipped with
+    the shard, so the mask layout is independent of the worker count.  A
+    shard whose rows carry no masked position contributes an (exact) zero
+    loss and no gradient.
+    """
+
+    def __init__(self, model: SimLM, head: str, seed: int):
+        self.model = model
+        self.head = head
+        self.seed = seed
+
+    def sync_parameters(self) -> list:
+        """Every SimLM parameter (MLM pre-training trains the full model)."""
+        return self.model.parameters()
+
+    def shard_loss(self, shard):
+        """Sum-scaled cloze loss of one microshard (see :func:`mlm_step_loss`)."""
+        epoch, step, normaliser, span_start, corrupted, labels, mask_positions = shard
+        reseed_dropouts(self.model, (_PRETRAIN_DOMAIN, self.seed, epoch, step, span_start))
+        if not mask_positions.any():
+            return Tensor(np.zeros(()))
+        return mlm_step_loss(self.model, corrupted, labels, mask_positions,
+                             head=self.head, normaliser=normaliser)

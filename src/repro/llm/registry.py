@@ -78,13 +78,16 @@ def build_pretrained_simlm(
     pretrain_config: Optional[PretrainConfig] = None,
     seed: int = 0,
     store: Optional[ArtifactStore] = None,
+    num_data_workers: Optional[int] = None,
 ) -> SimLM:
     """Build and MLM-pre-train a SimLM on the dataset's synthetic corpus.
 
     With a ``store``, the pre-trained state is cached under the fingerprint of
     (dataset, size, pre-training config, training examples, seed): a warm call
     rebuilds the model from the stored arrays and skips MLM pre-training
-    entirely, bitwise-identically to the cold run.
+    entirely, bitwise-identically to the cold run.  ``num_data_workers`` is an
+    execution detail of the pre-training loop (bitwise-invariant) and is
+    deliberately absent from the fingerprint.
     """
     pretrain_config = pretrain_config or PretrainConfig(seed=seed)
     if store is not None:
@@ -95,7 +98,7 @@ def build_pretrained_simlm(
             return restore_simlm(*cached, dataset=dataset)
     model = build_simlm(dataset, size=size, seed=seed)
     corpus = corpus_for_dataset(dataset, train_examples=train_examples, seed=seed)
-    pretrain_simlm(model, corpus, pretrain_config)
+    pretrain_simlm(model, corpus, pretrain_config, num_data_workers=num_data_workers)
     if store is not None:
         store.save(SIMLM_KIND, fp, *serialize_simlm(model))
     return model

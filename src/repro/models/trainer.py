@@ -17,6 +17,11 @@ from repro.autograd import functional as F
 from repro.data.batching import batch_examples
 from repro.data.splits import SequenceExample
 from repro.models.base import NeuralSequentialRecommender
+from repro.parallel.data import DataParallelEngine, ShardProgram, reseed_dropouts, tree_sum
+
+#: Dropout-entropy domain tag for neural-trainer shard evaluations (disjoint
+#: from the two DELRec stage domains and the MLM pre-training domain).
+_TRAINER_DOMAIN = 3
 
 _OPTIMIZERS = {
     "adam": Adam,
@@ -74,11 +79,17 @@ def train_recommender(
     train_examples: Sequence[SequenceExample],
     config: Optional[TrainingConfig] = None,
     validation_examples: Optional[Sequence[SequenceExample]] = None,
+    num_data_workers: Optional[int] = None,
 ) -> TrainingHistory:
     """Train ``model`` on next-item prediction with cross entropy.
 
     Returns the per-epoch loss history.  If ``validation_examples`` is given,
     a cheap HR@1 estimate over (at most 200 of) them is tracked per epoch.
+
+    Each batch decomposes into canonical microshards run through the
+    data-parallel engine, so the trained weights are bitwise-identical at any
+    ``num_data_workers`` (``None`` defers to ``REPRO_DATA_WORKERS``); the
+    worker count is an execution detail and is never fingerprinted.
     """
     config = config or TrainingConfig()
     if config.optimizer not in _OPTIMIZERS:
@@ -91,39 +102,74 @@ def train_recommender(
     history = TrainingHistory()
 
     model.train()
-    for epoch in range(config.epochs):
-        epoch_loss, seen = 0.0, 0
-        for batch in batch_examples(
-            train_examples,
-            batch_size=config.batch_size,
-            max_history=model.max_history,
-            shuffle=config.shuffle,
-            rng=rng,
-        ):
-            optimizer.zero_grad()
-            logits = model.forward(batch.histories, batch.valid_mask)
-            loss = F.cross_entropy(logits, batch.targets)
-            loss.backward()
-            if config.grad_clip is not None:
-                F.clip_grad_norm(model.parameters(), config.grad_clip)
-            optimizer.step()
-            epoch_loss += loss.item() * len(batch)
-            seen += len(batch)
-        mean_loss = epoch_loss / max(seen, 1)
-        history.losses.append(mean_loss)
+    program = _TrainerProgram(model, config.seed)
+    with DataParallelEngine(program, num_workers=num_data_workers) as engine:
+        for epoch in range(config.epochs):
+            epoch_loss, seen = 0.0, 0
+            for step, batch in enumerate(batch_examples(
+                train_examples,
+                batch_size=config.batch_size,
+                max_history=model.max_history,
+                shuffle=config.shuffle,
+                rng=rng,
+            )):
+                rows = len(batch)
+                shards = [
+                    (epoch, step, rows, start,
+                     batch.histories[start:stop],
+                     batch.valid_mask[start:stop],
+                     batch.targets[start:stop])
+                    for start, stop in engine.spans(rows)
+                ]
+                optimizer.zero_grad()
+                values = engine.gradient_step(shards)
+                if config.grad_clip is not None:
+                    F.clip_grad_norm(model.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_loss += tree_sum(values) * rows
+                seen += rows
+            mean_loss = epoch_loss / max(seen, 1)
+            history.losses.append(mean_loss)
 
-        if validation_examples:
-            hit_rate = _quick_hit_rate(model, validation_examples, limit=200)
-            history.validation_hit_rates.append(hit_rate)
-            if config.verbose:
-                print(f"[{model.name}] epoch {epoch + 1}/{config.epochs} "
-                      f"loss={mean_loss:.4f} val HR@1={hit_rate:.4f}")
-        elif config.verbose:
-            print(f"[{model.name}] epoch {epoch + 1}/{config.epochs} loss={mean_loss:.4f}")
+            if validation_examples:
+                hit_rate = _quick_hit_rate(model, validation_examples, limit=200)
+                history.validation_hit_rates.append(hit_rate)
+                if config.verbose:
+                    print(f"[{model.name}] epoch {epoch + 1}/{config.epochs} "
+                          f"loss={mean_loss:.4f} val HR@1={hit_rate:.4f}")
+            elif config.verbose:
+                print(f"[{model.name}] epoch {epoch + 1}/{config.epochs} loss={mean_loss:.4f}")
 
     model.eval()
     model.is_fitted = True
     return history
+
+
+class _TrainerProgram(ShardProgram):
+    """Microshard evaluation of the full-catalog cross-entropy objective.
+
+    Shard descriptors carry the padded batch rows themselves —
+    ``(epoch, step, batch_rows, span_start, histories, valid_mask, targets)``
+    — because batches are drawn lazily in the parent and therefore cannot be
+    fork-time state.  Padding is per-row (``make_batch`` pads every row to
+    the model's ``max_history``), so a row's forward pass is independent of
+    which shard carries it.
+    """
+
+    def __init__(self, model: NeuralSequentialRecommender, seed: int):
+        self.model = model
+        self.seed = seed
+
+    def sync_parameters(self) -> list:
+        """Every model parameter (neural backbones train end to end)."""
+        return self.model.parameters()
+
+    def shard_loss(self, shard):
+        """Sum-scaled next-item cross entropy of one microshard."""
+        epoch, step, batch_rows, span_start, histories, valid_mask, targets = shard
+        reseed_dropouts(self.model, (_TRAINER_DOMAIN, self.seed, epoch, step, span_start))
+        logits = self.model.forward(histories, valid_mask)
+        return F.cross_entropy(logits, targets, reduction="sum") * (1.0 / batch_rows)
 
 
 def _quick_hit_rate(
@@ -131,11 +177,20 @@ def _quick_hit_rate(
     examples: Sequence[SequenceExample],
     limit: int = 200,
 ) -> float:
-    """HR@1 over the full catalog for a subset of examples (training diagnostic)."""
+    """HR@1 over the full catalog for a subset of examples (training diagnostic).
+
+    Scoring runs in eval mode (dropout off): the estimate must not consume
+    training-side randomness, or validation would perturb — and be perturbed
+    by — the data-parallel shard evaluation order.
+    """
     model.is_fitted = True
+    was_training = model.training
+    model.eval()
     subset = list(examples)[:limit]
     hits = 0
     for example in subset:
         ranked = model.top_k(example.history, k=1)
         hits += int(ranked and ranked[0] == example.target)
+    if was_training:
+        model.train()
     return hits / max(len(subset), 1)

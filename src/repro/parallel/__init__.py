@@ -15,8 +15,29 @@ serial run.
 ``REPRO_NUM_WORKERS`` selects the pool size (default ``1`` = serial, which
 executes the exact same :func:`~repro.parallel.worker.execute_work_unit`
 code path in-process).
+
+Orthogonally, :mod:`repro.parallel.data` shards batches *inside* one
+training job (``REPRO_DATA_WORKERS``): per-step microshards whose gradients
+combine through a fixed-shape pairwise-sum tree, bitwise-identical at any
+worker count.  The two compose — experiment workers may themselves run
+data-parallel training steps.
 """
 
+from repro.parallel.data import (
+    DATA_WORKERS_ENV,
+    GRAIN,
+    DataParallelEngine,
+    ShardProgram,
+    add_grads,
+    canonical_ranges,
+    reseed_dropouts,
+    resolve_data_workers,
+    shard_spans,
+    stitch,
+    tree_reduce,
+    tree_sum,
+    worker_ranges,
+)
 from repro.parallel.units import WorkUnit
 from repro.parallel.worker import (
     ContextCache,
@@ -33,12 +54,25 @@ from repro.parallel.scheduler import (
 
 __all__ = [
     "ContextCache",
+    "DATA_WORKERS_ENV",
+    "DataParallelEngine",
     "ExperimentScheduler",
+    "GRAIN",
     "NUM_WORKERS_ENV",
+    "ShardProgram",
     "WorkUnit",
+    "add_grads",
+    "canonical_ranges",
     "execute_work_unit",
     "register_runner",
     "registered_runners",
+    "reseed_dropouts",
+    "resolve_data_workers",
     "resolve_num_workers",
     "resolve_runner",
+    "shard_spans",
+    "stitch",
+    "tree_reduce",
+    "tree_sum",
+    "worker_ranges",
 ]

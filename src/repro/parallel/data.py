@@ -1,0 +1,518 @@
+"""Deterministic intra-job data parallelism.
+
+The experiment scheduler (:mod:`repro.parallel.scheduler`) shards *jobs*;
+this module shards *batches inside one training job*.  Every training step
+is decomposed into a canonical sequence of **microshards** — contiguous row
+spans of the step's batch whose boundaries depend only on the batch size and
+the module constant :data:`GRAIN`, never on the worker count — and the
+per-shard gradients are combined with a fixed-shape pairwise-sum tree (the
+same reduction discipline as :mod:`repro.autograd.heads`).  Workers evaluate
+contiguous leaf ranges and return partial sums for the *maximal canonical
+subtrees* covering their range; the parent stitches those partials back
+together by re-running the identical tree recursion.  Because a canonical
+subtree's internal combine order is a pure function of its size, the
+stitched gradient is **bitwise-identical** to the single-process tree at any
+worker count — including ``num_workers=1``, which executes the exact same
+leaf decomposition in-process.
+
+The worker count is therefore an execution detail, not a hyper-parameter:
+it is deliberately excluded from every artifact-store fingerprint (a
+4-worker run and a serial run produce byte-identical artifacts — asserted
+by ``tests/test_data_parallel.py``).  :data:`GRAIN`, by contrast, *does*
+shape trajectories; changing it requires a
+:data:`repro.store.fingerprint.TRAINING_CODE_VERSION` bump.
+
+``REPRO_DATA_WORKERS`` selects the pool size (default ``1``), orthogonal to
+``REPRO_NUM_WORKERS``: the former splits batches inside one training job,
+the latter spreads independent jobs across processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd.layers import Dropout
+
+#: Environment variable selecting the per-job data-parallel worker count
+#: (default 1 = serial).  Orthogonal to ``REPRO_NUM_WORKERS``.
+DATA_WORKERS_ENV = "REPRO_DATA_WORKERS"
+
+#: Microshard size in batch rows.  The canonical leaf decomposition of a
+#: step is ``shard_spans(batch_size, GRAIN)`` — a pure function of the batch
+#: size — so trajectories depend on this constant but **never** on the
+#: worker count.  Changing it changes every training trajectory and
+#: therefore requires a ``TRAINING_CODE_VERSION`` bump.
+GRAIN = 32
+
+
+def resolve_data_workers(num_workers: Optional[int] = None) -> int:
+    """Resolve an explicit worker count, ``REPRO_DATA_WORKERS``, or 1.
+
+    Mirrors :func:`repro.parallel.scheduler.resolve_num_workers`: an explicit
+    argument wins, then the environment variable, then the serial default.
+    """
+    if num_workers is None:
+        raw = os.environ.get(DATA_WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            num_workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{DATA_WORKERS_ENV}={raw!r} is not an integer worker count"
+            ) from None
+    num_workers = int(num_workers)
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return num_workers
+
+
+# --------------------------------------------------------------------------- #
+# canonical shard derivation
+# --------------------------------------------------------------------------- #
+def shard_spans(n: int, grain: int = GRAIN) -> List[Tuple[int, int]]:
+    """Split ``n`` batch rows into the canonical contiguous microshard spans.
+
+    ``ceil(n / grain)`` spans whose sizes differ by at most one, larger spans
+    first — a pure function of ``(n, grain)``, independent of any worker
+    count.  ``n == 0`` yields no spans.
+    """
+    if n < 0:
+        raise ValueError(f"batch size must be >= 0, got {n}")
+    if grain < 1:
+        raise ValueError(f"grain must be >= 1, got {grain}")
+    if n == 0:
+        return []
+    num_shards = -(-n // grain)
+    base, extra = divmod(n, num_shards)
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(num_shards):
+        stop = start + base + (1 if index < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def worker_ranges(num_leaves: int, num_workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced assignment of ``num_leaves`` leaves to workers.
+
+    At most ``num_workers`` non-empty ranges, sizes differing by at most one,
+    covering ``[0, num_leaves)`` in order.  The assignment only affects *where*
+    leaves are evaluated — thanks to canonical-subtree stitching it can never
+    affect the combined result.
+    """
+    if num_leaves < 0:
+        raise ValueError(f"num_leaves must be >= 0, got {num_leaves}")
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if num_leaves == 0:
+        return []
+    k = min(num_workers, num_leaves)
+    base, extra = divmod(num_leaves, k)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(k):
+        stop = start + base + (1 if index < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+# --------------------------------------------------------------------------- #
+# the canonical pairwise-sum tree
+# --------------------------------------------------------------------------- #
+def _left_size(n: int) -> int:
+    """Size of the left child of a canonical tree node with ``n > 1`` leaves.
+
+    The largest power of two strictly below ``n`` — the split rule that makes
+    every canonical subtree's shape a pure function of its leaf count.
+    """
+    return 1 << ((n - 1).bit_length() - 1)
+
+
+def tree_reduce(leaves: Sequence, combine):
+    """Combine ``leaves`` with the canonical fixed-shape pairwise tree.
+
+    The tree over ``[lo, hi)`` splits at ``lo + _left_size(hi - lo)``; a node
+    covering a single leaf is that leaf itself.  Every function in this module
+    (worker partials, parent stitching, scalar loss folds) reuses this one
+    recursion, which is what makes sharded results bitwise-equal to unsharded
+    ones *by construction* rather than by accident.
+    """
+    if not leaves:
+        raise ValueError("tree_reduce needs at least one leaf")
+
+    def reduce_range(lo: int, hi: int):
+        if hi - lo == 1:
+            return leaves[lo]
+        mid = lo + _left_size(hi - lo)
+        return combine(reduce_range(lo, mid), reduce_range(mid, hi))
+
+    return reduce_range(0, len(leaves))
+
+
+def tree_sum(values: Sequence[float]) -> float:
+    """Pairwise-tree sum of scalar loss values (see :func:`tree_reduce`)."""
+    return tree_reduce(list(values), lambda a, b: a + b)
+
+
+def add_grads(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """``None``-aware gradient combine: the tree's interior-node operation.
+
+    ``None`` means "this subtree never touched the parameter" and is the
+    identity — no zeros array is materialised, so a parameter untouched by
+    every shard keeps ``grad=None`` and the optimizers skip it exactly as
+    they do on the serial path.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a + b
+
+
+def canonical_ranges(total: int, start: int, stop: int) -> List[Tuple[int, int]]:
+    """Maximal canonical-subtree ranges covering ``[start, stop)`` of ``total`` leaves.
+
+    Decomposes a contiguous leaf range into the unique minimal set of nodes of
+    the canonical tree over ``[0, total)``.  A worker reduces each returned
+    range internally (same recursion as :func:`tree_reduce`) and ships one
+    partial per range; :func:`stitch` then rebuilds the full tree from them.
+    """
+    if not 0 <= start <= stop <= total:
+        raise ValueError(f"invalid leaf range [{start}, {stop}) of {total}")
+    ranges: List[Tuple[int, int]] = []
+
+    def descend(lo: int, hi: int, a: int, b: int) -> None:
+        if a >= b:
+            return
+        if a <= lo and hi <= b:
+            ranges.append((lo, hi))
+            return
+        mid = lo + _left_size(hi - lo)
+        descend(lo, mid, a, min(b, mid))
+        descend(mid, hi, max(a, mid), b)
+
+    descend(0, total, start, stop)
+    return ranges
+
+
+def stitch(total: int, partials: Dict[Tuple[int, int], object], combine):
+    """Rebuild the canonical tree over ``total`` leaves from subtree partials.
+
+    ``partials`` maps canonical ranges (as produced by
+    :func:`canonical_ranges`) to already-reduced values.  The recursion is
+    byte-for-byte the one in :func:`tree_reduce`, so the result is
+    bitwise-identical to reducing all leaves in one process — the central
+    invariance the data-parallel engine rests on.
+    """
+    def rebuild(lo: int, hi: int):
+        node = partials.get((lo, hi))
+        if node is not None or (lo, hi) in partials:
+            return node
+        if hi - lo == 1:
+            raise ValueError(f"missing partial for leaf {lo}")
+        mid = lo + _left_size(hi - lo)
+        return combine(rebuild(lo, mid), rebuild(mid, hi))
+
+    if total < 1:
+        raise ValueError("stitch needs at least one leaf")
+    return rebuild(0, total)
+
+
+# --------------------------------------------------------------------------- #
+# deterministic per-shard randomness
+# --------------------------------------------------------------------------- #
+def reseed_dropouts(module, entropy: Sequence[int]) -> int:
+    """Give every dropout in ``module`` a fresh deterministic generator.
+
+    Legacy training drew every dropout mask from one generator shared across
+    the whole model and advanced sequentially across steps — a stream that a
+    sharded run cannot reproduce (workers would each need the exact draw
+    offsets of a serial pass).  Instead, every shard evaluation reseeds each
+    :class:`~repro.autograd.layers.Dropout` from
+    ``SeedSequence([*entropy, dropout_index])``, where ``entropy`` identifies
+    the (seed, surface, epoch, step, shard) coordinates.  Masks then depend
+    only on *which* shard is being evaluated, never on where or in what order
+    — the property the bitwise cross-worker-count equality tests pin down.
+
+    Returns the number of dropout modules reseeded.
+    """
+    entropy = [int(value) for value in entropy]
+    index = 0
+    for _, sub in module.named_modules():
+        if isinstance(sub, Dropout):
+            sub.rng = np.random.default_rng(np.random.SeedSequence(entropy + [index]))
+            index += 1
+    return index
+
+
+# --------------------------------------------------------------------------- #
+# the shard program contract
+# --------------------------------------------------------------------------- #
+class ShardProgram:
+    """What a training loop must expose to run under the data-parallel engine.
+
+    A program is constructed once per training job, *before* the engine, and
+    must be **immutable for the lifetime of the engine** apart from the arrays
+    it declares below: pool workers hold a fork-time copy, so any other parent
+    mutation is invisible to them.  Everything that varies per step must
+    travel inside the (picklable) shard descriptors.
+    """
+
+    def sync_parameters(self) -> List:
+        """Ordered trainable parameters, broadcast to workers every step.
+
+        The engine writes the combined gradient into each entry's ``.grad``;
+        the order defines the gradient layout on the wire and must be stable.
+        """
+        raise NotImplementedError
+
+    def sync_buffers(self) -> List[np.ndarray]:
+        """Arrays mutated by the parent between steps (e.g. AdaLoRA rank masks).
+
+        Broadcast to workers alongside the parameters; the default is none.
+        """
+        return []
+
+    def shard_loss(self, shard):
+        """Loss :class:`~repro.autograd.Tensor` of one microshard.
+
+        The canonical scaling is ``cross_entropy(reduction="sum") * (1.0 /
+        batch_rows)`` — per-row loss seeds then match the full-batch mean loss
+        exactly, so the tree over shard gradients is a pure reordering of the
+        same row contributions.  Implementations must call
+        :func:`reseed_dropouts` with shard-identifying entropy before the
+        forward pass.
+        """
+        raise NotImplementedError
+
+
+def _apply_sync(program: ShardProgram, param_arrays: Sequence[np.ndarray],
+                buffer_arrays: Sequence[np.ndarray]) -> List:
+    """Copy broadcast parameter/buffer arrays into a (worker's) program."""
+    params = program.sync_parameters()
+    for param, array in zip(params, param_arrays):
+        param.data[...] = array
+    for buffer, array in zip(program.sync_buffers(), buffer_arrays):
+        buffer[...] = array
+    return params
+
+
+def _leaf_gradients(program: ShardProgram, shard, weight: float,
+                    params: Sequence) -> Tuple[float, List[Optional[np.ndarray]]]:
+    """Evaluate one leaf: per-parameter gradients and the unweighted loss value.
+
+    The backward pass is seeded with ``weight`` instead of scaling the loss
+    tensor — arithmetically the identical product sequence (``d/dS`` of
+    ``(S*c)*w`` and of ``S*c`` seeded with ``w`` are both ``w*c``), but the
+    returned loss value stays unweighted for reporting.
+    """
+    for param in params:
+        param.grad = None
+    loss = program.shard_loss(shard)
+    loss.backward(np.float64(weight))
+    grads = [param.grad for param in params]
+    for param in params:
+        param.grad = None
+    return float(loss.data), grads
+
+
+def _combine_leaf_grads(leaf_grads: Sequence[Sequence[Optional[np.ndarray]]]
+                        ) -> List[Optional[np.ndarray]]:
+    """Tree-reduce a run of leaves' gradient lists into one per-parameter list."""
+    num_params = len(leaf_grads[0])
+    return [
+        tree_reduce([grads[index] for grads in leaf_grads], add_grads)
+        for index in range(num_params)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# worker-side execution (fork-inherited program registry)
+# --------------------------------------------------------------------------- #
+#: Programs registered by live engines, keyed by engine token.  Pool workers
+#: are forked *after* registration, so they inherit the entry and resolve the
+#: (fork-time copy of the) program without any pickling of models or prompts.
+_PROGRAM_REGISTRY: Dict[int, ShardProgram] = {}
+_ENGINE_COUNTER = 0
+
+
+def _evaluate_leaf_range(payload: dict) -> Tuple[List[float], Dict[Tuple[int, int], List[Optional[np.ndarray]]]]:
+    """Pool worker entry point: evaluate a contiguous leaf range.
+
+    Returns the per-leaf unweighted loss values (leaf order) and one combined
+    gradient partial per maximal canonical subtree of the range.
+    """
+    program = _PROGRAM_REGISTRY[payload["token"]]
+    params = _apply_sync(program, payload["params"], payload["buffers"])
+    start, stop, total = payload["start"], payload["stop"], payload["total"]
+    losses: List[float] = []
+    leaf_grads: List[List[Optional[np.ndarray]]] = []
+    for shard, weight in zip(payload["shards"], payload["weights"]):
+        value, grads = _leaf_gradients(program, shard, weight, params)
+        losses.append(value)
+        leaf_grads.append(grads)
+    partials = {
+        (lo, hi): _combine_leaf_grads(leaf_grads[lo - start:hi - start])
+        for lo, hi in canonical_ranges(total, start, stop)
+    }
+    return losses, partials
+
+
+# --------------------------------------------------------------------------- #
+# the engine
+# --------------------------------------------------------------------------- #
+class DataParallelEngine:
+    """Run a :class:`ShardProgram`'s gradient steps across a worker pool.
+
+    ``num_workers == 1`` (the default) evaluates every leaf in-process;
+    ``num_workers > 1`` forks a persistent ``ProcessPoolExecutor`` and shards
+    contiguous leaf ranges across it.  Both paths reduce through the same
+    canonical tree, so the combined gradients — and therefore the whole
+    training trajectory — are bitwise-identical at any worker count.
+
+    The pool requires the ``fork`` start method (workers inherit the program;
+    nothing model-sized is ever pickled).  Where ``fork`` is unavailable, or
+    pool creation fails, the engine degrades to the in-process path — a
+    wall-clock change only, never a numeric one.
+
+    Use as a context manager (or call :meth:`close`) so the pool and the
+    program registration are torn down with the training job.
+    """
+
+    def __init__(self, program: ShardProgram, num_workers: Optional[int] = None,
+                 grain: int = GRAIN):
+        global _ENGINE_COUNTER
+        self.program = program
+        self.num_workers = resolve_data_workers(num_workers)
+        if grain < 1:
+            raise ValueError(f"grain must be >= 1, got {grain}")
+        self.grain = grain
+        _ENGINE_COUNTER += 1
+        self._token = _ENGINE_COUNTER
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if self.num_workers > 1 and self._fork_available():
+            _PROGRAM_REGISTRY[self._token] = program
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            except Exception as exc:
+                # degraded but numerically identical: the in-process path
+                # reduces through the very same canonical tree
+                warnings.warn(
+                    f"data-parallel pool unavailable ({exc!r}); evaluating "
+                    "shards in-process (bitwise-identical, serial speed)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _PROGRAM_REGISTRY.pop(self._token, None)
+                self._pool = None
+
+    @staticmethod
+    def _fork_available() -> bool:
+        """Whether the fork start method exists (Linux; not macOS/Windows)."""
+        return (
+            sys.platform.startswith("linux")
+            and "fork" in multiprocessing.get_all_start_methods()
+        )
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "DataParallelEngine":
+        """Enter a ``with`` block; the engine is usable immediately."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Tear down the pool and registry entry on ``with``-block exit."""
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down and unregister the program (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        _PROGRAM_REGISTRY.pop(self._token, None)
+
+    # ------------------------------------------------------------------ #
+    def spans(self, batch_size: int) -> List[Tuple[int, int]]:
+        """Canonical microshard spans for one step's batch (see :func:`shard_spans`)."""
+        return shard_spans(batch_size, self.grain)
+
+    def gradient_step(self, shards: Sequence, weights: Optional[Sequence[float]] = None
+                      ) -> List[float]:
+        """Evaluate one step's leaves and install the combined gradients.
+
+        ``shards`` are the step's picklable leaf descriptors in canonical
+        order; ``weights`` (default all 1.0) seed each leaf's backward pass
+        (multi-task loss weighting).  On return, every tensor from the
+        program's :meth:`~ShardProgram.sync_parameters` carries the
+        tree-combined gradient (or ``None`` where no shard touched it), and
+        the per-leaf **unweighted** loss values are returned in leaf order —
+        combine them with :func:`tree_sum` for deterministic step losses.
+        """
+        shards = list(shards)
+        if weights is None:
+            weights = [1.0] * len(shards)
+        else:
+            weights = [float(weight) for weight in weights]
+        if len(weights) != len(shards):
+            raise ValueError("weights must match shards one-to-one")
+        if not shards:
+            return []
+        params = self.program.sync_parameters()
+        total = len(shards)
+        if self._pool is None:
+            losses: List[float] = []
+            leaf_grads: List[List[Optional[np.ndarray]]] = []
+            for shard, weight in zip(shards, weights):
+                value, grads = _leaf_gradients(self.program, shard, weight, params)
+                losses.append(value)
+                leaf_grads.append(grads)
+            combined = _combine_leaf_grads(leaf_grads)
+        else:
+            losses, combined = self._pool_step(shards, weights, params, total)
+        for param, grad in zip(params, combined):
+            param.grad = grad
+        return losses
+
+    def _pool_step(self, shards: Sequence, weights: Sequence[float],
+                   params: Sequence, total: int
+                   ) -> Tuple[List[float], List[Optional[np.ndarray]]]:
+        """Shard the leaves across the pool and stitch the returned partials."""
+        param_arrays = [param.data for param in params]
+        buffer_arrays = list(self.program.sync_buffers())
+        futures = []
+        for start, stop in worker_ranges(total, self.num_workers):
+            payload = {
+                "token": self._token,
+                "total": total,
+                "start": start,
+                "stop": stop,
+                "shards": list(shards[start:stop]),
+                "weights": list(weights[start:stop]),
+                "params": param_arrays,
+                "buffers": buffer_arrays,
+            }
+            futures.append((start, stop, self._pool.submit(_evaluate_leaf_range, payload)))
+        losses: List[float] = [0.0] * total
+        partials: Dict[Tuple[int, int], List[Optional[np.ndarray]]] = {}
+        for start, stop, future in futures:
+            range_losses, range_partials = future.result()
+            losses[start:stop] = range_losses
+            partials.update(range_partials)
+        num_params = len(list(params))
+        combined = [
+            stitch(total, {key: value[index] for key, value in partials.items()}, add_grads)
+            for index in range(num_params)
+        ]
+        return losses, combined

@@ -101,6 +101,7 @@ def train_or_reload_backbone(
     store=None,
     dataset_fp: Optional[str] = None,
     train_fp: Optional[str] = None,
+    num_data_workers: Optional[int] = None,
 ) -> bool:
     """Fit a neural backbone through the store's cache protocol.
 
@@ -113,6 +114,9 @@ def train_or_reload_backbone(
     ``dataset_fp`` / ``train_fp`` are optional precomputed content hashes
     (callers that fit many components on one dataset pass them to avoid
     re-hashing the data); they are only computed when a store is attached.
+    ``num_data_workers`` shards each training batch across processes without
+    changing a single bit of the result, so it plays no part in the
+    fingerprint: an artifact trained serially satisfies a data-parallel run.
     """
     from repro.models.trainer import train_recommender
     from repro.store.fingerprint import dataset_fingerprint, examples_fingerprint
@@ -129,7 +133,8 @@ def train_or_reload_backbone(
         if cached is not None:
             restore_backbone(*cached, model=model)
             return False
-    train_recommender(model, train_examples, training_config)
+    train_recommender(model, train_examples, training_config,
+                      num_data_workers=num_data_workers)
     if fp is not None:
         store.save(BACKBONE_KIND, fp, *serialize_backbone(model))
     return True

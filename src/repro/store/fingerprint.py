@@ -44,7 +44,14 @@ DIGEST_CHARS = 20
 #: trained parameters by rounding differences relative to v1 artifacts.  The
 #: ``lm_head`` implementation flags are deliberately *not* fingerprinted:
 #: restricted and full-reference paths produce bitwise-identical artifacts.
-TRAINING_CODE_VERSION = 2
+#:
+#: v3: every training loop evaluates batches as canonical microshards with a
+#: fixed-shape pairwise-sum gradient tree and per-shard dropout reseeding
+#: (see :mod:`repro.parallel.data`).  This changes trajectories relative to
+#: v2 (loss restructuring and dropout streams), but makes them invariant to
+#: ``REPRO_DATA_WORKERS`` — which is therefore *not* fingerprinted: a
+#: serial-trained artifact satisfies a data-parallel run bit for bit.
+TRAINING_CODE_VERSION = 3
 
 
 def canonicalize(obj):

@@ -598,9 +598,15 @@ class TestDistillerEpochIteration:
         assert len(ta_prompts) == 7 and len(rps_prompts) == 3
 
         recording = _RecordingBuilder(builder)
+        # num_data_workers=1 pins the in-process path regardless of
+        # REPRO_DATA_WORKERS: the recorder observes builder calls in this
+        # process, and a pool would make them in forked workers instead.
+        # Epoch iteration order is worker-count-independent by construction
+        # (tests/test_data_parallel.py proves the trajectories bitwise-equal).
         distiller = PatternDistiller(
             llm, recording, SoftPrompt(3, llm.dim, rng=np.random.default_rng(0)),
             config=Stage1Config(epochs=2, batch_size=2),
+            num_data_workers=1,
         )
         distiller.distill(ta_prompts, rps_prompts)
 

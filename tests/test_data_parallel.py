@@ -1,0 +1,549 @@
+"""Bitwise-equivalence harness for deterministic data-parallel training.
+
+The contract under test (see docs/parallelism.md): every training loop in the
+repo decomposes each batch into canonical microshards whose gradients combine
+through a fixed-shape pairwise-sum tree, so the *entire training trajectory* —
+per-step losses, post-training weights, optimizer state and downstream
+evaluation results — is bitwise-identical at any ``REPRO_DATA_WORKERS``
+setting, with worker count 1 reproducing the serial path exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, Adagrad, Adam, Dropout, Linear, Lion, Module, ReLU, Tensor
+from repro.autograd import functional as F
+from repro.parallel.data import (
+    DATA_WORKERS_ENV,
+    GRAIN,
+    DataParallelEngine,
+    ShardProgram,
+    add_grads,
+    canonical_ranges,
+    reseed_dropouts,
+    resolve_data_workers,
+    shard_spans,
+    stitch,
+    tree_reduce,
+    tree_sum,
+    worker_ranges,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+# --------------------------------------------------------------------------- #
+# shard derivation and the canonical tree (satellite: property tests)
+# --------------------------------------------------------------------------- #
+class TestShardSpans:
+    @pytest.mark.parametrize("n", [0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 127, 128, 129, 500])
+    def test_cover_balance_and_count(self, n):
+        spans = shard_spans(n)
+        assert len(spans) == (0 if n == 0 else -(-n // GRAIN))
+        # contiguous coverage of [0, n)
+        cursor = 0
+        for start, stop in spans:
+            assert start == cursor and stop > start
+            cursor = stop
+        assert cursor == n
+        sizes = [stop - start for start, stop in spans]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+            assert sizes == sorted(sizes, reverse=True)
+
+    def test_is_pure_function_of_batch_size(self):
+        assert shard_spans(100) == shard_spans(100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_spans(-1)
+        with pytest.raises(ValueError):
+            shard_spans(10, grain=0)
+
+
+class TestWorkerRanges:
+    @pytest.mark.parametrize("leaves,workers", [(0, 3), (1, 1), (1, 4), (5, 2), (8, 3), (8, 16), (17, 4)])
+    def test_cover_and_balance(self, leaves, workers):
+        ranges = worker_ranges(leaves, workers)
+        assert len(ranges) == min(workers, leaves) if leaves else ranges == []
+        cursor = 0
+        for start, stop in ranges:
+            assert start == cursor and stop > start
+            cursor = stop
+        assert cursor == leaves
+        sizes = [stop - start for start, stop in ranges]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worker_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            worker_ranges(4, 0)
+
+
+def _canonical_nodes(total):
+    """Every (lo, hi) node of the canonical tree over [0, total)."""
+    nodes = set()
+
+    def walk(lo, hi):
+        nodes.add((lo, hi))
+        if hi - lo > 1:
+            mid = lo + (1 << ((hi - lo - 1).bit_length() - 1))
+            walk(lo, mid)
+            walk(mid, hi)
+
+    walk(0, total)
+    return nodes
+
+
+class TestCanonicalTree:
+    @pytest.mark.parametrize("total", [1, 2, 3, 4, 5, 7, 8, 13, 16, 21])
+    def test_canonical_ranges_are_tree_nodes_and_cover(self, total):
+        nodes = _canonical_nodes(total)
+        rng = np.random.default_rng(total)
+        for _ in range(20):
+            start, stop = sorted(rng.integers(0, total + 1, size=2))
+            ranges = canonical_ranges(total, start, stop)
+            assert all(r in nodes for r in ranges)
+            cursor = start
+            for lo, hi in ranges:
+                assert lo == cursor
+                cursor = hi
+            assert cursor == max(start, stop if stop > start else start)
+
+    def test_left_fold_equals_tree_up_to_three_leaves(self):
+        # the canonical tree over <= 3 leaves IS the left fold, which is why
+        # classic gradient accumulation is the reference below for 3 shards
+        values = [1e16, 1.0, -1e16]
+        assert tree_sum(values[:1]) == values[0]
+        assert tree_sum(values[:2]) == values[0] + values[1]
+        assert tree_sum(values[:3]) == (values[0] + values[1]) + values[2]
+
+    def test_four_leaves_pair_up(self):
+        # (a+b)+(c+d) differs from the left fold in float arithmetic for
+        # these values — pinning the tree's exact shape, not just its sum
+        a, b, c, d = 1.0, 1e16, -1e16, 1.0
+        assert tree_sum([a, b, c, d]) == (a + b) + (c + d)
+        assert tree_sum([a, b, c, d]) != ((a + b) + c) + d
+
+    @pytest.mark.parametrize("total", [1, 2, 3, 4, 5, 6, 7, 8, 11, 16, 23])
+    def test_stitch_invariant_under_any_contiguous_partition(self, total):
+        """The central property: arbitrary worker splits — including uneven,
+        size-1 and empty chunks — stitch to the bitwise-identical tree."""
+        rng = np.random.default_rng(100 + total)
+        leaves = [rng.standard_normal((3, 4)) for _ in range(total)]
+        expected = tree_reduce(leaves, add_grads)
+        for trial in range(25):
+            num_cuts = int(rng.integers(0, total + 2))
+            cuts = sorted(rng.integers(0, total + 1, size=num_cuts))
+            bounds = [0, *cuts, total]
+            partials = {}
+            for a, b in zip(bounds, bounds[1:]):
+                for lo, hi in canonical_ranges(total, a, b):
+                    partials[(lo, hi)] = tree_reduce(leaves[lo:hi], add_grads)
+            stitched = stitch(total, partials, add_grads)
+            assert stitched.tobytes() == expected.tobytes()
+
+    def test_stitch_reports_missing_leaves(self):
+        with pytest.raises(ValueError, match="missing partial"):
+            stitch(4, {(0, 2): 1.0}, add_grads)
+        with pytest.raises(ValueError):
+            stitch(0, {}, add_grads)
+
+    def test_tree_reduce_rejects_empty(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], add_grads)
+
+    def test_add_grads_none_is_identity(self):
+        grad = np.ones(3)
+        assert add_grads(None, None) is None
+        assert add_grads(grad, None) is grad
+        assert add_grads(None, grad) is grad
+        np.testing.assert_array_equal(add_grads(grad, grad), 2 * grad)
+
+
+class TestResolveDataWorkers:
+    def test_defaults_and_precedence(self, monkeypatch):
+        monkeypatch.delenv(DATA_WORKERS_ENV, raising=False)
+        assert resolve_data_workers() == 1
+        monkeypatch.setenv(DATA_WORKERS_ENV, "3")
+        assert resolve_data_workers() == 3
+        assert resolve_data_workers(2) == 2  # explicit argument wins
+
+    def test_invalid_values(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_data_workers(0)
+        monkeypatch.setenv(DATA_WORKERS_ENV, "many")
+        with pytest.raises(ValueError):
+            resolve_data_workers()
+
+
+class TestReseedDropouts:
+    def _net(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop_a = Dropout(0.5)
+                self.drop_b = Dropout(0.5)
+
+        return Net()
+
+    def test_same_entropy_same_streams(self):
+        net_one, net_two = self._net(), self._net()
+        assert reseed_dropouts(net_one, (1, 2, 3)) == 2
+        reseed_dropouts(net_two, (1, 2, 3))
+        np.testing.assert_array_equal(net_one.drop_a.rng.random(8), net_two.drop_a.rng.random(8))
+        np.testing.assert_array_equal(net_one.drop_b.rng.random(8), net_two.drop_b.rng.random(8))
+
+    def test_distinct_entropy_and_distinct_modules(self):
+        net = self._net()
+        reseed_dropouts(net, (1, 2, 3))
+        draws_a, draws_b = net.drop_a.rng.random(8), net.drop_b.rng.random(8)
+        assert not np.array_equal(draws_a, draws_b)
+        reseed_dropouts(net, (1, 2, 4))
+        assert not np.array_equal(net.drop_a.rng.random(8), draws_a)
+
+
+# --------------------------------------------------------------------------- #
+# differential tests: engine vs gradient accumulation (satellite)
+# --------------------------------------------------------------------------- #
+class _TinyNet(Module):
+    def __init__(self, seed=7):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(6, 8, rng=rng)
+        self.act = ReLU()
+        self.fc2 = Linear(8, 5, rng=rng)
+
+    def forward(self, features):
+        return self.fc2(self.act(self.fc1(Tensor(features))))
+
+
+class _TinyProgram(ShardProgram):
+    """Shards are (batch_rows, feature_rows, target_rows); dropout-free."""
+
+    def __init__(self, model):
+        self.model = model
+
+    def sync_parameters(self):
+        return self.model.parameters()
+
+    def shard_loss(self, shard):
+        batch_rows, features, targets = shard
+        logits = self.model.forward(features)
+        return F.cross_entropy(logits, targets, reduction="sum") * (1.0 / batch_rows)
+
+
+def _tiny_batches(num_steps, batch_size, seed=11):
+    rng = np.random.default_rng(seed)
+    return [
+        (rng.standard_normal((batch_size, 6)), rng.integers(0, 5, size=batch_size))
+        for _ in range(num_steps)
+    ]
+
+
+OPTIMIZER_FACTORIES = {
+    "sgd": lambda params: SGD(params, lr=0.05, momentum=0.9),
+    "adam": lambda params: Adam(params, lr=1e-2),
+    "adagrad": lambda params: Adagrad(params, lr=0.05),
+    "lion": lambda params: Lion(params, lr=1e-3),
+}
+
+
+def _assert_same_optimizer_state(ref_opt, ref_params, eng_opt, eng_params):
+    assert ref_opt.step_count == eng_opt.step_count
+    for ref_param, eng_param in zip(ref_params, eng_params):
+        ref_state = ref_opt.state.get(id(ref_param), {})
+        eng_state = eng_opt.state.get(id(eng_param), {})
+        assert sorted(ref_state) == sorted(eng_state)
+        for name, buffer in ref_state.items():
+            assert buffer.tobytes() == eng_state[name].tobytes(), name
+
+
+@pytest.mark.parametrize("optimizer_name", sorted(OPTIMIZER_FACTORIES))
+def test_microbatch_accumulation_matches_engine(optimizer_name):
+    """Classic gradient accumulation over 3 microbatches (a left fold, which
+    is the canonical tree at <= 3 leaves) is bitwise-equal to the engine —
+    losses, gradients, parameters and optimizer state after every step."""
+    factory = OPTIMIZER_FACTORIES[optimizer_name]
+    batches = _tiny_batches(num_steps=4, batch_size=6)
+
+    ref_model = _TinyNet()
+    ref_opt = factory(ref_model.parameters())
+    eng_model = _TinyNet()
+    eng_opt = factory(eng_model.parameters())
+    program = _TinyProgram(eng_model)
+
+    with DataParallelEngine(program, num_workers=1, grain=2) as engine:
+        for features, targets in batches:
+            rows = len(features)
+            spans = engine.spans(rows)
+            assert len(spans) == 3
+
+            ref_opt.zero_grad()
+            accumulated = 0.0
+            for start, stop in spans:
+                loss = F.cross_entropy(
+                    ref_model.forward(features[start:stop]), targets[start:stop],
+                    reduction="sum",
+                ) * (1.0 / rows)
+                loss.backward()  # Tensor._accumulate adds in leaf order
+                accumulated = accumulated + float(loss.data)
+            ref_opt.step()
+
+            eng_opt.zero_grad()
+            shards = [(rows, features[start:stop], targets[start:stop]) for start, stop in spans]
+            values = engine.gradient_step(shards)
+            eng_opt.step()
+
+            assert tree_sum(values) == accumulated
+            for ref_param, eng_param in zip(ref_model.parameters(), eng_model.parameters()):
+                assert ref_param.data.tobytes() == eng_param.data.tobytes()
+
+    _assert_same_optimizer_state(ref_opt, ref_model.parameters(), eng_opt, eng_model.parameters())
+
+
+def test_single_leaf_engine_equals_plain_full_batch():
+    """grain >= batch size means one leaf — the engine must reproduce a plain
+    full-batch mean-loss backward pass bit for bit."""
+    features, targets = _tiny_batches(num_steps=1, batch_size=6)[0]
+
+    ref_model = _TinyNet()
+    loss = F.cross_entropy(ref_model.forward(features), targets, reduction="mean")
+    loss.backward()
+
+    eng_model = _TinyNet()
+    program = _TinyProgram(eng_model)
+    with DataParallelEngine(program, num_workers=1, grain=64) as engine:
+        spans = engine.spans(len(features))
+        assert spans == [(0, 6)]
+        values = engine.gradient_step([(6, features, targets)])
+
+    assert values == [float(loss.data)]
+    for ref_param, eng_param in zip(ref_model.parameters(), eng_model.parameters()):
+        assert ref_param.grad is not None
+        assert ref_param.grad.tobytes() == eng_param.grad.tobytes()
+
+
+def test_engine_matches_explicit_tree_reference():
+    """At >= 4 leaves the tree is no longer a left fold; the engine must match
+    a hand-built tree_reduce over independently computed per-leaf gradients."""
+    features, targets = _tiny_batches(num_steps=1, batch_size=8, seed=23)[0]
+
+    ref_model = _TinyNet()
+    leaf_grads = []
+    for start in range(8):
+        for param in ref_model.parameters():
+            param.grad = None
+        loss = F.cross_entropy(
+            ref_model.forward(features[start:start + 1]), targets[start:start + 1],
+            reduction="sum",
+        ) * (1.0 / 8)
+        loss.backward()
+        leaf_grads.append([param.grad for param in ref_model.parameters()])
+    expected = [
+        tree_reduce([grads[index] for grads in leaf_grads], add_grads)
+        for index in range(len(leaf_grads[0]))
+    ]
+
+    eng_model = _TinyNet()
+    eng_model.load_state_dict(ref_model.state_dict())
+    program = _TinyProgram(eng_model)
+    with DataParallelEngine(program, num_workers=1, grain=1) as engine:
+        shards = [(8, features[start:stop], targets[start:stop])
+                  for start, stop in engine.spans(8)]
+        engine.gradient_step(shards)
+
+    for expected_grad, eng_param in zip(expected, eng_model.parameters()):
+        assert expected_grad.tobytes() == eng_param.grad.tobytes()
+
+
+@pytest.mark.parametrize("num_workers", [2, 3])
+def test_pool_path_matches_serial_path(num_workers):
+    """The forked worker pool must be numerically invisible: same per-leaf
+    losses and bitwise-identical combined gradients as the in-process path."""
+    features, targets = _tiny_batches(num_steps=1, batch_size=8, seed=31)[0]
+
+    def run(workers):
+        model = _TinyNet()
+        with DataParallelEngine(_TinyProgram(model), num_workers=workers, grain=1) as engine:
+            shards = [(8, features[start:stop], targets[start:stop])
+                      for start, stop in engine.spans(8)]
+            values = engine.gradient_step(shards)
+        return values, [param.grad for param in model.parameters()]
+
+    serial_losses, serial_grads = run(1)
+    pool_losses, pool_grads = run(num_workers)
+    assert pool_losses == serial_losses
+    for serial_grad, pool_grad in zip(serial_grads, pool_grads):
+        assert serial_grad.tobytes() == pool_grad.tobytes()
+
+
+def test_gradient_step_validates_inputs():
+    model = _TinyNet()
+    with DataParallelEngine(_TinyProgram(model), num_workers=1) as engine:
+        assert engine.gradient_step([]) == []
+        with pytest.raises(ValueError, match="one-to-one"):
+            engine.gradient_step([(1, np.zeros((1, 6)), np.zeros(1, dtype=np.int64))],
+                                 weights=[1.0, 2.0])
+
+
+def test_backward_seed_weighting_matches_scaled_loss():
+    """weights seed the backward pass; gradients must equal scaling the loss,
+    while the reported loss value stays unweighted."""
+    features, targets = _tiny_batches(num_steps=1, batch_size=4, seed=41)[0]
+
+    ref_model = _TinyNet()
+    loss = F.cross_entropy(ref_model.forward(features), targets,
+                           reduction="sum") * (1.0 / 4)
+    unweighted = float(loss.data)
+    (loss * 0.25).backward()
+
+    eng_model = _TinyNet()
+    program = _TinyProgram(eng_model)
+    with DataParallelEngine(program, num_workers=1, grain=8) as engine:
+        values = engine.gradient_step([(4, features, targets)], weights=[0.25])
+
+    assert values == [unweighted]
+    for ref_param, eng_param in zip(ref_model.parameters(), eng_model.parameters()):
+        assert ref_param.grad.tobytes() == eng_param.grad.tobytes()
+
+
+# --------------------------------------------------------------------------- #
+# full-trajectory bitwise equality across worker counts (the headline)
+# --------------------------------------------------------------------------- #
+def _state_bytes(module):
+    return {name: np.array(value).tobytes() for name, value in module.state_dict().items()}
+
+
+def test_trainer_trajectory_bitwise_across_worker_counts(tiny_dataset, tiny_split):
+    """Neural-baseline training: per-epoch losses, validation metrics and the
+    trained weights are bitwise-identical at 1, 2 and 4 data workers."""
+    from repro.models.sasrec import SASRec
+    from repro.models.trainer import TrainingConfig, train_recommender
+
+    def run(workers):
+        model = SASRec(num_items=tiny_dataset.num_items, embedding_dim=16,
+                       max_history=9, seed=3)
+        history = train_recommender(
+            model, tiny_split.train,
+            TrainingConfig(epochs=2, batch_size=48, seed=5),
+            validation_examples=tiny_split.validation,
+            num_data_workers=workers,
+        )
+        return history, _state_bytes(model)
+
+    baseline_history, baseline_state = run(1)
+    assert len(baseline_history.losses) == 2
+    for workers in WORKER_COUNTS[1:]:
+        history, state = run(workers)
+        assert history.losses == baseline_history.losses
+        assert history.validation_hit_rates == baseline_history.validation_hit_rates
+        assert state == baseline_state
+
+
+@pytest.mark.slow
+def test_pretrain_trajectory_bitwise_across_worker_counts(tiny_dataset, tiny_split):
+    """MLM pre-training: losses and pre-trained SimLM weights are bitwise
+    worker-count-invariant (batch > GRAIN so multiple shards are exercised)."""
+    from repro.llm.corpus import corpus_for_dataset
+    from repro.llm.pretrain import PretrainConfig, pretrain_simlm
+    from repro.llm.registry import build_simlm
+
+    corpus = corpus_for_dataset(tiny_dataset, train_examples=tiny_split.train, seed=0)
+
+    def run(workers):
+        model = build_simlm(tiny_dataset, size="simlm-bert", seed=0)
+        losses = pretrain_simlm(
+            model, corpus, PretrainConfig(epochs=1, batch_size=48, seed=0),
+            num_data_workers=workers,
+        )
+        return losses, _state_bytes(model)
+
+    baseline_losses, baseline_state = run(1)
+    for workers in WORKER_COUNTS[1:]:
+        losses, state = run(workers)
+        assert losses == baseline_losses
+        assert state == baseline_state
+
+
+@pytest.mark.slow
+def test_delrec_fit_trajectory_bitwise_across_worker_counts(tiny_dataset, tiny_split):
+    """Both DELRec distillation stages, end to end: stage losses, soft prompt,
+    fine-tuned LLM weights and downstream EvaluationResults are all bitwise
+    worker-count-invariant."""
+    from repro.core.config import DELRecConfig
+    from repro.core.pipeline import DELRec
+    from repro.eval import evaluate_recommender
+
+    def run(workers):
+        pipeline = DELRec(config=DELRecConfig.fast(), num_data_workers=workers)
+        pipeline.fit(tiny_dataset, tiny_split, conventional_epochs=1)
+        stage1 = pipeline.distillation_result
+        stage2 = pipeline.finetuning_result
+        result = evaluate_recommender(
+            pipeline.recommender(), tiny_dataset, tiny_split.test[:20], seed=3
+        )
+        return {
+            "ta": stage1.ta_losses,
+            "rps": stage1.rps_losses,
+            "combined": stage1.combined_losses,
+            "stage2": stage2.losses,
+            "soft_prompt": pipeline.soft_prompt.as_array().tobytes(),
+            "llm": _state_bytes(pipeline.llm),
+            "metrics": result.metrics,
+            "per_example": {name: values.tobytes()
+                            for name, values in result.per_example.items()},
+        }
+
+    baseline = run(1)
+    for workers in WORKER_COUNTS[1:]:
+        assert run(workers) == baseline
+
+
+@pytest.mark.slow
+def test_serial_artifact_serves_data_parallel_run(tiny_dataset, tiny_split, tmp_path):
+    """Worker count is not fingerprinted: a store populated by a serial fit
+    must satisfy a 2-worker fit entirely from the cache (zero rebuilds)."""
+    from repro.core.config import DELRecConfig
+    from repro.core.pipeline import DELRec
+    from repro.store.store import ArtifactStore
+
+    store = ArtifactStore(tmp_path / "store")
+    cold = DELRec(config=DELRecConfig.fast(), store=store, num_data_workers=1)
+    cold.fit(tiny_dataset, tiny_split, conventional_epochs=1)
+    assert not cold.loaded_from_store
+    saves_after_cold = store.counters()["saves"]
+    assert saves_after_cold > 0
+
+    warm = DELRec(config=DELRecConfig.fast(), store=store, num_data_workers=2)
+    warm.fit(tiny_dataset, tiny_split, conventional_epochs=1)
+    assert warm.loaded_from_store
+    assert store.counters()["saves"] == saves_after_cold
+    assert warm.bundle_fingerprint == cold.bundle_fingerprint
+
+    example = tiny_split.test[0]
+    candidates = list(range(1, 9))
+    warm_scores = warm.recommender().score_candidates(example.history, candidates)
+    cold_scores = cold.recommender().score_candidates(example.history, candidates)
+    assert np.asarray(warm_scores).tobytes() == np.asarray(cold_scores).tobytes()
+
+
+def test_env_variable_selects_worker_count(tiny_dataset, tiny_split, monkeypatch):
+    """REPRO_DATA_WORKERS is honoured when no explicit count is passed, and
+    (being an execution detail) leaves the trajectory bitwise unchanged."""
+    from repro.models.sasrec import SASRec
+    from repro.models.trainer import TrainingConfig, train_recommender
+
+    def run():
+        model = SASRec(num_items=tiny_dataset.num_items, embedding_dim=8,
+                       max_history=9, seed=1)
+        history = train_recommender(model, tiny_split.train,
+                                    TrainingConfig(epochs=1, batch_size=48, seed=2))
+        return history.losses, _state_bytes(model)
+
+    monkeypatch.delenv(DATA_WORKERS_ENV, raising=False)
+    serial = run()
+    monkeypatch.setenv(DATA_WORKERS_ENV, "2")
+    assert run() == serial

@@ -318,6 +318,46 @@ class TestPoolOutsideScheduler:
         assert rules_fired(src, path="src/repro/parallel/scheduler.py",
                            rule="pool-outside-scheduler") == []
 
+    def test_data_engine_module_exempt(self):
+        src = "from concurrent.futures import ProcessPoolExecutor\n"
+        assert rules_fired(src, path="src/repro/parallel/data.py",
+                           rule="pool-outside-scheduler") == []
+
+
+class TestAdhocBatchSharding:
+    def test_private_env_read_fires(self):
+        src = "import os\nworkers = int(os.environ.get('REPRO_DATA_WORKERS', '1'))\n"
+        assert rules_fired(src, rule="adhoc-batch-sharding") == ["adhoc-batch-sharding"]
+
+    def test_array_split_fires(self):
+        src = "import numpy as np\nchunks = np.array_split(batch, workers)\n"
+        assert rules_fired(src, rule="adhoc-batch-sharding") == ["adhoc-batch-sharding"]
+
+    def test_np_split_fires(self):
+        src = "import numpy\nparts = numpy.split(grads, 4)\n"
+        assert rules_fired(src, rule="adhoc-batch-sharding") == ["adhoc-batch-sharding"]
+
+    def test_suppression_silences(self):
+        src = (
+            "import numpy as np\n"
+            "chunks = np.array_split(batch, workers)  "
+            "# repro-lint: disable=adhoc-batch-sharding -- display-only chunking\n"
+        )
+        assert rules_fired(src, rule="adhoc-batch-sharding") == []
+
+    def test_engine_module_exempt(self):
+        src = "import os\nraw = os.environ.get('REPRO_DATA_WORKERS', '')\n"
+        assert rules_fired(src, path="src/repro/parallel/data.py",
+                           rule="adhoc-batch-sharding") == []
+
+    def test_blessed_api_clean(self):
+        src = (
+            "from repro.parallel.data import resolve_data_workers, shard_spans\n"
+            "workers = resolve_data_workers(None)\n"
+            "spans = shard_spans(len(batch))\n"
+        )
+        assert rules_fired(src, rule="adhoc-batch-sharding") == []
+
 
 class TestFingerprintFieldSubset:
     def test_handpicked_field_fires(self):
