@@ -1,0 +1,171 @@
+"""Replicated serving: N replicas, sticky routing, an open-loop knee sweep.
+
+Run with::
+
+    python examples/replicated_serving.py
+
+The script walks the replicated tier end to end (`docs/scaling.md`):
+
+1. train a SASRec backbone through the artifact store and save it under its
+   content fingerprint — the bundle every replica will restore;
+2. start a 2-replica :class:`~repro.serve.router.ReplicatedService`: each
+   replica is a forked worker process that **mmap-restores the same
+   fingerprinted bundle**, so the replicas share one set of physical weight
+   pages through the OS page cache;
+3. route a workload and show the deterministic sticky-session placement
+   (``sha256(user_id) % N``), per-replica counters and the shared result
+   cache;
+4. verify routed scores are bitwise-identical to the offline
+   ``score_candidates`` loop;
+5. kill replica 0 and re-route: the dead replica's users fail over
+   deterministically to the next alive replica, scores still bitwise-exact;
+6. sweep offered load open-loop (seeded Poisson arrivals) over the warmed
+   tier and print the saturation-knee table with per-replica CPU / peak-RSS
+   samples.
+"""
+
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+os.environ.setdefault("REPRO_BENCH_PROFILE", "smoke")
+
+import numpy as np
+
+from repro.experiments import ExperimentContext, get_profile
+from repro.serve import (
+    ReplicaConfig,
+    ReplicatedService,
+    arrival_schedule,
+    build_workload,
+    find_knee,
+    replay_workload,
+    run_open_loop,
+    sticky_replica,
+    sweep_offered_load,
+)
+from repro.store import ArtifactStore
+from repro.store.components import (
+    BACKBONE_KIND,
+    recommender_fingerprint,
+    serialize_backbone,
+)
+
+
+def main() -> None:
+    profile = get_profile()
+    store_root = os.environ.get("REPRO_ARTIFACT_DIR") or os.path.join(
+        tempfile.gettempdir(), "repro-replicated-serving-example"
+    )
+    store = ArtifactStore(store_root)
+    print(f"artifact store: {store.root}")
+
+    # ------------------------------------------------------------------ #
+    # 1. one trained bundle, content-fingerprinted in the store
+    # ------------------------------------------------------------------ #
+    context = ExperimentContext("movielens-100k", profile, store=store)
+    sasrec = context.conventional_model("SASRec")
+    fingerprint = recommender_fingerprint(sasrec)
+    store.save(BACKBONE_KIND, fingerprint, *serialize_backbone(sasrec))
+    print(f"backbone saved under fingerprint {fingerprint[:20]}...")
+
+    # ------------------------------------------------------------------ #
+    # 2. two replicas mmap-restore the same bundle behind the router
+    # ------------------------------------------------------------------ #
+    workload = build_workload(context.test_examples, context.evaluator.sampler,
+                              num_requests=40, seed=profile.seed)
+    requests = [(r.user_id, r.history, r.candidates) for r in workload]
+    references = replay_workload(sasrec, workload)
+
+    with ReplicatedService.start(store.root, ReplicaConfig(BACKBONE_KIND, fingerprint),
+                                 num_replicas=2) as tier:
+        print(f"tier up: {tier.health()['replicas']} replicas, "
+              f"model fingerprint {tier.model_fingerprint[:20]}...")
+
+        # -------------------------------------------------------------- #
+        # 3. sticky routing: placement is a pure function of the user id
+        # -------------------------------------------------------------- #
+        homes = {uid: sticky_replica(uid, 2) for uid, _, _ in requests}
+        responses = tier.route_many(requests)
+        print(f"\nrouted {len(requests)} requests; per-replica counts {tier.routed} "
+              f"(homes agree: {all(tier.route_for(uid) == home for uid, home in homes.items())})")
+        print(f"route digest {tier.route_digest[:16]} — identical on every rerun "
+              "of this script")
+
+        # -------------------------------------------------------------- #
+        # 4. routed == offline, bit for bit
+        # -------------------------------------------------------------- #
+        max_diff = max(
+            float(np.max(np.abs(response.scores - reference)))
+            for response, reference in zip(responses, references, strict=True)
+        )
+        print(f"max routed-vs-offline score difference: {max_diff} (exactly 0.0: "
+              "the mmap restore and the router never change a bit)")
+        assert max_diff == 0.0
+
+        # -------------------------------------------------------------- #
+        # 5. kill a replica: deterministic failover, still bitwise-exact
+        # (fresh requests — cached ones would be answered without routing)
+        # -------------------------------------------------------------- #
+        fresh_requests = [
+            (r.user_id, r.history[:-1], r.candidates)
+            for r in workload[:20] if len(r.history) > 1
+        ]
+        fresh_references = [
+            np.asarray(sasrec.score_candidates(list(history), list(candidates)))
+            for _, history, candidates in fresh_requests
+        ]
+        tier.replicas[0].terminate()
+        failover = tier.route_many(fresh_requests)
+        max_diff = max(
+            float(np.max(np.abs(response.scores - reference)))
+            for response, reference in zip(failover, fresh_references, strict=True)
+        )
+        health = tier.health()
+        print(f"\nreplica 0 killed: tier '{health['status']}', "
+              f"{health['reroutes']} of {len(fresh_requests)} requests failed over "
+              f"to replica 1, scores still exact ({max_diff})")
+        assert max_diff == 0.0
+        assert health["reroutes"] > 0
+
+    # ------------------------------------------------------------------ #
+    # 6. the open-loop knee sweep, with per-replica resource samples
+    # ------------------------------------------------------------------ #
+    with ReplicatedService.start(store.root, ReplicaConfig(BACKBONE_KIND, fingerprint),
+                                 num_replicas=2) as tier:
+        tier.route_many(requests)  # warm the shared cache
+        sweep_workload = workload * 4
+        probe = run_open_loop(
+            tier, sweep_workload,
+            arrival_schedule(len(sweep_workload), 2000.0, seed=profile.seed),
+            offered_rps=2000.0,
+        )
+        rates = [probe.achieved_rps * multiplier for multiplier in (0.25, 0.5, 1.0, 2.0)]
+        sweep = sweep_offered_load(tier, sweep_workload, rates, seed=profile.seed)
+        print("\nopen-loop sweep (seeded Poisson arrivals over the warmed tier):")
+        print(f"{'offered_rps':>12} {'achieved_rps':>13} {'efficiency':>11} "
+              f"{'p50_ms':>8} {'p95_ms':>8} {'p99_ms':>8}")
+        for result in sweep:
+            print(f"{result.offered_rps:12.1f} {result.achieved_rps:13.1f} "
+                  f"{result.efficiency:11.3f} {result.latency_percentile_ms(50):8.2f} "
+                  f"{result.latency_percentile_ms(95):8.2f} "
+                  f"{result.latency_percentile_ms(99):8.2f}")
+        knee = find_knee(sweep)
+        print(f"knee: {knee.offered_rps:.1f} offered rps "
+              f"(highest rate with efficiency >= 0.9)")
+
+        print("\nper-replica resources (getrusage):")
+        for sample in tier.resources():
+            print(f"  replica {sample.replica_id}: {sample.cpu_seconds:.3f} cpu s, "
+                  f"peak RSS {sample.peak_rss_mb:.1f} MB, "
+                  f"{sample.requests_served} requests served")
+        for replica_id, stats in tier.stats().items():
+            print(f"  replica {replica_id} cache: {stats.cache.hits} hits / "
+                  f"{stats.cache.misses} misses")
+        print(f"  shared cache hits: {tier.shared_cache_hits}")
+
+
+if __name__ == "__main__":
+    main()

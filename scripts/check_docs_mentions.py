@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""CI gate: every module under ``src/repro/`` is mentioned in the docs.
+
+The documentation under ``docs/`` describes the system by module — dataflow
+diagrams, walkthroughs, API pointers — and modules silently added without a
+docs mention are exactly how the docs drifted in the past (``parallel/data.py``
+and the fault-injection layer shipped whole PRs before ``architecture.md``
+knew they existed).  This gate makes the drift loud: it fails unless every
+Python module under ``src/repro/`` is referenced from at least one
+``docs/*.md`` file.
+
+A module counts as mentioned when any docs file contains either of its names:
+
+* the path form, ``repro/serve/loadgen.py`` (any unambiguous path suffix,
+  e.g. ``serve/loadgen.py``, also counts);
+* the dotted form, ``repro.serve.loadgen``.
+
+A package's ``__init__.py`` is satisfied by a mention of the package itself
+(``repro/serve/`` or ``repro.serve``), including implicitly via any of its
+modules' dotted names.  Run locally with::
+
+    python scripts/check_docs_mentions.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src")
+DOCS_GLOB = os.path.join(REPO_ROOT, "docs", "*.md")
+
+
+def repro_modules() -> List[str]:
+    """Every Python module under ``src/repro/``, as repo-relative paths."""
+    modules = []
+    for dirpath, dirnames, filenames in sorted(os.walk(os.path.join(SRC_ROOT, "repro"))):
+        dirnames[:] = sorted(name for name in dirnames if name != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                modules.append(
+                    os.path.relpath(os.path.join(dirpath, filename), SRC_ROOT)
+                )
+    return modules
+
+
+def docs_corpus(paths: List[str]) -> str:
+    """The concatenated text of every docs page (plus the README's doc map)."""
+    chunks = []
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    readme = os.path.join(REPO_ROOT, "README.md")
+    if os.path.isfile(readme):
+        with open(readme, encoding="utf-8") as handle:
+            chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def _path_suffixes(slashed: str) -> List[str]:
+    """Every trailing-path form of ``repro/serve/loadgen.py``, longest first."""
+    parts = slashed.split("/")
+    return ["/".join(parts[index:]) for index in range(len(parts))]
+
+
+def _tail_matches(path: str, suffix: str) -> bool:
+    """Whether ``suffix`` is a whole-component tail of ``path``."""
+    path_parts = path.split("/")
+    suffix_parts = suffix.split("/")
+    return path_parts[-len(suffix_parts):] == suffix_parts
+
+
+def mention_forms(module: str, modules: List[str]) -> List[str]:
+    """The strings whose presence in the docs satisfies the gate for a module.
+
+    Docs name modules the way people write them — ``serve/loadgen.py`` in a
+    dataflow diagram, ``tensor.py`` in the autograd section, ``repro.serve``
+    in an import example — so any path suffix counts, as long as it is
+    unambiguous: a suffix shared by two modules (three ``registry.py``s)
+    satisfies neither.
+    """
+    slashed = module.replace(os.sep, "/")  # e.g. repro/serve/loadgen.py
+    dotted = slashed[: -len(".py")].replace("/", ".")  # repro.serve.loadgen
+    if dotted.endswith(".__init__"):
+        package = dotted[: -len(".__init__")]
+        # a package is "mentioned" via its directory (any unambiguous
+        # trailing form, e.g. ``serve/``) or any dotted reference into it
+        # (repro.serve.loadgen mentions repro.serve implicitly)
+        package_path = package.replace(".", "/")
+        all_packages = {
+            other.replace(os.sep, "/").rsplit("/", 1)[0]
+            for other in modules
+        }
+        forms = []
+        for suffix in _path_suffixes(package_path):
+            owners = [pkg for pkg in all_packages if _tail_matches(pkg, suffix)]
+            if owners == [package_path]:
+                forms.append(suffix + "/")
+        return forms + [package]
+    forms = []
+    for suffix in _path_suffixes(slashed):
+        owners = [
+            other for other in modules
+            if _tail_matches(other.replace(os.sep, "/"), suffix)
+        ]
+        if owners == [module]:
+            forms.append(suffix)
+    return forms + [dotted]
+
+
+def missing_mentions(modules: List[str], corpus: str) -> Dict[str, List[str]]:
+    """Modules with no accepted mention form anywhere in the docs corpus."""
+    missing: Dict[str, List[str]] = {}
+    for module in modules:
+        forms = mention_forms(module, modules)
+        if not any(form in corpus for form in forms):
+            missing[module] = forms
+    return missing
+
+
+def main() -> int:
+    """Run the gate; exit non-zero when any module lacks a docs mention."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args()
+
+    docs = sorted(glob.glob(DOCS_GLOB))
+    if not docs:
+        print(f"FAIL: no docs found at {DOCS_GLOB}", file=sys.stderr)
+        return 1
+    modules = repro_modules()
+    missing = missing_mentions(modules, docs_corpus(docs))
+
+    print(f"modules under src/repro/: {len(modules)}")
+    print(f"docs pages scanned:       {len(docs)} (+ README.md)")
+    print(f"mentioned:                {len(modules) - len(missing)}")
+    if missing:
+        print("\nmodules never mentioned in docs/*.md:")
+        for module, forms in missing.items():
+            print(f"  - {module} (accepted forms: {', '.join(forms)})")
+        print(f"\nFAIL: {len(missing)} module(s) undocumented — add them to the "
+              "relevant docs page (architecture.md's dataflow at minimum)",
+              file=sys.stderr)
+        return 1
+    print("\ndocs mentions OK: every src/repro/ module appears in the docs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

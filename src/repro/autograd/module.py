@@ -132,7 +132,8 @@ class Module:
         for module_name, module in self._modules.items():
             yield from module.state_keys(prefix=f"{prefix}{module_name}.")
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], prefix: str = "",
+                        copy: bool = True) -> None:
         """Load a state dict produced by :meth:`state_dict`.
 
         Loading is *strict*: the provided keys must match this module's
@@ -141,6 +142,13 @@ class Module:
         and shape/dtype mismatches are all collected and reported in a single
         error so a broken checkpoint is diagnosed in one pass, never silently
         partial-loaded.
+
+        ``copy=False`` is the zero-copy serving path: values already in the
+        parameter dtype (float64) are *rebound* instead of copied, so
+        parameters can alias read-only memory-mapped artifact arrays and N
+        replica processes share one set of weight pages.  A module loaded
+        this way must never be trained or mutated in place — its parameter
+        data may be read-only — which is exactly the inference contract.
         """
         expected = set(self.state_keys(prefix=prefix))
         provided = {key for key in state if key.startswith(prefix)} if prefix else set(state)
@@ -156,7 +164,7 @@ class Module:
             raise ValueError(
                 f"cannot load state dict into {type(self).__name__}: " + "; ".join(problems)
             )
-        self._load_state(state, prefix=prefix)
+        self._load_state(state, prefix=prefix, copy=copy)
 
     def _shape_dtype_mismatches(self, state: Dict[str, np.ndarray], prefix: str = "") -> List[str]:
         problems: List[str] = []
@@ -189,15 +197,23 @@ class Module:
             )
         return problems
 
-    def _load_state(self, state: Dict[str, np.ndarray], prefix: str = "") -> None:
-        """Copy validated values into parameters and buffers (no checks)."""
+    def _load_state(self, state: Dict[str, np.ndarray], prefix: str = "",
+                    copy: bool = True) -> None:
+        """Copy (or, with ``copy=False``, rebind) validated values — no checks.
+
+        The no-copy path still *casts* when a value is not float64 —
+        ``np.asarray`` only avoids the copy for arrays already in the target
+        dtype — so content is identical either way; only aliasing differs.
+        """
         for name, param in self._parameters.items():
-            param.data = np.asarray(state[prefix + name], dtype=np.float64).copy()
+            value = np.asarray(state[prefix + name], dtype=np.float64)
+            param.data = value.copy() if copy else value
         for name in self._buffers:
-            self._buffers[name] = np.asarray(state[prefix + name]).copy()
+            value = np.asarray(state[prefix + name])
+            self._buffers[name] = value.copy() if copy else value
             object.__setattr__(self, name, self._buffers[name])
         for module_name, module in self._modules.items():
-            module._load_state(state, prefix=f"{prefix}{module_name}.")
+            module._load_state(state, prefix=f"{prefix}{module_name}.", copy=copy)
 
     # ------------------------------------------------------------------ #
     # call protocol

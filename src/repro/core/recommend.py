@@ -507,12 +507,18 @@ class DELRecRecommender:
 
     @classmethod
     def restore(cls, arrays: Dict[str, np.ndarray], metadata: dict,
-                dataset: SequenceDataset) -> "DELRecRecommender":
+                dataset: SequenceDataset, copy: bool = True) -> "DELRecRecommender":
         """Rebuild a recommender from :meth:`serialize` output.
 
         ``dataset`` must be the dataset the recommender was fitted on: the
         tokenizer, item catalog (prompt titles) and verbalizer mapping are all
         reproduced from it, guarded by the stored vocabulary size.
+
+        ``copy=False`` rebinds the model state to ``arrays`` instead of
+        copying (see :meth:`~repro.autograd.module.Module.load_state_dict`):
+        with memory-mapped artifact arrays the restored recommender serves
+        straight off the mapped payload pages — inference-only, bitwise
+        identical to a copying restore.
         """
         if metadata.get("component") != "delrec_recommender":
             raise ArtifactError(
@@ -533,7 +539,8 @@ class DELRecRecommender:
             )
         model.load_state_dict(
             {key[len("model."):]: value for key, value in arrays.items()
-             if key.startswith("model.")}
+             if key.startswith("model.")},
+            copy=copy,
         )
         model.is_pretrained = bool(llm_meta.get("is_pretrained", True))
         model.eval()
@@ -543,6 +550,7 @@ class DELRecRecommender:
                 {key[len("soft_prompt."):]: value for key, value in arrays.items()
                  if key.startswith("soft_prompt.")},
                 metadata["soft_prompt"],
+                copy=copy,
             )
         prompt_builder = PromptBuilder(tokenizer, dataset.catalog, **metadata["prompt_builder"])
         verbalizer = Verbalizer(

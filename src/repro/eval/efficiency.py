@@ -364,6 +364,14 @@ class ServingReport:
     #: measured fast-path speedup over the full-width tape encode for the
     #: same unique prompts (None when the comparison arm was not timed)
     speedup_vs_tape: Optional[float] = None
+    #: CPU seconds (user + system) consumed during the run — the serving
+    #: process itself for single-process rows, summed over replicas for
+    #: replicated rows
+    cpu_seconds: float = 0.0
+    #: peak resident-set size in MB — a high-water mark, so it covers the
+    #: process lifetime up to this run, not the run alone (max over replicas
+    #: for replicated rows)
+    peak_rss_mb: float = 0.0
 
     def latency_percentile_ms(self, q: float) -> float:
         """The ``q``-th percentile of per-request latency, in milliseconds."""
@@ -422,6 +430,8 @@ class ServingReport:
             "speedup_vs_tape": (
                 round(self.speedup_vs_tape, 2) if self.speedup_vs_tape is not None else "-"
             ),
+            "cpu_s": round(self.cpu_seconds, 3),
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
             "max_score_diff": self.max_score_diff,
         }
 
@@ -444,11 +454,16 @@ def measure_serving(
     are supplied, the report records the largest served-vs-offline score
     difference — the serving layer guarantees exactly ``0.0``.  Prompt
     prefix-cache deltas are read off the service stats; ``speedup_vs_tape``
-    (measured separately, see the serving table) is threaded through verbatim.
+    (measured separately, see the serving table) is threaded through
+    verbatim.  CPU time (``getrusage`` delta) and peak RSS of the serving
+    process are sampled around the run for the resource columns.
     """
     from repro.serve.loadgen import run_load
+    from repro.serve.replica import ReplicaResources
 
+    cpu_before = ReplicaResources.sample(0, 0).cpu_seconds
     result = run_load(service, workload, concurrency=concurrency)
+    resources = ReplicaResources.sample(0, 0)
     max_diff = 0.0
     if reference_scores is not None:
         max_diff = max(
@@ -470,6 +485,8 @@ def measure_serving(
         prefix_hits=result.prefix_hits,
         prefix_recompute_fraction=result.prefix_recompute_fraction,
         speedup_vs_tape=speedup_vs_tape,
+        cpu_seconds=resources.cpu_seconds - cpu_before,
+        peak_rss_mb=resources.peak_rss_mb,
     )
 
 

@@ -20,13 +20,19 @@ request-serving path:
   ids (and input-embedding rows) for everything before it, byte-identically;
 * :class:`~repro.serve.sessions.SessionStore` — per-user incremental
   histories, so repeat users append events instead of resending everything;
-* :mod:`repro.serve.loadgen` — a deterministic closed-loop load generator
-  that replays synthetic-dataset users at configurable concurrency;
+* :mod:`repro.serve.loadgen` — deterministic load generators: the
+  closed-loop replayer plus the open-loop generator (seeded Poisson, bursty
+  and diurnal arrivals) that sweeps offered load to locate the saturation
+  knee;
 * :mod:`repro.serve.resilience` — the failure model (PR 8): per-request
   deadline budgets, bounded deterministic retries, a request-counted circuit
   breaker and the degraded-mode fallback chain;
 * :mod:`repro.serve.faults` — seeded, bitwise-reproducible fault injection
-  (the chaos harness the resilience layer is gated against in CI).
+  (the chaos harness the resilience layer is gated against in CI);
+* :mod:`repro.serve.replica` / :mod:`repro.serve.router` — the replicated
+  tier (PR 10): N worker processes that each mmap-restore the *same*
+  fingerprinted bundle (sharing weight pages), behind a sticky-session
+  router with deterministic failover and a shared result-cache tier.
 
 Because the batched scoring engine is bitwise-identical to the per-example
 loop and the caches only ever store what scoring computed, every served score
@@ -45,15 +51,29 @@ from repro.serve.faults import (
     InjectedStoreReadError,
 )
 from repro.serve.loadgen import (
+    ARRIVAL_PROFILES,
     CHAOS_PROFILES,
     FaultProfile,
     LoadResult,
+    OpenLoopResult,
     ServedRequest,
+    arrival_schedule,
     build_workload,
+    find_knee,
     replay_workload,
     run_load,
+    run_open_loop,
+    sweep_offered_load,
 )
 from repro.serve.prefix import PrefixCache, PrefixStats, prefix_history, prefix_key
+from repro.serve.replica import (
+    Replica,
+    ReplicaConfig,
+    ReplicaResources,
+    ReplicaUnavailable,
+    start_replicas,
+)
+from repro.serve.router import ReplicatedService, sticky_replica
 from repro.serve.resilience import (
     CircuitBreaker,
     DeadlineBudget,
@@ -75,6 +95,7 @@ from repro.serve.service import (
 from repro.serve.sessions import SessionStore
 
 __all__ = [
+    "ARRIVAL_PROFILES",
     "BatcherStats",
     "CHAOS_PROFILES",
     "CacheStats",
@@ -92,10 +113,16 @@ __all__ = [
     "InjectedStoreReadError",
     "LoadResult",
     "MicroBatcher",
+    "OpenLoopResult",
     "PrefixCache",
     "PrefixStats",
     "RecommendResponse",
     "RecommendationService",
+    "Replica",
+    "ReplicaConfig",
+    "ReplicaResources",
+    "ReplicaUnavailable",
+    "ReplicatedService",
     "ResiliencePolicy",
     "ResilienceStats",
     "ResultCache",
@@ -105,11 +132,17 @@ __all__ = [
     "ServiceStats",
     "SessionStore",
     "TransientScoringError",
+    "arrival_schedule",
     "build_workload",
     "candidates_digest",
+    "find_knee",
     "history_digest",
     "prefix_history",
     "prefix_key",
     "replay_workload",
     "run_load",
+    "run_open_loop",
+    "start_replicas",
+    "sticky_replica",
+    "sweep_offered_load",
 ]

@@ -1,9 +1,9 @@
-"""Deterministic closed-loop load generator for the serving layer.
+"""Deterministic load generators — closed- and open-loop — for the serving layer.
 
-The generator replays synthetic-dataset users against a
-:class:`~repro.serve.service.RecommendationService` the way the offline
-evaluator replays them against a model: each request carries a test user's
-history and the *same* candidate set the
+The generators replay synthetic-dataset users against a
+:class:`~repro.serve.service.RecommendationService` (or a replicated tier)
+the way the offline evaluator replays them against a model: each request
+carries a test user's history and the *same* candidate set the
 :class:`~repro.eval.evaluator.RankingEvaluator` would rank, so served scores
 can be compared bit for bit against offline scoring.
 
@@ -18,8 +18,22 @@ Two layers of determinism:
   counts and the batch-size histogram are reproducible, and every score is
   deterministic outright.
 
-Wall-clock latencies (the one genuinely non-deterministic output) are
-recorded per request for the percentile columns of the serving table.
+Closed vs. open loop
+--------------------
+A closed loop never issues request *i+1* until one of its workers got an
+answer to request *i*, so the offered rate silently adapts to the service:
+throughput tops out at ``concurrency / latency`` and a saturated server
+looks merely "busy" — queueing delay is invisible because the clients
+politely stop arriving.  The **open loop** (:func:`run_open_loop`) instead
+schedules arrivals from a seeded stochastic process (:func:`arrival_schedule`
+— Poisson, bursty or diurnal) and measures each request's latency **from its
+scheduled arrival time**, so when the tier cannot keep up, the backlog shows
+up as exploding tail latency and an achieved rate that falls below the
+offered rate.  Sweeping the offered rate (:func:`sweep_offered_load`) and
+looking for where achieved/offered drops (:func:`find_knee`) locates the
+tier's saturation knee; SLOs are then gated at a fixed sub-knee load.
+Arrival *times* are deterministic given the seed; only wall-clock latencies
+(the one genuinely non-deterministic output) vary between runs.
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ import asyncio
 import time
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -367,6 +382,249 @@ def run_load(
         stats_after=service.stats(),
         failures=failures,
     )
+
+
+# --------------------------------------------------------------------- #
+# open-loop load
+# --------------------------------------------------------------------- #
+
+#: The arrival processes :func:`arrival_schedule` can draw.
+ARRIVAL_PROFILES = ("poisson", "bursty", "diurnal")
+
+
+def arrival_schedule(
+    num_requests: int,
+    rate_rps: float,
+    profile: str = "poisson",
+    seed: int = 0,
+) -> np.ndarray:
+    """Seeded arrival times (seconds from start) at an average ``rate_rps``.
+
+    ``poisson`` draws i.i.d. exponential inter-arrivals (the memoryless
+    baseline).  The non-homogeneous profiles are generated by **time
+    rescaling**: draw a unit-rate Poisson process and map each arrival
+    through the inverse cumulative intensity ``Λ⁻¹``, which yields an exact
+    non-homogeneous Poisson process with intensity ``λ(t)``:
+
+    * ``bursty`` — a square wave: 25% of the time at ``2.5×`` the average
+      rate, the rest at ``0.5×`` (four bursts over the expected horizon);
+    * ``diurnal`` — a sinusoid ``λ(t) = rate × (1 + 0.8 sin(2πt/T))`` over
+      one full period ``T`` (the expected horizon): a smooth peak and trough.
+
+    All three profiles offer the same *average* rate, so sweep points are
+    comparable across profiles.  The schedule is a pure function of
+    ``(num_requests, rate_rps, profile, seed)``.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if profile not in ARRIVAL_PROFILES:
+        raise ValueError(f"unknown arrival profile {profile!r}; pick one of {ARRIVAL_PROFILES}")
+    rng = np.random.default_rng(seed)
+    if profile == "poisson":
+        gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+        return np.cumsum(gaps)
+    # time rescaling: unit-rate arrivals U_i mapped through Λ⁻¹
+    unit_arrivals = np.cumsum(rng.exponential(1.0, size=num_requests))
+    horizon = num_requests / rate_rps  # expected span at the average rate
+    # Λ grid long enough to cover U_max (unit-rate ⇒ Λ grows ~rate×t on average)
+    span = 4.0 * horizon
+    grid = np.linspace(0.0, span, max(4096, num_requests * 8))
+    if profile == "bursty":
+        period = horizon / 4.0
+        in_burst = (grid % period) < (0.25 * period)
+        intensity = np.where(in_burst, 2.5 * rate_rps, 0.5 * rate_rps)
+    else:  # diurnal
+        intensity = rate_rps * (1.0 + 0.8 * np.sin(2.0 * np.pi * grid / horizon))
+    step = grid[1] - grid[0]
+    cumulative = np.concatenate([[0.0], np.cumsum((intensity[1:] + intensity[:-1]) * 0.5 * step)])
+    if cumulative[-1] <= unit_arrivals[-1]:  # pragma: no cover - tiny-N tail guard
+        # extend Λ linearly at the average rate so the inverse covers U_max
+        overshoot = unit_arrivals[-1] - cumulative[-1] + 1.0
+        grid = np.concatenate([grid, [grid[-1] + overshoot / rate_rps]])
+        cumulative = np.concatenate([cumulative, [cumulative[-1] + overshoot]])
+    return np.interp(unit_arrivals, cumulative, grid)
+
+
+@dataclass
+class OpenLoopResult:
+    """One open-loop run: what was offered, what was achieved, and the tails."""
+
+    requests: List[ServedRequest]
+    responses: List[RecommendResponse]
+    #: scheduled arrival times, seconds from run start
+    arrivals: np.ndarray
+    #: per-request seconds from *scheduled arrival* to response — queueing
+    #: delay under overload is part of the latency, by construction
+    latencies: np.ndarray
+    wall_seconds: float
+    #: the average arrival rate the schedule offered
+    offered_rps: float
+    profile: str
+    failures: List[Tuple[int, BaseException]]
+
+    @property
+    def achieved_rps(self) -> float:
+        """Requests completed per second of wall clock."""
+        return len(self.responses) / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """``achieved / offered`` — below ~1 the tier is falling behind."""
+        return self.achieved_rps / self.offered_rps if self.offered_rps else 0.0
+
+    def latency_percentile_ms(self, percentile: float) -> float:
+        """A latency percentile in milliseconds (over completed requests)."""
+        if not len(self.latencies):
+            return 0.0
+        return float(np.percentile(self.latencies, percentile) * 1000.0)
+
+    def scores(self) -> List[np.ndarray]:
+        """The served score arrays in request order."""
+        return [response.scores for response in self.responses]
+
+
+def run_open_loop(
+    target,
+    workload: Sequence[ServedRequest],
+    arrivals: np.ndarray,
+    k: Optional[int] = None,
+    profile: str = "poisson",
+    offered_rps: Optional[float] = None,
+    max_workers: int = 64,
+) -> OpenLoopResult:
+    """Offer the workload at scheduled arrival times, regardless of completions.
+
+    ``target`` is either a single-process
+    :class:`~repro.serve.service.RecommendationService` (its awaitable
+    ``recommend`` joins the micro-batcher directly) or a
+    :class:`~repro.serve.router.ReplicatedService` (its blocking ``recommend``
+    is dispatched to a thread pool so in-flight requests overlap — thread
+    scheduling can reorder *completions*, which affects latencies only;
+    scores are exact on every path and arrival order is fixed by the
+    schedule).  Latency is measured from each request's **scheduled**
+    arrival, so dispatch lateness under overload is charged to the request —
+    that is the open-loop contract that makes saturation visible.
+    """
+    if len(workload) != len(arrivals):
+        raise ValueError("workload and arrival schedule must have the same length")
+    if offered_rps is None:
+        offered_rps = len(arrivals) / float(arrivals[-1]) if len(arrivals) else 0.0
+    asynchronous = asyncio.iscoroutinefunction(getattr(target, "recommend"))
+    responses: List[Optional[RecommendResponse]] = [None] * len(workload)
+    latencies = np.zeros(len(workload), dtype=np.float64)
+    failures: List[Tuple[int, BaseException]] = []
+
+    async def serve_one(position: int, request: ServedRequest, start: float,
+                        executor) -> None:
+        try:
+            if asynchronous:
+                response = await target.recommend(
+                    request.user_id,
+                    history=list(request.history),
+                    k=k,
+                    candidates=list(request.candidates),
+                    request_index=request.index,
+                )
+            else:
+                loop = asyncio.get_running_loop()
+                response = await loop.run_in_executor(
+                    executor,
+                    partial(target.recommend, request.user_id,
+                            list(request.history), list(request.candidates), k),
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            latencies[position] = time.perf_counter() - start - arrivals[position]
+            failures.append((position, error))
+            return
+        latencies[position] = time.perf_counter() - start - arrivals[position]
+        responses[position] = response
+
+    async def drive() -> float:
+        executor = None
+        if not asynchronous:
+            from concurrent.futures import ThreadPoolExecutor
+
+            executor = ThreadPoolExecutor(
+                max_workers=min(max_workers, max(1, len(workload))),
+                thread_name_prefix="repro-openloop",
+            )
+        start = time.perf_counter()
+        tasks = []
+        try:
+            for position, request in enumerate(workload):
+                delay = arrivals[position] - (time.perf_counter() - start)
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(
+                    asyncio.ensure_future(serve_one(position, request, start, executor))
+                )
+            await asyncio.gather(*tasks)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+        return time.perf_counter() - start
+
+    wall_seconds = asyncio.run(drive())
+    failures.sort(key=lambda pair: pair[0])
+    return OpenLoopResult(
+        requests=list(workload),
+        responses=[response for response in responses if response is not None],
+        arrivals=np.asarray(arrivals, dtype=np.float64),
+        latencies=latencies,
+        wall_seconds=wall_seconds,
+        offered_rps=float(offered_rps),
+        profile=profile,
+        failures=failures,
+    )
+
+
+def sweep_offered_load(
+    target,
+    workload: Sequence[ServedRequest],
+    rates: Sequence[float],
+    profile: str = "poisson",
+    seed: int = 0,
+    k: Optional[int] = None,
+) -> List[OpenLoopResult]:
+    """Run the same workload at each offered rate, lowest first.
+
+    The workload is identical at every point, so after the first pass the
+    tier is in the same warm steady state for every rate and the sweep
+    isolates *load*, not cache temperature — warm the tier once (e.g. with a
+    closed-loop pass) before sweeping.  Results come back in rate order for
+    :func:`find_knee`.
+    """
+    results = []
+    for rate in sorted(rates):
+        arrivals = arrival_schedule(len(workload), rate, profile=profile, seed=seed)
+        results.append(
+            run_open_loop(target, workload, arrivals, k=k, profile=profile,
+                          offered_rps=rate)
+        )
+    return results
+
+
+def find_knee(results: Sequence[OpenLoopResult],
+              efficiency_floor: float = 0.9) -> OpenLoopResult:
+    """The saturation knee of a sweep: the last offered load the tier sustains.
+
+    Reading a sweep: while the tier keeps up, ``achieved ≈ offered``
+    (efficiency near 1) and tail latencies sit near the unloaded baseline;
+    past the knee, achieved flattens at capacity while offered keeps
+    growing, so efficiency collapses and the p99 explodes (queueing).  The
+    knee is the **highest offered rate with efficiency ≥ the floor**; if
+    even the lowest rate misses the floor, that lowest point is returned
+    (the tier is saturated everywhere in range — sweep lower).
+    """
+    if not results:
+        raise ValueError("find_knee needs at least one sweep point")
+    ordered = sorted(results, key=lambda result: result.offered_rps)
+    sustained = [result for result in ordered if result.efficiency >= efficiency_floor]
+    return sustained[-1] if sustained else ordered[0]
 
 
 def replay_workload(recommender, workload: Sequence[ServedRequest]) -> List[np.ndarray]:

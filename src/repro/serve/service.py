@@ -240,6 +240,7 @@ class RecommendationService:
         artifact_fingerprint: str,
         dataset=None,
         wait_timeout: Optional[float] = None,
+        mmap: bool = False,
         **kwargs,
     ) -> "RecommendationService":
         """Start a service warm: load the recommender from the artifact store.
@@ -254,6 +255,13 @@ class RecommendationService:
         that many seconds, so a serving process can be started while the
         training run (or a sharded experiment worker) is still publishing the
         bundle, and comes up the moment the artifact lands.
+
+        ``mmap=True`` restores the bundle zero-copy off a read-only file
+        mapping of the payload (replica processes serving one fingerprint
+        share weight pages; see
+        :func:`~repro.store.components.load_recommender`).  Ignored on the
+        ``wait_timeout`` path — a bundle that just landed is hot in memory
+        anyway.
         """
         if wait_timeout is not None:
             from repro.store.components import restore_servable
@@ -262,7 +270,8 @@ class RecommendationService:
                                               timeout=wait_timeout)
             recommender = restore_servable(kind, arrays, metadata, dataset=dataset)
         else:
-            recommender = load_recommender(store, kind, artifact_fingerprint, dataset=dataset)
+            recommender = load_recommender(store, kind, artifact_fingerprint,
+                                           dataset=dataset, mmap=mmap)
         return cls(recommender, **kwargs)
 
     def set_recommender(self, recommender, model_fingerprint: Optional[str] = None) -> str:

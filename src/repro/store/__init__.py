@@ -33,6 +33,7 @@ from repro.store.store import (
     StoreStats,
     WORKER_ID_ENV,
     default_store,
+    mmap_npz_arrays,
     read_artifact,
     write_artifact,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "default_store",
     "examples_fingerprint",
     "fingerprint",
+    "mmap_npz_arrays",
     "read_artifact",
     "state_fingerprint",
     "write_artifact",

@@ -62,12 +62,16 @@ def serialize_backbone(model) -> Tuple[Dict[str, np.ndarray], dict]:
     return model.state_dict(), metadata
 
 
-def restore_backbone(arrays: Dict[str, np.ndarray], metadata: dict, model=None):
+def restore_backbone(arrays: Dict[str, np.ndarray], metadata: dict, model=None,
+                     copy: bool = True):
     """Rebuild a backbone from :func:`serialize_backbone` output.
 
     ``model`` may be a freshly constructed (compatible) instance to load into;
     otherwise the class is looked up in the model registry and constructed
-    from the stored ``init_config``.
+    from the stored ``init_config``.  ``copy=False`` rebinds the parameters to
+    ``arrays`` instead of copying — the zero-copy serving restore over
+    memory-mapped artifact payloads (inference-only; see
+    :meth:`~repro.autograd.module.Module.load_state_dict`).
     """
     if metadata.get("component") != BACKBONE_KIND:
         raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a backbone")
@@ -75,7 +79,7 @@ def restore_backbone(arrays: Dict[str, np.ndarray], metadata: dict, model=None):
         from repro.models.registry import create_model
 
         model = create_model(metadata["class"], **metadata["init_config"])
-    model.load_state_dict(arrays)
+    model.load_state_dict(arrays, copy=copy)
     model.is_fitted = bool(metadata.get("is_fitted", True))
     model.eval()
     return model
@@ -207,7 +211,8 @@ def recommender_fingerprint(recommender) -> str:
     return fingerprint("serving_recommender", type(recommender).__name__, payload)
 
 
-def restore_servable(kind: str, arrays: Dict[str, np.ndarray], metadata: dict, dataset=None):
+def restore_servable(kind: str, arrays: Dict[str, np.ndarray], metadata: dict, dataset=None,
+                     copy: bool = True):
     """Rebuild a servable recommender from already-loaded artifact content.
 
     Dispatches on the artifact ``kind``: conventional backbones
@@ -217,10 +222,12 @@ def restore_servable(kind: str, arrays: Dict[str, np.ndarray], metadata: dict, d
     ``dataset`` the bundle was fitted on (tokenizer and catalog are
     reproduced from it).  Callers that already hold the artifact — e.g. from
     :meth:`~repro.store.store.ArtifactStore.wait_for` — restore through here
-    without a second store read.
+    without a second store read.  ``copy=False`` rebinds model state to
+    ``arrays`` instead of copying (pass it when ``arrays`` are memory-mapped
+    views, so the restored model serves off the mapped pages).
     """
     if kind == BACKBONE_KIND:
-        return restore_backbone(arrays, metadata)
+        return restore_backbone(arrays, metadata, copy=copy)
     if kind == DELREC_KIND:
         if dataset is None:
             raise ValueError(
@@ -229,22 +236,31 @@ def restore_servable(kind: str, arrays: Dict[str, np.ndarray], metadata: dict, d
             )
         from repro.core.recommend import DELRecRecommender
 
-        return DELRecRecommender.restore(arrays, metadata, dataset)
+        return DELRecRecommender.restore(arrays, metadata, dataset, copy=copy)
     raise ValueError(
         f"artifact kind {kind!r} is not servable; expected {BACKBONE_KIND!r} or {DELREC_KIND!r}"
     )
 
 
-def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str, dataset=None):
+def load_recommender(store: ArtifactStore, kind: str, artifact_fingerprint: str, dataset=None,
+                     mmap: bool = False):
     """Load a servable recommender warm from the artifact store.
 
     One store read plus :func:`restore_servable`.  Raises
     :class:`~repro.store.store.ArtifactNotFoundError` when no artifact with
     that fingerprint exists — a serving process would rather fail loudly than
     train.
+
+    ``mmap=True`` loads the payload zero-copy
+    (:meth:`~repro.store.store.ArtifactStore.load` with ``mmap=True``) and
+    restores without copying, so the recommender's parameters alias the
+    read-only mapped artifact pages: N replica processes serving the same
+    fingerprint share one set of physical weight pages through the OS page
+    cache.  Scores are bitwise-identical to an eager load; the model must not
+    be trained afterwards.
     """
-    arrays, metadata = store.load(kind, artifact_fingerprint)
-    return restore_servable(kind, arrays, metadata, dataset=dataset)
+    arrays, metadata = store.load(kind, artifact_fingerprint, mmap=mmap)
+    return restore_servable(kind, arrays, metadata, dataset=dataset, copy=not mmap)
 
 
 # --------------------------------------------------------------------------- #
@@ -262,12 +278,17 @@ def serialize_soft_prompt(soft_prompt: SoftPrompt) -> Tuple[Dict[str, np.ndarray
     return {"weight": soft_prompt.weight.data.copy()}, metadata
 
 
-def restore_soft_prompt(arrays: Dict[str, np.ndarray], metadata: dict) -> SoftPrompt:
-    """Rebuild a soft prompt from :func:`serialize_soft_prompt` output."""
+def restore_soft_prompt(arrays: Dict[str, np.ndarray], metadata: dict,
+                        copy: bool = True) -> SoftPrompt:
+    """Rebuild a soft prompt from :func:`serialize_soft_prompt` output.
+
+    ``copy=False`` rebinds the weight to ``arrays["weight"]`` instead of
+    copying — the zero-copy serving restore for memory-mapped payloads.
+    """
     if metadata.get("component") != SOFT_PROMPT_KIND:
         raise ArtifactError(f"artifact is a {metadata.get('component')!r}, not a soft prompt")
     soft_prompt = SoftPrompt(int(metadata["num_tokens"]), int(metadata["dim"]))
-    soft_prompt.load_state_dict({"weight": arrays["weight"]})
+    soft_prompt.load_state_dict({"weight": arrays["weight"]}, copy=copy)
     soft_prompt.init_style = metadata.get("init_style", "random")
     soft_prompt.weight.requires_grad = bool(metadata.get("requires_grad", True))
     return soft_prompt

@@ -37,9 +37,12 @@ finishes (``RecommendationService.from_store(wait_timeout=...)``) — block on
 
 from __future__ import annotations
 
+import io
 import json
+import mmap
 import os
 import shutil
+import struct
 import tempfile
 import time
 import zipfile
@@ -109,7 +112,7 @@ def write_artifact(path: str, arrays: Dict[str, np.ndarray], metadata: dict,
     try:
         # repro-lint: disable=raw-file-write -- this IS the atomic-write primitive:
         # both writes land in the private staging dir and publish via os.replace.
-        np.savez(os.path.join(staging, PAYLOAD_FILE), **arrays)
+        write_aligned_npz(os.path.join(staging, PAYLOAD_FILE), arrays)
         document = dict(metadata)
         document.setdefault("format_version", FORMAT_VERSION)
         # repro-lint: disable=raw-file-write -- staged write inside write_artifact.
@@ -135,8 +138,132 @@ def write_artifact(path: str, arrays: Dict[str, np.ndarray], metadata: dict,
     return path
 
 
-def read_artifact(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
-    """Read an artifact directory written by :func:`write_artifact`."""
+#: Private zip extra-field tag for the alignment padding block written by
+#: :func:`write_aligned_npz` (any id unused by the zip spec works; readers
+#: skip unknown blocks).
+_ALIGN_EXTRA_ID = 0x4150  # "AP" (alignment padding)
+
+#: Array data inside the payload is padded to this boundary so memory-mapped
+#: views are at least as aligned as freshly allocated arrays.  Alignment is
+#: numerically load-bearing: numpy routes *unaligned* (< ``dtype.alignment``)
+#: buffers through different inner loops whose summation order differs at the
+#: ULP level, which would break the bitwise mmap == eager contract.
+_PAYLOAD_ALIGN = 64
+
+
+def write_aligned_npz(path: str, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``np.savez``-compatible archive with 64-byte-aligned members.
+
+    ``np.savez`` places each member's bytes wherever the zip stream happens
+    to be, so a memory-mapped view of the array data is unaligned in general
+    — and numpy computes ULP-*different* results on unaligned buffers (they
+    take different inner loops), which would silently break the store's
+    bitwise mmap == eager guarantee.  This writer pads each member's local
+    header with a private extra-field block so the ``.npy`` member starts on
+    a :data:`_PAYLOAD_ALIGN` boundary; the npy format itself already pads its
+    header so array data is 64-aligned *within* the member, so the mapped
+    array data ends up 64-aligned in the file.  Members are stored
+    uncompressed with a fixed timestamp, making the payload byte-identical
+    across writes of the same arrays.  ``np.load`` reads the result exactly
+    like an ``np.savez`` archive.  Object arrays (which npz would pickle)
+    fall back to ``np.savez`` wholesale — they cannot be mapped anyway.
+    """
+    values = {name: np.asarray(value) for name, value in arrays.items()}
+    if any(value.dtype.hasobject for value in values.values()):
+        # repro-lint: disable=raw-file-write -- only ever called on a staging
+        # path inside write_artifact; the publish is its atomic os.rename.
+        np.savez(path, **values)  # pickled members; the mmap reader skips these
+        return
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, value in values.items():
+            buffer = io.BytesIO()
+            np.lib.format.write_array(buffer, value, allow_pickle=False)
+            filename = name + ".npy"
+            info = zipfile.ZipInfo(filename, date_time=(1980, 1, 1, 0, 0, 0))
+            info.compress_type = zipfile.ZIP_STORED
+            info.external_attr = 0o600 << 16
+            # the local file header is 30 fixed bytes + name + extra; pad the
+            # extra field so the npy member starts on the alignment boundary
+            data_offset = archive.fp.tell() + 30 + len(filename.encode("utf-8"))
+            pad = -data_offset % _PAYLOAD_ALIGN
+            if 0 < pad < 4:  # an extra-field block needs a 4-byte id+size header
+                pad += _PAYLOAD_ALIGN
+            if pad:
+                info.extra = struct.pack("<HH", _ALIGN_EXTRA_ID, pad - 4) + b"\0" * (pad - 4)
+            with archive.open(info, "w") as member:
+                member.write(buffer.getvalue())
+
+
+def mmap_npz_arrays(payload_path: str) -> Optional[Dict[str, np.ndarray]]:
+    """Zero-copy views of every member of an *uncompressed* ``.npz`` archive.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores the mmap request for
+    ``.npz`` files, so this helper does the real thing: the whole archive is
+    mapped read-only once (``mmap.ACCESS_READ``) and each ``.npy`` member —
+    ``np.savez`` stores them uncompressed (``ZIP_STORED``), so the raw array
+    bytes sit contiguously inside the zip — becomes an ``np.frombuffer`` view
+    at its member offset.  The returned arrays are **read-only** and all share
+    the one mapping (kept alive through each array's ``.base``), so N
+    processes serving the same artifact share the payload's physical pages
+    through the OS page cache instead of holding N private copies.
+
+    Returns ``None`` when the archive cannot be mapped faithfully — a
+    compressed or pickled member, or an unrecognised npy header — so callers
+    can fall back to the eager copying read.  Corrupt archives raise exactly
+    like the eager path (``zipfile.BadZipFile`` / ``ValueError``).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(payload_path) as archive:
+        members = archive.infolist()
+    if any(member.compress_type != zipfile.ZIP_STORED for member in members):
+        return None
+    with open(payload_path, "rb") as handle:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    for member in members:
+        if not member.filename.endswith(".npy"):
+            return None
+        # the zip local file header is 30 fixed bytes; the name and extra
+        # field lengths at bytes 26..30 locate the start of the member data
+        base = member.header_offset
+        name_length = int.from_bytes(mapping[base + 26:base + 28], "little")
+        extra_length = int.from_bytes(mapping[base + 28:base + 30], "little")
+        data_start = base + 30 + name_length + extra_length
+        header = io.BytesIO(mapping[data_start:data_start + 256])
+        try:
+            version = np.lib.format.read_magic(header)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(header)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(header)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None  # pickled payload; only np.load(allow_pickle=True) reads it
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        flat = np.frombuffer(mapping, dtype=dtype, count=count,
+                             offset=data_start + header.tell())
+        if not flat.flags.aligned:
+            # a payload written before the aligned writer (or by plain
+            # np.savez): mapping it would be numerically unsafe — numpy's
+            # unaligned inner loops differ at the ULP level — so fall back
+            # to the eager copying read
+            return None
+        arrays[member.filename[:-len(".npy")]] = (
+            flat.reshape(shape, order="F" if fortran else "C")
+        )
+    return arrays
+
+
+def read_artifact(path: str, mmap_payload: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
+    """Read an artifact directory written by :func:`write_artifact`.
+
+    With ``mmap_payload=True`` the payload arrays are returned as read-only
+    zero-copy views over one shared file mapping (:func:`mmap_npz_arrays`)
+    whenever the archive supports it, falling back to the eager copying read
+    otherwise — content-identical either way.
+    """
     metadata_path = os.path.join(path, METADATA_FILE)
     payload_path = os.path.join(path, PAYLOAD_FILE)
     if not os.path.isfile(metadata_path) or not os.path.isfile(payload_path):
@@ -149,6 +276,10 @@ def read_artifact(path: str) -> Tuple[Dict[str, np.ndarray], dict]:
             f"artifact at {path!r} has format version {version!r}; "
             f"this code reads version {FORMAT_VERSION}"
         )
+    if mmap_payload:
+        arrays = mmap_npz_arrays(payload_path)
+        if arrays is not None:
+            return arrays, metadata
     with np.load(payload_path) as archive:
         arrays = {key: archive[key] for key in archive.files}
     return arrays, metadata
@@ -270,8 +401,8 @@ class ArtifactStore:
         self._bump_counters("saves")
         return path
 
-    def _read_with_retry(self, path: str, kind: str,
-                         fingerprint: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    def _read_with_retry(self, path: str, kind: str, fingerprint: str,
+                         mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
         """Read an artifact, absorbing up to ``io_retries`` transient ``OSError``s.
 
         Transient IO errors (NFS blips, the chaos harness's injected read
@@ -286,7 +417,7 @@ class ArtifactStore:
             try:
                 if self.read_fault_hook is not None:
                     self.read_fault_hook(kind, fingerprint)
-                return read_artifact(path)
+                return read_artifact(path, mmap_payload=mmap)
             except ArtifactNotFoundError:
                 raise
             except OSError as error:
@@ -296,13 +427,21 @@ class ArtifactStore:
         assert last_error is not None
         raise last_error
 
-    def load(self, kind: str, fingerprint: str) -> Tuple[Dict[str, np.ndarray], dict]:
+    def load(self, kind: str, fingerprint: str,
+             mmap: bool = False) -> Tuple[Dict[str, np.ndarray], dict]:
         """Load an artifact; raises :class:`ArtifactNotFoundError` on a miss.
 
         Quarantined keys (see :class:`ArtifactQuarantinedError`) fail fast;
         transient IO errors are absorbed by the bounded retry
         (:meth:`_read_with_retry`); a successful load clears the key's
         corruption marks.
+
+        ``mmap=True`` returns the payload as read-only zero-copy views over
+        one shared file mapping (see :func:`mmap_npz_arrays`): the serving
+        tier's replica processes load the same fingerprinted bundle this way
+        so their weight pages are shared through the OS page cache instead of
+        duplicated per process.  Content is bitwise-identical to the eager
+        read; archives that cannot be mapped fall back to it silently.
         """
         if (kind, fingerprint) in self._quarantined:
             raise ArtifactQuarantinedError(
@@ -315,7 +454,7 @@ class ArtifactStore:
             self.stats.record("misses", kind)
             self._bump_counters("misses")
             raise ArtifactNotFoundError(f"no {kind!r} artifact with fingerprint {fingerprint!r}")
-        arrays, metadata = self._read_with_retry(path, kind, fingerprint)
+        arrays, metadata = self._read_with_retry(path, kind, fingerprint, mmap=mmap)
         stored = metadata.get("fingerprint")
         if stored != fingerprint:
             raise ArtifactError(
@@ -356,7 +495,8 @@ class ArtifactStore:
             self.stats.corrupt_discarded += 1
             shutil.rmtree(path, ignore_errors=True)
 
-    def fetch(self, kind: str, fingerprint: str) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
+    def fetch(self, kind: str, fingerprint: str,
+              mmap: bool = False) -> Optional[Tuple[Dict[str, np.ndarray], dict]]:
         """Like :meth:`load` but returns ``None`` on a miss.
 
         A corrupt or format-incompatible artifact (truncated payload, stale
@@ -371,7 +511,7 @@ class ArtifactStore:
         :meth:`load` directly when corruption should be surfaced.
         """
         try:
-            return self.load(kind, fingerprint)
+            return self.load(kind, fingerprint, mmap=mmap)
         except ArtifactQuarantinedError:
             raise
         except ArtifactNotFoundError:
